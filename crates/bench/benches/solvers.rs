@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the analytical solvers.
+//!
+//! These establish that the model is cheap enough for its advertised use
+//! (online dynamic provisioning): a full 16-replica prediction must be
+//! far below a millisecond-scale budget.
+use criterion::{criterion_group, criterion_main, Criterion};
+use replipred_core::{MultiMasterModel, SingleMasterModel, SystemConfig, WorkloadProfile};
+use replipred_mva::{approx, exact, ClosedNetwork};
+use std::hint::black_box;
+
+fn bench_exact_mva(c: &mut Criterion) {
+    let net = ClosedNetwork::builder()
+        .queueing("cpu", 0.0414)
+        .queueing("disk", 0.0151)
+        .delay("cert", 0.012)
+        .think_time(1.0)
+        .build()
+        .unwrap();
+    c.bench_function("mva_exact_640_clients", |b| {
+        b.iter(|| exact::solve(black_box(&net), black_box(640)).unwrap())
+    });
+    c.bench_function("mva_schweitzer_640_clients", |b| {
+        b.iter(|| approx::solve_single(black_box(&net), black_box(640)).unwrap())
+    });
+}
+
+fn bench_mm_model(c: &mut Criterion) {
+    let profile = WorkloadProfile::tpcw_shopping();
+    let config = SystemConfig::lan_cluster(40);
+    let model = MultiMasterModel::new(profile, config);
+    c.bench_function("mm_predict_n16", |b| {
+        b.iter(|| model.predict(black_box(16)).unwrap())
+    });
+    c.bench_function("mm_predict_curve_16", |b| {
+        b.iter(|| model.predict_curve(black_box(16)).unwrap())
+    });
+}
+
+fn bench_sm_model(c: &mut Criterion) {
+    let profile = WorkloadProfile::tpcw_shopping();
+    let config = SystemConfig::lan_cluster(40);
+    let model = SingleMasterModel::new(profile, config);
+    c.bench_function("sm_predict_n8", |b| {
+        b.iter(|| model.predict(black_box(8)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_exact_mva, bench_mm_model, bench_sm_model);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Ablation (DESIGN.md §5.2): certifier as a delay center vs the
+//! mechanistic certifier. The model treats certification as a fixed
+//! 12 ms delay; the simulation has a real certifier with version-based
+//! conflict detection. Comparing MM predictions against simulation across
+//! the sweep isolates how much that approximation costs.
+use replipred_bench::{compare, replica_sweep, Design};
+use replipred_workload::tpcw;
+
+fn main() {
+    let spec = tpcw::mix(tpcw::Mix::Shopping);
+    let points = compare(&spec, Design::Mm, &replica_sweep());
+    println!("# Ablation: delay-center certifier (model) vs mechanistic (sim).");
+    println!(
+        "{:>3} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "N", "sim tps", "model tps", "err%", "sim A_N", "model A_N"
+    );
+    for p in &points {
+        println!(
+            "{:>3} {:>12.1} {:>12.1} {:>7.1}% {:>11.3}% {:>11.3}%",
+            p.n,
+            p.measured.throughput_tps,
+            p.predicted.throughput_tps,
+            100.0 * p.throughput_error(),
+            100.0 * p.measured.abort_rate,
+            100.0 * p.predicted.abort_rate
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Ablation (DESIGN.md §5.4): exact vs Schweitzer-approximate MVA.
+//! Quantifies the approximation error and the cost difference across
+//! population sizes.
+use replipred_mva::{approx, exact, multiclass, network::CenterKind, ClosedNetwork};
+use std::time::Instant;
+
+fn main() {
+    let net = ClosedNetwork::builder()
+        .queueing("cpu", 0.0414)
+        .queueing("disk", 0.0151)
+        .delay("cert", 0.012)
+        .think_time(1.0)
+        .build()
+        .expect("valid network");
+    println!("# Ablation: exact vs approximate single-class MVA.");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "N", "exact tps", "approx tps", "err%", "t_exact", "t_approx"
+    );
+    for n in [10usize, 40, 160, 640, 2560, 10240] {
+        let t0 = Instant::now();
+        let e = exact::solve(&net, n).expect("solves");
+        let t_exact = t0.elapsed();
+        let t1 = Instant::now();
+        let a = approx::solve_single(&net, n).expect("solves");
+        let t_approx = t1.elapsed();
+        println!(
+            "{n:>6} {:>12.2} {:>12.2} {:>7.2}% {:>9.1?} {:>9.1?}",
+            e.throughput,
+            a.throughput,
+            100.0 * (a.throughput - e.throughput).abs() / e.throughput,
+            t_exact,
+            t_approx
+        );
+    }
+    println!("# Two-class master station (reads + writes):");
+    let mc = multiclass::MulticlassNetwork::new(
+        vec![
+            ("cpu".into(), CenterKind::Queueing),
+            ("disk".into(), CenterKind::Queueing),
+        ],
+        vec![vec![0.0414, 0.0151], vec![0.0125, 0.0061]],
+        vec![1.0, 1.0],
+    )
+    .expect("valid network");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "pops", "exact tps", "approx tps", "err%"
+    );
+    for pops in [[20usize, 10], [80, 40], [320, 160]] {
+        let e = multiclass::solve_exact(&mc, &pops).expect("solves");
+        let a = approx::solve_multiclass(&mc, &pops).expect("solves");
+        let (et, at) = (e.total_throughput(), a.total_throughput());
+        println!(
+            "{:>12} {et:>12.2} {at:>12.2} {:>7.2}%",
+            format!("{}+{}", pops[0], pops[1]),
+            100.0 * (at - et).abs() / et
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's motivating application (Section 1): capacity planning.
+//! Given a throughput/latency SLO, find the cheapest deployment for each
+//! design — from standalone profiling only, before building anything.
+use replipred_bench::profile_workload;
+use replipred_core::planner::{plan, Slo};
+use replipred_core::SystemConfig;
+use replipred_workload::tpcw;
+
+fn main() {
+    let spec = tpcw::mix(tpcw::Mix::Shopping);
+    let profile = profile_workload(&spec);
+    let config = SystemConfig::lan_cluster(spec.clients_per_replica);
+    println!("# Capacity planning from standalone profiling (TPC-W shopping).");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10} {:>12}",
+        "SLO (tps)", "design", "replicas", "pred tps", "pred resp"
+    );
+    for target in [50.0, 100.0, 200.0, 300.0, 400.0] {
+        let slo = Slo {
+            min_throughput_tps: target,
+            max_response_time: Some(0.5),
+            max_abort_rate: None,
+        };
+        let plans = plan(&profile, &config, &slo, 16).expect("valid inputs");
+        if plans.is_empty() {
+            println!("{target:>12.0} {:>14} {:>14} {:>10} {:>12}", "infeasible", "-", "-", "-");
+            continue;
+        }
+        for p in plans {
+            println!(
+                "{target:>12.0} {:>14} {:>14} {:>10.1} {:>9.1} ms",
+                format!("{:?}", p.design),
+                p.replicas,
+                p.prediction.throughput_tps,
+                p.prediction.response_time * 1e3
+            );
+        }
+    }
+}

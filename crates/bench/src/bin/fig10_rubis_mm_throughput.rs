@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 10: RUBiS throughput on the multi-master
+//! system, measured vs model.
+use replipred_bench::{compare, print_throughput_figure, replica_sweep, Design};
+use replipred_workload::rubis;
+
+fn main() {
+    let sweep = replica_sweep();
+    let series: Vec<_> = rubis::Mix::ALL
+        .into_iter()
+        .map(|m| {
+            let spec = rubis::mix(m);
+            (spec.name.clone(), compare(&spec, Design::Mm, &sweep))
+        })
+        .collect();
+    print_throughput_figure("Figure 10. RUBiS throughput on MM system.", &series);
+}

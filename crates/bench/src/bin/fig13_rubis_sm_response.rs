@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 13: RUBiS response time on the single-master
+//! system, measured vs model.
+use replipred_bench::{compare, print_response_figure, replica_sweep, Design};
+use replipred_workload::rubis;
+
+fn main() {
+    let sweep = replica_sweep();
+    let series: Vec<_> = rubis::Mix::ALL
+        .into_iter()
+        .map(|m| {
+            let spec = rubis::mix(m);
+            (spec.name.clone(), compare(&spec, Design::Sm, &sweep))
+        })
+        .collect();
+    print_response_figure("Figure 13. RUBiS response time on SM system.", &series);
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Figure 6: TPC-W throughput on the multi-master
+//! system, measured (cluster simulation) vs model prediction, for all
+//! three mixes across the replica sweep.
+use replipred_bench::{compare, print_throughput_figure, replica_sweep, Design};
+use replipred_workload::tpcw;
+
+fn main() {
+    let sweep = replica_sweep();
+    let series: Vec<_> = tpcw::Mix::ALL
+        .into_iter()
+        .map(|m| {
+            let spec = tpcw::mix(m);
+            (spec.name.clone(), compare(&spec, Design::Mm, &sweep))
+        })
+        .collect();
+    print_throughput_figure("Figure 6. TPC-W throughput on MM system.", &series);
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 7: TPC-W response time on the multi-master
+//! system, measured vs model.
+use replipred_bench::{compare, print_response_figure, replica_sweep, Design};
+use replipred_workload::tpcw;
+
+fn main() {
+    let sweep = replica_sweep();
+    let series: Vec<_> = tpcw::Mix::ALL
+        .into_iter()
+        .map(|m| {
+            let spec = tpcw::mix(m);
+            (spec.name.clone(), compare(&spec, Design::Mm, &sweep))
+        })
+        .collect();
+    print_response_figure("Figure 7. TPC-W response time on MM system.", &series);
+}

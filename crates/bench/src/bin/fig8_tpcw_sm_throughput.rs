@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 8: TPC-W throughput on the single-master
+//! system, measured vs model.
+use replipred_bench::{compare, print_throughput_figure, replica_sweep, Design};
+use replipred_workload::tpcw;
+
+fn main() {
+    let sweep = replica_sweep();
+    let series: Vec<_> = tpcw::Mix::ALL
+        .into_iter()
+        .map(|m| {
+            let spec = tpcw::mix(m);
+            (spec.name.clone(), compare(&spec, Design::Sm, &sweep))
+        })
+        .collect();
+    print_throughput_figure("Figure 8. TPC-W throughput on SM system.", &series);
+}

@@ -1,0 +1,21 @@
+//! Regenerates paper Table 2: TPC-W mix parameters.
+use replipred_workload::tpcw;
+
+fn main() {
+    println!("# Table 2. TPC-W parameters.");
+    println!(
+        "{:<10} {:>9} {:>9} {:>20} {:>12}",
+        "Mix", "Read(Pr)", "Write(Pw)", "Clients/Replica(C)", "Think(Z)"
+    );
+    for m in tpcw::Mix::ALL {
+        let s = tpcw::mix(m);
+        println!(
+            "{:<10} {:>8.0}% {:>8.0}% {:>20} {:>9} ms",
+            s.name.trim_start_matches("tpcw-"),
+            100.0 * s.pr(),
+            100.0 * s.pw(),
+            s.clients_per_replica,
+            (s.think_time * 1e3) as u64
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Table 3: measured TPC-W service demands, by running
+//! the Section-4 profiling pipeline against the simulated standalone
+//! database and printing the recovered rc/wc/ws next to the paper's
+//! published values (which are the simulator's ground-truth means).
+use replipred_bench::profile_workload;
+use replipred_workload::tpcw;
+
+fn main() {
+    println!("# Table 3. Measured service demands (in ms) for TPC-W.");
+    println!(
+        "{:<10} {:<9} {:>10} {:>10} {:>12} | {:>28}",
+        "Mix", "Resource", "Read(rc)", "Write(wc)", "Writeset(ws)", "paper (rc / wc / ws)"
+    );
+    for m in tpcw::Mix::ALL {
+        let spec = tpcw::mix(m);
+        let p = profile_workload(&spec);
+        let (rc_c, rc_d, wc_c, wc_d, ws_c, ws_d) = m.table3_demands();
+        let name = spec.name.trim_start_matches("tpcw-");
+        println!(
+            "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2} | {:>8.2} {:>8.2} {:>8.2}",
+            name, "CPU", p.cpu.read * 1e3, p.cpu.write * 1e3, p.cpu.writeset * 1e3,
+            rc_c * 1e3, wc_c * 1e3, ws_c * 1e3
+        );
+        println!(
+            "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2} | {:>8.2} {:>8.2} {:>8.2}",
+            "", "Disk", p.disk.read * 1e3, p.disk.write * 1e3, p.disk.writeset * 1e3,
+            rc_d * 1e3, wc_d * 1e3, ws_d * 1e3
+        );
+    }
+}

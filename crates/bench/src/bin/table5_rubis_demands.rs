@@ -1,0 +1,25 @@
+//! Regenerates paper Table 5: measured RUBiS service demands via the
+//! profiling pipeline (see `table3_tpcw_demands` for methodology).
+use replipred_bench::profile_workload;
+use replipred_workload::rubis;
+
+fn main() {
+    println!("# Table 5. Measured service demands (in ms) for RUBiS.");
+    println!(
+        "{:<10} {:<9} {:>10} {:>10} {:>12}",
+        "Mix", "Resource", "Read(rc)", "Write(wc)", "Writeset(ws)"
+    );
+    for m in rubis::Mix::ALL {
+        let spec = rubis::mix(m);
+        let p = profile_workload(&spec);
+        let name = spec.name.trim_start_matches("rubis-");
+        println!(
+            "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2}",
+            name, "CPU", p.cpu.read * 1e3, p.cpu.write * 1e3, p.cpu.writeset * 1e3
+        );
+        println!(
+            "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2}",
+            "", "Disk", p.disk.read * 1e3, p.disk.write * 1e3, p.disk.writeset * 1e3
+        );
+    }
+}

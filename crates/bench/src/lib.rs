@@ -1,0 +1,209 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact of the paper's
+//! evaluation (Section 6) and prints the same rows/series the paper
+//! reports, side by side: the **model prediction** (from
+//! `replipred-core`, driven by standalone profiling) and the **measured
+//! value** (from the `replipred-repl` cluster simulation — our stand-in
+//! for the authors' 16-machine prototype).
+//!
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run --release -p replipred-bench --bin fig6_tpcw_mm_throughput
+//! ```
+//!
+//! Environment knobs:
+//!
+//! - `REPLIPRED_FULL=1` — paper-length windows (10 min warm-up, 15 min
+//!   measurement) and the full replica sweep 1..=16. Default is a quick
+//!   configuration (20 s / 60 s, N ∈ {1, 2, 4, 8, 12, 16}).
+//! - `REPLIPRED_SEED=<u64>` — RNG seed (default 2009, the paper's year).
+
+use replipred_core::{
+    MultiMasterModel, Prediction, SingleMasterModel, SystemConfig, WorkloadProfile,
+};
+use replipred_profiler::Profiler;
+use replipred_repl::{MultiMasterSim, RunReport, SimConfig, SingleMasterSim};
+use replipred_workload::spec::WorkloadSpec;
+
+/// One experiment point: model prediction next to simulated measurement.
+#[derive(Debug, Clone)]
+pub struct ComparisonPoint {
+    /// Replica count.
+    pub n: usize,
+    /// Model prediction.
+    pub predicted: Prediction,
+    /// Simulated measurement.
+    pub measured: RunReport,
+}
+
+impl ComparisonPoint {
+    /// Relative error of the predicted throughput vs the measurement.
+    pub fn throughput_error(&self) -> f64 {
+        rel_error(self.predicted.throughput_tps, self.measured.throughput_tps)
+    }
+
+    /// Relative error of the predicted response time vs the measurement.
+    pub fn response_error(&self) -> f64 {
+        rel_error(self.predicted.response_time, self.measured.response_time)
+    }
+}
+
+/// `|a - b| / b`, guarding the zero denominator.
+pub fn rel_error(predicted: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (predicted - measured).abs() / measured
+    }
+}
+
+/// Replica sweep for the current mode.
+pub fn replica_sweep() -> Vec<usize> {
+    if full_mode() {
+        (1..=16).collect()
+    } else {
+        vec![1, 2, 4, 8, 12, 16]
+    }
+}
+
+/// True when `REPLIPRED_FULL=1`.
+pub fn full_mode() -> bool {
+    std::env::var("REPLIPRED_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The experiment seed (`REPLIPRED_SEED`, default 2009).
+pub fn seed() -> u64 {
+    std::env::var("REPLIPRED_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2009)
+}
+
+/// Simulation config for the current mode.
+pub fn sim_config(replicas: usize) -> SimConfig {
+    if full_mode() {
+        SimConfig::paper(replicas, seed())
+    } else {
+        SimConfig::quick(replicas, seed())
+    }
+}
+
+/// The replicated-system design under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// Multi-master.
+    Mm,
+    /// Single-master.
+    Sm,
+}
+
+/// Profiles the workload on the standalone system (the paper's Section-4
+/// pipeline) and returns the resulting model input.
+pub fn profile_workload(spec: &WorkloadSpec) -> WorkloadProfile {
+    Profiler::new(spec.clone()).seed(seed()).profile().profile
+}
+
+/// Runs one model-vs-simulation comparison across the replica sweep.
+pub fn compare(spec: &WorkloadSpec, design: Design, sweep: &[usize]) -> Vec<ComparisonPoint> {
+    let profile = profile_workload(spec);
+    let config = SystemConfig::lan_cluster(spec.clients_per_replica);
+    sweep
+        .iter()
+        .map(|&n| {
+            let predicted = match design {
+                Design::Mm => MultiMasterModel::new(profile.clone(), config.clone())
+                    .predict(n)
+                    .expect("profiled inputs are valid"),
+                Design::Sm => SingleMasterModel::new(profile.clone(), config.clone())
+                    .predict(n)
+                    .expect("profiled inputs are valid"),
+            };
+            let measured = match design {
+                Design::Mm => MultiMasterSim::new(spec.clone(), sim_config(n)).run(),
+                Design::Sm => SingleMasterSim::new(spec.clone(), sim_config(n)).run(),
+            };
+            ComparisonPoint {
+                n,
+                predicted,
+                measured,
+            }
+        })
+        .collect()
+}
+
+/// Prints a throughput figure (paper Figures 6, 8, 10, 12): one series per
+/// workload, measured and predicted columns.
+pub fn print_throughput_figure(title: &str, series: &[(String, Vec<ComparisonPoint>)]) {
+    println!("# {title}");
+    println!("# (throughput in committed transactions/second)");
+    println!(
+        "{:<18} {:>3} {:>12} {:>12} {:>8}",
+        "workload", "N", "measured", "model", "err%"
+    );
+    for (name, points) in series {
+        for p in points {
+            println!(
+                "{:<18} {:>3} {:>12.1} {:>12.1} {:>7.1}%",
+                name,
+                p.n,
+                p.measured.throughput_tps,
+                p.predicted.throughput_tps,
+                100.0 * p.throughput_error()
+            );
+        }
+        if let (Some(first), Some(last)) = (points.first(), points.last()) {
+            println!(
+                "# {name}: measured speedup {:.1}x, predicted speedup {:.1}x",
+                last.measured.throughput_tps / first.measured.throughput_tps,
+                last.predicted.throughput_tps / first.predicted.throughput_tps
+            );
+        }
+    }
+}
+
+/// Prints a response-time figure (paper Figures 7, 9, 11, 13).
+pub fn print_response_figure(title: &str, series: &[(String, Vec<ComparisonPoint>)]) {
+    println!("# {title}");
+    println!("# (average response time in milliseconds)");
+    println!(
+        "{:<18} {:>3} {:>12} {:>12} {:>8}",
+        "workload", "N", "measured", "model", "err%"
+    );
+    for (name, points) in series {
+        for p in points {
+            println!(
+                "{:<18} {:>3} {:>12.1} {:>12.1} {:>7.1}%",
+                name,
+                p.n,
+                p.measured.response_time * 1e3,
+                p.predicted.response_time * 1e3,
+                100.0 * p.response_error()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_error_basics() {
+        assert_eq!(rel_error(11.0, 10.0), 0.1);
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+        assert!(rel_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn sweep_has_anchor_points() {
+        let s = replica_sweep();
+        assert!(s.contains(&1));
+        assert!(s.contains(&16));
+    }
+}

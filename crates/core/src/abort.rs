@@ -1,0 +1,143 @@
+//! Abort-probability algebra (paper Sections 3.3.1-3.3.2).
+//!
+//! The paper's abort model, following [Gray 1996]:
+//!
+//! - Standalone, analytic: an update transaction performing `U` update
+//!   operations over a conflict window `L(1)` against `W` committing
+//!   update transactions per second succeeds with probability
+//!   `(1-p)^(L(1)·W·U²)` where `p = 1/DbUpdateSize`:
+//!
+//!   `A1 = 1 - (1 - p)^(L(1)·W·U²)`
+//!
+//! - Replicated (multi-master): the N-replica system has N× the update
+//!   throughput and conflict window `CW(N)`, giving the *exact relation
+//!   the models use* to lift a measured `A1` to `A_N`:
+//!
+//!   `(1 - A_N) = (1 - A1)^(CW(N)/L(1) · N)`
+
+use serde::{Deserialize, Serialize};
+
+/// Abort-model helper bound to a measured (or analytic) standalone abort
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbortModel {
+    /// Standalone abort probability `A1`.
+    pub a1: f64,
+    /// Standalone update execution time `L(1)`, seconds.
+    pub l1: f64,
+}
+
+impl AbortModel {
+    /// Creates the model from a measured `A1` and `L(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a1` is outside `[0, 1)` or `l1` is not positive —
+    /// callers validate profiles before constructing models.
+    pub fn new(a1: f64, l1: f64) -> Self {
+        assert!((0.0..1.0).contains(&a1), "A1 must be in [0,1), got {a1}");
+        assert!(l1 > 0.0 && l1.is_finite(), "L(1) must be positive, got {l1}");
+        AbortModel { a1, l1 }
+    }
+
+    /// The multi-master abort probability `A_N` given the conflict window
+    /// `CW(N)` and replica count `n`:
+    /// `A_N = 1 - (1 - A1)^(CW(N)/L(1) · N)`.
+    pub fn replicated(&self, conflict_window: f64, n: usize) -> f64 {
+        let exponent = conflict_window / self.l1 * n as f64;
+        1.0 - (1.0 - self.a1).powf(exponent)
+    }
+
+    /// The master abort rate `A'_N` for a single-master system processing
+    /// `N×` the standalone update rate: the master resolves conflicts
+    /// locally like a standalone database but its conflict window is its
+    /// own (loaded) execution time `L_master`:
+    /// `A'_N = 1 - (1 - A1)^(L_master/L(1) · N)`.
+    pub fn master(&self, l_master: f64, n: usize) -> f64 {
+        self.replicated(l_master, n)
+    }
+}
+
+/// Analytic standalone abort probability (Section 3.3.1):
+/// `A1 = 1 - (1-p)^(L(1)·W·U²)` with `p = 1/db_update_size`.
+///
+/// `w` is the committed update-transaction rate (per second).
+pub fn a1_analytic(db_update_size: f64, update_ops: f64, w: f64, l1: f64) -> f64 {
+    assert!(db_update_size >= 1.0, "DbUpdateSize must be at least 1");
+    let p = 1.0 / db_update_size;
+    let exponent = l1 * w * update_ops * update_ops;
+    1.0 - (1.0 - p).powf(exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_one_replica_with_same_window() {
+        // CW(1) = L(1) must reproduce A1 exactly.
+        let m = AbortModel::new(0.01, 0.05);
+        let a = m.replicated(0.05, 1);
+        assert!((a - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_a1_stays_zero() {
+        let m = AbortModel::new(0.0, 0.05);
+        assert_eq!(m.replicated(10.0, 16), 0.0);
+    }
+
+    #[test]
+    fn grows_with_replicas_and_window() {
+        let m = AbortModel::new(0.005, 0.05);
+        let a4 = m.replicated(0.08, 4);
+        let a8 = m.replicated(0.08, 8);
+        let a8_wide = m.replicated(0.16, 8);
+        assert!(a8 > a4);
+        assert!(a8_wide > a8);
+        assert!((0.0..1.0).contains(&a8_wide));
+    }
+
+    #[test]
+    fn matches_paper_figure14_magnitudes() {
+        // Paper Figure 14: A1 = 0.90% grows to about 29% at 16 replicas.
+        // With CW(16)/L(1) around 2.2 the formula lands in that range.
+        let m = AbortModel::new(0.009, 0.05);
+        let a16 = m.replicated(0.05 * 2.2, 16);
+        assert!(
+            (0.2..0.4).contains(&a16),
+            "A16 = {a16} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn small_probability_linearization() {
+        // For tiny A1, A_N ~ A1 * (CW/L1) * N.
+        let m = AbortModel::new(1e-4, 0.05);
+        let a = m.replicated(0.1, 8);
+        let approx = 1e-4 * (0.1 / 0.05) * 8.0;
+        assert!((a - approx).abs() / approx < 0.01, "a={a} approx={approx}");
+    }
+
+    #[test]
+    fn analytic_a1_matches_closed_form() {
+        let a1 = a1_analytic(10_000.0, 3.0, 8.0, 0.05);
+        let expect = 1.0 - (1.0 - 1e-4f64).powf(0.05 * 8.0 * 9.0);
+        assert!((a1 - expect).abs() < 1e-12);
+        // Tiny and positive, like the paper's TPC-W measurements.
+        assert!(a1 > 0.0 && a1 < 0.01);
+    }
+
+    #[test]
+    fn analytic_a1_shrinks_with_bigger_db() {
+        let small_db = a1_analytic(1_000.0, 3.0, 8.0, 0.05);
+        let big_db = a1_analytic(100_000.0, 3.0, 8.0, 0.05);
+        assert!(small_db > big_db);
+    }
+
+    #[test]
+    #[should_panic(expected = "A1 must be in")]
+    fn rejects_certain_abort() {
+        AbortModel::new(1.0, 0.05);
+    }
+}

@@ -1,0 +1,93 @@
+//! Deployment configuration shared by the models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// System/deployment parameters (everything that is not a workload
+/// property).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// `C` — closed-loop clients per replica. The replicated system with
+    /// `N` replicas serves `N*C` clients (paper Section 3.1).
+    pub clients_per_replica: usize,
+    /// `Z` — effective think time, seconds. The paper uses 1.0 s: 900 ms
+    /// nominal think plus client-side processing, load-balancer and
+    /// network delays (Section 6.1).
+    pub think_time: f64,
+    /// Load-balancer + LAN delay modeled as a delay center, seconds.
+    /// The paper folds this into the effective think time, so the default
+    /// is zero; it is exposed for the Section 6.3.1 sensitivity analysis.
+    pub lb_delay: f64,
+    /// Certifier delay, seconds (multi-master only). The paper measures
+    /// 12 ms, dominated by the replicated certifier's batched disk writes
+    /// (Section 6.3.2).
+    pub certifier_delay: f64,
+}
+
+impl SystemConfig {
+    /// The paper's LAN-cluster configuration: 1 s effective think time,
+    /// delays folded into think time, 12 ms certifier.
+    pub fn lan_cluster(clients_per_replica: usize) -> Self {
+        SystemConfig {
+            clients_per_replica,
+            think_time: 1.0,
+            lb_delay: 0.0,
+            certifier_delay: 0.012,
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for zero clients or negative
+    /// delays.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.clients_per_replica == 0 {
+            return Err(ModelError::InvalidConfig(
+                "clients_per_replica must be at least 1".into(),
+            ));
+        }
+        for (name, v) in [
+            ("think_time", self.think_time),
+            ("lb_delay", self.lb_delay),
+            ("certifier_delay", self.certifier_delay),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ModelError::InvalidConfig(format!(
+                    "{name} ({v}) must be finite and non-negative"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_cluster_matches_paper() {
+        let c = SystemConfig::lan_cluster(40);
+        assert_eq!(c.clients_per_replica, 40);
+        assert_eq!(c.think_time, 1.0);
+        assert_eq!(c.certifier_delay, 0.012);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_clients_rejected() {
+        let mut c = SystemConfig::lan_cluster(1);
+        c.clients_per_replica = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn negative_delay_rejected() {
+        let mut c = SystemConfig::lan_cluster(1);
+        c.lb_delay = -0.001;
+        assert!(c.validate().is_err());
+    }
+}

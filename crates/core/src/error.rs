@@ -1,0 +1,56 @@
+//! Error type for model construction and evaluation.
+
+use std::fmt;
+
+use replipred_mva::MvaError;
+
+/// Errors produced by the analytical models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A profile field is out of range (e.g. `Pr + Pw != 1`, negative
+    /// demand, abort probability outside `[0, 1)`).
+    InvalidProfile(String),
+    /// A configuration field is out of range.
+    InvalidConfig(String),
+    /// The requested replica count is invalid for this design (e.g. zero,
+    /// or a single-master system with zero slaves asked to shed reads).
+    InvalidReplicaCount {
+        /// Requested replica count.
+        n: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The underlying queueing solver failed.
+    Solver(MvaError),
+    /// An iterative balance/fixed-point loop failed to converge.
+    NoConvergence(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProfile(m) => write!(f, "invalid workload profile: {m}"),
+            ModelError::InvalidConfig(m) => write!(f, "invalid system configuration: {m}"),
+            ModelError::InvalidReplicaCount { n, reason } => {
+                write!(f, "invalid replica count {n}: {reason}")
+            }
+            ModelError::Solver(e) => write!(f, "queueing solver error: {e}"),
+            ModelError::NoConvergence(m) => write!(f, "no convergence: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MvaError> for ModelError {
+    fn from(e: MvaError) -> Self {
+        ModelError::Solver(e)
+    }
+}

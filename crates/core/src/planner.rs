@@ -1,0 +1,182 @@
+//! Capacity planning on top of the predictors.
+//!
+//! The paper motivates the models with capacity planning and dynamic
+//! service provisioning ("making the technique useful for capacity
+//! planning and dynamic service provisioning", Section 1). This module is
+//! that application: given a profile and a service-level objective, find
+//! the cheapest deployment that meets it — before building the replicated
+//! system.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SystemConfig;
+use crate::error::ModelError;
+use crate::mm::MultiMasterModel;
+use crate::profile::WorkloadProfile;
+use crate::report::{Design, Prediction};
+use crate::sm::SingleMasterModel;
+
+/// A service-level objective for a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Required committed throughput, transactions per second.
+    pub min_throughput_tps: f64,
+    /// Maximum acceptable average response time, seconds (`None` = any).
+    pub max_response_time: Option<f64>,
+    /// Maximum acceptable update abort probability (`None` = any).
+    pub max_abort_rate: Option<f64>,
+}
+
+impl Slo {
+    /// True when `p` satisfies every requirement.
+    pub fn satisfied_by(&self, p: &Prediction) -> bool {
+        p.throughput_tps >= self.min_throughput_tps
+            && self
+                .max_response_time
+                .map(|r| p.response_time <= r)
+                .unwrap_or(true)
+            && self
+                .max_abort_rate
+                .map(|a| p.abort_rate <= a)
+                .unwrap_or(true)
+    }
+}
+
+/// A capacity-planning recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Chosen design.
+    pub design: Design,
+    /// Replicas required.
+    pub replicas: usize,
+    /// The predicted operating point.
+    pub prediction: Prediction,
+}
+
+/// Finds the minimum number of replicas (up to `max_replicas`) meeting the
+/// SLO for each design, and returns the recommendations sorted by replica
+/// count (cheapest first).
+///
+/// Designs that cannot meet the SLO within `max_replicas` are omitted; an
+/// empty vector means the SLO is infeasible at this scale.
+///
+/// # Errors
+///
+/// Propagates model evaluation errors.
+pub fn plan(
+    profile: &WorkloadProfile,
+    config: &SystemConfig,
+    slo: &Slo,
+    max_replicas: usize,
+) -> Result<Vec<Plan>, ModelError> {
+    let mut plans = Vec::new();
+    let mm = MultiMasterModel::new(profile.clone(), config.clone());
+    for n in 1..=max_replicas {
+        let p = mm.predict(n)?;
+        if slo.satisfied_by(&p) {
+            plans.push(Plan {
+                design: Design::MultiMaster,
+                replicas: n,
+                prediction: p,
+            });
+            break;
+        }
+    }
+    let sm = SingleMasterModel::new(profile.clone(), config.clone());
+    for n in 1..=max_replicas {
+        let p = sm.predict(n)?;
+        if slo.satisfied_by(&p) {
+            plans.push(Plan {
+                design: Design::SingleMaster,
+                replicas: n,
+                prediction: p,
+            });
+            break;
+        }
+    }
+    plans.sort_by_key(|p| p.replicas);
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_minimum_replicas_for_throughput() {
+        let profile = WorkloadProfile::tpcw_shopping();
+        let config = SystemConfig::lan_cluster(40);
+        let slo = Slo {
+            min_throughput_tps: 150.0,
+            max_response_time: None,
+            max_abort_rate: None,
+        };
+        let plans = plan(&profile, &config, &slo, 16).unwrap();
+        assert!(!plans.is_empty());
+        for p in &plans {
+            assert!(p.prediction.throughput_tps >= 150.0);
+            // Minimality: one fewer replica must miss the SLO.
+            if p.replicas > 1 {
+                let model_tps = match p.design {
+                    Design::MultiMaster => {
+                        MultiMasterModel::new(profile.clone(), config.clone())
+                            .predict(p.replicas - 1)
+                            .unwrap()
+                            .throughput_tps
+                    }
+                    Design::SingleMaster => {
+                        SingleMasterModel::new(profile.clone(), config.clone())
+                            .predict(p.replicas - 1)
+                            .unwrap()
+                            .throughput_tps
+                    }
+                    Design::Standalone => unreachable!(),
+                };
+                assert!(model_tps < 150.0);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_slo_returns_empty() {
+        let profile = WorkloadProfile::tpcw_ordering();
+        let config = SystemConfig::lan_cluster(50);
+        let slo = Slo {
+            min_throughput_tps: 100_000.0,
+            max_response_time: None,
+            max_abort_rate: None,
+        };
+        let plans = plan(&profile, &config, &slo, 8).unwrap();
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn update_heavy_slo_prefers_multi_master() {
+        // The ordering mix saturates SM at ~4 replicas; only MM reaches
+        // high throughput, so the cheapest (or only) plan is MM.
+        let profile = WorkloadProfile::tpcw_ordering();
+        let config = SystemConfig::lan_cluster(50);
+        let slo = Slo {
+            min_throughput_tps: 250.0,
+            max_response_time: None,
+            max_abort_rate: None,
+        };
+        let plans = plan(&profile, &config, &slo, 16).unwrap();
+        assert!(!plans.is_empty());
+        assert_eq!(plans[0].design, Design::MultiMaster);
+    }
+
+    #[test]
+    fn response_time_constraint_is_respected() {
+        let profile = WorkloadProfile::tpcw_shopping();
+        let config = SystemConfig::lan_cluster(40);
+        let slo = Slo {
+            min_throughput_tps: 100.0,
+            max_response_time: Some(0.2),
+            max_abort_rate: None,
+        };
+        for p in plan(&profile, &config, &slo, 16).unwrap() {
+            assert!(p.prediction.response_time <= 0.2);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Model output types.
+
+use serde::{Deserialize, Serialize};
+
+/// The replication design a prediction refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Design {
+    /// One standalone database, no replication.
+    Standalone,
+    /// Multi-master (certifier-based, Tashkent-style).
+    MultiMaster,
+    /// Single-master (master/slave, Ganymed-style).
+    SingleMaster,
+}
+
+/// A single point on a predicted scalability curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Replicated design.
+    pub design: Design,
+    /// Number of replicas `N` (single-master: 1 master + N-1 slaves).
+    pub replicas: usize,
+    /// Total clients driving the system (`N*C`).
+    pub clients: usize,
+    /// Predicted system throughput, committed transactions per second.
+    pub throughput_tps: f64,
+    /// Predicted average response time, seconds.
+    pub response_time: f64,
+    /// Predicted abort probability of update transactions
+    /// (`A_N` for multi-master, `A'_N` for single-master).
+    pub abort_rate: f64,
+    /// Predicted conflict window `CW(N)`, seconds (multi-master) or the
+    /// loaded master execution time (single-master).
+    pub conflict_window: f64,
+    /// Bottleneck-resource utilization in `[0,1]` (max over resources; for
+    /// single-master this is the max over master and slave resources).
+    pub bottleneck_utilization: f64,
+    /// Name of the bottleneck resource (e.g. `"cpu"`, `"master-cpu"`).
+    pub bottleneck: String,
+}
+
+impl Prediction {
+    /// Speedup relative to a baseline point (typically `N = 1`).
+    pub fn speedup_over(&self, baseline: &Prediction) -> f64 {
+        if baseline.throughput_tps <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.throughput_tps / baseline.throughput_tps
+    }
+}
+
+/// A full predicted scalability curve (one design, one workload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityCurve {
+    /// Workload name the curve was computed for.
+    pub workload: String,
+    /// Points indexed by replica count (ascending).
+    pub points: Vec<Prediction>,
+}
+
+impl ScalabilityCurve {
+    /// The point for `n` replicas, if present.
+    pub fn at(&self, n: usize) -> Option<&Prediction> {
+        self.points.iter().find(|p| p.replicas == n)
+    }
+
+    /// Speedup of the last point over the first.
+    pub fn total_speedup(&self) -> Option<f64> {
+        match (self.points.first(), self.points.last()) {
+            (Some(first), Some(last)) => Some(last.speedup_over(first)),
+            _ => None,
+        }
+    }
+
+    /// The smallest replica count whose predicted throughput reaches
+    /// `target_tps`, if any point does.
+    pub fn replicas_for_throughput(&self, target_tps: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.throughput_tps >= target_tps)
+            .map(|p| p.replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(n: usize, tps: f64) -> Prediction {
+        Prediction {
+            design: Design::MultiMaster,
+            replicas: n,
+            clients: n * 40,
+            throughput_tps: tps,
+            response_time: 0.1,
+            abort_rate: 0.0,
+            conflict_window: 0.05,
+            bottleneck_utilization: 0.5,
+            bottleneck: "cpu".into(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_relative_throughput() {
+        let base = point(1, 20.0);
+        let p = point(8, 150.0);
+        assert!((p.speedup_over(&base) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_lookup_and_totals() {
+        let curve = ScalabilityCurve {
+            workload: "w".into(),
+            points: (1..=4).map(|n| point(n, 20.0 * n as f64)).collect(),
+        };
+        assert_eq!(curve.at(3).unwrap().throughput_tps, 60.0);
+        assert!(curve.at(9).is_none());
+        assert!((curve.total_speedup().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(curve.replicas_for_throughput(55.0), Some(3));
+        assert_eq!(curve.replicas_for_throughput(500.0), None);
+    }
+}

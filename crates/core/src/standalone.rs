@@ -1,0 +1,158 @@
+//! The standalone (1-node) baseline model (paper Section 3.3.1).
+//!
+//! The standalone database is a closed network of CPU and disk with
+//! per-transaction demand `D(1) = Pr·rc + Pw·wc/(1 − A1)`: aborted update
+//! transactions are retried, so each *committed* update costs
+//! `wc/(1 − A1)` of resource.
+
+use replipred_mva::{exact, ClosedNetwork};
+
+use crate::config::SystemConfig;
+use crate::error::ModelError;
+use crate::profile::WorkloadProfile;
+use crate::report::{Design, Prediction};
+
+/// Predictor for the standalone database — both the model's `N = 1`
+/// anchor and the baseline the paper's speedups are quoted against.
+#[derive(Debug, Clone)]
+pub struct StandaloneModel {
+    profile: WorkloadProfile,
+    config: SystemConfig,
+}
+
+impl StandaloneModel {
+    /// Creates the model, validating inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile/config validation errors.
+    pub fn new(profile: WorkloadProfile, config: SystemConfig) -> Result<Self, ModelError> {
+        profile.validate()?;
+        config.validate()?;
+        Ok(StandaloneModel { profile, config })
+    }
+
+    /// The workload profile in use.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Builds the standalone closed network (CPU + disk + LB delay).
+    pub fn network(&self) -> Result<ClosedNetwork, ModelError> {
+        Ok(ClosedNetwork::builder()
+            .queueing("cpu", self.profile.standalone_demand(&self.profile.cpu))
+            .queueing("disk", self.profile.standalone_demand(&self.profile.disk))
+            .delay("lb", self.config.lb_delay)
+            .think_time(self.config.think_time)
+            .build()?)
+    }
+
+    /// Predicts throughput and response time at `clients` concurrent
+    /// closed-loop clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (e.g. zero clients).
+    pub fn predict_at(&self, clients: usize) -> Result<Prediction, ModelError> {
+        let network = self.network()?;
+        let sol = exact::solve(&network, clients)?;
+        let bottleneck = sol
+            .bottleneck()
+            .expect("network has centers")
+            .clone();
+        Ok(Prediction {
+            design: Design::Standalone,
+            replicas: 1,
+            clients,
+            throughput_tps: sol.throughput,
+            response_time: sol.response_time,
+            abort_rate: self.profile.a1,
+            conflict_window: self.profile.l1,
+            bottleneck_utilization: bottleneck.utilization,
+            bottleneck: bottleneck.name,
+        })
+    }
+
+    /// Predicts at the configured `C` clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn predict(&self) -> Result<Prediction, ModelError> {
+        self.predict_at(self.config.clients_per_replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpcw_mixes_anchor_near_paper_figures() {
+        // Paper Figure 6: browsing starts at ~22 tps, ordering at ~45 tps
+        // on one replica. The model (with published demands) must land in
+        // the same ballpark.
+        let browsing = StandaloneModel::new(
+            WorkloadProfile::tpcw_browsing(),
+            SystemConfig::lan_cluster(30),
+        )
+        .unwrap()
+        .predict()
+        .unwrap();
+        assert!(
+            (18.0..26.0).contains(&browsing.throughput_tps),
+            "browsing {}",
+            browsing.throughput_tps
+        );
+
+        let ordering = StandaloneModel::new(
+            WorkloadProfile::tpcw_ordering(),
+            SystemConfig::lan_cluster(50),
+        )
+        .unwrap()
+        .predict()
+        .unwrap();
+        assert!(
+            (38.0..52.0).contains(&ordering.throughput_tps),
+            "ordering {}",
+            ordering.throughput_tps
+        );
+        // Read-only transactions are more expensive: browsing starts lower.
+        assert!(ordering.throughput_tps > browsing.throughput_tps);
+    }
+
+    #[test]
+    fn cpu_is_tpcw_bottleneck() {
+        let m = StandaloneModel::new(
+            WorkloadProfile::tpcw_shopping(),
+            SystemConfig::lan_cluster(40),
+        )
+        .unwrap();
+        let p = m.predict().unwrap();
+        assert_eq!(p.bottleneck, "cpu");
+        assert!(p.bottleneck_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn throughput_grows_with_clients_until_saturation() {
+        let m = StandaloneModel::new(
+            WorkloadProfile::tpcw_shopping(),
+            SystemConfig::lan_cluster(40),
+        )
+        .unwrap();
+        let x10 = m.predict_at(10).unwrap().throughput_tps;
+        let x40 = m.predict_at(40).unwrap().throughput_tps;
+        let x400 = m.predict_at(400).unwrap().throughput_tps;
+        let x800 = m.predict_at(800).unwrap().throughput_tps;
+        assert!(x10 < x40 && x40 < x400);
+        // Saturated: nearly flat beyond.
+        assert!((x800 - x400) / x400 < 0.01);
+    }
+
+    #[test]
+    fn invalid_profile_rejected_at_construction() {
+        let mut p = WorkloadProfile::tpcw_shopping();
+        p.pw = 0.5; // Pr + Pw != 1
+        assert!(StandaloneModel::new(p, SystemConfig::lan_cluster(40)).is_err());
+    }
+}

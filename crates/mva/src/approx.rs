@@ -1,0 +1,397 @@
+//! Approximate MVA solvers (Schweitzer / Bard).
+//!
+//! Exact multiclass MVA costs `O(K * prod_c (N_c + 1))`, which explodes for
+//! large client populations. The Schweitzer approximation replaces the
+//! lattice recursion with a fixed point on the *full-population* queue
+//! lengths:
+//!
+//! ```text
+//! Q_{d,k}(N - e_c) ~= Q_{d,k}(N)                     d != c
+//! Q_{c,k}(N - e_c) ~= Q_{c,k}(N) * (N_c - 1) / N_c
+//! ```
+//!
+//! iterated until the queue lengths stabilize. Accuracy is typically within
+//! a few percent of exact; the tests cross-validate both solvers.
+
+use crate::error::MvaError;
+use crate::multiclass::{MulticlassNetwork, MulticlassSolution};
+use crate::network::{CenterKind, ClosedNetwork};
+use crate::MvaSolution;
+
+/// Maximum fixed-point iterations before declaring non-convergence.
+const MAX_ITERS: usize = 100_000;
+
+/// Convergence threshold on the largest queue-length change.
+const EPSILON: f64 = 1e-10;
+
+/// Solves a single-class network with the Schweitzer approximation.
+///
+/// # Errors
+///
+/// Returns [`MvaError::InvalidPopulation`] for zero population and
+/// [`MvaError::NoConvergence`] if the fixed point fails to stabilize.
+///
+/// # Examples
+///
+/// ```
+/// use replipred_mva::{approx, exact, ClosedNetwork};
+///
+/// let net = ClosedNetwork::builder()
+///     .queueing("cpu", 0.02)
+///     .queueing("disk", 0.01)
+///     .think_time(1.0)
+///     .build()
+///     .unwrap();
+/// let a = approx::solve_single(&net, 80).unwrap();
+/// let e = exact::solve(&net, 80).unwrap();
+/// assert!((a.throughput - e.throughput).abs() / e.throughput < 0.03);
+/// ```
+pub fn solve_single(network: &ClosedNetwork, population: usize) -> Result<MvaSolution, MvaError> {
+    if population == 0 {
+        return Err(MvaError::InvalidPopulation(
+            "population must be at least 1".into(),
+        ));
+    }
+    solve_single_real(network, population as f64)
+}
+
+/// Solves a single-class network at a *real-valued* population.
+///
+/// Schweitzer's fixed point is well defined for fractional populations
+/// (the arriving-customer correction `(n-1)/n` is clamped at zero below one
+/// client). The single-master balancing algorithm needs this: `Pr·C·N/(N-1)`
+/// clients per slave is rarely an integer.
+///
+/// The reported [`MvaSolution::population`] is the rounded population.
+///
+/// # Errors
+///
+/// Returns [`MvaError::InvalidPopulation`] for negative or non-finite
+/// populations and [`MvaError::NoConvergence`] if the fixed point fails.
+pub fn solve_single_real(
+    network: &ClosedNetwork,
+    population: f64,
+) -> Result<MvaSolution, MvaError> {
+    if !population.is_finite() || population < 0.0 {
+        return Err(MvaError::InvalidPopulation(format!(
+            "population must be finite and non-negative, got {population}"
+        )));
+    }
+    if population == 0.0 {
+        let centers = network
+            .centers()
+            .iter()
+            .map(|c| crate::exact::CenterMetrics {
+                name: c.name.clone(),
+                demand: c.demand,
+                residence: 0.0,
+                queue_length: 0.0,
+                utilization: 0.0,
+            })
+            .collect();
+        return Ok(MvaSolution {
+            population: 0,
+            throughput: 0.0,
+            response_time: 0.0,
+            think_time: network.think_time(),
+            centers,
+        });
+    }
+    let n = population;
+    let centers = network.centers();
+    let k_count = centers.len();
+    // Initial guess: clients spread evenly over queueing centers.
+    let queueing_count = centers
+        .iter()
+        .filter(|c| c.kind == CenterKind::Queueing)
+        .count()
+        .max(1);
+    let mut q = vec![n / queueing_count as f64; k_count];
+    let mut residence = vec![0.0f64; k_count];
+
+    for _ in 0..MAX_ITERS {
+        let mut r_total = 0.0;
+        for (k, c) in centers.iter().enumerate() {
+            // The arriving-customer correction is clamped at zero for
+            // sub-unit (fractional) populations.
+            let correction = ((n - 1.0) / n).max(0.0);
+            residence[k] = match c.kind {
+                CenterKind::Queueing => c.demand * (1.0 + q[k] * correction),
+                CenterKind::Delay => c.demand,
+            };
+            r_total += residence[k];
+        }
+        let denom = network.think_time() + r_total;
+        let throughput = if denom > 0.0 { n / denom } else { f64::INFINITY };
+        let mut delta: f64 = 0.0;
+        for k in 0..k_count {
+            let new_q = throughput * residence[k];
+            delta = delta.max((new_q - q[k]).abs());
+            q[k] = new_q;
+        }
+        if delta < EPSILON {
+            let response: f64 = residence.iter().sum();
+            let center_metrics = centers
+                .iter()
+                .enumerate()
+                .map(|(k, c)| crate::exact::CenterMetrics {
+                    name: c.name.clone(),
+                    demand: c.demand,
+                    residence: residence[k],
+                    queue_length: q[k],
+                    utilization: throughput * c.demand,
+                })
+                .collect();
+            return Ok(MvaSolution {
+                population: population.round() as usize,
+                throughput,
+                response_time: response,
+                think_time: network.think_time(),
+                centers: center_metrics,
+            });
+        }
+    }
+    Err(MvaError::NoConvergence {
+        iterations: MAX_ITERS,
+        residual: EPSILON,
+    })
+}
+
+/// Solves a multiclass network with the Schweitzer approximation.
+///
+/// Classes with zero population are carried through with zero throughput.
+///
+/// # Errors
+///
+/// Returns [`MvaError::DimensionMismatch`] when the population vector has
+/// the wrong length and [`MvaError::NoConvergence`] when the fixed point
+/// does not stabilize.
+pub fn solve_multiclass(
+    network: &MulticlassNetwork,
+    population: &[usize],
+) -> Result<MulticlassSolution, MvaError> {
+    let real: Vec<f64> = population.iter().map(|&p| p as f64).collect();
+    solve_multiclass_real(network, &real)
+}
+
+/// Solves a multiclass network at *real-valued* per-class populations.
+///
+/// See [`solve_single_real`] for why fractional populations arise. The
+/// reported per-class populations are rounded.
+///
+/// # Errors
+///
+/// Returns [`MvaError::DimensionMismatch`] for a wrong-length population
+/// vector, [`MvaError::InvalidPopulation`] for negative or non-finite
+/// entries and [`MvaError::NoConvergence`] when the fixed point fails.
+pub fn solve_multiclass_real(
+    network: &MulticlassNetwork,
+    population: &[f64],
+) -> Result<MulticlassSolution, MvaError> {
+    let classes = network.classes();
+    let centers = network.centers();
+    if population.len() != classes {
+        return Err(MvaError::DimensionMismatch {
+            got: population.len(),
+            expected: classes,
+        });
+    }
+    for &p in population {
+        if !p.is_finite() || p < 0.0 {
+            return Err(MvaError::InvalidPopulation(format!(
+                "population must be finite and non-negative, got {p}"
+            )));
+        }
+    }
+    let rounded: Vec<usize> = population.iter().map(|&p| p.round() as usize).collect();
+    if population.iter().all(|&p| p == 0.0) {
+        return Ok(MulticlassSolution {
+            population: rounded,
+            throughput: vec![0.0; classes],
+            response_time: vec![0.0; classes],
+            queue_length: vec![0.0; centers],
+            utilization: vec![0.0; centers],
+            residence: vec![vec![0.0; centers]; classes],
+        });
+    }
+
+    // Per-class per-center queue lengths, initialized uniformly.
+    let mut q = vec![vec![0.0f64; centers]; classes];
+    for (c, &pop) in population.iter().enumerate() {
+        if pop > 0.0 {
+            for qk in q[c].iter_mut() {
+                *qk = pop / centers as f64;
+            }
+        }
+    }
+    let mut residence = vec![vec![0.0f64; centers]; classes];
+    let mut throughput = vec![0.0f64; classes];
+    let mut response = vec![0.0f64; classes];
+
+    for _ in 0..MAX_ITERS {
+        let mut delta: f64 = 0.0;
+        for c in 0..classes {
+            let pop = population[c];
+            if pop == 0.0 {
+                continue;
+            }
+            let mut r_total = 0.0;
+            for k in 0..centers {
+                let d = network.demand(c, k);
+                let r = match network.center_kinds()[k] {
+                    CenterKind::Queueing => {
+                        // Estimated queue seen on arrival of a class-c client.
+                        let mut seen = 0.0;
+                        for (d_class, qd) in q.iter().enumerate() {
+                            if d_class == c {
+                                seen += qd[k] * ((pop - 1.0) / pop).max(0.0);
+                            } else {
+                                seen += qd[k];
+                            }
+                        }
+                        d * (1.0 + seen)
+                    }
+                    CenterKind::Delay => d,
+                };
+                residence[c][k] = r;
+                r_total += r;
+            }
+            let denom = network.think_time(c) + r_total;
+            throughput[c] = if denom > 0.0 { pop / denom } else { f64::INFINITY };
+            response[c] = r_total;
+        }
+        for c in 0..classes {
+            for k in 0..centers {
+                let new_q = throughput[c] * residence[c][k];
+                delta = delta.max((new_q - q[c][k]).abs());
+                q[c][k] = new_q;
+            }
+        }
+        if delta < EPSILON {
+            let queue_length = (0..centers)
+                .map(|k| (0..classes).map(|c| q[c][k]).sum())
+                .collect();
+            let utilization = (0..centers)
+                .map(|k| {
+                    (0..classes)
+                        .map(|c| throughput[c] * network.demand(c, k))
+                        .sum()
+                })
+                .collect();
+            return Ok(MulticlassSolution {
+                population: rounded,
+                throughput,
+                response_time: response,
+                queue_length,
+                utilization,
+                residence,
+            });
+        }
+    }
+    Err(MvaError::NoConvergence {
+        iterations: MAX_ITERS,
+        residual: EPSILON,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::multiclass;
+
+    #[test]
+    fn single_class_close_to_exact() {
+        let net = ClosedNetwork::builder()
+            .queueing("cpu", 0.0414)
+            .queueing("disk", 0.0151)
+            .delay("cert", 0.012)
+            .think_time(1.0)
+            .build()
+            .unwrap();
+        for n in [1usize, 10, 40, 160, 640] {
+            let a = solve_single(&net, n).unwrap();
+            let e = exact::solve(&net, n).unwrap();
+            let rel = (a.throughput - e.throughput).abs() / e.throughput;
+            assert!(rel < 0.05, "n={n} rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn single_class_exact_at_population_one() {
+        // With n=1 the Schweitzer correction (n-1)/n vanishes: exact result.
+        let net = ClosedNetwork::builder()
+            .queueing("cpu", 0.3)
+            .queueing("disk", 0.2)
+            .think_time(2.0)
+            .build()
+            .unwrap();
+        let a = solve_single(&net, 1).unwrap();
+        let e = exact::solve(&net, 1).unwrap();
+        assert!((a.throughput - e.throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_close_to_exact() {
+        let net = MulticlassNetwork::new(
+            vec![
+                ("cpu".into(), CenterKind::Queueing),
+                ("disk".into(), CenterKind::Queueing),
+            ],
+            vec![vec![0.020, 0.008], vec![0.012, 0.006]],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        for pops in [[10usize, 5], [40, 40], [100, 20]] {
+            let a = solve_multiclass(&net, &pops).unwrap();
+            let e = multiclass::solve_exact(&net, &pops).unwrap();
+            for c in 0..2 {
+                let rel = (a.throughput[c] - e.throughput[c]).abs() / e.throughput[c];
+                assert!(rel < 0.06, "pops={pops:?} class={c} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiclass_zero_population_class() {
+        let net = MulticlassNetwork::new(
+            vec![("cpu".into(), CenterKind::Queueing)],
+            vec![vec![0.02], vec![0.01]],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let sol = solve_multiclass(&net, &[30, 0]).unwrap();
+        assert_eq!(sol.throughput[1], 0.0);
+        assert!(sol.throughput[0] > 0.0);
+    }
+
+    #[test]
+    fn multiclass_all_zero_population() {
+        let net = MulticlassNetwork::new(
+            vec![("cpu".into(), CenterKind::Queueing)],
+            vec![vec![0.02]],
+            vec![1.0],
+        )
+        .unwrap();
+        let sol = solve_multiclass(&net, &[0]).unwrap();
+        assert_eq!(sol.total_throughput(), 0.0);
+    }
+
+    #[test]
+    fn scales_to_large_populations() {
+        // 5000 clients would be a 25M-point lattice for exact 2-class MVA;
+        // Schweitzer handles it instantly.
+        let net = MulticlassNetwork::new(
+            vec![
+                ("cpu".into(), CenterKind::Queueing),
+                ("disk".into(), CenterKind::Queueing),
+            ],
+            vec![vec![0.004, 0.002], vec![0.003, 0.002]],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let sol = solve_multiclass(&net, &[2500, 2500]).unwrap();
+        // CPU-bound: combined utilization ~ 1.
+        assert!(sol.utilization[0] > 0.98 && sol.utilization[0] <= 1.0 + 1e-6);
+    }
+}

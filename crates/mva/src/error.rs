@@ -1,0 +1,61 @@
+//! Error type shared by all solvers in this crate.
+
+use std::fmt;
+
+/// Errors produced when constructing or solving a queueing network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MvaError {
+    /// A service demand or delay was negative, NaN or infinite.
+    InvalidDemand {
+        /// Name of the offending center.
+        center: String,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The network has no service centers at all.
+    EmptyNetwork,
+    /// The requested population is invalid for the operation (e.g. zero
+    /// clients for a throughput query).
+    InvalidPopulation(String),
+    /// The think time was negative, NaN or infinite.
+    InvalidThinkTime(f64),
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual error at the last iteration.
+        residual: f64,
+    },
+    /// Class/population dimensions disagree (multiclass solvers).
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the network expects.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for MvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvaError::InvalidDemand { center, value } => {
+                write!(f, "invalid service demand {value} at center `{center}`")
+            }
+            MvaError::EmptyNetwork => write!(f, "queueing network has no centers"),
+            MvaError::InvalidPopulation(msg) => write!(f, "invalid population: {msg}"),
+            MvaError::InvalidThinkTime(z) => write!(f, "invalid think time {z}"),
+            MvaError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            MvaError::DimensionMismatch { got, expected } => {
+                write!(f, "dimension mismatch: got {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MvaError {}

@@ -1,0 +1,188 @@
+//! Statement-log analysis: `Pr`, `Pw`, `A1` and `U` from log counts.
+//!
+//! Paper Section 4.1.1: "We count the number of read-only and update
+//! transactions in the captured log to determine the fractions Pr and Pw.
+//! We count the number of aborted update transactions to calculate the
+//! abort probability A1."
+
+use std::collections::HashMap;
+
+use replipred_sidb::{StatementKind, StatementLogEntry, TxnId};
+use serde::{Deserialize, Serialize};
+
+/// Aggregates derived from a statement log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogSummary {
+    /// Committed read-only transactions.
+    pub read_commits: u64,
+    /// Committed update transactions.
+    pub update_commits: u64,
+    /// Certification (write-write) aborts.
+    pub conflict_aborts: u64,
+    /// Client-initiated rollbacks.
+    pub voluntary_aborts: u64,
+    /// Fraction of read-only transactions among commits (`Pr`).
+    pub pr: f64,
+    /// Fraction of update transactions among commits (`Pw`).
+    pub pw: f64,
+    /// Abort probability of update transactions (`A1`).
+    pub a1: f64,
+    /// Mean write statements per committed update transaction (`U`).
+    pub mean_update_ops: f64,
+}
+
+/// Analyzes a statement log into a [`LogSummary`].
+///
+/// Transactions are grouped by session id; a transaction is an update
+/// transaction when it issued at least one INSERT/UPDATE/DELETE.
+pub fn analyze(entries: &[StatementLogEntry]) -> LogSummary {
+    #[derive(Default)]
+    struct Session {
+        writes: u64,
+    }
+    let mut open: HashMap<TxnId, Session> = HashMap::new();
+    let mut read_commits = 0u64;
+    let mut update_commits = 0u64;
+    let mut conflict_aborts = 0u64;
+    let mut voluntary_aborts = 0u64;
+    let mut total_update_ops = 0u64;
+    for entry in entries {
+        match entry.kind {
+            StatementKind::Begin => {
+                open.insert(entry.session, Session::default());
+            }
+            StatementKind::Select => {}
+            StatementKind::Insert | StatementKind::Update | StatementKind::Delete => {
+                open.entry(entry.session).or_default().writes += 1;
+            }
+            StatementKind::Commit => {
+                let s = open.remove(&entry.session).unwrap_or_default();
+                if s.writes > 0 {
+                    update_commits += 1;
+                    total_update_ops += s.writes;
+                } else {
+                    read_commits += 1;
+                }
+            }
+            StatementKind::Abort { conflict } => {
+                open.remove(&entry.session);
+                if conflict {
+                    conflict_aborts += 1;
+                } else {
+                    voluntary_aborts += 1;
+                }
+            }
+        }
+    }
+    let commits = read_commits + update_commits;
+    let attempts = update_commits + conflict_aborts;
+    LogSummary {
+        read_commits,
+        update_commits,
+        conflict_aborts,
+        voluntary_aborts,
+        pr: if commits == 0 {
+            0.0
+        } else {
+            read_commits as f64 / commits as f64
+        },
+        pw: if commits == 0 {
+            0.0
+        } else {
+            update_commits as f64 / commits as f64
+        },
+        a1: if attempts == 0 {
+            0.0
+        } else {
+            conflict_aborts as f64 / attempts as f64
+        },
+        mean_update_ops: if update_commits == 0 {
+            0.0
+        } else {
+            total_update_ops as f64 / update_commits as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(session: u64, kind: StatementKind) -> StatementLogEntry {
+        StatementLogEntry {
+            at: 0.0,
+            session: fake_txn(session),
+            kind,
+            table: None,
+        }
+    }
+
+    /// Builds a TxnId through the engine (ids are opaque).
+    fn fake_txn(n: u64) -> TxnId {
+        let mut db = replipred_sidb::Database::new();
+        let mut id = db.begin();
+        for _ in 0..n {
+            id = db.begin();
+        }
+        id
+    }
+
+    #[test]
+    fn classifies_read_and_update_transactions() {
+        let log = vec![
+            entry(0, StatementKind::Begin),
+            entry(0, StatementKind::Select),
+            entry(0, StatementKind::Commit),
+            entry(1, StatementKind::Begin),
+            entry(1, StatementKind::Update),
+            entry(1, StatementKind::Update),
+            entry(1, StatementKind::Commit),
+        ];
+        let s = analyze(&log);
+        assert_eq!(s.read_commits, 1);
+        assert_eq!(s.update_commits, 1);
+        assert!((s.pr - 0.5).abs() < 1e-12);
+        assert!((s.mean_update_ops - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_conflict_aborts_for_a1() {
+        let log = vec![
+            entry(0, StatementKind::Begin),
+            entry(0, StatementKind::Update),
+            entry(0, StatementKind::Commit),
+            entry(1, StatementKind::Begin),
+            entry(1, StatementKind::Update),
+            entry(1, StatementKind::Abort { conflict: true }),
+            entry(2, StatementKind::Begin),
+            entry(2, StatementKind::Abort { conflict: false }),
+        ];
+        let s = analyze(&log);
+        assert_eq!(s.conflict_aborts, 1);
+        assert_eq!(s.voluntary_aborts, 1);
+        // 1 conflict among 2 update attempts.
+        assert!((s.a1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_is_all_zero() {
+        let s = analyze(&[]);
+        assert_eq!(s.read_commits, 0);
+        assert_eq!(s.pr, 0.0);
+        assert_eq!(s.a1, 0.0);
+    }
+
+    #[test]
+    fn inserts_and_deletes_count_as_update_ops() {
+        let log = vec![
+            entry(0, StatementKind::Begin),
+            entry(0, StatementKind::Insert),
+            entry(0, StatementKind::Delete),
+            entry(0, StatementKind::Update),
+            entry(0, StatementKind::Commit),
+        ];
+        let s = analyze(&log);
+        assert_eq!(s.update_commits, 1);
+        assert!((s.mean_update_ops - 3.0).abs() < 1e-12);
+    }
+}

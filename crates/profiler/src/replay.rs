@@ -1,0 +1,171 @@
+//! Replay measurements: demands via the Utilization Law.
+//!
+//! Paper Section 4.1.1: "We play read-only transactions from the log
+//! against the database and collect CPU and disk utilization to compute
+//! the service demands rc_CPU and rc_disk using the Utilization Law. ...
+//! Next we play update transactions ... We also play the writesets ... in
+//! a separate run."
+
+use replipred_mva::ops::demand_from_utilization;
+use replipred_repl::standalone::{StandaloneSim, TxnFilter};
+use replipred_repl::SimConfig;
+use replipred_sim::engine::Engine;
+use replipred_sim::resource::{Fcfs, Ps};
+use replipred_sim::{Rng, SimTime};
+use replipred_workload::spec::WorkloadSpec;
+
+/// Measured per-resource demands of one replay segment, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredDemands {
+    /// CPU demand per transaction (or writeset).
+    pub cpu: f64,
+    /// Disk demand per transaction (or writeset).
+    pub disk: f64,
+    /// Throughput the segment sustained, per second.
+    pub rate: f64,
+}
+
+/// Plays a filtered transaction segment on the standalone system and
+/// derives per-transaction demands with the Utilization Law.
+pub fn measure_transaction_demands(
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    filter: TxnFilter,
+) -> MeasuredDemands {
+    let report = StandaloneSim::new(spec.clone(), cfg.clone())
+        .with_filter(filter)
+        .run();
+    MeasuredDemands {
+        cpu: demand_from_utilization(report.mean_cpu_utilization, report.throughput_tps),
+        disk: demand_from_utilization(report.mean_disk_utilization, report.throughput_tps),
+        rate: report.throughput_tps,
+    }
+}
+
+struct WsWorld {
+    cpu: Ps<WsWorld>,
+    disk: Fcfs<WsWorld>,
+    rng: Rng,
+    applied: u64,
+    measuring: bool,
+    ws_cpu: f64,
+    ws_disk: f64,
+    rate: f64,
+    end: f64,
+}
+
+/// Plays a writeset stream at `rate` writesets/second against the
+/// standalone system's resources (open loop: the replayer, like the
+/// paper's, feeds captured writesets as fast as the log did) and derives
+/// `ws` demands with the Utilization Law.
+pub fn measure_writeset_demands(spec: &WorkloadSpec, cfg: &SimConfig, rate: f64) -> MeasuredDemands {
+    assert!(rate > 0.0, "writeset replay needs a positive rate");
+    let world = WsWorld {
+        cpu: Ps::new(1.0),
+        disk: Fcfs::new(1),
+        rng: Rng::seed_from_u64(cfg.seed ^ 0xA11CE),
+        applied: 0,
+        measuring: false,
+        ws_cpu: spec.ws_cpu,
+        ws_disk: spec.ws_disk,
+        rate,
+        end: cfg.warmup + cfg.duration,
+    };
+    let mut engine = Engine::new(world);
+    schedule_arrival(&mut engine);
+    let warmup = cfg.warmup;
+    engine.schedule_at(SimTime::from_secs(warmup), |e| {
+        let now = e.now().as_secs();
+        let w = e.world_mut();
+        w.applied = 0;
+        w.cpu.stats.reset(now);
+        w.disk.stats.reset(now);
+        w.measuring = true;
+    });
+    let end = SimTime::from_secs(cfg.warmup + cfg.duration);
+    engine.run_until(end);
+    let end_s = end.as_secs();
+    let w = engine.into_world();
+    let x = w.applied as f64 / cfg.duration;
+    MeasuredDemands {
+        cpu: demand_from_utilization(w.cpu.stats.busy.mean_at(end_s), x),
+        disk: demand_from_utilization(w.disk.stats.busy.mean_at(end_s), x),
+        rate: x,
+    }
+}
+
+fn schedule_arrival(engine: &mut Engine<WsWorld>) {
+    let (gap, done) = {
+        let w = engine.world_mut();
+        let rate = w.rate;
+        let gap = w.rng.exp(1.0 / rate);
+        (gap, engine_done(w))
+    };
+    if done {
+        return;
+    }
+    engine.schedule_in(gap, |e| {
+        let (cpu_d, disk_d) = {
+            let w = e.world_mut();
+            (w.rng.exp(w.ws_cpu), w.rng.exp(w.ws_disk))
+        };
+        Ps::submit(e, |w: &mut WsWorld| &mut w.cpu, cpu_d, move |e| {
+            Fcfs::submit(e, |w: &mut WsWorld| &mut w.disk, disk_d, |e| {
+                let w = e.world_mut();
+                if w.measuring {
+                    w.applied += 1;
+                }
+            });
+        });
+        schedule_arrival(e);
+    });
+}
+
+fn engine_done(w: &WsWorld) -> bool {
+    // Arrival generation stops once we are past the horizon; run_until
+    // bounds execution anyway, this merely avoids unbounded heap growth.
+    w.end <= 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replipred_workload::tpcw;
+
+    fn cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            warmup: 10.0,
+            duration: 60.0,
+            ..SimConfig::quick(1, seed)
+        }
+    }
+
+    #[test]
+    fn read_replay_recovers_rc() {
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let m = measure_transaction_demands(&spec, &cfg(1), TxnFilter::ReadsOnly);
+        let rel = (m.cpu - spec.mean_read_cpu()).abs() / spec.mean_read_cpu();
+        assert!(rel < 0.08, "rc_cpu {} vs {} (rel {rel})", m.cpu, spec.mean_read_cpu());
+        let rel_d = (m.disk - spec.mean_read_disk()).abs() / spec.mean_read_disk();
+        assert!(rel_d < 0.08, "rc_disk rel {rel_d}");
+    }
+
+    #[test]
+    fn update_replay_recovers_wc() {
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let m = measure_transaction_demands(&spec, &cfg(2), TxnFilter::UpdatesOnly);
+        let rel = (m.cpu - spec.mean_write_cpu()).abs() / spec.mean_write_cpu();
+        assert!(rel < 0.08, "wc_cpu {} vs {}", m.cpu, spec.mean_write_cpu());
+    }
+
+    #[test]
+    fn writeset_replay_recovers_ws() {
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let m = measure_writeset_demands(&spec, &cfg(3), 20.0);
+        let rel = (m.cpu - spec.ws_cpu).abs() / spec.ws_cpu;
+        assert!(rel < 0.10, "ws_cpu {} vs {}", m.cpu, spec.ws_cpu);
+        let rel_d = (m.disk - spec.ws_disk).abs() / spec.ws_disk;
+        assert!(rel_d < 0.10, "ws_disk rel {rel_d}");
+        assert!((m.rate - 20.0).abs() < 2.0, "rate {}", m.rate);
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulation run configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one simulated cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of replicas `N` (single-master: 1 master + N-1 slaves).
+    pub replicas: usize,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Warm-up, virtual seconds: activity before this instant is
+    /// discarded (the paper warms up for 10 minutes).
+    pub warmup: f64,
+    /// Measurement window, virtual seconds (the paper measures 15 minutes).
+    pub duration: f64,
+    /// Certifier round-trip delay, seconds (paper: 12 ms, Section 6.3.2).
+    pub certifier_delay: f64,
+    /// Load-balancer + LAN one-way delay, seconds (paper: ~1 ms).
+    pub lb_delay: f64,
+    /// Seed scale for read-only tables (1.0 = benchmark standard). The
+    /// updatable tables are always seeded fully — conflict behaviour
+    /// depends on their exact sizes.
+    pub seed_scale: f64,
+    /// Vacuum interval, virtual seconds (version GC on every replica).
+    pub vacuum_interval: f64,
+    /// Multiprogramming level: maximum transactions concurrently
+    /// *executing* on one node. Arrivals beyond it queue in the middleware
+    /// (connection pool) without an open snapshot. This is the admission
+    /// control of the paper's assumption 5 ("mechanisms that prevent
+    /// over-subscription of physical resources ... admission control
+    /// policies"); without it, a saturated node accumulates hundreds of
+    /// open snapshots and the conflict window diverges.
+    pub mpl: usize,
+}
+
+impl SimConfig {
+    /// Paper-like windows: 10-minute warm-up and 15-minute measurement.
+    pub fn paper(replicas: usize, seed: u64) -> Self {
+        SimConfig {
+            replicas,
+            seed,
+            warmup: 600.0,
+            duration: 900.0,
+            certifier_delay: 0.012,
+            lb_delay: 0.001,
+            seed_scale: 0.01,
+            vacuum_interval: 10.0,
+            mpl: 32,
+        }
+    }
+
+    /// Short windows for tests and quick sweeps: 20 s warm-up, 60 s
+    /// measurement.
+    pub fn quick(replicas: usize, seed: u64) -> Self {
+        SimConfig {
+            warmup: 20.0,
+            duration: 60.0,
+            ..Self::paper(replicas, seed)
+        }
+    }
+
+    /// Total virtual time simulated.
+    pub fn end_time(&self) -> f64 {
+        self.warmup + self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let p = SimConfig::paper(8, 1);
+        assert_eq!(p.replicas, 8);
+        assert_eq!(p.end_time(), 1500.0);
+        let q = SimConfig::quick(2, 1);
+        assert_eq!(q.end_time(), 80.0);
+        assert_eq!(q.certifier_delay, 0.012);
+    }
+}

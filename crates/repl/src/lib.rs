@@ -1,0 +1,57 @@
+//! Mechanistic simulators of replicated snapshot-isolated databases.
+//!
+//! The paper validates its analytical models against two prototype
+//! systems on a 16-machine cluster (Section 5): a Tashkent-style
+//! **multi-master** design (Figure 4: replica proxies + replicated
+//! certifier) and a Ganymed-style **single-master** design (Figure 5:
+//! master + slaves). This crate is our stand-in for that cluster: a
+//! discrete-event simulation in which
+//!
+//! - every replica hosts a *real* [`replipred_sidb`] snapshot-isolation
+//!   engine, so conflicts, aborts and snapshot staleness are *emergent*,
+//!   not assumed;
+//! - CPU is a processor-sharing server and the disk a FCFS queue, with
+//!   per-transaction exponential service demands from the workload spec;
+//! - clients follow the closed-loop think-time model, retrying aborted
+//!   update transactions exactly like the paper's RTE servlets.
+//!
+//! Modules:
+//!
+//! - [`config`] — simulation run parameters (replicas, seed, warm-up and
+//!   measurement windows, delays).
+//! - [`metrics`] — the measured [`metrics::RunReport`]: throughput,
+//!   response times, abort rate, utilizations.
+//! - [`certifier`] — the multi-master certification service: version-based
+//!   write-write conflict detection over the global writeset log.
+//! - [`standalone`] — a one-node simulation (the profiling target and the
+//!   `N = 1` anchor of every measured curve).
+//! - [`mm`] — the multi-master cluster simulation.
+//! - [`sm`] — the single-master cluster simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use replipred_repl::{config::SimConfig, mm::MultiMasterSim};
+//! use replipred_workload::tpcw;
+//!
+//! let spec = tpcw::mix(tpcw::Mix::Shopping);
+//! let cfg = SimConfig::quick(4, 42); // 4 replicas, short windows
+//! let report = MultiMasterSim::new(spec, cfg).run();
+//! assert!(report.throughput_tps > 0.0);
+//! ```
+
+pub mod certifier;
+pub mod config;
+pub mod metrics;
+pub mod mm;
+pub mod replicated_certifier;
+pub mod sm;
+pub mod standalone;
+
+pub use certifier::Certifier;
+pub use replicated_certifier::ReplicatedCertifier;
+pub use config::SimConfig;
+pub use metrics::RunReport;
+pub use mm::MultiMasterSim;
+pub use sm::SingleMasterSim;
+pub use standalone::StandaloneSim;

@@ -1,0 +1,203 @@
+//! Measurement collection for simulated cluster runs.
+
+use replipred_sim::stats::Tally;
+use serde::{Deserialize, Serialize};
+
+/// Measurement state accumulated during a run (reset at end of warm-up).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Committed read-only transactions in the window.
+    pub read_commits: u64,
+    /// Committed update transactions in the window.
+    pub update_commits: u64,
+    /// Certification / first-committer-wins aborts in the window.
+    pub conflict_aborts: u64,
+    /// Response times of committed transactions (from client dispatch to
+    /// commit acknowledgement, including retries).
+    pub response: Tally,
+    /// Response times of committed read-only transactions.
+    pub read_response: Tally,
+    /// Response times of committed update transactions.
+    pub update_response: Tally,
+    /// Writesets applied on replicas (update propagation volume).
+    pub writesets_applied: u64,
+    /// Sum of propagated writeset sizes, bytes.
+    pub writeset_bytes: u64,
+}
+
+impl Metrics {
+    /// Discards everything (end of warm-up).
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+
+    /// Total commits.
+    pub fn committed(&self) -> u64 {
+        self.read_commits + self.update_commits
+    }
+
+    /// Measured abort probability of update transactions:
+    /// `aborts / (update commits + aborts)`.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.update_commits + self.conflict_aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.conflict_aborts as f64 / attempts as f64
+        }
+    }
+}
+
+/// The published result of one simulated run — the "measured" side of
+/// every validation figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Replicas simulated.
+    pub replicas: usize,
+    /// Total closed-loop clients.
+    pub clients: usize,
+    /// Measurement window length, virtual seconds.
+    pub duration: f64,
+    /// Committed transactions per second over the window.
+    pub throughput_tps: f64,
+    /// Mean response time of committed transactions, seconds.
+    pub response_time: f64,
+    /// Mean response time of read-only transactions, seconds.
+    pub read_response_time: f64,
+    /// Mean response time of update transactions, seconds.
+    pub update_response_time: f64,
+    /// Measured update-transaction abort probability (`A_N` / `A'_N`).
+    pub abort_rate: f64,
+    /// Committed read-only transactions.
+    pub read_commits: u64,
+    /// Committed update transactions.
+    pub update_commits: u64,
+    /// Conflict aborts observed.
+    pub conflict_aborts: u64,
+    /// Writesets applied across replicas.
+    pub writesets_applied: u64,
+    /// Mean propagated writeset size, bytes.
+    pub mean_writeset_bytes: f64,
+    /// Mean CPU utilization across replicas.
+    pub mean_cpu_utilization: f64,
+    /// Mean disk utilization across replicas.
+    pub mean_disk_utilization: f64,
+    /// Highest single-resource utilization in the cluster.
+    pub max_utilization: f64,
+    /// Name of the most-utilized resource (e.g. `"replica3-cpu"`).
+    pub bottleneck: String,
+}
+
+impl RunReport {
+    /// Builds a report from window metrics plus resource utilizations
+    /// (`(name, utilization)` pairs).
+    pub fn from_metrics(
+        workload: &str,
+        replicas: usize,
+        clients: usize,
+        duration: f64,
+        m: &Metrics,
+        utilizations: &[(String, f64, f64)],
+    ) -> Self {
+        let mean_cpu = if utilizations.is_empty() {
+            0.0
+        } else {
+            utilizations.iter().map(|(_, c, _)| c).sum::<f64>() / utilizations.len() as f64
+        };
+        let mean_disk = if utilizations.is_empty() {
+            0.0
+        } else {
+            utilizations.iter().map(|(_, _, d)| d).sum::<f64>() / utilizations.len() as f64
+        };
+        let mut max_u = 0.0;
+        let mut bottleneck = String::from("none");
+        for (name, cpu, disk) in utilizations {
+            if *cpu > max_u {
+                max_u = *cpu;
+                bottleneck = format!("{name}-cpu");
+            }
+            if *disk > max_u {
+                max_u = *disk;
+                bottleneck = format!("{name}-disk");
+            }
+        }
+        RunReport {
+            workload: workload.to_string(),
+            replicas,
+            clients,
+            duration,
+            throughput_tps: m.committed() as f64 / duration,
+            response_time: m.response.mean(),
+            read_response_time: m.read_response.mean(),
+            update_response_time: m.update_response.mean(),
+            abort_rate: m.abort_rate(),
+            read_commits: m.read_commits,
+            update_commits: m.update_commits,
+            conflict_aborts: m.conflict_aborts,
+            writesets_applied: m.writesets_applied,
+            mean_writeset_bytes: if m.writesets_applied == 0 {
+                0.0
+            } else {
+                m.writeset_bytes as f64 / m.writesets_applied as f64
+            },
+            mean_cpu_utilization: mean_cpu,
+            mean_disk_utilization: mean_disk,
+            max_utilization: max_u,
+            bottleneck,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate_from_counts() {
+        let mut m = Metrics::default();
+        m.update_commits = 98;
+        m.conflict_aborts = 2;
+        assert!((m.abort_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_rate_empty_is_zero() {
+        assert_eq!(Metrics::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates_utilizations() {
+        let mut m = Metrics::default();
+        m.read_commits = 80;
+        m.update_commits = 20;
+        m.response.record(0.1);
+        let r = RunReport::from_metrics(
+            "w",
+            2,
+            80,
+            10.0,
+            &m,
+            &[
+                ("replica0".into(), 0.5, 0.2),
+                ("replica1".into(), 0.9, 0.3),
+            ],
+        );
+        assert!((r.throughput_tps - 10.0).abs() < 1e-12);
+        assert!((r.mean_cpu_utilization - 0.7).abs() < 1e-12);
+        assert_eq!(r.bottleneck, "replica1-cpu");
+        assert!((r.max_utilization - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::default();
+        m.update_commits = 5;
+        m.response.record(1.0);
+        m.reset();
+        assert_eq!(m.committed(), 0);
+        assert_eq!(m.response.count(), 0);
+    }
+}

@@ -1,0 +1,568 @@
+//! The multi-master cluster simulation (paper Figures 1 and 4).
+//!
+//! Architecture, mirroring the Tashkent-style prototype:
+//!
+//! - A load balancer forwards each incoming transaction to the least
+//!   loaded replica (and adds a small LAN delay).
+//! - Every replica executes reads and updates locally against its own
+//!   snapshot-isolation engine; snapshots are the replica's *local* latest
+//!   version (GSI: possibly stale, never blocking).
+//! - At commit, the replica proxy extracts the update's writeset and
+//!   invokes the certification service (a 12 ms round trip). The certifier
+//!   orders and conflict-checks writesets globally (first committer wins).
+//! - Certified writesets are propagated to *all* replicas and applied in
+//!   global order. On the origin replica the application is free (the
+//!   update's own execution already paid `wc`); on the other `N−1`
+//!   replicas it costs the sampled `ws` CPU/disk demands — exactly the
+//!   `(N−1)·Pw·ws` term of the analytical model.
+//! - Aborted updates are retried by the client against a fresh snapshot.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use replipred_sidb::{Database, WriteSet};
+use replipred_sim::engine::Engine;
+use replipred_sim::resource::{Fcfs, Ps};
+use replipred_sim::{Rng, SimTime};
+use replipred_workload::client::{ClientId, ClientPool};
+use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
+
+use crate::certifier::{Certification, Certifier};
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, RunReport};
+
+/// Retry backstop (the paper's RTEs retry indefinitely).
+const MAX_RETRIES: u32 = 1000;
+
+/// One database replica with its hardware.
+struct Replica {
+    db: Database,
+    cpu: Ps<World>,
+    disk: Fcfs<World>,
+    /// Transactions currently resident (load-balancer signal).
+    inflight: usize,
+    /// Next global version to retire into the local database. Writesets
+    /// consume resources concurrently but are *applied* strictly in
+    /// certification order (out-of-order completion, in-order retire).
+    apply_next: u64,
+    /// Writesets whose resource phase finished, keyed by global version,
+    /// awaiting their turn.
+    apply_ready: BTreeMap<u64, WriteSet>,
+    /// Transactions currently executing (holding an admission slot).
+    executing: usize,
+    /// Arrivals waiting for an admission slot (middleware connection
+    /// pool): `(client, template, started)`.
+    admission: VecDeque<(ClientId, TxnTemplate, f64)>,
+}
+
+struct World {
+    replicas: Vec<Replica>,
+    certifier: Certifier,
+    pool: ClientPool,
+    spec: WorkloadSpec,
+    metrics: Metrics,
+    measuring: bool,
+    /// Database version produced by seeding; subtracted so that writeset
+    /// base versions line up with the certifier's global numbering.
+    base_offset: u64,
+    /// Demand sampler for writeset applications.
+    rng: Rng,
+    retries_exhausted: u64,
+    lb_delay: f64,
+    certifier_delay: f64,
+    mpl: usize,
+}
+
+/// The multi-master cluster simulator.
+pub struct MultiMasterSim {
+    spec: WorkloadSpec,
+    cfg: SimConfig,
+}
+
+impl MultiMasterSim {
+    /// Creates a simulator for `cfg.replicas` replicas.
+    pub fn new(spec: WorkloadSpec, cfg: SimConfig) -> Self {
+        MultiMasterSim { spec, cfg }
+    }
+
+    /// Runs the simulation and reports measured performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.replicas` is zero.
+    pub fn run(self) -> RunReport {
+        assert!(self.cfg.replicas > 0, "need at least one replica");
+        let n = self.cfg.replicas;
+        let clients = n * self.spec.clients_per_replica;
+        let mut replicas = Vec::with_capacity(n);
+        let mut base_offset = 0;
+        for _ in 0..n {
+            let mut db = Database::new();
+            self.spec.create_schema(&mut db).expect("fresh database");
+            self.spec
+                .seed(&mut db, self.cfg.seed_scale)
+                .expect("seeding a fresh database");
+            base_offset = db.version();
+            replicas.push(Replica {
+                db,
+                cpu: Ps::new(1.0),
+                disk: Fcfs::new(1),
+                inflight: 0,
+                apply_next: 1,
+                apply_ready: BTreeMap::new(),
+                executing: 0,
+                admission: VecDeque::new(),
+            });
+        }
+        let world = World {
+            replicas,
+            certifier: Certifier::new(),
+            pool: ClientPool::new(self.spec.clone(), clients, self.cfg.seed),
+            spec: self.spec.clone(),
+            metrics: Metrics::default(),
+            measuring: false,
+            base_offset,
+            rng: Rng::seed_from_u64(self.cfg.seed ^ 0xD15C_0FFE),
+            retries_exhausted: 0,
+            lb_delay: self.cfg.lb_delay,
+            certifier_delay: self.cfg.certifier_delay,
+            mpl: self.cfg.mpl.max(1),
+        };
+        let mut engine = Engine::new(world);
+        for i in 0..clients {
+            client_cycle(&mut engine, ClientId(i));
+        }
+        let warmup = self.cfg.warmup;
+        engine.schedule_at(SimTime::from_secs(warmup), move |e| {
+            let now = e.now().as_secs();
+            let w = e.world_mut();
+            w.metrics.reset();
+            for r in &mut w.replicas {
+                r.db.reset_stats();
+                r.cpu.stats.reset(now);
+                r.disk.stats.reset(now);
+            }
+            w.measuring = true;
+        });
+        schedule_vacuum(&mut engine, self.cfg.vacuum_interval, self.cfg.end_time());
+        let end = SimTime::from_secs(self.cfg.end_time());
+        engine.run_until(end);
+        let end_s = end.as_secs();
+        let w = engine.into_world();
+        let utils: Vec<(String, f64, f64)> = w
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (
+                    format!("replica{i}"),
+                    r.cpu.stats.busy.mean_at(end_s),
+                    r.disk.stats.busy.mean_at(end_s),
+                )
+            })
+            .collect();
+        RunReport::from_metrics(
+            &self.spec.name,
+            n,
+            clients,
+            self.cfg.duration,
+            &w.metrics,
+            &utils,
+        )
+    }
+}
+
+fn schedule_vacuum(engine: &mut Engine<World>, interval: f64, end: f64) {
+    if interval <= 0.0 {
+        return;
+    }
+    fn tick(e: &mut Engine<World>, interval: f64, end: f64) {
+        for r in &mut e.world_mut().replicas {
+            r.db.vacuum();
+        }
+        let next = e.now().as_secs() + interval;
+        if next < end {
+            e.schedule_in(interval, move |e| tick(e, interval, end));
+        }
+    }
+    engine.schedule_in(interval, move |e| tick(e, interval, end));
+}
+
+fn client_cycle(engine: &mut Engine<World>, client: ClientId) {
+    let think = engine.world_mut().pool.next_think(client);
+    engine.schedule_in(think, move |e| dispatch(e, client));
+}
+
+/// Load balancer: LAN delay, then forward to the least loaded replica.
+fn dispatch(engine: &mut Engine<World>, client: ClientId) {
+    let delay = engine.world().lb_delay;
+    engine.schedule_in(delay, move |e| {
+        let (template, replica) = {
+            let w = e.world_mut();
+            let template = w.pool.next_transaction(client);
+            let replica = w
+                .replicas
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.inflight)
+                .map(|(i, _)| i)
+                .expect("at least one replica");
+            w.replicas[replica].inflight += 1;
+            (template, replica)
+        };
+        let started = e.now().as_secs();
+        admit(e, client, replica, template, started);
+    });
+}
+
+/// Admission control (connection pool): at most `mpl` transactions execute
+/// concurrently per replica; excess arrivals wait without an open snapshot.
+fn admit(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    replica: usize,
+    template: TxnTemplate,
+    started: f64,
+) {
+    let admitted = {
+        let w = engine.world_mut();
+        let mpl = w.mpl;
+        let r = &mut w.replicas[replica];
+        if r.executing < mpl {
+            r.executing += 1;
+            true
+        } else {
+            r.admission.push_back((client, template.clone(), started));
+            false
+        }
+    };
+    if admitted {
+        start_attempt(engine, client, replica, template, started, 0);
+    }
+}
+
+/// Releases an admission slot, immediately admitting the next waiter (the
+/// slot transfers without touching the counter).
+fn release(engine: &mut Engine<World>, replica: usize) {
+    let next = {
+        let w = engine.world_mut();
+        let r = &mut w.replicas[replica];
+        match r.admission.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                r.executing -= 1;
+                None
+            }
+        }
+    };
+    if let Some((client, template, started)) = next {
+        start_attempt(engine, client, replica, template, started, 0);
+    }
+}
+
+fn start_attempt(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    replica: usize,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+) {
+    // GSI: the snapshot is the replica's latest *local* version at
+    // execution start; the conflict window spans execution plus
+    // certification.
+    let txn = {
+        let now = engine.now().as_secs();
+        let w = engine.world_mut();
+        w.replicas[replica].db.set_time(now);
+        w.replicas[replica].db.begin()
+    };
+    let cpu_demand = template.cpu_demand;
+    let disk_demand = template.disk_demand;
+    Ps::submit(
+        engine,
+        move |w: &mut World| &mut w.replicas[replica].cpu,
+        cpu_demand,
+        move |e| {
+            Fcfs::submit(
+                e,
+                move |w: &mut World| &mut w.replicas[replica].disk,
+                disk_demand,
+                move |e| complete_attempt(e, client, replica, txn, template, started, attempt),
+            );
+        },
+    );
+}
+
+fn complete_attempt(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    replica: usize,
+    txn: replipred_sidb::TxnId,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+) {
+    let now = engine.now().as_secs();
+    if !template.is_update {
+        // Read-only: commit locally, no certification (GSI guarantee).
+        let w = engine.world_mut();
+        w.replicas[replica].db.set_time(now);
+        w.spec
+            .execute(&mut w.replicas[replica].db, txn, &template)
+            .expect("workload references seeded tables");
+        w.replicas[replica]
+            .db
+            .commit(txn)
+            .expect("read-only transactions always commit");
+        respond(engine, client, replica, started, false);
+        return;
+    }
+    // Update: execute locally, extract the writeset, certify remotely.
+    let writeset = {
+        let w = engine.world_mut();
+        let offset = w.base_offset;
+        let db = &mut w.replicas[replica].db;
+        db.set_time(now);
+        w.spec
+            .execute(db, txn, &template)
+            .expect("workload references seeded tables");
+        let mut ws = db.writeset_of(txn).expect("transaction is active");
+        // Local effects are installed through the certified writeset in
+        // global order; discard the local buffer.
+        db.abort(txn).expect("transaction is active");
+        // Align local version numbering with the certifier's global
+        // numbering (local = seed commit + applied writesets).
+        ws.base_version = ws.base_version.saturating_sub(offset);
+        ws
+    };
+    let cert_delay = engine.world().certifier_delay;
+    engine.schedule_in(cert_delay, move |e| {
+        let verdict = e.world_mut().certifier.certify(&writeset);
+        match verdict {
+            Certification::Commit(version) => {
+                // Propagate to every replica. The origin pays nothing (its
+                // execution already did the work) and retires immediately
+                // when the prefix allows; remote replicas first consume the
+                // sampled ws demands, then retire in order.
+                let n = e.world().replicas.len();
+                for r in 0..n {
+                    if r == replica {
+                        mark_ready(e, r, version, writeset.clone(), true);
+                    } else {
+                        propagate(e, r, version, writeset.clone());
+                    }
+                }
+                respond(e, client, replica, started, true);
+            }
+            Certification::Abort => {
+                {
+                    let w = e.world_mut();
+                    if w.measuring {
+                        w.metrics.conflict_aborts += 1;
+                    }
+                }
+                if attempt < MAX_RETRIES {
+                    let retry = e.world_mut().pool.resample_demands(client, &template);
+                    start_attempt(e, client, replica, retry, started, attempt + 1);
+                } else {
+                    e.world_mut().retries_exhausted += 1;
+                    respond(e, client, replica, started, true);
+                }
+            }
+        }
+    });
+}
+
+/// Records a completed transaction and returns the client to think state.
+fn respond(engine: &mut Engine<World>, client: ClientId, replica: usize, started: f64, update: bool) {
+    let now = engine.now().as_secs();
+    release(engine, replica);
+    {
+        let w = engine.world_mut();
+        w.replicas[replica].inflight -= 1;
+        if w.measuring {
+            if update {
+                w.metrics.update_commits += 1;
+                w.metrics.update_response.record(now - started);
+            } else {
+                w.metrics.read_commits += 1;
+                w.metrics.read_response.record(now - started);
+            }
+            w.metrics.response.record(now - started);
+        }
+    }
+    client_cycle(engine, client);
+}
+
+/// Consumes the ws resource demands for a remote writeset, then queues it
+/// for in-order retirement.
+fn propagate(engine: &mut Engine<World>, replica: usize, version: u64, writeset: WriteSet) {
+    let (ws_cpu, ws_disk) = {
+        let w = engine.world_mut();
+        (w.rng.exp(w.spec.ws_cpu), w.rng.exp(w.spec.ws_disk))
+    };
+    let bytes = writeset.wire_size() as u64;
+    Ps::submit(
+        engine,
+        move |w: &mut World| &mut w.replicas[replica].cpu,
+        ws_cpu,
+        move |e| {
+            Fcfs::submit(
+                e,
+                move |w: &mut World| &mut w.replicas[replica].disk,
+                ws_disk,
+                move |e| {
+                    {
+                        let w = e.world_mut();
+                        if w.measuring {
+                            w.metrics.writesets_applied += 1;
+                            w.metrics.writeset_bytes += bytes;
+                        }
+                    }
+                    mark_ready(e, replica, version, writeset, false);
+                },
+            );
+        },
+    );
+}
+
+/// Retires ready writesets into the replica database in strict global
+/// order, so the local version always equals a prefix of the certifier log.
+fn mark_ready(
+    engine: &mut Engine<World>,
+    replica: usize,
+    version: u64,
+    writeset: WriteSet,
+    _is_origin: bool,
+) {
+    let w = engine.world_mut();
+    let r = &mut w.replicas[replica];
+    r.apply_ready.insert(version, writeset);
+    while let Some(entry) = r.apply_ready.first_entry() {
+        if *entry.key() != r.apply_next {
+            break;
+        }
+        let ws = entry.remove();
+        r.db
+            .apply_writeset(&ws)
+            .expect("writeset references seeded tables");
+        r.apply_next += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replipred_workload::{heap, rubis, tpcw};
+
+    fn quick(n: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            warmup: 10.0,
+            duration: 40.0,
+            ..SimConfig::quick(n, seed)
+        }
+    }
+
+    #[test]
+    fn browsing_scales_with_replicas() {
+        let x1 = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Browsing), quick(1, 1))
+            .run()
+            .throughput_tps;
+        let x4 = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Browsing), quick(4, 1))
+            .run()
+            .throughput_tps;
+        assert!(
+            x4 > 3.3 * x1,
+            "browsing should scale near-linearly: x1={x1} x4={x4}"
+        );
+    }
+
+    #[test]
+    fn ordering_scales_sublinearly() {
+        let x1 = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), quick(1, 2))
+            .run()
+            .throughput_tps;
+        let x8 = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), quick(8, 2))
+            .run()
+            .throughput_tps;
+        let speedup = x8 / x1;
+        assert!(
+            (3.0..7.5).contains(&speedup),
+            "ordering speedup {speedup} (x1={x1}, x8={x8})"
+        );
+    }
+
+    #[test]
+    fn writesets_propagate_to_all_replicas() {
+        let report = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(3, 3)).run();
+        // Each committed update is applied on N-1 = 2 remote replicas.
+        let expected = report.update_commits * 2;
+        let ratio = report.writesets_applied as f64 / expected as f64;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "applied {} vs expected {expected}",
+            report.writesets_applied
+        );
+        // Paper: ~275-byte average writesets.
+        assert!(
+            (100.0..600.0).contains(&report.mean_writeset_bytes),
+            "ws bytes {}",
+            report.mean_writeset_bytes
+        );
+    }
+
+    #[test]
+    fn replicas_converge_after_quiescence() {
+        // Determinism + total order: all replicas apply the same writeset
+        // sequence, so their versions advance identically. (Full state
+        // equality is exercised in the integration tests.)
+        let report = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 5)).run();
+        assert!(report.update_commits > 0);
+    }
+
+    #[test]
+    fn heap_stress_raises_abort_rate() {
+        let base = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(4, 7))
+            .run()
+            .abort_rate;
+        let stressed = MultiMasterSim::new(
+            heap::with_heap_stress(&tpcw::mix(tpcw::Mix::Shopping), 48),
+            quick(4, 7),
+        )
+        .run()
+        .abort_rate;
+        assert!(
+            stressed > base + 0.002,
+            "stressed {stressed} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn read_only_mix_never_contacts_certifier() {
+        let report = MultiMasterSim::new(rubis::mix(rubis::Mix::Browsing), quick(2, 9)).run();
+        assert_eq!(report.conflict_aborts, 0);
+        assert_eq!(report.writesets_applied, 0);
+    }
+
+    #[test]
+    fn conflict_window_stays_bounded_under_saturation() {
+        // With admission control, even a heavily loaded ordering cluster
+        // keeps open-snapshot windows (hence abort rates) bounded — the
+        // paper's assumption 5 in action.
+        let report = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), quick(8, 31)).run();
+        assert!(
+            report.abort_rate < 0.05,
+            "A_8 should stay small for standard TPC-W: {}",
+            report.abort_rate
+        );
+        assert!(report.throughput_tps > 100.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 11)).run();
+        let b = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 11)).run();
+        assert_eq!(a.throughput_tps, b.throughput_tps);
+        assert_eq!(a.conflict_aborts, b.conflict_aborts);
+    }
+}

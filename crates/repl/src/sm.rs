@@ -1,0 +1,549 @@
+//! The single-master cluster simulation (paper Figures 2 and 5).
+//!
+//! Architecture, mirroring the Ganymed-style prototype:
+//!
+//! - The load balancer sends every update transaction to the master and
+//!   every read-only transaction to the least loaded replica (master
+//!   included — the master's spare capacity serves reads, which is how
+//!   read-dominated mixes keep scaling).
+//! - The master executes updates under local snapshot isolation; its own
+//!   concurrency control aborts write-write conflicts (no certifier).
+//! - On commit, the master's proxy extracts the writeset (table triggers)
+//!   and the load balancer relays it to every slave, which applies it in
+//!   commit order at the sampled `ws` CPU/disk cost.
+//! - Slaves never abort: they apply only committed writesets and serve
+//!   read-only transactions from (possibly slightly stale) snapshots.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use replipred_sidb::{Database, WriteSet};
+use replipred_sim::engine::Engine;
+use replipred_sim::resource::{Fcfs, Ps};
+use replipred_sim::{Rng, SimTime};
+use replipred_workload::client::{ClientId, ClientPool};
+use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
+
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, RunReport};
+
+/// Retry backstop.
+const MAX_RETRIES: u32 = 1000;
+
+/// One node (master or slave) with its hardware.
+struct Node {
+    db: Database,
+    cpu: Ps<World>,
+    disk: Fcfs<World>,
+    inflight: usize,
+    /// Next writeset sequence number to retire into the local database.
+    apply_next: u64,
+    /// Writesets whose resource phase finished, awaiting in-order retire.
+    apply_ready: BTreeMap<u64, WriteSet>,
+    /// Transactions currently executing (holding an admission slot).
+    executing: usize,
+    /// Arrivals waiting for an admission slot (connection pool).
+    admission: VecDeque<(ClientId, TxnTemplate, f64)>,
+}
+
+struct World {
+    /// `nodes[0]` is the master; the rest are slaves.
+    nodes: Vec<Node>,
+    pool: ClientPool,
+    spec: WorkloadSpec,
+    metrics: Metrics,
+    measuring: bool,
+    rng: Rng,
+    retries_exhausted: u64,
+    lb_delay: f64,
+    /// Master commit counter used to sequence slave-side application.
+    ws_seq: u64,
+    mpl: usize,
+}
+
+/// The single-master cluster simulator.
+pub struct SingleMasterSim {
+    spec: WorkloadSpec,
+    cfg: SimConfig,
+}
+
+impl SingleMasterSim {
+    /// Creates a simulator with 1 master and `cfg.replicas - 1` slaves.
+    pub fn new(spec: WorkloadSpec, cfg: SimConfig) -> Self {
+        SingleMasterSim { spec, cfg }
+    }
+
+    /// Runs the simulation and reports measured performance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.replicas` is zero.
+    pub fn run(self) -> RunReport {
+        assert!(self.cfg.replicas > 0, "need at least the master");
+        let n = self.cfg.replicas;
+        let clients = n * self.spec.clients_per_replica;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut db = Database::new();
+            self.spec.create_schema(&mut db).expect("fresh database");
+            self.spec
+                .seed(&mut db, self.cfg.seed_scale)
+                .expect("seeding a fresh database");
+            nodes.push(Node {
+                db,
+                cpu: Ps::new(1.0),
+                disk: Fcfs::new(1),
+                inflight: 0,
+                apply_next: 1,
+                apply_ready: BTreeMap::new(),
+                executing: 0,
+                admission: VecDeque::new(),
+            });
+        }
+        let world = World {
+            nodes,
+            pool: ClientPool::new(self.spec.clone(), clients, self.cfg.seed),
+            spec: self.spec.clone(),
+            metrics: Metrics::default(),
+            measuring: false,
+            rng: Rng::seed_from_u64(self.cfg.seed ^ 0x5A5A_1234),
+            retries_exhausted: 0,
+            lb_delay: self.cfg.lb_delay,
+            ws_seq: 0,
+            mpl: self.cfg.mpl.max(1),
+        };
+        let mut engine = Engine::new(world);
+        for i in 0..clients {
+            client_cycle(&mut engine, ClientId(i));
+        }
+        let warmup = self.cfg.warmup;
+        engine.schedule_at(SimTime::from_secs(warmup), move |e| {
+            let now = e.now().as_secs();
+            let w = e.world_mut();
+            w.metrics.reset();
+            for node in &mut w.nodes {
+                node.db.reset_stats();
+                node.cpu.stats.reset(now);
+                node.disk.stats.reset(now);
+            }
+            w.measuring = true;
+        });
+        schedule_vacuum(&mut engine, self.cfg.vacuum_interval, self.cfg.end_time());
+        let end = SimTime::from_secs(self.cfg.end_time());
+        engine.run_until(end);
+        let end_s = end.as_secs();
+        let w = engine.into_world();
+        let utils: Vec<(String, f64, f64)> = w
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let name = if i == 0 {
+                    "master".to_string()
+                } else {
+                    format!("slave{i}")
+                };
+                (
+                    name,
+                    node.cpu.stats.busy.mean_at(end_s),
+                    node.disk.stats.busy.mean_at(end_s),
+                )
+            })
+            .collect();
+        RunReport::from_metrics(
+            &self.spec.name,
+            n,
+            clients,
+            self.cfg.duration,
+            &w.metrics,
+            &utils,
+        )
+    }
+}
+
+fn schedule_vacuum(engine: &mut Engine<World>, interval: f64, end: f64) {
+    if interval <= 0.0 {
+        return;
+    }
+    fn tick(e: &mut Engine<World>, interval: f64, end: f64) {
+        for node in &mut e.world_mut().nodes {
+            node.db.vacuum();
+        }
+        let next = e.now().as_secs() + interval;
+        if next < end {
+            e.schedule_in(interval, move |e| tick(e, interval, end));
+        }
+    }
+    engine.schedule_in(interval, move |e| tick(e, interval, end));
+}
+
+fn client_cycle(engine: &mut Engine<World>, client: ClientId) {
+    let think = engine.world_mut().pool.next_think(client);
+    engine.schedule_in(think, move |e| dispatch(e, client));
+}
+
+/// Load balancer: updates to the master; reads to the least loaded node.
+fn dispatch(engine: &mut Engine<World>, client: ClientId) {
+    let delay = engine.world().lb_delay;
+    engine.schedule_in(delay, move |e| {
+        let (template, node) = {
+            let w = e.world_mut();
+            let template = w.pool.next_transaction(client);
+            let node = if template.is_update {
+                0
+            } else {
+                w.nodes
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, n)| n.inflight)
+                    .map(|(i, _)| i)
+                    .expect("at least the master")
+            };
+            w.nodes[node].inflight += 1;
+            (template, node)
+        };
+        let started = e.now().as_secs();
+        admit(e, client, node, template, started);
+    });
+}
+
+/// Admission control (connection pool): at most `mpl` transactions execute
+/// concurrently per node; excess arrivals wait without an open snapshot.
+fn admit(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    node: usize,
+    template: TxnTemplate,
+    started: f64,
+) {
+    let admitted = {
+        let w = engine.world_mut();
+        let mpl = w.mpl;
+        let s = &mut w.nodes[node];
+        if s.executing < mpl {
+            s.executing += 1;
+            true
+        } else {
+            s.admission.push_back((client, template.clone(), started));
+            false
+        }
+    };
+    if admitted {
+        start_attempt(engine, client, node, template, started, 0);
+    }
+}
+
+/// Releases an admission slot, immediately admitting the next waiter.
+fn release(engine: &mut Engine<World>, node: usize) {
+    let next = {
+        let w = engine.world_mut();
+        let s = &mut w.nodes[node];
+        match s.admission.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                s.executing -= 1;
+                None
+            }
+        }
+    };
+    if let Some((client, template, started)) = next {
+        start_attempt(engine, client, node, template, started, 0);
+    }
+}
+
+fn start_attempt(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    node: usize,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+) {
+    // The snapshot is taken at execution start; on the master the
+    // conflict window therefore spans the update's whole execution.
+    let txn = {
+        let now = engine.now().as_secs();
+        let w = engine.world_mut();
+        w.nodes[node].db.set_time(now);
+        w.nodes[node].db.begin()
+    };
+    let cpu_demand = template.cpu_demand;
+    let disk_demand = template.disk_demand;
+    Ps::submit(
+        engine,
+        move |w: &mut World| &mut w.nodes[node].cpu,
+        cpu_demand,
+        move |e| {
+            Fcfs::submit(
+                e,
+                move |w: &mut World| &mut w.nodes[node].disk,
+                disk_demand,
+                move |e| complete_attempt(e, client, node, txn, template, started, attempt),
+            );
+        },
+    );
+}
+
+fn complete_attempt(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    node: usize,
+    txn: replipred_sidb::TxnId,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+) {
+    let now = engine.now().as_secs();
+    if !template.is_update {
+        let w = engine.world_mut();
+        w.nodes[node].db.set_time(now);
+        w.spec
+            .execute(&mut w.nodes[node].db, txn, &template)
+            .expect("workload references seeded tables");
+        w.nodes[node]
+            .db
+            .commit(txn)
+            .expect("read-only transactions always commit");
+        respond(engine, client, node, started, false);
+        return;
+    }
+    // Update at the master: local SI certification, then propagation.
+    debug_assert_eq!(node, 0, "updates only execute on the master");
+    let outcome = {
+        let w = engine.world_mut();
+        let db = &mut w.nodes[0].db;
+        db.set_time(now);
+        w.spec
+            .execute(db, txn, &template)
+            .expect("workload references seeded tables");
+        db.commit(txn).map(|info| info.writeset)
+    };
+    match outcome {
+        Ok(writeset) => {
+            // Relay the writeset to every slave; slaves consume resources
+            // concurrently but retire strictly in master commit order.
+            let seq = {
+                let w = engine.world_mut();
+                w.ws_seq += 1;
+                w.ws_seq
+            };
+            let n = engine.world().nodes.len();
+            for s in 1..n {
+                propagate(engine, s, seq, writeset.clone());
+            }
+            respond(engine, client, 0, started, true);
+        }
+        Err(e) if e.is_conflict() => {
+            {
+                let w = engine.world_mut();
+                if w.measuring {
+                    w.metrics.conflict_aborts += 1;
+                }
+            }
+            if attempt < MAX_RETRIES {
+                let retry = engine.world_mut().pool.resample_demands(client, &template);
+                start_attempt(engine, client, 0, retry, started, attempt + 1);
+            } else {
+                engine.world_mut().retries_exhausted += 1;
+                respond(engine, client, 0, started, true);
+            }
+        }
+        Err(e) => panic!("unexpected engine error: {e}"),
+    }
+}
+
+fn respond(engine: &mut Engine<World>, client: ClientId, node: usize, started: f64, update: bool) {
+    let now = engine.now().as_secs();
+    release(engine, node);
+    {
+        let w = engine.world_mut();
+        w.nodes[node].inflight -= 1;
+        if w.measuring {
+            if update {
+                w.metrics.update_commits += 1;
+                w.metrics.update_response.record(now - started);
+            } else {
+                w.metrics.read_commits += 1;
+                w.metrics.read_response.record(now - started);
+            }
+            w.metrics.response.record(now - started);
+        }
+    }
+    client_cycle(engine, client);
+}
+
+/// Consumes the ws resource demands on a slave, then queues the writeset
+/// for in-order retirement.
+fn propagate(engine: &mut Engine<World>, node: usize, seq: u64, writeset: WriteSet) {
+    let (ws_cpu, ws_disk) = {
+        let w = engine.world_mut();
+        (w.rng.exp(w.spec.ws_cpu), w.rng.exp(w.spec.ws_disk))
+    };
+    let bytes = writeset.wire_size() as u64;
+    Ps::submit(
+        engine,
+        move |w: &mut World| &mut w.nodes[node].cpu,
+        ws_cpu,
+        move |e| {
+            Fcfs::submit(
+                e,
+                move |w: &mut World| &mut w.nodes[node].disk,
+                ws_disk,
+                move |e| {
+                    {
+                        let w = e.world_mut();
+                        if w.measuring {
+                            w.metrics.writesets_applied += 1;
+                            w.metrics.writeset_bytes += bytes;
+                        }
+                    }
+                    mark_ready(e, node, seq, writeset);
+                },
+            );
+        },
+    );
+}
+
+/// Retires ready writesets into the slave database in master commit order.
+fn mark_ready(engine: &mut Engine<World>, node: usize, seq: u64, writeset: WriteSet) {
+    let w = engine.world_mut();
+    let s = &mut w.nodes[node];
+    s.apply_ready.insert(seq, writeset);
+    while let Some(entry) = s.apply_ready.first_entry() {
+        if *entry.key() != s.apply_next {
+            break;
+        }
+        let ws = entry.remove();
+        s.db
+            .apply_writeset(&ws)
+            .expect("writeset references seeded tables");
+        s.apply_next += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replipred_workload::{rubis, tpcw};
+
+    fn quick(n: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            warmup: 10.0,
+            duration: 40.0,
+            ..SimConfig::quick(n, seed)
+        }
+    }
+
+    #[test]
+    fn browsing_scales_with_replicas() {
+        let x1 = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Browsing), quick(1, 1))
+            .run()
+            .throughput_tps;
+        let x4 = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Browsing), quick(4, 1))
+            .run()
+            .throughput_tps;
+        assert!(x4 > 3.2 * x1, "x1={x1} x4={x4}");
+    }
+
+    #[test]
+    fn ordering_saturates_at_the_master() {
+        // Paper Figure 8: ordering saturates around 4 replicas.
+        let x4 = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), quick(4, 2))
+            .run()
+            .throughput_tps;
+        let x8 = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), quick(8, 2))
+            .run()
+            .throughput_tps;
+        assert!(
+            x8 < 1.25 * x4,
+            "ordering should saturate: x4={x4} x8={x8}"
+        );
+    }
+
+    #[test]
+    fn master_is_the_bottleneck_for_update_mixes() {
+        let report = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), quick(6, 3)).run();
+        assert!(
+            report.bottleneck.starts_with("master"),
+            "bottleneck {}",
+            report.bottleneck
+        );
+    }
+
+    #[test]
+    fn slaves_apply_every_committed_writeset() {
+        let report = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(3, 4)).run();
+        let expected = report.update_commits * 2; // two slaves
+        let ratio = report.writesets_applied as f64 / expected as f64;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "applied {} expected {expected}",
+            report.writesets_applied
+        );
+    }
+
+    #[test]
+    fn read_only_mix_spreads_over_all_nodes() {
+        let report = SingleMasterSim::new(rubis::mix(rubis::Mix::Browsing), quick(4, 5)).run();
+        assert_eq!(report.conflict_aborts, 0);
+        // With perfect spreading all nodes are similarly utilized; the max
+        // must not be wildly above the mean.
+        assert!(report.max_utilization < report.mean_cpu_utilization * 1.5 + 0.1);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 6)).run();
+        let b = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 6)).run();
+        assert_eq!(a.throughput_tps, b.throughput_tps);
+    }
+
+    #[test]
+    fn admission_control_bounds_concurrency_without_capping_throughput() {
+        // A generous MPL (32, default) and a tight-but-sufficient MPL (8)
+        // must deliver similar throughput: the pool only limits *open
+        // snapshots*, not the served load, as long as it exceeds the
+        // concurrency knee of the node.
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let wide = SingleMasterSim::new(spec.clone(), quick(2, 21)).run();
+        let tight_cfg = SimConfig {
+            mpl: 8,
+            ..quick(2, 21)
+        };
+        let tight = SingleMasterSim::new(spec, tight_cfg).run();
+        let rel = (wide.throughput_tps - tight.throughput_tps).abs() / wide.throughput_tps;
+        assert!(rel < 0.10, "wide {} vs tight {}", wide.throughput_tps, tight.throughput_tps);
+    }
+
+    #[test]
+    fn tiny_mpl_serializes_and_lowers_throughput() {
+        // MPL = 1 forces one transaction at a time per node: a real
+        // throughput ceiling far below the default.
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let wide = SingleMasterSim::new(spec.clone(), quick(2, 22)).run();
+        let serial_cfg = SimConfig {
+            mpl: 1,
+            ..quick(2, 22)
+        };
+        let serial = SingleMasterSim::new(spec, serial_cfg).run();
+        assert!(
+            serial.throughput_tps < 0.8 * wide.throughput_tps,
+            "serial {} vs wide {}",
+            serial.throughput_tps,
+            wide.throughput_tps
+        );
+    }
+
+    #[test]
+    fn sm_and_mm_similar_at_low_update_fractions() {
+        // With few updates both designs are read-limited and should land
+        // near each other.
+        let sm = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Browsing), quick(4, 7))
+            .run()
+            .throughput_tps;
+        let mm = crate::mm::MultiMasterSim::new(tpcw::mix(tpcw::Mix::Browsing), quick(4, 7))
+            .run()
+            .throughput_tps;
+        let rel = (sm - mm).abs() / mm;
+        assert!(rel < 0.15, "sm={sm} mm={mm}");
+    }
+}

@@ -1,0 +1,451 @@
+//! Single-node simulation: the profiling target.
+//!
+//! This is the "standalone database" of the paper's title — the system the
+//! profiler measures (Section 4) and the `N = 1` anchor of every measured
+//! scalability curve. One database engine, one CPU (processor sharing),
+//! one disk (FCFS), `C` closed-loop clients.
+
+use std::collections::VecDeque;
+
+use replipred_sidb::Database;
+use replipred_sim::engine::Engine;
+use replipred_sim::resource::{Fcfs, Ps};
+use replipred_sim::SimTime;
+use replipred_workload::client::{ClientId, ClientPool};
+use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
+
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, RunReport};
+
+/// Abandon a transaction after this many certification-failure retries
+/// (a liveness backstop; the paper's RTEs retry indefinitely).
+const MAX_RETRIES: u32 = 1000;
+
+/// One-node closed-loop simulation.
+pub struct StandaloneSim {
+    spec: WorkloadSpec,
+    cfg: SimConfig,
+    /// Restrict sampling to a transaction subset (profiler replay mode).
+    filter: TxnFilter,
+    /// Enable the engine's statement log (`log_statement` equivalent).
+    log_statements: bool,
+}
+
+/// Which transactions the clients submit (profiler log-replay segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnFilter {
+    /// The full mix.
+    All,
+    /// Read-only transactions only (the profiler's `rc` replay).
+    ReadsOnly,
+    /// Update transactions only (the profiler's `wc` replay).
+    UpdatesOnly,
+}
+
+/// Result of a standalone run: the report plus the final database (whose
+/// statement log the profiler consumes).
+pub struct StandaloneOutcome {
+    /// Measured performance.
+    pub report: RunReport,
+    /// The database after the run, including its statement log and stats.
+    pub db: Database,
+}
+
+struct World {
+    db: Database,
+    cpu: Ps<World>,
+    disk: Fcfs<World>,
+    pool: ClientPool,
+    spec: WorkloadSpec,
+    metrics: Metrics,
+    measuring: bool,
+    filter: TxnFilter,
+    retries_exhausted: u64,
+    mpl: usize,
+    /// Transactions currently executing (holding an admission slot).
+    executing: usize,
+    /// Arrivals waiting for an admission slot (connection pool).
+    admission: VecDeque<(ClientId, TxnTemplate, f64)>,
+}
+
+fn cpu_lens(w: &mut World) -> &mut Ps<World> {
+    &mut w.cpu
+}
+fn disk_lens(w: &mut World) -> &mut Fcfs<World> {
+    &mut w.disk
+}
+
+impl StandaloneSim {
+    /// Creates a simulation of the full mix.
+    pub fn new(spec: WorkloadSpec, cfg: SimConfig) -> Self {
+        StandaloneSim {
+            spec,
+            cfg,
+            filter: TxnFilter::All,
+            log_statements: false,
+        }
+    }
+
+    /// Turns on statement logging (the profiler's raw input). Seeding
+    /// operations are not logged; only client transactions are.
+    pub fn with_statement_log(mut self) -> Self {
+        self.log_statements = true;
+        self
+    }
+
+    /// Restricts the submitted transactions (profiler replay segments).
+    pub fn with_filter(mut self, filter: TxnFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Runs the simulation to completion and returns the report and the
+    /// final database state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload references tables it did not declare
+    /// (a workload-spec bug, not a data error).
+    pub fn run_with_db(self) -> StandaloneOutcome {
+        let clients = self.spec.clients_per_replica;
+        let mut db = Database::new();
+        self.spec.create_schema(&mut db).expect("fresh database");
+        self.spec
+            .seed(&mut db, self.cfg.seed_scale)
+            .expect("seeding a fresh database");
+        if self.log_statements {
+            db.log.set_enabled(true);
+        }
+        let pool = ClientPool::new(self.spec.clone(), clients, self.cfg.seed);
+        let world = World {
+            db,
+            cpu: Ps::new(1.0),
+            disk: Fcfs::new(1),
+            pool,
+            spec: self.spec.clone(),
+            metrics: Metrics::default(),
+            measuring: false,
+            filter: self.filter,
+            retries_exhausted: 0,
+            mpl: self.cfg.mpl.max(1),
+            executing: 0,
+            admission: VecDeque::new(),
+        };
+        let mut engine = Engine::new(world);
+        for i in 0..clients {
+            client_cycle(&mut engine, ClientId(i));
+        }
+        // End of warm-up: discard all measurements.
+        let warmup = self.cfg.warmup;
+        engine.schedule_at(SimTime::from_secs(warmup), move |e| {
+            let now = e.now().as_secs();
+            let w = e.world_mut();
+            w.metrics.reset();
+            w.db.reset_stats();
+            // Discard warm-up log lines so the captured log covers exactly
+            // the measurement window (the paper's 15-minute capture).
+            let _ = w.db.log.take();
+            w.cpu.stats.reset(now);
+            w.disk.stats.reset(now);
+            w.measuring = true;
+        });
+        schedule_vacuum(&mut engine, self.cfg.vacuum_interval, self.cfg.end_time());
+        let end = SimTime::from_secs(self.cfg.end_time());
+        engine.run_until(end);
+        let end_s = end.as_secs();
+        let w = engine.into_world();
+        let utils = vec![(
+            "db".to_string(),
+            w.cpu.stats.busy.mean_at(end_s),
+            w.disk.stats.busy.mean_at(end_s),
+        )];
+        let report = RunReport::from_metrics(
+            &self.spec.name,
+            1,
+            clients,
+            self.cfg.duration,
+            &w.metrics,
+            &utils,
+        );
+        StandaloneOutcome { report, db: w.db }
+    }
+
+    /// Runs the simulation, returning only the report.
+    pub fn run(self) -> RunReport {
+        self.run_with_db().report
+    }
+}
+
+fn schedule_vacuum(engine: &mut Engine<World>, interval: f64, end: f64) {
+    if interval <= 0.0 {
+        return;
+    }
+    fn tick(e: &mut Engine<World>, interval: f64, end: f64) {
+        e.world_mut().db.vacuum();
+        let next = e.now().as_secs() + interval;
+        if next < end {
+            e.schedule_in(interval, move |e| tick(e, interval, end));
+        }
+    }
+    engine.schedule_in(interval, move |e| tick(e, interval, end));
+}
+
+fn client_cycle(engine: &mut Engine<World>, client: ClientId) {
+    let think = engine.world_mut().pool.next_think(client);
+    engine.schedule_in(think, move |e| dispatch(e, client));
+}
+
+fn dispatch(engine: &mut Engine<World>, client: ClientId) {
+    let template = {
+        let w = engine.world_mut();
+        let mut t = w.pool.next_transaction(client);
+        // Rejection-sample to honor the profiler's replay filter.
+        let mut guard = 0;
+        loop {
+            let ok = match w.filter {
+                TxnFilter::All => true,
+                TxnFilter::ReadsOnly => !t.is_update,
+                TxnFilter::UpdatesOnly => t.is_update,
+            };
+            if ok || guard > 10_000 {
+                break;
+            }
+            t = w.pool.next_transaction(client);
+            guard += 1;
+        }
+        t
+    };
+    let started = engine.now().as_secs();
+    admit(engine, client, template, started);
+}
+
+/// Admission control (connection pool): at most `mpl` transactions execute
+/// concurrently; excess arrivals wait without an open snapshot.
+fn admit(engine: &mut Engine<World>, client: ClientId, template: TxnTemplate, started: f64) {
+    let admitted = {
+        let w = engine.world_mut();
+        if w.executing < w.mpl {
+            w.executing += 1;
+            true
+        } else {
+            w.admission.push_back((client, template.clone(), started));
+            false
+        }
+    };
+    if admitted {
+        start_attempt(engine, client, template, started, 0);
+    }
+}
+
+/// Releases an admission slot, immediately admitting the next waiter.
+fn release(engine: &mut Engine<World>) {
+    let next = {
+        let w = engine.world_mut();
+        match w.admission.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                w.executing -= 1;
+                None
+            }
+        }
+    };
+    if let Some((client, template, started)) = next {
+        start_attempt(engine, client, template, started, 0);
+    }
+}
+
+fn start_attempt(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+) {
+    // The snapshot is taken when execution starts: the transaction's
+    // conflict window spans its whole (simulated) execution, as in the
+    // paper's standalone definition.
+    let txn = {
+        let now = engine.now().as_secs();
+        let w = engine.world_mut();
+        w.db.set_time(now);
+        w.db.begin()
+    };
+    let cpu_demand = template.cpu_demand;
+    let disk_demand = template.disk_demand;
+    Ps::submit(engine, cpu_lens, cpu_demand, move |e| {
+        Fcfs::submit(e, disk_lens, disk_demand, move |e| {
+            complete_attempt(e, client, txn, template, started, attempt);
+        });
+    });
+}
+
+fn complete_attempt(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    txn: replipred_sidb::TxnId,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+) {
+    let now = engine.now().as_secs();
+    let committed = {
+        let w = engine.world_mut();
+        w.db.set_time(now);
+        // The snapshot was taken at start_attempt; executing the logical
+        // operations now and committing gives the transaction a conflict
+        // window equal to its whole execution time.
+        w.spec
+            .execute(&mut w.db, txn, &template)
+            .expect("workload references seeded tables");
+        match w.db.commit(txn) {
+            Ok(_) => {
+                if w.measuring {
+                    if template.is_update {
+                        w.metrics.update_commits += 1;
+                        w.metrics.update_response.record(now - started);
+                    } else {
+                        w.metrics.read_commits += 1;
+                        w.metrics.read_response.record(now - started);
+                    }
+                    w.metrics.response.record(now - started);
+                }
+                true
+            }
+            Err(e) if e.is_conflict() => {
+                if w.measuring {
+                    w.metrics.conflict_aborts += 1;
+                }
+                false
+            }
+            Err(e) => panic!("unexpected engine error: {e}"),
+        }
+    };
+    if committed {
+        release(engine);
+        client_cycle(engine, client);
+    } else if attempt < MAX_RETRIES {
+        // Immediate retry with fresh demand samples (paper Section 6.1).
+        let retry = engine
+            .world_mut()
+            .pool
+            .resample_demands(client, &template);
+        start_attempt(engine, client, retry, started, attempt + 1);
+    } else {
+        engine.world_mut().retries_exhausted += 1;
+        release(engine);
+        client_cycle(engine, client);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replipred_workload::{rubis, tpcw};
+
+    fn quick_cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            warmup: 10.0,
+            duration: 40.0,
+            ..SimConfig::quick(1, seed)
+        }
+    }
+
+    #[test]
+    fn shopping_throughput_near_mva_prediction() {
+        // The mechanistic simulation and the analytical model must agree
+        // on the standalone operating point (cross-validation of the two
+        // artifacts).
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let d_cpu = 0.8 * spec.mean_read_cpu() + 0.2 * spec.mean_write_cpu();
+        let d_disk = 0.8 * spec.mean_read_disk() + 0.2 * spec.mean_write_disk();
+        let network = replipred_mva::ClosedNetwork::builder()
+            .queueing("cpu", d_cpu)
+            .queueing("disk", d_disk)
+            .think_time(1.0)
+            .build()
+            .unwrap();
+        let mva = replipred_mva::exact::solve(&network, 40).unwrap();
+        let report = StandaloneSim::new(spec, quick_cfg(1)).run();
+        let rel = (report.throughput_tps - mva.throughput).abs() / mva.throughput;
+        assert!(
+            rel < 0.10,
+            "sim {} vs MVA {} (rel {rel})",
+            report.throughput_tps,
+            mva.throughput
+        );
+        assert!(report.response_time > 0.0 && report.response_time < 1.0);
+    }
+
+    #[test]
+    fn read_only_mix_has_no_aborts() {
+        let report = StandaloneSim::new(rubis::mix(rubis::Mix::Browsing), quick_cfg(2)).run();
+        assert_eq!(report.conflict_aborts, 0);
+        assert_eq!(report.update_commits, 0);
+        assert!(report.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn utilization_law_holds_in_simulation() {
+        // U_cpu ~= X * D_cpu: the simulated utilization must match the
+        // operational law within noise.
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let d_cpu = 0.8 * spec.mean_read_cpu() + 0.2 * spec.mean_write_cpu();
+        let report = StandaloneSim::new(spec, quick_cfg(3)).run();
+        let expect = report.throughput_tps * d_cpu;
+        assert!(
+            (report.mean_cpu_utilization - expect).abs() < 0.05,
+            "sim U {} vs law {}",
+            report.mean_cpu_utilization,
+            expect
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = StandaloneSim::new(tpcw::mix(tpcw::Mix::Ordering), quick_cfg(7)).run();
+        let b = StandaloneSim::new(tpcw::mix(tpcw::Mix::Ordering), quick_cfg(7)).run();
+        assert_eq!(a.throughput_tps, b.throughput_tps);
+        assert_eq!(a.conflict_aborts, b.conflict_aborts);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), quick_cfg(11)).run();
+        let b = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), quick_cfg(12)).run();
+        assert_ne!(a.throughput_tps, b.throughput_tps);
+    }
+
+    #[test]
+    fn filters_restrict_the_mix() {
+        let reads = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), quick_cfg(5))
+            .with_filter(TxnFilter::ReadsOnly)
+            .run();
+        assert_eq!(reads.update_commits, 0);
+        assert!(reads.read_commits > 0);
+        let updates = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), quick_cfg(5))
+            .with_filter(TxnFilter::UpdatesOnly)
+            .run();
+        assert_eq!(updates.read_commits, 0);
+        assert!(updates.update_commits > 0);
+    }
+
+    #[test]
+    fn abort_rate_is_small_for_standard_tpcw() {
+        // Paper: A1 < 0.023% for all TPC-W mixes. Our mechanistic A1 must
+        // also be tiny (same DbUpdateSize, similar rates).
+        let report = StandaloneSim::new(tpcw::mix(tpcw::Mix::Ordering), quick_cfg(13)).run();
+        assert!(report.abort_rate < 0.01, "A1 = {}", report.abort_rate);
+    }
+
+    #[test]
+    fn statement_log_available_after_run() {
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let sim = StandaloneSim::new(spec, quick_cfg(17));
+        let mut outcome = sim.run_with_db();
+        // Logging was off by default.
+        assert!(outcome.db.log.is_empty());
+        // But stats are live.
+        outcome.db.set_time(0.0);
+        assert!(outcome.db.stats().read_only_commits > 0);
+    }
+}

@@ -1,0 +1,1003 @@
+//! The database engine: transactions, snapshots, certification, writesets.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::log::{StatementKind, StatementLog, StatementLogEntry};
+use crate::table::{RowVersion, Table};
+use crate::txn::{TxnId, TxnState};
+use crate::value::Row;
+use crate::writeset::{WriteItem, WriteOp, WriteSet};
+
+/// Counters describing engine activity, reported per replica in the
+/// experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbStats {
+    /// Committed read-only transactions.
+    pub read_only_commits: u64,
+    /// Committed update transactions.
+    pub update_commits: u64,
+    /// Aborts caused by write-write certification failures.
+    pub conflict_aborts: u64,
+    /// Client-initiated rollbacks.
+    pub voluntary_aborts: u64,
+    /// Remote writesets applied via [`Database::apply_writeset`].
+    pub writesets_applied: u64,
+    /// Row reads served.
+    pub rows_read: u64,
+    /// Row writes buffered.
+    pub rows_written: u64,
+}
+
+impl DbStats {
+    /// The measured standalone abort probability
+    /// `A1 = conflict_aborts / (update commits + conflict aborts)` —
+    /// exactly how the paper derives `A1` from log counts (Section 4.1.1).
+    pub fn abort_probability(&self) -> f64 {
+        let attempts = self.update_commits + self.conflict_aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.conflict_aborts as f64 / attempts as f64
+        }
+    }
+}
+
+/// Outcome of a successful commit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommitInfo {
+    /// The committed transaction.
+    pub txn: TxnId,
+    /// Commit sequence number (database version) this commit produced.
+    /// Read-only commits do not advance the version and report the
+    /// snapshot they read from.
+    pub commit_seq: u64,
+    /// Extracted writeset; empty for read-only transactions.
+    pub writeset: WriteSet,
+}
+
+/// An in-memory snapshot-isolated multi-version database.
+///
+/// See the crate docs for the isolation semantics. All operations are
+/// synchronous and single-threaded; concurrency in the simulated cluster is
+/// expressed by interleaving operations of *logically* concurrent
+/// transactions, which is exactly what SI's snapshot semantics make
+/// well-defined.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    active: HashMap<TxnId, TxnState>,
+    next_txn: u64,
+    commit_seq: u64,
+    clock: f64,
+    /// Statement log (PostgreSQL `log_statement` equivalent).
+    pub log: StatementLog,
+    stats: DbStats,
+}
+
+impl Database {
+    /// Creates an empty database at version 0.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Sets the clock used to timestamp log entries (virtual seconds).
+    pub fn set_time(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    /// Current database version (latest commit sequence).
+    pub fn version(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Resets activity counters (end of measurement warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = DbStats::default();
+    }
+
+    /// Number of transactions currently active.
+    pub fn active_txns(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableExists`] on duplicate names.
+    pub fn create_table(&mut self, name: &str, columns: &[&str]) -> Result<(), DbError> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        self.tables.insert(name.to_string(), Table::new(columns));
+        Ok(())
+    }
+
+    /// Table names, unordered.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Rows visible at the latest version in `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchTable`] for unknown tables.
+    pub fn live_rows(&self, table: &str) -> Result<usize, DbError> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        Ok(t.live_rows_at(self.commit_seq))
+    }
+
+    /// Begins a transaction, taking a snapshot of the latest committed
+    /// state.
+    pub fn begin(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(id, TxnState::new(self.commit_seq));
+        self.log_stmt(id, StatementKind::Begin, None);
+        id
+    }
+
+    /// Begins a transaction on an explicitly *older* snapshot.
+    ///
+    /// This is the Generalized Snapshot Isolation (GSI) entry point: a
+    /// replica may hand out its latest *local* snapshot, which can trail
+    /// the globally latest version ([Elnikety 2005]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` is newer than the current version — a replica
+    /// can never see the future.
+    pub fn begin_at(&mut self, snapshot: u64) -> TxnId {
+        assert!(
+            snapshot <= self.commit_seq,
+            "snapshot {snapshot} is newer than current version {}",
+            self.commit_seq
+        );
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(id, TxnState::new(snapshot));
+        self.log_stmt(id, StatementKind::Begin, None);
+        id
+    }
+
+    /// The snapshot version a transaction reads from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TxnNotActive`] for unknown/finished transactions.
+    pub fn snapshot_of(&self, txn: TxnId) -> Result<u64, DbError> {
+        Ok(self.state(txn)?.snapshot)
+    }
+
+    /// Reads a row as of the transaction's snapshot, seeing its own
+    /// buffered writes first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TxnNotActive`] or [`DbError::NoSuchTable`].
+    pub fn read(&mut self, txn: TxnId, table: &str, row: u64) -> Result<Option<Row>, DbError> {
+        if !self.tables.contains_key(table) {
+            return Err(DbError::NoSuchTable(table.to_string()));
+        }
+        let state = self
+            .active
+            .get_mut(&txn)
+            .ok_or(DbError::TxnNotActive(txn))?;
+        state.reads += 1;
+        self.stats.rows_read += 1;
+        // Own writes first (read-your-writes).
+        if let Some(pending) = state.writes.get(table).and_then(|t| t.get(&row)) {
+            let result = pending.clone();
+            self.log_stmt(txn, StatementKind::Select, Some(table));
+            return Ok(result);
+        }
+        let snapshot = state.snapshot;
+        let result = self.tables[table]
+            .rows
+            .get(&row)
+            .and_then(|chain| chain.visible_at(snapshot))
+            .and_then(|v| v.data.clone());
+        self.log_stmt(txn, StatementKind::Select, Some(table));
+        Ok(result)
+    }
+
+    /// All rows visible to the transaction in `table` (own writes applied),
+    /// sorted by row id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TxnNotActive`] or [`DbError::NoSuchTable`].
+    pub fn scan(&mut self, txn: TxnId, table: &str) -> Result<Vec<(u64, Row)>, DbError> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let state = self
+            .active
+            .get_mut(&txn)
+            .ok_or(DbError::TxnNotActive(txn))?;
+        let snapshot = state.snapshot;
+        let mut rows: Vec<(u64, Row)> = t
+            .rows
+            .iter()
+            .filter_map(|(&id, chain)| {
+                // Own write overlays the committed version.
+                if let Some(pending) = state.writes.get(table).and_then(|w| w.get(&id)) {
+                    return pending.clone().map(|r| (id, r));
+                }
+                chain
+                    .visible_at(snapshot)
+                    .and_then(|v| v.data.clone())
+                    .map(|r| (id, r))
+            })
+            .collect();
+        // Own inserts of rows that never existed.
+        if let Some(writes) = state.writes.get(table) {
+            for (&id, pending) in writes {
+                if !t.rows.contains_key(&id) {
+                    if let Some(r) = pending.clone() {
+                        rows.push((id, r));
+                    }
+                }
+            }
+        }
+        state.reads += rows.len() as u64;
+        self.stats.rows_read += rows.len() as u64;
+        rows.sort_by_key(|(id, _)| *id);
+        self.log_stmt(txn, StatementKind::Select, Some(table));
+        Ok(rows)
+    }
+
+    /// Buffers an insert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::DuplicateRow`] when the row id is already visible
+    /// in the snapshot (or buffered), plus the usual table/txn/arity errors.
+    pub fn insert(
+        &mut self,
+        txn: TxnId,
+        table: &str,
+        row: u64,
+        data: Row,
+    ) -> Result<(), DbError> {
+        self.check_arity(table, &data)?;
+        let state = self.state(txn)?;
+        let snapshot = state.snapshot;
+        let already_buffered = state
+            .writes
+            .get(table)
+            .and_then(|w| w.get(&row))
+            .map(|p| p.is_some())
+            .unwrap_or(false);
+        let visible = self.tables[table]
+            .rows
+            .get(&row)
+            .and_then(|c| c.visible_at(snapshot))
+            .map(|v| v.data.is_some())
+            .unwrap_or(false);
+        if already_buffered || visible {
+            return Err(DbError::DuplicateRow {
+                table: table.to_string(),
+                row,
+            });
+        }
+        self.buffer_write(txn, table, row, Some(data));
+        self.log_stmt(txn, StatementKind::Insert, Some(table));
+        Ok(())
+    }
+
+    /// Buffers an update of an existing row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchRow`] when the row is not visible in the
+    /// snapshot, plus table/txn/arity errors.
+    pub fn update(
+        &mut self,
+        txn: TxnId,
+        table: &str,
+        row: u64,
+        data: Row,
+    ) -> Result<(), DbError> {
+        self.check_arity(table, &data)?;
+        self.require_visible(txn, table, row)?;
+        self.buffer_write(txn, table, row, Some(data));
+        self.log_stmt(txn, StatementKind::Update, Some(table));
+        Ok(())
+    }
+
+    /// Buffers a delete of an existing row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchRow`] when the row is not visible in the
+    /// snapshot, plus table/txn errors.
+    pub fn delete(&mut self, txn: TxnId, table: &str, row: u64) -> Result<(), DbError> {
+        if !self.tables.contains_key(table) {
+            return Err(DbError::NoSuchTable(table.to_string()));
+        }
+        self.require_visible(txn, table, row)?;
+        self.buffer_write(txn, table, row, None);
+        self.log_stmt(txn, StatementKind::Delete, Some(table));
+        Ok(())
+    }
+
+    /// Commits the transaction under first-committer-wins certification.
+    ///
+    /// Read-only transactions always commit and do not advance the
+    /// database version. Update transactions conflict-check every written
+    /// row: a newer committed version than the transaction's snapshot means
+    /// a concurrent committer won.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::WriteWriteConflict`] on certification failure
+    /// (the transaction is aborted) or [`DbError::TxnNotActive`].
+    pub fn commit(&mut self, txn: TxnId) -> Result<CommitInfo, DbError> {
+        let state = self
+            .active
+            .get(&txn)
+            .ok_or(DbError::TxnNotActive(txn))?
+            .clone();
+        if state.is_read_only() {
+            self.active.remove(&txn);
+            self.stats.read_only_commits += 1;
+            self.log_stmt(txn, StatementKind::Commit, None);
+            return Ok(CommitInfo {
+                txn,
+                commit_seq: state.snapshot,
+                writeset: WriteSet {
+                    base_version: state.snapshot,
+                    items: vec![],
+                },
+            });
+        }
+        // Certification: first committer wins.
+        for (table, rows) in &state.writes {
+            for &row in rows.keys() {
+                let newest = self.tables[table]
+                    .rows
+                    .get(&row)
+                    .and_then(|c| c.latest_seq())
+                    .unwrap_or(0);
+                if newest > state.snapshot {
+                    self.active.remove(&txn);
+                    self.stats.conflict_aborts += 1;
+                    self.log_stmt(txn, StatementKind::Abort { conflict: true }, Some(table));
+                    return Err(DbError::WriteWriteConflict {
+                        txn,
+                        table: table.clone(),
+                        row,
+                    });
+                }
+            }
+        }
+        // Install.
+        self.commit_seq += 1;
+        let seq = self.commit_seq;
+        let mut items = Vec::with_capacity(state.write_count());
+        for (table, rows) in &state.writes {
+            for (&row, pending) in rows {
+                let op = match (
+                    pending.is_some(),
+                    self.tables[table]
+                        .rows
+                        .get(&row)
+                        .and_then(|c| c.visible_at(state.snapshot))
+                        .map(|v| v.data.is_some())
+                        .unwrap_or(false),
+                ) {
+                    (true, false) => WriteOp::Insert,
+                    (true, true) => WriteOp::Update,
+                    (false, _) => WriteOp::Delete,
+                };
+                items.push(WriteItem {
+                    table: table.clone(),
+                    row,
+                    op,
+                    data: pending.clone(),
+                });
+                self.tables
+                    .get_mut(table)
+                    .expect("validated at write time")
+                    .rows
+                    .entry(row)
+                    .or_default()
+                    .push(RowVersion {
+                        commit_seq: seq,
+                        data: pending.clone(),
+                    });
+            }
+        }
+        self.active.remove(&txn);
+        self.stats.update_commits += 1;
+        self.log_stmt(txn, StatementKind::Commit, None);
+        Ok(CommitInfo {
+            txn,
+            commit_seq: seq,
+            writeset: WriteSet {
+                base_version: state.snapshot,
+                items,
+            },
+        })
+    }
+
+    /// Extracts the writeset of an *active* transaction without committing
+    /// it — the multi-master proxy's eager writeset extraction (paper
+    /// Section 5.1: the proxy examines the writeset at SQL COMMIT and
+    /// invokes the certification service; the local transaction's effects
+    /// are installed via the certified writeset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TxnNotActive`] for unknown/finished transactions.
+    pub fn writeset_of(&self, txn: TxnId) -> Result<WriteSet, DbError> {
+        let state = self.state(txn)?;
+        let mut items = Vec::with_capacity(state.write_count());
+        for (table, rows) in &state.writes {
+            for (&row, pending) in rows {
+                let op = match (
+                    pending.is_some(),
+                    self.tables
+                        .get(table)
+                        .and_then(|t| t.rows.get(&row))
+                        .and_then(|c| c.visible_at(state.snapshot))
+                        .map(|v| v.data.is_some())
+                        .unwrap_or(false),
+                ) {
+                    (true, false) => WriteOp::Insert,
+                    (true, true) => WriteOp::Update,
+                    (false, _) => WriteOp::Delete,
+                };
+                items.push(WriteItem {
+                    table: table.clone(),
+                    row,
+                    op,
+                    data: pending.clone(),
+                });
+            }
+        }
+        Ok(WriteSet {
+            base_version: state.snapshot,
+            items,
+        })
+    }
+
+    /// Aborts the transaction, discarding buffered writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TxnNotActive`] for unknown/finished transactions.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), DbError> {
+        self.active
+            .remove(&txn)
+            .ok_or(DbError::TxnNotActive(txn))?;
+        self.stats.voluntary_aborts += 1;
+        self.log_stmt(txn, StatementKind::Abort { conflict: false }, None);
+        Ok(())
+    }
+
+    /// Applies a *remotely certified* writeset, installing a new committed
+    /// version without local certification.
+    ///
+    /// This is the replica-proxy/slave code path: "The slaves process only
+    /// committed writesets; there are no aborts at the slaves" (paper
+    /// Section 3.3.3). Missing tables are an error; missing rows are
+    /// created (inserts) or ignored (deletes of unknown rows are
+    /// tombstoned), mirroring idempotent log application.
+    ///
+    /// Returns the new database version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchTable`] when the writeset references an
+    /// unknown table.
+    pub fn apply_writeset(&mut self, ws: &WriteSet) -> Result<u64, DbError> {
+        for item in &ws.items {
+            if !self.tables.contains_key(&item.table) {
+                return Err(DbError::NoSuchTable(item.table.clone()));
+            }
+        }
+        self.commit_seq += 1;
+        let seq = self.commit_seq;
+        for item in &ws.items {
+            self.tables
+                .get_mut(&item.table)
+                .expect("checked above")
+                .rows
+                .entry(item.row)
+                .or_default()
+                .push(RowVersion {
+                    commit_seq: seq,
+                    data: item.data.clone(),
+                });
+        }
+        self.stats.writesets_applied += 1;
+        Ok(seq)
+    }
+
+    /// Garbage-collects row versions no active snapshot can see.
+    ///
+    /// Returns the number of versions removed.
+    pub fn vacuum(&mut self) -> usize {
+        let horizon = self
+            .active
+            .values()
+            .map(|s| s.snapshot)
+            .min()
+            .unwrap_or(self.commit_seq);
+        self.tables
+            .values_mut()
+            .flat_map(|t| t.rows.values_mut())
+            .map(|chain| chain.vacuum(horizon))
+            .sum()
+    }
+
+    // ---- internal helpers ----
+
+    fn state(&self, txn: TxnId) -> Result<&TxnState, DbError> {
+        self.active.get(&txn).ok_or(DbError::TxnNotActive(txn))
+    }
+
+    fn check_arity(&self, table: &str, data: &Row) -> Result<(), DbError> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        if data.len() != t.columns.len() {
+            return Err(DbError::ArityMismatch {
+                table: table.to_string(),
+                got: data.len(),
+                expected: t.columns.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ensures `row` is visible to `txn` (snapshot or own write).
+    fn require_visible(&self, txn: TxnId, table: &str, row: u64) -> Result<(), DbError> {
+        let state = self.state(txn)?;
+        if let Some(pending) = state.writes.get(table).and_then(|w| w.get(&row)) {
+            return if pending.is_some() {
+                Ok(())
+            } else {
+                Err(DbError::NoSuchRow {
+                    table: table.to_string(),
+                    row,
+                })
+            };
+        }
+        let visible = self.tables[table]
+            .rows
+            .get(&row)
+            .and_then(|c| c.visible_at(state.snapshot))
+            .map(|v| v.data.is_some())
+            .unwrap_or(false);
+        if visible {
+            Ok(())
+        } else {
+            Err(DbError::NoSuchRow {
+                table: table.to_string(),
+                row,
+            })
+        }
+    }
+
+    fn buffer_write(&mut self, txn: TxnId, table: &str, row: u64, data: Option<Row>) {
+        let state = self
+            .active
+            .get_mut(&txn)
+            .expect("caller validated txn is active");
+        state
+            .writes
+            .entry(table.to_string())
+            .or_default()
+            .insert(row, data);
+        self.stats.rows_written += 1;
+    }
+
+    fn log_stmt(&mut self, txn: TxnId, kind: StatementKind, table: Option<&str>) {
+        if self.log.is_enabled() {
+            self.log.record(StatementLogEntry {
+                at: self.clock,
+                session: txn,
+                kind,
+                table: table.map(str::to_string),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn seeded() -> Database {
+        let mut db = Database::new();
+        db.create_table("items", &["name", "stock"]).unwrap();
+        let t = db.begin();
+        for i in 0..10 {
+            db.insert(t, "items", i, vec![Value::text(format!("item{i}")), Value::Int(100)])
+                .unwrap();
+        }
+        db.commit(t).unwrap();
+        db
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let mut db = seeded();
+        let t = db.begin();
+        db.update(t, "items", 3, vec![Value::text("item3"), Value::Int(7)])
+            .unwrap();
+        let row = db.read(t, "items", 3).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(7));
+        // Other transactions still see the old value.
+        let t2 = db.begin();
+        let row2 = db.read(t2, "items", 3).unwrap().unwrap();
+        assert_eq!(row2[1], Value::Int(100));
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_concurrent_commits() {
+        let mut db = seeded();
+        let reader = db.begin();
+        let writer = db.begin();
+        db.update(writer, "items", 0, vec![Value::text("item0"), Value::Int(1)])
+            .unwrap();
+        db.commit(writer).unwrap();
+        // Reader still sees the pre-update value: snapshot stability.
+        let row = db.read(reader, "items", 0).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(100));
+        // A new transaction sees the update.
+        let late = db.begin();
+        let row = db.read(late, "items", 0).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(1));
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let mut db = seeded();
+        let t1 = db.begin();
+        let t2 = db.begin();
+        db.update(t1, "items", 5, vec![Value::text("a"), Value::Int(1)])
+            .unwrap();
+        db.update(t2, "items", 5, vec![Value::text("b"), Value::Int(2)])
+            .unwrap();
+        db.commit(t1).unwrap();
+        let err = db.commit(t2).unwrap_err();
+        assert!(err.is_conflict());
+        assert_eq!(db.stats().conflict_aborts, 1);
+        // The winner's value persists.
+        let t3 = db.begin();
+        assert_eq!(db.read(t3, "items", 5).unwrap().unwrap()[1], Value::Int(1));
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_conflict() {
+        let mut db = seeded();
+        let t1 = db.begin();
+        let t2 = db.begin();
+        db.update(t1, "items", 1, vec![Value::text("x"), Value::Int(1)])
+            .unwrap();
+        db.update(t2, "items", 2, vec![Value::text("y"), Value::Int(2)])
+            .unwrap();
+        assert!(db.commit(t1).is_ok());
+        assert!(db.commit(t2).is_ok());
+    }
+
+    #[test]
+    fn serialized_rewrites_do_not_conflict() {
+        let mut db = seeded();
+        for i in 0..5 {
+            let t = db.begin();
+            db.update(t, "items", 9, vec![Value::text("z"), Value::Int(i)])
+                .unwrap();
+            db.commit(t).unwrap();
+        }
+        assert_eq!(db.stats().conflict_aborts, 0);
+    }
+
+    #[test]
+    fn read_only_txn_always_commits_and_keeps_version() {
+        let mut db = seeded();
+        let v = db.version();
+        let t = db.begin();
+        db.read(t, "items", 1).unwrap();
+        let info = db.commit(t).unwrap();
+        assert!(info.writeset.is_empty());
+        assert_eq!(db.version(), v);
+        assert_eq!(db.stats().read_only_commits, 1);
+    }
+
+    #[test]
+    fn readers_never_block_or_abort_writers() {
+        let mut db = seeded();
+        let reader = db.begin();
+        db.read(reader, "items", 4).unwrap();
+        let writer = db.begin();
+        db.update(writer, "items", 4, vec![Value::text("w"), Value::Int(0)])
+            .unwrap();
+        assert!(db.commit(writer).is_ok());
+        assert!(db.commit(reader).is_ok());
+    }
+
+    #[test]
+    fn writeset_records_ops_and_base_version() {
+        let mut db = seeded();
+        let base = db.version();
+        let t = db.begin();
+        db.update(t, "items", 1, vec![Value::text("u"), Value::Int(5)])
+            .unwrap();
+        db.insert(t, "items", 100, vec![Value::text("new"), Value::Int(1)])
+            .unwrap();
+        db.delete(t, "items", 2).unwrap();
+        let info = db.commit(t).unwrap();
+        let ws = &info.writeset;
+        assert_eq!(ws.base_version, base);
+        assert_eq!(ws.update_operations(), 3);
+        let ops: Vec<_> = ws.items.iter().map(|i| (i.row, i.op)).collect();
+        assert!(ops.contains(&(1, WriteOp::Update)));
+        assert!(ops.contains(&(100, WriteOp::Insert)));
+        assert!(ops.contains(&(2, WriteOp::Delete)));
+    }
+
+    #[test]
+    fn apply_writeset_installs_remote_commit() {
+        let mut primary = seeded();
+        let mut replica = seeded();
+        let t = primary.begin();
+        primary
+            .update(t, "items", 6, vec![Value::text("r"), Value::Int(42)])
+            .unwrap();
+        let info = primary.commit(t).unwrap();
+        let v_before = replica.version();
+        replica.apply_writeset(&info.writeset).unwrap();
+        assert_eq!(replica.version(), v_before + 1);
+        let t2 = replica.begin();
+        assert_eq!(
+            replica.read(t2, "items", 6).unwrap().unwrap()[1],
+            Value::Int(42)
+        );
+        assert_eq!(replica.stats().writesets_applied, 1);
+    }
+
+    #[test]
+    fn apply_writeset_unknown_table_fails() {
+        let mut db = Database::new();
+        let ws = WriteSet {
+            base_version: 0,
+            items: vec![WriteItem {
+                table: "ghost".into(),
+                row: 1,
+                op: WriteOp::Insert,
+                data: Some(vec![]),
+            }],
+        };
+        assert!(matches!(
+            db.apply_writeset(&ws),
+            Err(DbError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn gsi_begin_at_older_snapshot() {
+        let mut db = seeded();
+        let old_version = db.version();
+        let t = db.begin();
+        db.update(t, "items", 0, vec![Value::text("n"), Value::Int(0)])
+            .unwrap();
+        db.commit(t).unwrap();
+        // A GSI transaction starting on the older snapshot must not see the
+        // newer commit.
+        let stale = db.begin_at(old_version);
+        assert_eq!(
+            db.read(stale, "items", 0).unwrap().unwrap()[1],
+            Value::Int(100)
+        );
+        // And a write from that stale snapshot conflicts (its conflict
+        // window includes the newer commit).
+        db.update(stale, "items", 0, vec![Value::text("s"), Value::Int(1)])
+            .unwrap();
+        assert!(db.commit(stale).unwrap_err().is_conflict());
+    }
+
+    #[test]
+    #[should_panic(expected = "newer than current version")]
+    fn begin_at_future_snapshot_panics() {
+        let mut db = Database::new();
+        db.begin_at(5);
+    }
+
+    #[test]
+    fn insert_duplicate_rejected() {
+        let mut db = seeded();
+        let t = db.begin();
+        let err = db
+            .insert(t, "items", 1, vec![Value::text("dup"), Value::Int(0)])
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateRow { .. }));
+    }
+
+    #[test]
+    fn update_missing_row_rejected() {
+        let mut db = seeded();
+        let t = db.begin();
+        let err = db
+            .update(t, "items", 999, vec![Value::text("x"), Value::Int(0)])
+            .unwrap_err();
+        assert!(matches!(err, DbError::NoSuchRow { .. }));
+    }
+
+    #[test]
+    fn delete_then_update_in_same_txn_rejected() {
+        let mut db = seeded();
+        let t = db.begin();
+        db.delete(t, "items", 1).unwrap();
+        let err = db
+            .update(t, "items", 1, vec![Value::text("x"), Value::Int(0)])
+            .unwrap_err();
+        assert!(matches!(err, DbError::NoSuchRow { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = seeded();
+        let t = db.begin();
+        let err = db.insert(t, "items", 50, vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn operations_on_finished_txn_rejected() {
+        let mut db = seeded();
+        let t = db.begin();
+        db.commit(t).unwrap();
+        assert!(matches!(
+            db.read(t, "items", 1),
+            Err(DbError::TxnNotActive(_))
+        ));
+        assert!(matches!(db.commit(t), Err(DbError::TxnNotActive(_))));
+        assert!(matches!(db.abort(t), Err(DbError::TxnNotActive(_))));
+    }
+
+    #[test]
+    fn voluntary_abort_discards_writes() {
+        let mut db = seeded();
+        let t = db.begin();
+        db.update(t, "items", 1, vec![Value::text("gone"), Value::Int(0)])
+            .unwrap();
+        db.abort(t).unwrap();
+        let t2 = db.begin();
+        assert_eq!(
+            db.read(t2, "items", 1).unwrap().unwrap()[1],
+            Value::Int(100)
+        );
+        assert_eq!(db.stats().voluntary_aborts, 1);
+    }
+
+    #[test]
+    fn scan_sees_snapshot_with_overlay() {
+        let mut db = seeded();
+        let t = db.begin();
+        db.delete(t, "items", 0).unwrap();
+        db.insert(t, "items", 200, vec![Value::text("extra"), Value::Int(1)])
+            .unwrap();
+        let rows = db.scan(t, "items").unwrap();
+        let ids: Vec<u64> = rows.iter().map(|(id, _)| *id).collect();
+        assert!(!ids.contains(&0));
+        assert!(ids.contains(&200));
+        assert_eq!(rows.len(), 10); // 10 seeded - 1 deleted + 1 inserted
+    }
+
+    #[test]
+    fn vacuum_reclaims_old_versions() {
+        let mut db = seeded();
+        for i in 0..20 {
+            let t = db.begin();
+            db.update(t, "items", 1, vec![Value::text("v"), Value::Int(i)])
+                .unwrap();
+            db.commit(t).unwrap();
+        }
+        let removed = db.vacuum();
+        assert!(removed >= 19, "removed {removed}");
+        // Data is still readable.
+        let t = db.begin();
+        assert_eq!(
+            db.read(t, "items", 1).unwrap().unwrap()[1],
+            Value::Int(19)
+        );
+    }
+
+    #[test]
+    fn vacuum_respects_active_snapshots() {
+        let mut db = seeded();
+        let old_reader = db.begin(); // pins the current snapshot
+        for i in 0..5 {
+            let t = db.begin();
+            db.update(t, "items", 2, vec![Value::text("v"), Value::Int(i)])
+                .unwrap();
+            db.commit(t).unwrap();
+        }
+        db.vacuum();
+        // The pinned reader must still see its version.
+        assert_eq!(
+            db.read(old_reader, "items", 2).unwrap().unwrap()[1],
+            Value::Int(100)
+        );
+    }
+
+    #[test]
+    fn abort_probability_from_stats() {
+        let mut db = seeded();
+        db.reset_stats(); // discard the seeding transaction
+        // 1 conflict out of 2 update attempts.
+        let t1 = db.begin();
+        let t2 = db.begin();
+        db.update(t1, "items", 7, vec![Value::text("a"), Value::Int(1)])
+            .unwrap();
+        db.update(t2, "items", 7, vec![Value::text("b"), Value::Int(2)])
+            .unwrap();
+        db.commit(t1).unwrap();
+        let _ = db.commit(t2);
+        assert!((db.stats().abort_probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writeset_of_matches_commit_writeset() {
+        let mut db = seeded();
+        let t = db.begin();
+        db.update(t, "items", 3, vec![Value::text("x"), Value::Int(9)])
+            .unwrap();
+        db.insert(t, "items", 77, vec![Value::text("n"), Value::Int(1)])
+            .unwrap();
+        let extracted = db.writeset_of(t).unwrap();
+        let info = db.commit(t).unwrap();
+        assert_eq!(extracted, info.writeset);
+    }
+
+    #[test]
+    fn writeset_of_requires_active_txn() {
+        let mut db = seeded();
+        let t = db.begin();
+        db.commit(t).unwrap();
+        assert!(matches!(db.writeset_of(t), Err(DbError::TxnNotActive(_))));
+    }
+
+    #[test]
+    fn statement_log_captures_lifecycle() {
+        let mut db = seeded();
+        db.log.set_enabled(true);
+        db.set_time(12.5);
+        let t = db.begin();
+        db.read(t, "items", 1).unwrap();
+        db.update(t, "items", 1, vec![Value::text("x"), Value::Int(3)])
+            .unwrap();
+        db.commit(t).unwrap();
+        let kinds: Vec<_> = db.log.entries().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StatementKind::Begin,
+                StatementKind::Select,
+                StatementKind::Update,
+                StatementKind::Commit
+            ]
+        );
+        assert!(db.log.entries().iter().all(|e| (e.at - 12.5).abs() < 1e-12));
+    }
+}

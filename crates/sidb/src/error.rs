@@ -1,0 +1,88 @@
+//! Error type for storage-engine operations.
+
+use std::fmt;
+
+use crate::txn::TxnId;
+
+/// Errors returned by [`crate::Database`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// First-committer-wins certification failed: another transaction that
+    /// ran concurrently already committed a write to the same row.
+    WriteWriteConflict {
+        /// The aborted transaction.
+        txn: TxnId,
+        /// Table where the conflict was detected.
+        table: String,
+        /// Conflicting row.
+        row: u64,
+    },
+    /// The transaction id is unknown or no longer active.
+    TxnNotActive(TxnId),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The row targeted by an update/delete is not visible in the
+    /// transaction's snapshot.
+    NoSuchRow {
+        /// Table searched.
+        table: String,
+        /// Missing row id.
+        row: u64,
+    },
+    /// An insert targeted a row id that is already visible in the snapshot.
+    DuplicateRow {
+        /// Table.
+        table: String,
+        /// Duplicate row id.
+        row: u64,
+    },
+    /// Row arity does not match the table's column count.
+    ArityMismatch {
+        /// Table.
+        table: String,
+        /// Supplied cell count.
+        got: usize,
+        /// Column count of the table.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::WriteWriteConflict { txn, table, row } => write!(
+                f,
+                "write-write conflict: txn {txn:?} lost row {row} of `{table}` to a first committer"
+            ),
+            DbError::TxnNotActive(t) => write!(f, "transaction {t:?} is not active"),
+            DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::NoSuchRow { table, row } => {
+                write!(f, "row {row} not visible in `{table}`")
+            }
+            DbError::DuplicateRow { table, row } => {
+                write!(f, "row {row} already exists in `{table}`")
+            }
+            DbError::ArityMismatch {
+                table,
+                got,
+                expected,
+            } => write!(
+                f,
+                "arity mismatch on `{table}`: got {got} cells, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl DbError {
+    /// True when the error is the SI certification failure that the client
+    /// should respond to by retrying the transaction.
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, DbError::WriteWriteConflict { .. })
+    }
+}

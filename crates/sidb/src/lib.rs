@@ -1,0 +1,64 @@
+//! An in-memory multi-version storage engine with snapshot isolation.
+//!
+//! This crate plays the role PostgreSQL 8.0.3 played in the paper: a
+//! standalone database engine providing **snapshot isolation (SI)** —
+//! the optimistic multi-version concurrency-control model described in
+//! Section 2 of the paper ([Berenson 1995]):
+//!
+//! - When a transaction begins it receives a *snapshot*: the most recent
+//!   committed state of the database. The snapshot is unaffected by
+//!   concurrently running transactions.
+//! - Read-only transactions always commit; they never block and are never
+//!   blocked.
+//! - An update transaction commits only if it has no **write-write
+//!   conflict** with any committed update transaction that ran
+//!   concurrently (*first committer wins*); otherwise it aborts.
+//! - Conflict granularity is a row (a tuple in a relation).
+//!
+//! Beyond plain SI the engine provides the facilities the paper's
+//! replication middleware needs:
+//!
+//! - [`writeset::WriteSet`] extraction ("triggers on all tables", paper
+//!   Sections 4.1.1 and 5.1) with byte-size accounting, used for both
+//!   certification and update propagation;
+//! - remote writeset application ([`Database::apply_writeset`]), the slave
+//!   /replica-proxy code path;
+//! - a statement log ([`log`]) equivalent to PostgreSQL's
+//!   `log_statement`/`log_timestamp` facility, consumed by the profiler;
+//! - version garbage collection ([`Database::vacuum`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use replipred_sidb::{Database, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table("items", &["name", "stock"]).unwrap();
+//! // Seed a row.
+//! let t0 = db.begin();
+//! db.insert(t0, "items", 1, vec![Value::text("book"), Value::Int(10)]).unwrap();
+//! db.commit(t0).unwrap();
+//!
+//! // Two concurrent updates of the same row: first committer wins.
+//! let t1 = db.begin();
+//! let t2 = db.begin();
+//! db.update(t1, "items", 1, vec![Value::text("book"), Value::Int(9)]).unwrap();
+//! db.update(t2, "items", 1, vec![Value::text("book"), Value::Int(8)]).unwrap();
+//! assert!(db.commit(t1).is_ok());
+//! assert!(db.commit(t2).is_err()); // write-write conflict under SI
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod log;
+pub mod table;
+pub mod txn;
+pub mod value;
+pub mod writeset;
+
+pub use db::{CommitInfo, Database, DbStats};
+pub use error::DbError;
+pub use log::{StatementKind, StatementLog, StatementLogEntry};
+pub use txn::{TxnId, TxnStatus};
+pub use value::{Row, Value};
+pub use writeset::{WriteItem, WriteOp, WriteSet};

@@ -1,0 +1,174 @@
+//! Versioned tables: per-row version chains.
+
+use std::collections::HashMap;
+
+use crate::value::Row;
+
+/// One committed version of a row. `None` data means the row was deleted
+/// at this version.
+#[derive(Debug, Clone)]
+pub(crate) struct RowVersion {
+    /// Commit sequence number that produced this version.
+    pub commit_seq: u64,
+    /// Row image; `None` is a tombstone.
+    pub data: Option<Row>,
+}
+
+/// Append-only chain of committed versions for one row id, newest last.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VersionChain {
+    pub versions: Vec<RowVersion>,
+}
+
+impl VersionChain {
+    /// Latest committed version visible at `snapshot` (commit_seq <=
+    /// snapshot), if any.
+    pub fn visible_at(&self, snapshot: u64) -> Option<&RowVersion> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.commit_seq <= snapshot)
+    }
+
+    /// Commit sequence of the newest version, if any.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.versions.last().map(|v| v.commit_seq)
+    }
+
+    /// Appends a committed version. Sequences must be non-decreasing —
+    /// the database hands out monotone commit numbers.
+    pub fn push(&mut self, version: RowVersion) {
+        debug_assert!(
+            self.versions
+                .last()
+                .map(|v| v.commit_seq <= version.commit_seq)
+                .unwrap_or(true),
+            "version chain must stay sorted"
+        );
+        self.versions.push(version);
+    }
+
+    /// Drops versions that no snapshot at or after `horizon` can see,
+    /// keeping at least the newest version at or below the horizon.
+    /// Returns the number of versions removed.
+    pub fn vacuum(&mut self, horizon: u64) -> usize {
+        // Find the newest version with commit_seq <= horizon; everything
+        // strictly older than it is unreachable.
+        let keep_from = self
+            .versions
+            .iter()
+            .rposition(|v| v.commit_seq <= horizon)
+            .unwrap_or(0);
+        let removed = keep_from;
+        if removed > 0 {
+            self.versions.drain(..keep_from);
+        }
+        removed
+    }
+}
+
+/// A named table: fixed column list plus row version chains.
+#[derive(Debug, Clone)]
+pub(crate) struct Table {
+    pub columns: Vec<String>,
+    pub rows: HashMap<u64, VersionChain>,
+}
+
+impl Table {
+    pub fn new(columns: &[&str]) -> Self {
+        Table {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Number of rows visible at `snapshot` (excluding tombstoned rows).
+    pub fn live_rows_at(&self, snapshot: u64) -> usize {
+        self.rows
+            .values()
+            .filter(|chain| {
+                chain
+                    .visible_at(snapshot)
+                    .map(|v| v.data.is_some())
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn v(seq: u64, x: i64) -> RowVersion {
+        RowVersion {
+            commit_seq: seq,
+            data: Some(vec![Value::Int(x)]),
+        }
+    }
+
+    #[test]
+    fn visibility_respects_snapshot() {
+        let mut chain = VersionChain::default();
+        chain.push(v(1, 10));
+        chain.push(v(5, 50));
+        chain.push(v(9, 90));
+        assert!(chain.visible_at(0).is_none());
+        assert_eq!(chain.visible_at(1).unwrap().commit_seq, 1);
+        assert_eq!(chain.visible_at(4).unwrap().commit_seq, 1);
+        assert_eq!(chain.visible_at(5).unwrap().commit_seq, 5);
+        assert_eq!(chain.visible_at(100).unwrap().commit_seq, 9);
+    }
+
+    #[test]
+    fn tombstone_is_visible_as_deleted() {
+        let mut chain = VersionChain::default();
+        chain.push(v(1, 10));
+        chain.push(RowVersion {
+            commit_seq: 3,
+            data: None,
+        });
+        let seen = chain.visible_at(4).unwrap();
+        assert!(seen.data.is_none());
+    }
+
+    #[test]
+    fn vacuum_keeps_horizon_version() {
+        let mut chain = VersionChain::default();
+        for (s, x) in [(1, 1), (3, 3), (7, 7), (9, 9)] {
+            chain.push(v(s, x));
+        }
+        let removed = chain.vacuum(7);
+        assert_eq!(removed, 2); // versions 1 and 3 dropped
+        assert_eq!(chain.visible_at(8).unwrap().commit_seq, 7);
+        assert_eq!(chain.visible_at(9).unwrap().commit_seq, 9);
+    }
+
+    #[test]
+    fn vacuum_with_low_horizon_keeps_everything() {
+        let mut chain = VersionChain::default();
+        chain.push(v(5, 5));
+        chain.push(v(6, 6));
+        assert_eq!(chain.vacuum(4), 0);
+        assert_eq!(chain.versions.len(), 2);
+    }
+
+    #[test]
+    fn live_row_counting() {
+        let mut t = Table::new(&["x"]);
+        let mut c1 = VersionChain::default();
+        c1.push(v(1, 1));
+        let mut c2 = VersionChain::default();
+        c2.push(v(1, 2));
+        c2.push(RowVersion {
+            commit_seq: 2,
+            data: None,
+        });
+        t.rows.insert(1, c1);
+        t.rows.insert(2, c2);
+        assert_eq!(t.live_rows_at(1), 2);
+        assert_eq!(t.live_rows_at(2), 1);
+        assert_eq!(t.live_rows_at(0), 0);
+    }
+}

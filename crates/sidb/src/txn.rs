@@ -1,0 +1,108 @@
+//! Transaction identity and per-transaction state.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Row;
+
+/// Opaque transaction identifier, unique within one [`crate::Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub(crate) u64);
+
+impl TxnId {
+    /// Raw numeric id (stable within a database instance).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Begun, neither committed nor aborted.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Aborted (explicitly or by certification failure).
+    Aborted,
+}
+
+/// A buffered write: the new row image, or `None` for a delete.
+pub(crate) type PendingWrite = Option<Row>;
+
+/// Internal state of an active transaction.
+#[derive(Debug, Clone)]
+pub(crate) struct TxnState {
+    /// Commit sequence number visible to this transaction (its snapshot).
+    pub snapshot: u64,
+    /// Buffered writes: table -> row id -> new image. BTreeMap keeps
+    /// writeset extraction deterministic.
+    pub writes: BTreeMap<String, BTreeMap<u64, PendingWrite>>,
+    /// Rows read (for statistics only — SI needs no read validation).
+    pub reads: u64,
+}
+
+impl TxnState {
+    pub(crate) fn new(snapshot: u64) -> Self {
+        TxnState {
+            snapshot,
+            writes: BTreeMap::new(),
+            reads: 0,
+        }
+    }
+
+    /// True when the transaction has buffered no writes (read-only so far).
+    pub(crate) fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Number of row writes buffered.
+    pub(crate) fn write_count(&self) -> usize {
+        self.writes.values().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn fresh_txn_is_read_only() {
+        let t = TxnState::new(42);
+        assert!(t.is_read_only());
+        assert_eq!(t.write_count(), 0);
+        assert_eq!(t.snapshot, 42);
+    }
+
+    #[test]
+    fn buffered_writes_counted_per_row() {
+        let mut t = TxnState::new(0);
+        t.writes
+            .entry("a".into())
+            .or_default()
+            .insert(1, Some(vec![Value::Int(1)]));
+        t.writes.entry("a".into()).or_default().insert(2, None);
+        t.writes
+            .entry("b".into())
+            .or_default()
+            .insert(1, Some(vec![Value::Int(2)]));
+        assert_eq!(t.write_count(), 3);
+        assert!(!t.is_read_only());
+    }
+
+    #[test]
+    fn rewriting_same_row_does_not_double_count() {
+        let mut t = TxnState::new(0);
+        t.writes
+            .entry("a".into())
+            .or_default()
+            .insert(1, Some(vec![Value::Int(1)]));
+        t.writes
+            .entry("a".into())
+            .or_default()
+            .insert(1, Some(vec![Value::Int(2)]));
+        assert_eq!(t.write_count(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed cell values and rows.
+
+use serde::{Deserialize, Serialize};
+
+/// A single table cell.
+///
+/// The engine is schema-light: a table fixes its column *names*, not their
+/// types. This matches the needs of the TPC-W/RUBiS-style workloads, which
+/// only read and write opaque tuples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Raw bytes (e.g. serialized cart contents).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Approximate wire size in bytes, used for writeset size accounting
+    /// (the paper reports ~275-byte average writesets for TPC-W).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Text(s) => s.len() + 4,
+            Value::Bytes(b) => b.len() + 4,
+        }
+    }
+}
+
+/// A row is an ordered list of cells matching the table's column order.
+pub type Row = Vec<Value>;
+
+/// Total wire size of a row.
+pub fn row_wire_size(row: &Row) -> usize {
+    row.iter().map(Value::wire_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Value::Null.wire_size(), 1);
+        assert_eq!(Value::Int(7).wire_size(), 8);
+        assert_eq!(Value::text("abcd").wire_size(), 8);
+        assert_eq!(Value::Bytes(vec![0; 10]).wire_size(), 14);
+        assert_eq!(
+            row_wire_size(&vec![Value::Int(1), Value::text("xy")]),
+            8 + 6
+        );
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::text("a"), Value::Text("a".to_string()));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Transaction writesets: the unit of certification and update propagation.
+//!
+//! The writeset ([Kemme 2000], paper Section 2) "captures the transaction
+//! effects and is used both in certification and in update propagation".
+//! Our writesets record, per modified row, the operation and the full new
+//! row image, plus the snapshot version the transaction read from — which
+//! is exactly what the certifier compares against committed writesets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{row_wire_size, Row};
+
+/// The kind of row modification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteOp {
+    /// Row created.
+    Insert,
+    /// Row image replaced.
+    Update,
+    /// Row removed.
+    Delete,
+}
+
+/// One modified row inside a writeset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteItem {
+    /// Table name.
+    pub table: String,
+    /// Row id.
+    pub row: u64,
+    /// Operation kind.
+    pub op: WriteOp,
+    /// New row image (`None` for deletes).
+    pub data: Option<Row>,
+}
+
+impl WriteItem {
+    /// Approximate propagation size in bytes: table name + key + payload.
+    pub fn wire_size(&self) -> usize {
+        let payload = self.data.as_ref().map(row_wire_size).unwrap_or(0);
+        self.table.len() + 8 + 1 + payload
+    }
+}
+
+/// The complete writeset of one update transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteSet {
+    /// Snapshot (commit sequence) the producing transaction read from.
+    /// The certifier checks conflicts against writesets committed *after*
+    /// this version.
+    pub base_version: u64,
+    /// Modified rows, in deterministic (table, row) order.
+    pub items: Vec<WriteItem>,
+}
+
+impl WriteSet {
+    /// True when no rows were modified (the transaction was read-only).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of modified rows — the model parameter `U` ("number of update
+    /// operations in each update transaction", Table 1).
+    pub fn update_operations(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Approximate propagation size in bytes (the paper reports ~275 B
+    /// average for TPC-W, ~272 B for RUBiS).
+    pub fn wire_size(&self) -> usize {
+        8 + self.items.iter().map(WriteItem::wire_size).sum::<usize>()
+    }
+
+    /// True when `self` and `other` modify at least one common row —
+    /// the write-write conflict predicate used in certification.
+    pub fn conflicts_with(&self, other: &WriteSet) -> bool {
+        // Writesets are small (a handful of rows); a nested scan beats
+        // building hash sets in practice.
+        self.items.iter().any(|a| {
+            other
+                .items
+                .iter()
+                .any(|b| a.table == b.table && a.row == b.row)
+        })
+    }
+
+    /// Keys `(table, row)` touched by this writeset.
+    pub fn keys(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.items.iter().map(|i| (i.table.as_str(), i.row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn item(table: &str, row: u64) -> WriteItem {
+        WriteItem {
+            table: table.into(),
+            row,
+            op: WriteOp::Update,
+            data: Some(vec![Value::Int(1)]),
+        }
+    }
+
+    #[test]
+    fn conflict_requires_common_row() {
+        let a = WriteSet {
+            base_version: 0,
+            items: vec![item("t", 1), item("t", 2)],
+        };
+        let b = WriteSet {
+            base_version: 0,
+            items: vec![item("t", 2)],
+        };
+        let c = WriteSet {
+            base_version: 0,
+            items: vec![item("t", 3), item("u", 1)],
+        };
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+        assert!(!a.conflicts_with(&c));
+        // Same row id in a *different table* is not a conflict.
+        assert!(!b.conflicts_with(&c));
+    }
+
+    #[test]
+    fn empty_writeset_never_conflicts() {
+        let empty = WriteSet {
+            base_version: 0,
+            items: vec![],
+        };
+        let a = WriteSet {
+            base_version: 0,
+            items: vec![item("t", 1)],
+        };
+        assert!(empty.is_empty());
+        assert!(!empty.conflicts_with(&a));
+        assert!(!a.conflicts_with(&empty));
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let small = WriteSet {
+            base_version: 0,
+            items: vec![item("t", 1)],
+        };
+        let big = WriteSet {
+            base_version: 0,
+            items: vec![
+                WriteItem {
+                    table: "t".into(),
+                    row: 1,
+                    op: WriteOp::Update,
+                    data: Some(vec![Value::Bytes(vec![0u8; 200])]),
+                },
+            ],
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert!(small.wire_size() > 8);
+    }
+
+    #[test]
+    fn update_operations_counts_rows() {
+        let ws = WriteSet {
+            base_version: 7,
+            items: vec![item("a", 1), item("a", 2), item("b", 9)],
+        };
+        assert_eq!(ws.update_operations(), 3);
+        let keys: Vec<_> = ws.keys().collect();
+        assert_eq!(keys, vec![("a", 1), ("a", 2), ("b", 9)]);
+    }
+
+    #[test]
+    fn delete_item_has_no_payload_size() {
+        let del = WriteItem {
+            table: "t".into(),
+            row: 4,
+            op: WriteOp::Delete,
+            data: None,
+        };
+        assert_eq!(del.wire_size(), 1 + 8 + 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! The event loop: virtual clock plus a priority heap of pending events.
+//!
+//! Events are boxed `FnOnce(&mut Engine<W>)` closures. Two events scheduled
+//! for the same instant fire in schedule order (a monotonically increasing
+//! sequence number breaks ties), which makes every simulation run fully
+//! deterministic given a fixed RNG seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event callback.
+pub type EventFn<W> = Box<dyn FnOnce(&mut Engine<W>)>;
+
+/// Identifier of a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    action: Option<EventFn<W>>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap but we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event simulation engine over a world type `W`.
+///
+/// The world holds all domain state (replicas, clients, resources); events
+/// receive `&mut Engine<W>` and may inspect/mutate the world and schedule
+/// further events.
+pub struct Engine<W> {
+    clock: SimTime,
+    heap: BinaryHeap<Scheduled<W>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    executed: u64,
+    world: W,
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine at time zero wrapping `world`.
+    pub fn new(world: W) -> Self {
+        Engine {
+            clock: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            executed: 0,
+            world,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the world (for end-of-run reporting).
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (excluding cancelled ones).
+    pub fn events_pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — scheduling into the past is always a
+    /// logic error in a DES.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.clock,
+            "cannot schedule into the past: now={}, at={}",
+            self.clock,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            action: Some(Box::new(action)),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `action` to run `delay` seconds from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(
+        &mut self,
+        delay: f64,
+        action: impl FnOnce(&mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and non-negative, got {delay}"
+        );
+        self.schedule_at(self.clock + delay, action)
+    }
+
+    /// Cancels a pending event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op (lazy deletion).
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Executes the next pending event, advancing the clock.
+    ///
+    /// Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        while let Some(mut ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.clock, "event heap yielded past event");
+            self.clock = ev.at;
+            let action = ev.action.take().expect("event fired twice");
+            self.executed += 1;
+            action(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the event heap is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at exactly
+    /// `deadline` still fire) or the heap empties, whichever is first.
+    ///
+    /// After returning, the clock is `max(clock, deadline)` so that
+    /// measurement windows line up even if the heap ran dry early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let next_at = loop {
+                match self.heap.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.heap.pop().expect("peeked event exists");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.at),
+                    None => break None,
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut engine = Engine::new(());
+        for (t, tag) in [(3.0, 3u32), (1.0, 1), (2.0, 2)] {
+            let log = Rc::clone(&log);
+            engine.schedule_in(t, move |_| log.borrow_mut().push(tag));
+        }
+        engine.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(engine.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut engine = Engine::new(());
+        for tag in 0..5u32 {
+            let log = Rc::clone(&log);
+            engine.schedule_in(1.0, move |_| log.borrow_mut().push(tag));
+        }
+        engine.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut engine = Engine::new(0u32);
+        fn tick(engine: &mut Engine<u32>) {
+            *engine.world_mut() += 1;
+            if *engine.world() < 10 {
+                engine.schedule_in(0.5, tick);
+            }
+        }
+        engine.schedule_in(0.5, tick);
+        engine.run();
+        assert_eq!(*engine.world(), 10);
+        assert!((engine.now().as_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut engine = Engine::new(0u32);
+        let id = engine.schedule_in(1.0, |e| *e.world_mut() += 1);
+        engine.schedule_in(2.0, |e| *e.world_mut() += 10);
+        engine.cancel(id);
+        engine.run();
+        assert_eq!(*engine.world(), 10);
+        assert_eq!(engine.events_executed(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut engine = Engine::new(0u32);
+        let id = engine.schedule_in(1.0, |e| *e.world_mut() += 1);
+        engine.run();
+        engine.cancel(id);
+        engine.schedule_in(1.0, |e| *e.world_mut() += 1);
+        engine.run();
+        assert_eq!(*engine.world(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut engine = Engine::new(0u32);
+        for i in 1..=10 {
+            engine.schedule_in(i as f64, |e| *e.world_mut() += 1);
+        }
+        engine.run_until(SimTime::from_secs(5.0));
+        assert_eq!(*engine.world(), 5);
+        assert_eq!(engine.now().as_secs(), 5.0);
+        engine.run();
+        assert_eq!(*engine.world(), 10);
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_empty_heap() {
+        let mut engine = Engine::new(());
+        engine.run_until(SimTime::from_secs(42.0));
+        assert_eq!(engine.now().as_secs(), 42.0);
+    }
+
+    #[test]
+    fn events_pending_accounts_for_cancellations() {
+        let mut engine = Engine::new(());
+        let a = engine.schedule_in(1.0, |_| {});
+        let _b = engine.schedule_in(2.0, |_| {});
+        assert_eq!(engine.events_pending(), 2);
+        engine.cancel(a);
+        assert_eq!(engine.events_pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut engine = Engine::new(());
+        engine.schedule_in(5.0, |_| {});
+        engine.run();
+        engine.schedule_at(SimTime::from_secs(1.0), |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite")]
+    fn negative_delay_panics() {
+        let mut engine = Engine::new(());
+        engine.schedule_in(-1.0, |_| {});
+    }
+}

@@ -1,0 +1,54 @@
+//! A deterministic discrete-event simulation (DES) kernel.
+//!
+//! `replipred` validates the paper's analytical models against a
+//! *mechanistic* simulation of the replicated database cluster — the role
+//! the authors' 16-machine prototype played. This crate provides the
+//! simulation substrate:
+//!
+//! - [`engine`] — virtual clock and event heap. Events are `FnOnce`
+//!   closures over a user-supplied world type; execution is deterministic
+//!   (ties broken by schedule order).
+//! - [`resource`] — queueing resources: multi-server FCFS queues and an
+//!   egalitarian processor-sharing server, both with integrated busy-time
+//!   and queue-length accounting.
+//! - [`rng`] — a small, self-contained xoshiro256++ PRNG with SplitMix64
+//!   seeding, giving reproducible independent streams without external
+//!   dependencies.
+//! - [`stats`] — streaming measurement: Welford moments, time-weighted
+//!   averages (utilization, queue lengths), fixed-bucket histograms for
+//!   percentiles, and batch-means confidence intervals.
+//!
+//! # Examples
+//!
+//! A chain of events over a tiny world:
+//!
+//! ```
+//! use replipred_sim::engine::Engine;
+//!
+//! struct World {
+//!     completions: u64,
+//! }
+//!
+//! let mut engine = Engine::new(World { completions: 0 });
+//! // Schedule a chain of three unit-time "transactions".
+//! fn next(engine: &mut Engine<World>) {
+//!     engine.world_mut().completions += 1;
+//!     if engine.world().completions < 3 {
+//!         engine.schedule_in(1.0, next);
+//!     }
+//! }
+//! engine.schedule_in(1.0, next);
+//! engine.run();
+//! assert_eq!(engine.world().completions, 3);
+//! assert_eq!(engine.now().as_secs(), 3.0);
+//! ```
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use rng::Rng;
+pub use time::SimTime;

@@ -1,0 +1,608 @@
+//! Queueing resources for the simulation world.
+//!
+//! Two service disciplines are provided:
+//!
+//! - [`Fcfs`] — a multi-server first-come-first-served queue. We use it for
+//!   disks (one request at a time) and for delay-free serialization points.
+//! - [`Ps`] — an egalitarian processor-sharing server: all resident jobs
+//!   progress simultaneously at `rate / n`. This is the classic model of a
+//!   time-sliced CPU running concurrent database sessions, and it is the
+//!   service discipline under which MVA's product-form assumptions hold for
+//!   general service-time distributions.
+//!
+//! Both resources live *inside* the user's world type. Because an event
+//! callback receives `&mut Engine<W>`, resource operations are associated
+//! functions taking the engine plus a *lens* — a `Copy` closure mapping
+//! `&mut W` to the resource — so the engine and the resource are never
+//! borrowed simultaneously.
+//!
+//! # Examples
+//!
+//! ```
+//! use replipred_sim::engine::Engine;
+//! use replipred_sim::resource::Fcfs;
+//!
+//! struct World {
+//!     disk: Fcfs<World>,
+//!     done: u32,
+//! }
+//!
+//! let mut engine = Engine::new(World { disk: Fcfs::new(1), done: 0 });
+//! for _ in 0..3 {
+//!     Fcfs::submit(&mut engine, |w: &mut World| &mut w.disk, 0.010, |e| {
+//!         e.world_mut().done += 1;
+//!     });
+//! }
+//! engine.run();
+//! assert_eq!(engine.world().done, 3);
+//! // Three serialized 10 ms requests finish at t = 30 ms.
+//! assert!((engine.now().as_secs() - 0.030).abs() < 1e-12);
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::engine::{Engine, EventFn, EventId};
+use crate::stats::{Tally, TimeWeighted};
+
+/// Utilization / occupancy statistics shared by both disciplines.
+#[derive(Debug, Clone)]
+pub struct ResourceStats {
+    /// Time-weighted number of busy servers.
+    pub busy: TimeWeighted,
+    /// Time-weighted number of jobs waiting (FCFS) or resident (PS).
+    pub queue: TimeWeighted,
+    /// Per-job waiting time before service starts (FCFS) or zero (PS).
+    pub wait: Tally,
+    /// Completed jobs.
+    pub completions: u64,
+}
+
+impl ResourceStats {
+    fn new() -> Self {
+        ResourceStats {
+            busy: TimeWeighted::new(0.0, 0.0),
+            queue: TimeWeighted::new(0.0, 0.0),
+            wait: Tally::new(),
+            completions: 0,
+        }
+    }
+
+    /// Restarts the measurement window at time `t` (end of warm-up).
+    pub fn reset(&mut self, t: f64) {
+        self.busy.reset(t);
+        self.queue.reset(t);
+        self.wait.reset();
+        self.completions = 0;
+    }
+}
+
+struct FcfsJob<W> {
+    service: f64,
+    arrived: f64,
+    done: EventFn<W>,
+}
+
+/// A multi-server FCFS queueing resource.
+pub struct Fcfs<W> {
+    servers: usize,
+    busy: usize,
+    queue: VecDeque<FcfsJob<W>>,
+    /// Measurement state, publicly readable for reporting.
+    pub stats: ResourceStats,
+}
+
+impl<W: 'static> Fcfs<W> {
+    /// Creates a resource with `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a resource needs at least one server");
+        Fcfs {
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            stats: ResourceStats::new(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Jobs currently in service.
+    pub fn in_service(&self) -> usize {
+        self.busy
+    }
+
+    /// Jobs currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a job needing `service` seconds; `done` fires on completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is negative or NaN.
+    pub fn submit<L>(
+        engine: &mut Engine<W>,
+        lens: L,
+        service: f64,
+        done: impl FnOnce(&mut Engine<W>) + 'static,
+    ) where
+        L: Fn(&mut W) -> &mut Fcfs<W> + Copy + 'static,
+    {
+        assert!(
+            service.is_finite() && service >= 0.0,
+            "service time must be finite and non-negative, got {service}"
+        );
+        let now = engine.now().as_secs();
+        let res = lens(engine.world_mut());
+        if res.busy < res.servers {
+            res.busy += 1;
+            res.stats.busy.set(now, res.busy as f64);
+            res.stats.wait.record(0.0);
+            engine.schedule_in(service, move |e| Self::finish(e, lens, Box::new(done)));
+        } else {
+            res.queue.push_back(FcfsJob {
+                service,
+                arrived: now,
+                done: Box::new(done),
+            });
+            res.stats.queue.set(now, res.queue.len() as f64);
+        }
+    }
+
+    fn finish<L>(engine: &mut Engine<W>, lens: L, done: EventFn<W>)
+    where
+        L: Fn(&mut W) -> &mut Fcfs<W> + Copy + 'static,
+    {
+        let now = engine.now().as_secs();
+        let res = lens(engine.world_mut());
+        res.stats.completions += 1;
+        if let Some(job) = res.queue.pop_front() {
+            // Server stays busy; next job starts immediately.
+            res.stats.queue.set(now, res.queue.len() as f64);
+            res.stats.wait.record(now - job.arrived);
+            engine.schedule_in(job.service, move |e| Self::finish(e, lens, job.done));
+        } else {
+            res.busy -= 1;
+            res.stats.busy.set(now, res.busy as f64);
+        }
+        done(engine);
+    }
+
+    /// Average utilization per server over the window ending at `t`.
+    pub fn utilization_at(&self, t: f64) -> f64 {
+        self.stats.busy.mean_at(t) / self.servers as f64
+    }
+}
+
+struct PsJob<W> {
+    remaining: f64,
+    done: Option<EventFn<W>>,
+}
+
+/// An egalitarian processor-sharing server.
+///
+/// All resident jobs progress at `rate / n` where `n` is the number of
+/// resident jobs; a job with `work` seconds of demand completes after
+/// `work * n_avg / rate` of wall-clock time.
+pub struct Ps<W> {
+    rate: f64,
+    jobs: Vec<PsJob<W>>,
+    last_advance: f64,
+    pending_completion: Option<EventId>,
+    /// Measurement state, publicly readable for reporting.
+    pub stats: ResourceStats,
+}
+
+impl<W: 'static> Ps<W> {
+    /// Creates a PS server with total capacity `rate` (1.0 = one CPU-second
+    /// of work per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Ps {
+            rate,
+            jobs: Vec::new(),
+            last_advance: 0.0,
+            pending_completion: None,
+            stats: ResourceStats::new(),
+        }
+    }
+
+    /// Number of resident jobs.
+    pub fn resident(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Submits a job with `work` seconds of service demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is negative or NaN.
+    pub fn submit<L>(
+        engine: &mut Engine<W>,
+        lens: L,
+        work: f64,
+        done: impl FnOnce(&mut Engine<W>) + 'static,
+    ) where
+        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
+    {
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "work must be finite and non-negative, got {work}"
+        );
+        let now = engine.now().as_secs();
+        {
+            let res = lens(engine.world_mut());
+            res.advance_to(now);
+            res.jobs.push(PsJob {
+                remaining: work,
+                done: Some(Box::new(done)),
+            });
+            res.stats.queue.set(now, res.jobs.len() as f64);
+            res.stats.busy.set(now, 1.0);
+            res.stats.wait.record(0.0);
+        }
+        Self::reschedule(engine, lens);
+    }
+
+    /// Advances all resident jobs' remaining work to time `t`.
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.last_advance;
+        self.last_advance = t;
+        if dt <= 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        let per_job = dt * self.rate / self.jobs.len() as f64;
+        for j in &mut self.jobs {
+            j.remaining -= per_job;
+        }
+    }
+
+    /// (Re)schedules the completion event for the job with least remaining
+    /// work, cancelling any previously scheduled one.
+    fn reschedule<L>(engine: &mut Engine<W>, lens: L)
+    where
+        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
+    {
+        let now = engine.now().as_secs();
+        let (old_event, next_delay) = {
+            let res = lens(engine.world_mut());
+            let old = res.pending_completion.take();
+            let delay = res
+                .jobs
+                .iter()
+                .map(|j| j.remaining)
+                .min_by(f64::total_cmp)
+                .map(|min_rem| min_rem.max(0.0) * res.jobs.len() as f64 / res.rate);
+            (old, delay)
+        };
+        if let Some(id) = old_event {
+            engine.cancel(id);
+        }
+        if let Some(delay) = next_delay {
+            let id = engine.schedule_in(delay, move |e| Self::complete_next(e, lens));
+            lens(engine.world_mut()).pending_completion = Some(id);
+        }
+        let _ = now;
+    }
+
+    fn complete_next<L>(engine: &mut Engine<W>, lens: L)
+    where
+        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
+    {
+        let now = engine.now().as_secs();
+        let done = {
+            let res = lens(engine.world_mut());
+            res.pending_completion = None;
+            res.advance_to(now);
+            // The earliest-finishing job has (numerically) zero remaining.
+            let idx = res
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining))
+                .map(|(i, _)| i);
+            match idx {
+                Some(i) => {
+                    let mut job = res.jobs.swap_remove(i);
+                    res.stats.completions += 1;
+                    res.stats.queue.set(now, res.jobs.len() as f64);
+                    if res.jobs.is_empty() {
+                        res.stats.busy.set(now, 0.0);
+                    }
+                    job.done.take()
+                }
+                None => None,
+            }
+        };
+        Self::reschedule(engine, lens);
+        if let Some(done) = done {
+            done(engine);
+        }
+    }
+
+    /// Fraction of the window ending at `t` during which the server was
+    /// busy (any job resident).
+    pub fn utilization_at(&self, t: f64) -> f64 {
+        self.stats.busy.mean_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::time::SimTime;
+
+    struct DiskWorld {
+        disk: Fcfs<DiskWorld>,
+        completed_at: Vec<f64>,
+    }
+
+    fn disk_lens(w: &mut DiskWorld) -> &mut Fcfs<DiskWorld> {
+        &mut w.disk
+    }
+
+    #[test]
+    fn fcfs_serializes_single_server() {
+        let mut engine = Engine::new(DiskWorld {
+            disk: Fcfs::new(1),
+            completed_at: Vec::new(),
+        });
+        for _ in 0..4 {
+            Fcfs::submit(&mut engine, disk_lens, 0.25, |e| {
+                let now = e.now().as_secs();
+                e.world_mut().completed_at.push(now);
+            });
+        }
+        engine.run();
+        assert_eq!(engine.world().completed_at, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn fcfs_multi_server_runs_in_parallel() {
+        let mut engine = Engine::new(DiskWorld {
+            disk: Fcfs::new(2),
+            completed_at: Vec::new(),
+        });
+        for _ in 0..4 {
+            Fcfs::submit(&mut engine, disk_lens, 1.0, |e| {
+                let now = e.now().as_secs();
+                e.world_mut().completed_at.push(now);
+            });
+        }
+        engine.run();
+        // Two at t=1, two at t=2.
+        assert_eq!(engine.world().completed_at, vec![1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn fcfs_preserves_order() {
+        struct W {
+            disk: Fcfs<W>,
+            order: Vec<u32>,
+        }
+        let mut engine = Engine::new(W {
+            disk: Fcfs::new(1),
+            order: Vec::new(),
+        });
+        for tag in 0..5u32 {
+            Fcfs::submit(
+                &mut engine,
+                |w: &mut W| &mut w.disk,
+                0.1,
+                move |e| e.world_mut().order.push(tag),
+            );
+        }
+        engine.run();
+        assert_eq!(engine.world().order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fcfs_utilization_accounting() {
+        let mut engine = Engine::new(DiskWorld {
+            disk: Fcfs::new(1),
+            completed_at: Vec::new(),
+        });
+        Fcfs::submit(&mut engine, disk_lens, 2.0, |_| {});
+        engine.run();
+        engine.run_until(SimTime::from_secs(4.0));
+        // Busy 2 s of 4 s window.
+        let u = engine.world().disk.utilization_at(4.0);
+        assert!((u - 0.5).abs() < 1e-12, "u={u}");
+        assert_eq!(engine.world().disk.stats.completions, 1);
+    }
+
+    #[test]
+    fn fcfs_wait_times_are_recorded() {
+        let mut engine = Engine::new(DiskWorld {
+            disk: Fcfs::new(1),
+            completed_at: Vec::new(),
+        });
+        for _ in 0..3 {
+            Fcfs::submit(&mut engine, disk_lens, 1.0, |_| {});
+        }
+        engine.run();
+        // Waits: 0, 1, 2 -> mean 1.
+        assert!((engine.world().disk.stats.wait.mean() - 1.0).abs() < 1e-12);
+    }
+
+    /// Closed-loop M-ish/M/1: utilization from simulation must match the
+    /// utilization law within statistical noise.
+    #[test]
+    fn fcfs_closed_loop_matches_utilization_law() {
+        struct W {
+            disk: Fcfs<W>,
+            rng: Rng,
+            completions: u64,
+        }
+        fn lens(w: &mut W) -> &mut Fcfs<W> {
+            &mut w.disk
+        }
+        fn cycle(engine: &mut Engine<W>, lens: fn(&mut W) -> &mut Fcfs<W>) {
+            let (think, service) = {
+                let w = engine.world_mut();
+                (w.rng.exp(0.9), w.rng.exp(0.1))
+            };
+            engine.schedule_in(think, move |e| {
+                Fcfs::submit(e, lens, service, move |e| {
+                    e.world_mut().completions += 1;
+                    cycle(e, lens);
+                });
+            });
+        }
+        let mut engine = Engine::new(W {
+            disk: Fcfs::new(1),
+            rng: Rng::seed_from_u64(99),
+            completions: 0,
+        });
+        cycle(&mut engine, lens);
+        engine.run_until(SimTime::from_secs(5_000.0));
+        let w = engine.world();
+        let x = w.completions as f64 / 5_000.0;
+        let u = w.disk.stats.busy.mean_at(5_000.0);
+        // U = X * D with D = 0.1.
+        assert!((u - x * 0.1).abs() < 0.01, "u={u} x={x}");
+    }
+
+    struct CpuWorld {
+        cpu: Ps<CpuWorld>,
+        completed_at: Vec<f64>,
+    }
+
+    fn cpu_lens(w: &mut CpuWorld) -> &mut Ps<CpuWorld> {
+        &mut w.cpu
+    }
+
+    #[test]
+    fn ps_single_job_runs_at_full_rate() {
+        let mut engine = Engine::new(CpuWorld {
+            cpu: Ps::new(1.0),
+            completed_at: Vec::new(),
+        });
+        Ps::submit(&mut engine, cpu_lens, 0.5, |e| {
+            let now = e.now().as_secs();
+            e.world_mut().completed_at.push(now);
+        });
+        engine.run();
+        assert_eq!(engine.world().completed_at, vec![0.5]);
+    }
+
+    #[test]
+    fn ps_equal_jobs_finish_together() {
+        let mut engine = Engine::new(CpuWorld {
+            cpu: Ps::new(1.0),
+            completed_at: Vec::new(),
+        });
+        for _ in 0..2 {
+            Ps::submit(&mut engine, cpu_lens, 1.0, |e| {
+                let now = e.now().as_secs();
+                e.world_mut().completed_at.push(now);
+            });
+        }
+        engine.run();
+        // Two unit jobs sharing one CPU both finish at t=2.
+        let done = &engine.world().completed_at;
+        assert_eq!(done.len(), 2);
+        for &t in done {
+            assert!((t - 2.0).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn ps_short_job_finishes_first() {
+        let mut engine = Engine::new(CpuWorld {
+            cpu: Ps::new(1.0),
+            completed_at: Vec::new(),
+        });
+        Ps::submit(&mut engine, cpu_lens, 1.0, |e| {
+            let now = e.now().as_secs();
+            e.world_mut().completed_at.push(now);
+        });
+        Ps::submit(&mut engine, cpu_lens, 0.2, |e| {
+            let now = e.now().as_secs();
+            e.world_mut().completed_at.push(now);
+        });
+        engine.run();
+        // Short job: shares CPU until it has consumed 0.2 -> finishes at 0.4.
+        // Long job: 0.2 done by then, remaining 0.8 alone -> t = 1.2.
+        let done = &engine.world().completed_at;
+        assert!((done[0] - 0.4).abs() < 1e-9, "first {}", done[0]);
+        assert!((done[1] - 1.2).abs() < 1e-9, "second {}", done[1]);
+    }
+
+    #[test]
+    fn ps_late_arrival_shares_fairly() {
+        let mut engine = Engine::new(CpuWorld {
+            cpu: Ps::new(1.0),
+            completed_at: Vec::new(),
+        });
+        Ps::submit(&mut engine, cpu_lens, 1.0, |e| {
+            let now = e.now().as_secs();
+            e.world_mut().completed_at.push(now);
+        });
+        engine.schedule_in(0.5, |e| {
+            Ps::submit(e, cpu_lens, 1.0, |e| {
+                let now = e.now().as_secs();
+                e.world_mut().completed_at.push(now);
+            });
+        });
+        engine.run();
+        // Job A alone [0,0.5] does 0.5 work; then shares. A finishes at 1.5;
+        // B then runs alone with 0.5 left, finishing at 2.0.
+        let done = &engine.world().completed_at;
+        assert!((done[0] - 1.5).abs() < 1e-9, "A at {}", done[0]);
+        assert!((done[1] - 2.0).abs() < 1e-9, "B at {}", done[1]);
+    }
+
+    #[test]
+    fn ps_rate_scales_service() {
+        let mut engine = Engine::new(CpuWorld {
+            cpu: Ps::new(2.0),
+            completed_at: Vec::new(),
+        });
+        Ps::submit(&mut engine, cpu_lens, 1.0, |e| {
+            let now = e.now().as_secs();
+            e.world_mut().completed_at.push(now);
+        });
+        engine.run();
+        assert_eq!(engine.world().completed_at, vec![0.5]);
+    }
+
+    #[test]
+    fn ps_zero_work_job_completes_immediately() {
+        let mut engine = Engine::new(CpuWorld {
+            cpu: Ps::new(1.0),
+            completed_at: Vec::new(),
+        });
+        Ps::submit(&mut engine, cpu_lens, 0.0, |e| {
+            let now = e.now().as_secs();
+            e.world_mut().completed_at.push(now);
+        });
+        engine.run();
+        assert_eq!(engine.world().completed_at, vec![0.0]);
+    }
+
+    #[test]
+    fn ps_utilization_busy_fraction() {
+        let mut engine = Engine::new(CpuWorld {
+            cpu: Ps::new(1.0),
+            completed_at: Vec::new(),
+        });
+        Ps::submit(&mut engine, cpu_lens, 1.0, |_| {});
+        engine.run();
+        engine.run_until(SimTime::from_secs(2.0));
+        let u = engine.world().cpu.utilization_at(2.0);
+        assert!((u - 0.5).abs() < 1e-9, "u={u}");
+    }
+}

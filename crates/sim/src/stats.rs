@@ -1,0 +1,440 @@
+//! Streaming measurement utilities for simulation output analysis.
+//!
+//! The paper reports *sustained averages over a 15-minute window after a
+//! 10-minute warm-up* (Section 6.1). These types support exactly that
+//! methodology: every collector has a `reset()` that discards the warm-up
+//! samples, and [`BatchMeans`] provides confidence intervals so the
+//! experiment harness can verify steady state.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance (Welford's algorithm) with min/max tracking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Tally {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Discards all observations (end-of-warm-up).
+    pub fn reset(&mut self) {
+        *self = Tally::new();
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (queue length,
+/// number of busy servers, ...).
+///
+/// Feed it every change point; it integrates value·dt.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_t: f64,
+    value: f64,
+    area: f64,
+    start_t: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a collector starting at time `t0` with initial `value`.
+    pub fn new(t0: f64, value: f64) -> Self {
+        TimeWeighted {
+            last_t: t0,
+            value,
+            area: 0.0,
+            start_t: t0,
+        }
+    }
+
+    /// Updates the signal to `value` at time `t` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` goes backwards — the simulation clock is monotone.
+    pub fn set(&mut self, t: f64, value: f64) {
+        assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        self.area += self.value * (t - self.last_t);
+        self.last_t = t;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current value at time `t`.
+    pub fn add(&mut self, t: f64, delta: f64) {
+        let v = self.value + delta;
+        self.set(t, v);
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted mean over `[start, t]`; `0.0` for an empty window.
+    pub fn mean_at(&self, t: f64) -> f64 {
+        let span = t - self.start_t;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.area + self.value * (t - self.last_t)) / span
+    }
+
+    /// Restarts the measurement window at time `t`, keeping the current
+    /// signal value (end-of-warm-up reset).
+    pub fn reset(&mut self, t: f64) {
+        self.area = 0.0;
+        self.start_t = t;
+        self.last_t = t;
+    }
+}
+
+/// Fixed-bucket histogram for latency percentiles.
+///
+/// Buckets are uniform in `[0, limit)` plus an overflow bucket; percentile
+/// queries return the bucket upper edge (conservative).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    limit: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[0, limit)` seconds with `buckets`
+    /// uniform buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive limit or zero bucket count.
+    pub fn new(limit: f64, buckets: usize) -> Self {
+        assert!(limit > 0.0 && buckets > 0, "invalid histogram shape");
+        Histogram {
+            limit,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation (negative values clamp to bucket 0).
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x >= self.limit {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ((x.max(0.0) / self.limit) * self.buckets.len() as f64) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Value at or below which fraction `q` (in `[0,1]`) of observations
+    /// fall. Returns `None` when empty. Overflowed observations report the
+    /// histogram limit.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let edge = (i + 1) as f64 / self.buckets.len() as f64 * self.limit;
+                return Some(edge);
+            }
+        }
+        Some(self.limit)
+    }
+
+    /// Discards all observations.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0.0;
+    }
+}
+
+/// Batch-means confidence interval estimator.
+///
+/// Observations are grouped into fixed-size batches; the batch means are
+/// treated as approximately independent samples, giving a defensible CI for
+/// steady-state simulation output ([Law & Kelton]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_n: u64,
+    batches: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_n: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_n += 1;
+        if self.current_n == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_n = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Grand mean of completed batches; `None` until one batch completes.
+    pub fn mean(&self) -> Option<f64> {
+        if self.batches.is_empty() {
+            return None;
+        }
+        Some(self.batches.iter().sum::<f64>() / self.batches.len() as f64)
+    }
+
+    /// Half-width of an approximate 95% confidence interval on the mean.
+    /// Returns `None` with fewer than two batches.
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        let k = self.batches.len();
+        if k < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("at least one batch");
+        let var = self
+            .batches
+            .iter()
+            .map(|b| (b - mean).powi(2))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        // Normal critical value; adequate for k >= ~10 batches.
+        Some(1.96 * (var / k as f64).sqrt())
+    }
+
+    /// Discards everything (end-of-warm-up).
+    pub fn reset(&mut self) {
+        self.current_sum = 0.0;
+        self.current_n = 0;
+        self.batches.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_matches_closed_forms() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+    }
+
+    #[test]
+    fn tally_empty_is_zero() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+    }
+
+    #[test]
+    fn tally_reset_discards() {
+        let mut t = Tally::new();
+        t.record(100.0);
+        t.reset();
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn time_weighted_square_wave() {
+        // Value 1 on [0,2), 3 on [2,4): mean over [0,4] is 2.
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.set(2.0, 3.0);
+        assert!((tw.mean_at(4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_reset_restarts_window() {
+        let mut tw = TimeWeighted::new(0.0, 10.0);
+        tw.set(5.0, 0.0); // heavy warm-up
+        tw.reset(5.0);
+        tw.set(7.0, 4.0);
+        // Window [5, 9]: 0 for 2 s then 4 for 2 s -> mean 2.
+        assert!((tw.mean_at(9.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_queue() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.add(1.0, 1.0); // arrival
+        tw.add(2.0, 1.0); // arrival
+        tw.add(3.0, -1.0); // departure
+        assert_eq!(tw.current(), 1.0);
+        // Integral: 0*1 + 1*1 + 2*1 + 1*1 over [0,4] = 4/4 = 1.
+        assert!((tw.mean_at(4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_rejects_time_reversal() {
+        let mut tw = TimeWeighted::new(5.0, 0.0);
+        tw.set(4.0, 1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_conservative() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 / 100.0);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((0.49..=0.52).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 0.98, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_overflow_reports_limit() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(5.0);
+        assert_eq!(h.quantile(1.0), Some(1.0));
+        assert_eq!(h.count(), 1);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_none() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn batch_means_recovers_mean() {
+        let mut bm = BatchMeans::new(100);
+        let mut x = 0.0f64;
+        for i in 0..10_000 {
+            // Deterministic oscillation around 10.
+            x = 10.0 + ((i * 37) % 100) as f64 / 100.0 - 0.5;
+            bm.record(x);
+        }
+        let _ = x;
+        assert_eq!(bm.batches(), 100);
+        let mean = bm.mean().unwrap();
+        assert!((mean - 10.0).abs() < 0.01, "mean {mean}");
+        assert!(bm.ci95_half_width().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches_for_ci() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..10 {
+            bm.record(1.0);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert!(bm.ci95_half_width().is_none());
+        assert_eq!(bm.mean(), Some(1.0));
+    }
+}

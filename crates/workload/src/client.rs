@@ -1,0 +1,138 @@
+//! Closed-loop emulated clients (remote terminal emulators).
+//!
+//! Paper Section 3.1: "Each client submits a transaction, waits for the
+//! database response, examines the response during the think time, and
+//! then submits the next transaction, following a closed-loop model
+//! [Schroeder 2006]." Section 6.1 adds the retry rule: "If an update
+//! transaction is aborted, the Java Servlet retries the transaction."
+//!
+//! [`ClientPool`] owns one independent RNG stream per client so that runs
+//! are deterministic and clients are statistically independent.
+
+use replipred_sim::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{TxnTemplate, WorkloadSpec};
+
+/// Identifier of an emulated client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub usize);
+
+/// A pool of independent closed-loop clients for one workload.
+pub struct ClientPool {
+    spec: WorkloadSpec,
+    streams: Vec<Rng>,
+}
+
+impl ClientPool {
+    /// Creates `count` clients with independent RNG streams derived from
+    /// `seed`.
+    pub fn new(spec: WorkloadSpec, count: usize, seed: u64) -> Self {
+        let mut root = Rng::seed_from_u64(seed);
+        let streams = (0..count).map(|i| root.fork(i as u64)).collect();
+        ClientPool { spec, streams }
+    }
+
+    /// Number of clients in the pool.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when the pool has no clients.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The workload specification the clients run.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Samples the next transaction for `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range client id.
+    pub fn next_transaction(&mut self, client: ClientId) -> TxnTemplate {
+        let spec = self.spec.clone();
+        spec.sample(&mut self.streams[client.0])
+    }
+
+    /// Samples a think-time interval for `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range client id.
+    pub fn next_think(&mut self, client: ClientId) -> f64 {
+        let mean = self.spec.think_time;
+        self.streams[client.0].exp(mean)
+    }
+
+    /// Re-samples the *service demands* of a transaction for a retry,
+    /// keeping its logical row targets. A retried transaction re-executes
+    /// the same business operation, but its resource usage is a fresh
+    /// sample.
+    pub fn resample_demands(&mut self, client: ClientId, template: &TxnTemplate) -> TxnTemplate {
+        let class = &self.spec.classes[template.class];
+        let rng = &mut self.streams[client.0];
+        TxnTemplate {
+            cpu_demand: rng.exp(class.cpu),
+            disk_demand: rng.exp(class.disk),
+            ..template.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcw;
+
+    #[test]
+    fn pool_is_deterministic() {
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let mut a = ClientPool::new(spec.clone(), 4, 99);
+        let mut b = ClientPool::new(spec, 4, 99);
+        for i in 0..4 {
+            assert_eq!(
+                a.next_transaction(ClientId(i)),
+                b.next_transaction(ClientId(i))
+            );
+            assert_eq!(a.next_think(ClientId(i)), b.next_think(ClientId(i)));
+        }
+    }
+
+    #[test]
+    fn clients_are_independent() {
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let mut pool = ClientPool::new(spec, 2, 7);
+        let t0 = pool.next_think(ClientId(0));
+        let t1 = pool.next_think(ClientId(1));
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn think_times_average_to_spec() {
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let mut pool = ClientPool::new(spec, 1, 5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| pool.next_think(ClientId(0))).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean think {mean}");
+    }
+
+    #[test]
+    fn retry_keeps_targets_resamples_demands() {
+        let spec = tpcw::mix(tpcw::Mix::Ordering);
+        let mut pool = ClientPool::new(spec, 1, 3);
+        // Find an update transaction.
+        let mut t = pool.next_transaction(ClientId(0));
+        while !t.is_update {
+            t = pool.next_transaction(ClientId(0));
+        }
+        let retry = pool.resample_demands(ClientId(0), &t);
+        assert_eq!(retry.writes, t.writes);
+        assert_eq!(retry.reads, t.reads);
+        assert_ne!(retry.cpu_demand, t.cpu_demand);
+    }
+}

@@ -1,0 +1,162 @@
+//! The Figure-14 abort stressor.
+//!
+//! Paper Section 6.3.3: "We introduce a replicated heap table (which is
+//! stored in main memory only). We instrument each update transaction to
+//! include an update operation to randomly selected rows. We increase the
+//! probability that an update transaction aborts, by controlling the
+//! number of rows in the heap table."
+//!
+//! Shrinking the heap table concentrates the extra writes on fewer rows,
+//! raising the standalone abort probability `A1` — the paper dials it to
+//! 0.24%, 0.53% and 0.90% and then watches `A_N` grow with the replica
+//! count (to 10%, 17% and 29% measured at 16 replicas).
+
+use crate::spec::{HeapStress, WorkloadSpec};
+
+/// Name of the in-memory heap table.
+pub const HEAP_TABLE: &str = "heap";
+
+/// Returns a copy of `spec` with the abort stressor enabled: every update
+/// transaction additionally updates one uniformly random row of a
+/// `heap_rows`-row heap table.
+///
+/// # Panics
+///
+/// Panics if `heap_rows` is zero — an empty heap table cannot be written.
+pub fn with_heap_stress(spec: &WorkloadSpec, heap_rows: u64) -> WorkloadSpec {
+    assert!(heap_rows > 0, "heap table needs at least one row");
+    let mut out = spec.clone();
+    out.name = format!("{}+heap{}", spec.name, heap_rows);
+    out.heap = Some(HeapStress { rows: heap_rows });
+    out
+}
+
+/// Predicts the heap-table size needed to hit a target standalone abort
+/// probability `a1_target`, inverting the paper's abort formula
+/// (Section 3.3.1) under the approximation that heap-row conflicts
+/// dominate:
+///
+/// `A1 ~ 1 - (1 - 1/H)^(L(1)·W)  =>  H ~ 1 / (1 - (1-A1)^(1/(L(1)·W)))`
+///
+/// where `W` is the update commit rate and `L(1)` the standalone update
+/// execution time. Used by the Figure-14 experiment to pick its three
+/// heap sizes.
+///
+/// # Panics
+///
+/// Panics if `a1_target` is not in `(0, 1)` or the rates are not positive.
+pub fn heap_rows_for_a1(a1_target: f64, update_rate: f64, l1: f64) -> u64 {
+    assert!(
+        (0.0..1.0).contains(&a1_target) && a1_target > 0.0,
+        "target A1 must be in (0,1), got {a1_target}"
+    );
+    assert!(
+        update_rate > 0.0 && l1 > 0.0,
+        "rates must be positive: W={update_rate}, L1={l1}"
+    );
+    let exponent = 1.0 / (l1 * update_rate);
+    let p = 1.0 - (1.0 - a1_target).powf(exponent);
+    (1.0 / p).round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcw;
+    use replipred_sidb::Database;
+    use replipred_sim::Rng;
+
+    #[test]
+    fn stressed_spec_adds_heap_write() {
+        let base = tpcw::mix(tpcw::Mix::Shopping);
+        let stressed = with_heap_stress(&base, 64);
+        let mut rng = Rng::seed_from_u64(3);
+        let mut saw_heap = false;
+        for _ in 0..200 {
+            let t = stressed.sample(&mut rng);
+            if t.is_update {
+                let heap_writes = t
+                    .writes
+                    .iter()
+                    .filter(|(tbl, _)| tbl == HEAP_TABLE)
+                    .count();
+                assert_eq!(heap_writes, 1, "each update hits the heap exactly once");
+                assert!(t.writes.iter().all(|(tbl, r)| tbl != HEAP_TABLE || *r < 64));
+                saw_heap = true;
+            }
+        }
+        assert!(saw_heap);
+    }
+
+    #[test]
+    fn base_spec_is_untouched() {
+        let base = tpcw::mix(tpcw::Mix::Shopping);
+        let _ = with_heap_stress(&base, 10);
+        assert!(base.heap.is_none());
+    }
+
+    #[test]
+    fn schema_includes_heap_table() {
+        let stressed = with_heap_stress(&tpcw::mix(tpcw::Mix::Shopping), 32);
+        let mut db = Database::new();
+        stressed.create_schema(&mut db).unwrap();
+        stressed.seed(&mut db, 0.01).unwrap();
+        assert_eq!(db.live_rows(HEAP_TABLE).unwrap(), 32);
+    }
+
+    #[test]
+    fn smaller_heap_gives_more_conflicts() {
+        // Mechanistic check: run concurrent-ish update pairs against two
+        // heap sizes; the smaller heap must conflict more often.
+        fn conflicts(heap_rows: u64) -> usize {
+            let spec = with_heap_stress(&tpcw::mix(tpcw::Mix::Ordering), heap_rows);
+            let mut db = Database::new();
+            spec.create_schema(&mut db).unwrap();
+            spec.seed(&mut db, 0.001).unwrap();
+            let mut rng = Rng::seed_from_u64(42);
+            let mut conflicts = 0;
+            for _ in 0..300 {
+                // Two logically concurrent updates.
+                let (a, b) = (db.begin(), db.begin());
+                let (ta, tb) = (spec.sample(&mut rng), spec.sample(&mut rng));
+                if !ta.is_update || !tb.is_update {
+                    let _ = db.abort(a);
+                    let _ = db.abort(b);
+                    continue;
+                }
+                spec.execute(&mut db, a, &ta).unwrap();
+                spec.execute(&mut db, b, &tb).unwrap();
+                let _ = db.commit(a);
+                if db.commit(b).is_err() {
+                    conflicts += 1;
+                }
+            }
+            conflicts
+        }
+        let small = conflicts(4);
+        let large = conflicts(4096);
+        assert!(small > large + 5, "small={small} large={large}");
+    }
+
+    #[test]
+    fn heap_sizing_formula_inverts() {
+        // Round-trip: with H rows, the implied A1 comes back near target.
+        let (w, l1) = (20.0, 0.05);
+        for target in [0.0024, 0.0053, 0.0090] {
+            let h = heap_rows_for_a1(target, w, l1);
+            let p = 1.0 / h as f64;
+            let a1 = 1.0 - (1.0 - p).powf(l1 * w);
+            assert!(
+                (a1 - target).abs() / target < 0.05,
+                "target {target}, got {a1} with H={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_target_needs_smaller_heap() {
+        let loose = heap_rows_for_a1(0.002, 20.0, 0.05);
+        let tight = heap_rows_for_a1(0.009, 20.0, 0.05);
+        assert!(tight < loose);
+    }
+}

@@ -1,0 +1,50 @@
+//! TPC-W and RUBiS workload generation.
+//!
+//! The paper validates its models with two e-commerce benchmarks
+//! (Section 6.1):
+//!
+//! - **TPC-W**, an online bookstore, with three mixes: browsing (5%
+//!   updates), shopping (20%), ordering (50%);
+//! - **RUBiS**, an eBay-style auction site, with two mixes: browsing
+//!   (read-only) and bidding (20% updates).
+//!
+//! This crate provides everything needed to *drive* those workloads against
+//! the storage engine and the replicated-cluster simulators:
+//!
+//! - [`spec::WorkloadSpec`] — a declarative description of a transaction
+//!   mix: class probabilities, per-class service demands (from the paper's
+//!   Tables 3 and 5), rows touched, update-set sizes.
+//! - [`tpcw`] and [`rubis`] — the two benchmarks with the paper's published
+//!   parameters (Tables 2 and 4) and schema/seed-data generators.
+//! - [`heap`] — the Figure-14 abort stressor: a small heap table that every
+//!   update transaction additionally writes, dialing the standalone abort
+//!   probability `A1` up in a controlled way.
+//! - [`client`] — closed-loop emulated-browser sampling (exponential think
+//!   times, transaction templates), shared by the standalone profiler and
+//!   the cluster simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use replipred_sidb::Database;
+//! use replipred_sim::Rng;
+//! use replipred_workload::tpcw;
+//!
+//! let spec = tpcw::mix(tpcw::Mix::Shopping);
+//! let mut db = Database::new();
+//! spec.create_schema(&mut db).unwrap();
+//! spec.seed(&mut db, 0.05).unwrap(); // 5% scale for a quick test
+//!
+//! let mut rng = Rng::seed_from_u64(1);
+//! let txn = spec.sample(&mut rng);
+//! assert!(txn.cpu_demand > 0.0);
+//! ```
+
+pub mod client;
+pub mod heap;
+pub mod rubis;
+pub mod spec;
+pub mod tpcw;
+
+pub use client::ClientPool;
+pub use spec::{TxnClass, TxnTemplate, WorkloadSpec};

@@ -1,0 +1,174 @@
+//! RUBiS: the auction-site benchmark (paper Section 6.1).
+//!
+//! "RUBiS models an auction site like eBay and has two workloads: the
+//! browsing mix (entirely read-only) and the bidding mix (20% update
+//! transactions)." Scaling parameters: 1M users, 10,000 active items,
+//! 500,000 old items; average writeset 272 bytes.
+//!
+//! RUBiS updates are *expensive*: "update transactions update a small
+//! amount of data but incur a high cost due to enforcing integrity
+//! constraints and updating indexes" — visible in Table 5's 41.5 ms CPU /
+//! 48.6 ms disk write demands, and in the writeset costs that are only
+//! slightly cheaper than the original updates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{TxnClass, WorkloadSpec};
+
+/// Active (biddable) items — the updatable row space.
+pub const ACTIVE_ITEMS: u64 = 10_000;
+/// Registered users at scale 1.0.
+pub const USERS: u64 = 1_000_000;
+/// Closed auctions at scale 1.0.
+pub const OLD_ITEMS: u64 = 500_000;
+
+/// The two RUBiS mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mix {
+    /// 100% read-only, 50 clients per replica.
+    Browsing,
+    /// 80% reads / 20% updates, 50 clients per replica.
+    Bidding,
+}
+
+impl Mix {
+    /// All mixes, in paper order.
+    pub const ALL: [Mix; 2] = [Mix::Browsing, Mix::Bidding];
+
+    /// Fraction of update transactions (paper Table 4).
+    pub fn pw(self) -> f64 {
+        match self {
+            Mix::Browsing => 0.0,
+            Mix::Bidding => 0.20,
+        }
+    }
+
+    /// Clients per replica `C` (paper Table 4): 50 for both mixes.
+    pub fn clients_per_replica(self) -> usize {
+        50
+    }
+
+    /// Workload name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::Browsing => "rubis-browsing",
+            Mix::Bidding => "rubis-bidding",
+        }
+    }
+}
+
+/// Read-class shape (multipliers average to 1.0 under equal weights).
+const READ_SHAPE: [(&str, f64, usize); 4] = [
+    ("view-item", 0.6, 2),
+    ("browse-categories", 0.9, 4),
+    ("search-by-category", 1.1, 6),
+    ("view-bid-history", 1.4, 8),
+];
+
+/// Update-class shape: `(name, cost multiplier, shared rows, private
+/// rows)`. A bid updates the item's current-bid row (shared) and inserts
+/// the bid record (private); a comment updates the seller's rating row
+/// (shared) and inserts the comment (private). Total `U = 2`.
+const UPDATE_SHAPE: [(&str, f64, usize, usize); 2] =
+    [("place-bid", 0.9, 1, 1), ("put-comment", 1.1, 1, 1)];
+
+/// Builds the full workload spec for a RUBiS mix with the paper's
+/// published parameters (Tables 4-5).
+pub fn mix(m: Mix) -> WorkloadSpec {
+    // Table 5 demands, seconds.
+    let (rc_cpu, rc_disk) = (0.02529, 0.01136);
+    let (wc_cpu, wc_disk, ws_cpu, ws_disk) = match m {
+        Mix::Browsing => (0.0, 0.0, 0.0, 0.0),
+        Mix::Bidding => (0.04151, 0.04861, 0.00983, 0.03528),
+    };
+    let pw = m.pw();
+    let pr = 1.0 - pw;
+    let mut classes = Vec::new();
+    let read_weight = pr / READ_SHAPE.len() as f64;
+    for (name, mult, reads) in READ_SHAPE {
+        classes.push(TxnClass {
+            name: format!("rubis-{name}"),
+            weight: read_weight,
+            is_update: false,
+            cpu: rc_cpu * mult,
+            disk: rc_disk * mult,
+            reads,
+            writes: 0,
+            private_writes: 0,
+        });
+    }
+    if pw > 0.0 {
+        let update_weight = pw / UPDATE_SHAPE.len() as f64;
+        for (name, mult, writes, private_writes) in UPDATE_SHAPE {
+            classes.push(TxnClass {
+                name: format!("rubis-{name}"),
+                weight: update_weight,
+                is_update: true,
+                cpu: wc_cpu * mult,
+                disk: wc_disk * mult,
+                reads: 1,
+                writes,
+                private_writes,
+            });
+        }
+    }
+    WorkloadSpec {
+        name: m.name().to_string(),
+        classes,
+        think_time: 1.0,
+        clients_per_replica: m.clients_per_replica(),
+        ws_cpu,
+        ws_disk,
+        update_table: "active_items".to_string(),
+        db_update_size: ACTIVE_ITEMS,
+        read_tables: vec![
+            ("active_items".to_string(), ACTIVE_ITEMS),
+            ("users".to_string(), USERS),
+            ("old_items".to_string(), OLD_ITEMS),
+        ],
+        heap: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn browsing_is_pure_read() {
+        let s = mix(Mix::Browsing);
+        assert_eq!(s.pw(), 0.0);
+        assert!(s.classes.iter().all(|c| !c.is_update));
+        assert_eq!(s.mean_update_ops(), 0.0);
+    }
+
+    #[test]
+    fn bidding_fractions_match_table4() {
+        let s = mix(Mix::Bidding);
+        assert!((s.pw() - 0.20).abs() < 1e-12);
+        assert_eq!(s.clients_per_replica, 50);
+    }
+
+    #[test]
+    fn aggregate_demands_match_table5() {
+        let s = mix(Mix::Bidding);
+        assert!((s.mean_read_cpu() - 0.02529).abs() < 1e-9);
+        assert!((s.mean_read_disk() - 0.01136).abs() < 1e-9);
+        assert!((s.mean_write_cpu() - 0.04151).abs() < 1e-9);
+        assert!((s.mean_write_disk() - 0.04861).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bidding_writesets_disk_heavy() {
+        // Table 5: ws_disk (35.3 ms) is 73% of wc_disk (48.6 ms) — applying
+        // a writeset is only slightly cheaper than the original update.
+        let s = mix(Mix::Bidding);
+        assert!(s.ws_disk / s.mean_write_disk() > 0.7);
+    }
+
+    #[test]
+    fn u_is_two_for_bidding() {
+        let s = mix(Mix::Bidding);
+        assert!((s.mean_update_ops() - 2.0).abs() < 1e-12);
+    }
+}

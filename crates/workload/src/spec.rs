@@ -1,0 +1,454 @@
+//! Declarative workload descriptions and transaction sampling.
+
+use replipred_sidb::{Database, DbError, TxnId, Value};
+use replipred_sim::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One transaction class of a benchmark mix (e.g. "product-detail",
+/// "buy-confirm").
+///
+/// Service demands are *means*; individual transactions sample
+/// exponentially around them, matching the distributional assumption the
+/// paper's MVA model inherits (Section 3.4, assumption 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnClass {
+    /// Class name, for reporting.
+    pub name: String,
+    /// Relative sampling weight within the mix.
+    pub weight: f64,
+    /// True for update transactions.
+    pub is_update: bool,
+    /// Mean CPU demand per attempt, seconds.
+    pub cpu: f64,
+    /// Mean disk demand per attempt, seconds.
+    pub disk: f64,
+    /// Rows read by the transaction.
+    pub reads: usize,
+    /// *Shared* rows written (drawn from the common updatable space —
+    /// these can conflict; e.g. TPC-W stock decrements).
+    pub writes: usize,
+    /// *Private* rows written (drawn from a practically collision-free
+    /// keyspace — carts, freshly inserted order/bid rows). They contribute
+    /// to the writeset size and `U`, but essentially never conflict,
+    /// which is why the paper measures `A1 < 0.023%` on TPC-W.
+    #[serde(default)]
+    pub private_writes: usize,
+}
+
+/// Table that holds private (per-session) rows: carts, order lines, bids.
+pub const PRIVATE_TABLE: &str = "session_data";
+
+/// Optional Figure-14 abort stressor configuration (see [`crate::heap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStress {
+    /// Number of rows in the heap table; smaller → more conflicts.
+    pub rows: u64,
+}
+
+/// A complete benchmark workload: mix, demands, schema and sampling rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (e.g. `"tpcw-shopping"`).
+    pub name: String,
+    /// Transaction classes with their weights.
+    pub classes: Vec<TxnClass>,
+    /// Mean client think time, seconds (paper: 1.0 s effective).
+    pub think_time: f64,
+    /// Closed-loop clients per replica (`C`, paper Table 2/4).
+    pub clients_per_replica: usize,
+    /// Mean CPU demand of applying one propagated writeset, seconds.
+    pub ws_cpu: f64,
+    /// Mean disk demand of applying one propagated writeset, seconds.
+    pub ws_disk: f64,
+    /// Table update transactions modify.
+    pub update_table: String,
+    /// Number of updatable rows (`DbUpdateSize`): update targets are drawn
+    /// uniformly from `0..db_update_size` (paper assumption 4: no hotspot).
+    pub db_update_size: u64,
+    /// Read-target tables with their (fully seeded) row counts.
+    pub read_tables: Vec<(String, u64)>,
+    /// Optional abort stressor.
+    pub heap: Option<HeapStress>,
+}
+
+/// A sampled transaction, ready to execute against a database and/or a
+/// simulated resource pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnTemplate {
+    /// Index into [`WorkloadSpec::classes`].
+    pub class: usize,
+    /// True for update transactions.
+    pub is_update: bool,
+    /// Sampled CPU demand for this attempt, seconds.
+    pub cpu_demand: f64,
+    /// Sampled disk demand for this attempt, seconds.
+    pub disk_demand: f64,
+    /// Rows to read: `(table, row)`.
+    pub reads: Vec<(String, u64)>,
+    /// Rows to write: `(table, row)`.
+    pub writes: Vec<(String, u64)>,
+}
+
+impl WorkloadSpec {
+    /// Fraction of read-only transactions (`Pr`).
+    pub fn pr(&self) -> f64 {
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        self.classes
+            .iter()
+            .filter(|c| !c.is_update)
+            .map(|c| c.weight)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Fraction of update transactions (`Pw`).
+    pub fn pw(&self) -> f64 {
+        1.0 - self.pr()
+    }
+
+    /// Mean `U`: update operations per update transaction (weighted over
+    /// update classes; includes the heap-stress row when configured).
+    pub fn mean_update_ops(&self) -> f64 {
+        let updates: Vec<&TxnClass> = self.classes.iter().filter(|c| c.is_update).collect();
+        let w: f64 = updates.iter().map(|c| c.weight).sum();
+        if w == 0.0 {
+            return 0.0;
+        }
+        let base = updates
+            .iter()
+            .map(|c| c.weight * (c.writes + c.private_writes) as f64)
+            .sum::<f64>()
+            / w;
+        base + if self.heap.is_some() { 1.0 } else { 0.0 }
+    }
+
+    /// Mean CPU demand of read-only transactions (`rc_cpu`).
+    pub fn mean_read_cpu(&self) -> f64 {
+        self.class_mean(|c| !c.is_update, |c| c.cpu)
+    }
+
+    /// Mean disk demand of read-only transactions (`rc_disk`).
+    pub fn mean_read_disk(&self) -> f64 {
+        self.class_mean(|c| !c.is_update, |c| c.disk)
+    }
+
+    /// Mean CPU demand of update transactions (`wc_cpu`).
+    pub fn mean_write_cpu(&self) -> f64 {
+        self.class_mean(|c| c.is_update, |c| c.cpu)
+    }
+
+    /// Mean disk demand of update transactions (`wc_disk`).
+    pub fn mean_write_disk(&self) -> f64 {
+        self.class_mean(|c| c.is_update, |c| c.disk)
+    }
+
+    fn class_mean(&self, filter: impl Fn(&TxnClass) -> bool, get: impl Fn(&TxnClass) -> f64) -> f64 {
+        let matching: Vec<&TxnClass> = self.classes.iter().filter(|c| filter(c)).collect();
+        let w: f64 = matching.iter().map(|c| c.weight).sum();
+        if w == 0.0 {
+            return 0.0;
+        }
+        matching.iter().map(|c| c.weight * get(c)).sum::<f64>() / w
+    }
+
+    /// Samples one transaction.
+    ///
+    /// Update targets are drawn *without replacement* from the updatable
+    /// row space; read targets are drawn from the read tables.
+    pub fn sample(&self, rng: &mut Rng) -> TxnTemplate {
+        let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
+        let class = rng.weighted_index(&weights);
+        let spec = &self.classes[class];
+        let cpu_demand = rng.exp(spec.cpu);
+        let disk_demand = rng.exp(spec.disk);
+        let mut reads = Vec::with_capacity(spec.reads);
+        if !self.read_tables.is_empty() {
+            for _ in 0..spec.reads {
+                let (table, rows) = &self.read_tables[rng.index(self.read_tables.len())];
+                reads.push((table.clone(), rng.below((*rows).max(1))));
+            }
+        }
+        let mut writes = Vec::new();
+        if spec.is_update {
+            // Distinct rows of the update table.
+            while writes.len() < spec.writes.min(self.db_update_size as usize) {
+                let row = rng.below(self.db_update_size);
+                if !writes.iter().any(|(_, r)| *r == row) {
+                    writes.push((self.update_table.clone(), row));
+                }
+            }
+            // Private rows: a 2^48 keyspace makes collisions (and hence
+            // conflicts) negligible, like per-session cart rows.
+            for _ in 0..spec.private_writes {
+                writes.push((PRIVATE_TABLE.to_string(), rng.next_u64() >> 16));
+            }
+            if let Some(h) = self.heap {
+                writes.push((crate::heap::HEAP_TABLE.to_string(), rng.below(h.rows)));
+            }
+        }
+        TxnTemplate {
+            class,
+            is_update: spec.is_update,
+            cpu_demand,
+            disk_demand,
+            reads,
+            writes,
+        }
+    }
+
+    /// Samples a think-time interval (exponential, paper Section 6.1).
+    pub fn sample_think(&self, rng: &mut Rng) -> f64 {
+        rng.exp(self.think_time)
+    }
+
+    /// Creates every table this workload touches.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's error when a table already exists.
+    pub fn create_schema(&self, db: &mut Database) -> Result<(), DbError> {
+        db.create_table(&self.update_table, &["payload", "counter", "version"])?;
+        for (table, _) in &self.read_tables {
+            if table != &self.update_table {
+                db.create_table(table, &["payload", "counter", "version"])?;
+            }
+        }
+        if self.classes.iter().any(|c| c.private_writes > 0) {
+            db.create_table(PRIVATE_TABLE, &["payload", "counter", "version"])?;
+        }
+        if self.heap.is_some() {
+            db.create_table(crate::heap::HEAP_TABLE, &["payload", "counter", "version"])?;
+        }
+        Ok(())
+    }
+
+    /// Seeds the schema. The update table and heap table are seeded
+    /// *fully* (conflict behaviour depends on their exact sizes); read
+    /// tables are scaled by `scale` (1.0 = benchmark-standard sizes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn seed(&self, db: &mut Database, scale: f64) -> Result<(), DbError> {
+        let txn = db.begin();
+        for row in 0..self.db_update_size {
+            db.insert(txn, &self.update_table.clone(), row, Self::payload(row))?;
+        }
+        for (table, rows) in self.read_tables.clone() {
+            if table == self.update_table {
+                continue;
+            }
+            let n = ((rows as f64 * scale).ceil() as u64).max(1);
+            for row in 0..n {
+                db.insert(txn, &table, row, Self::payload(row))?;
+            }
+        }
+        if let Some(h) = self.heap {
+            for row in 0..h.rows {
+                db.insert(txn, crate::heap::HEAP_TABLE, row, Self::payload(row))?;
+            }
+        }
+        db.commit(txn).expect("seed transaction cannot conflict");
+        Ok(())
+    }
+
+    /// Executes the template's reads and writes against a database
+    /// transaction (the logical part; resource consumption is simulated
+    /// separately). Missing read rows are tolerated (scaled-down seeds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors other than missing read rows.
+    pub fn execute(
+        &self,
+        db: &mut Database,
+        txn: TxnId,
+        template: &TxnTemplate,
+    ) -> Result<(), DbError> {
+        for (table, row) in &template.reads {
+            // Reads of rows beyond the scaled seed just return None.
+            let _ = db.read(txn, table, *row)?;
+        }
+        for (table, row) in &template.writes {
+            let current = db.read(txn, table, *row)?;
+            let next = match current {
+                Some(mut row_data) => {
+                    if let Value::Int(c) = row_data[1] {
+                        row_data[1] = Value::Int(c + 1);
+                    }
+                    row_data
+                }
+                None => Self::payload(*row),
+            };
+            match db.update(txn, table, *row, next.clone()) {
+                Ok(()) => {}
+                Err(DbError::NoSuchRow { .. }) => db.insert(txn, table, *row, next)?,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Standard row payload: sized so that a `U = 3` writeset is close to
+    /// the paper's ~275-byte average.
+    fn payload(row: u64) -> Vec<Value> {
+        Vec::from([
+            Value::Text(format!("row-{row:08}-{}", "x".repeat(48))),
+            Value::Int(0),
+            Value::Int(row as i64),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcw;
+
+    fn spec() -> WorkloadSpec {
+        tpcw::mix(tpcw::Mix::Shopping)
+    }
+
+    #[test]
+    fn fractions_match_mix() {
+        let s = spec();
+        assert!((s.pr() - 0.80).abs() < 1e-12);
+        assert!((s.pw() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_means_match_table3() {
+        let s = spec();
+        assert!((s.mean_read_cpu() - 0.04143).abs() < 1e-9);
+        assert!((s.mean_read_disk() - 0.01511).abs() < 1e-9);
+        assert!((s.mean_write_cpu() - 0.01251).abs() < 1e-9);
+        assert!((s.mean_write_disk() - 0.00605).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_mix_fractions() {
+        let s = spec();
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 20_000;
+        let updates = (0..n).filter(|_| s.sample(&mut rng).is_update).count();
+        let frac = updates as f64 / n as f64;
+        assert!((frac - 0.20).abs() < 0.01, "update fraction {frac}");
+    }
+
+    #[test]
+    fn sampled_demands_average_to_means() {
+        let s = spec();
+        let mut rng = Rng::seed_from_u64(11);
+        let mut read_cpu = 0.0;
+        let mut reads = 0usize;
+        for _ in 0..50_000 {
+            let t = s.sample(&mut rng);
+            if !t.is_update {
+                read_cpu += t.cpu_demand;
+                reads += 1;
+            }
+        }
+        let mean = read_cpu / reads as f64;
+        assert!(
+            (mean - s.mean_read_cpu()).abs() / s.mean_read_cpu() < 0.05,
+            "mean {mean}"
+        );
+    }
+
+    #[test]
+    fn update_targets_are_distinct_and_in_range() {
+        let s = spec();
+        let mut rng = Rng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let t = s.sample(&mut rng);
+            if t.is_update {
+                let mut rows: Vec<u64> = t.writes.iter().map(|(_, r)| *r).collect();
+                rows.sort_unstable();
+                let len = rows.len();
+                rows.dedup();
+                assert_eq!(rows.len(), len, "duplicate write targets");
+                assert!(t
+                    .writes
+                    .iter()
+                    .all(|(tbl, r)| tbl != &s.update_table || *r < s.db_update_size));
+            }
+        }
+    }
+
+    #[test]
+    fn schema_seed_and_execute_roundtrip() {
+        let s = spec();
+        let mut db = Database::new();
+        s.create_schema(&mut db).unwrap();
+        s.seed(&mut db, 0.01).unwrap();
+        assert_eq!(
+            db.live_rows(&s.update_table).unwrap() as u64,
+            s.db_update_size
+        );
+        let mut rng = Rng::seed_from_u64(17);
+        // Execute a handful of sampled transactions serially: all commit.
+        for _ in 0..50 {
+            let template = s.sample(&mut rng);
+            let txn = db.begin();
+            s.execute(&mut db, txn, &template).unwrap();
+            db.commit(txn).unwrap();
+        }
+        assert!(db.stats().abort_probability() == 0.0);
+    }
+
+    #[test]
+    fn executing_update_increments_counter() {
+        let s = spec();
+        let mut db = Database::new();
+        s.create_schema(&mut db).unwrap();
+        s.seed(&mut db, 0.01).unwrap();
+        let template = TxnTemplate {
+            class: 0,
+            is_update: true,
+            cpu_demand: 0.01,
+            disk_demand: 0.01,
+            reads: vec![],
+            writes: vec![(s.update_table.clone(), 5)],
+        };
+        for _ in 0..3 {
+            let txn = db.begin();
+            s.execute(&mut db, txn, &template).unwrap();
+            db.commit(txn).unwrap();
+        }
+        let txn = db.begin();
+        let row = db.read(txn, &s.update_table, 5).unwrap().unwrap();
+        assert_eq!(row[1], Value::Int(3));
+    }
+
+    #[test]
+    fn mean_update_ops_counts_heap_extra() {
+        let mut s = spec();
+        let base = s.mean_update_ops();
+        s.heap = Some(HeapStress { rows: 100 });
+        assert!((s.mean_update_ops() - (base + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writeset_size_near_paper_value() {
+        // Paper: average TPC-W writeset is 275 bytes. Allow a generous
+        // band — what matters is the order of magnitude for LAN transfer.
+        let s = spec();
+        let mut db = Database::new();
+        s.create_schema(&mut db).unwrap();
+        s.seed(&mut db, 0.01).unwrap();
+        let mut rng = Rng::seed_from_u64(23);
+        let mut sizes = Vec::new();
+        while sizes.len() < 100 {
+            let t = s.sample(&mut rng);
+            if !t.is_update {
+                continue;
+            }
+            let txn = db.begin();
+            s.execute(&mut db, txn, &t).unwrap();
+            let info = db.commit(txn).unwrap();
+            sizes.push(info.writeset.wire_size());
+        }
+        let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!((150.0..500.0).contains(&avg), "avg writeset {avg} B");
+    }
+}

@@ -1,0 +1,44 @@
+//! # replipred
+//!
+//! A faithful, from-scratch Rust reproduction of *"Predicting Replicated
+//! Database Scalability from Standalone Database Profiling"* (Elnikety,
+//! Dropsho, Cecchet, Zwaenepoel — EuroSys 2009).
+//!
+//! The crate is a facade over the workspace members:
+//!
+//! - [`mva`] — closed queueing networks and Mean Value Analysis solvers.
+//! - [`sim`] — a discrete-event simulation kernel (virtual clock, queueing
+//!   resources, statistics).
+//! - [`sidb`] — an in-memory multi-version storage engine implementing
+//!   snapshot isolation with first-committer-wins conflict detection.
+//! - [`workload`] — TPC-W and RUBiS transaction mixes and closed-loop
+//!   emulated clients.
+//! - [`repl`] — mechanistic simulators of multi-master (certifier based) and
+//!   single-master (master/slave) replicated databases.
+//! - [`profiler`] — the standalone profiling pipeline that measures
+//!   `Pr, Pw, A1, rc, wc, ws, L(1)` exactly as the paper's Section 4
+//!   prescribes.
+//! - [`model`] — the paper's analytical models: the multi-master and
+//!   single-master predictors, the conflict-window fixed point and the
+//!   Figure-3 load-balancing algorithm.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use replipred::model::{MultiMasterModel, SystemConfig, WorkloadProfile};
+//!
+//! // A profile as measured on a standalone database (here: the paper's
+//! // published TPC-W shopping-mix numbers, Tables 2-3).
+//! let profile = WorkloadProfile::tpcw_shopping();
+//! let config = SystemConfig::lan_cluster(40);
+//! let model = MultiMasterModel::new(profile, config);
+//! let prediction = model.predict(8).unwrap();
+//! assert!(prediction.throughput_tps > 0.0);
+//! ```
+pub use replipred_core as model;
+pub use replipred_mva as mva;
+pub use replipred_profiler as profiler;
+pub use replipred_repl as repl;
+pub use replipred_sidb as sidb;
+pub use replipred_sim as sim;
+pub use replipred_workload as workload;

@@ -1,0 +1,252 @@
+//! `replipred` — command-line scalability prediction.
+//!
+//! ```text
+//! replipred predict --workload tpcw-shopping --design mm --replicas 16
+//! replipred plan    --workload tpcw-ordering --tps 250 --max-response-ms 400
+//! replipred profile --workload rubis-bidding --seed 7
+//! replipred simulate --workload tpcw-shopping --design sm --replicas 8
+//! ```
+//!
+//! `--workload` accepts the five published profiles
+//! (`tpcw-{browsing,shopping,ordering}`, `rubis-{browsing,bidding}`) or
+//! `@path/to/profile.json` (a serialized `WorkloadProfile`, as produced by
+//! `profile --json`).
+
+use std::process::ExitCode;
+
+use replipred::model::planner::{plan, Slo};
+use replipred::model::{
+    MultiMasterModel, SingleMasterModel, SystemConfig, WorkloadProfile,
+};
+use replipred::profiler::Profiler;
+use replipred::repl::{MultiMasterSim, SimConfig, SingleMasterSim};
+use replipred::workload::spec::WorkloadSpec;
+use replipred::workload::{rubis, tpcw};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  replipred predict  --workload <w> [--design mm|sm] [--replicas N] [--clients C]
+  replipred plan     --workload <w> --tps X [--max-response-ms R] [--max-abort-pct A]
+  replipred profile  --workload <w> [--seed S] [--json]
+  replipred simulate --workload <w> [--design mm|sm] [--replicas N] [--seed S]
+
+workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-bidding
+           or @profile.json (predict/plan only)";
+
+/// Parses `--flag value` pairs after the subcommand.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn published_profile(name: &str) -> Option<WorkloadProfile> {
+    match name {
+        "tpcw-browsing" => Some(WorkloadProfile::tpcw_browsing()),
+        "tpcw-shopping" => Some(WorkloadProfile::tpcw_shopping()),
+        "tpcw-ordering" => Some(WorkloadProfile::tpcw_ordering()),
+        "rubis-browsing" => Some(WorkloadProfile::rubis_browsing()),
+        "rubis-bidding" => Some(WorkloadProfile::rubis_bidding()),
+        _ => None,
+    }
+}
+
+fn workload_spec(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "tpcw-browsing" => Some(tpcw::mix(tpcw::Mix::Browsing)),
+        "tpcw-shopping" => Some(tpcw::mix(tpcw::Mix::Shopping)),
+        "tpcw-ordering" => Some(tpcw::mix(tpcw::Mix::Ordering)),
+        "rubis-browsing" => Some(rubis::mix(rubis::Mix::Browsing)),
+        "rubis-bidding" => Some(rubis::mix(rubis::Mix::Bidding)),
+        _ => None,
+    }
+}
+
+fn load_profile(args: &[String]) -> Result<WorkloadProfile, String> {
+    let w = flag(args, "--workload").ok_or("missing --workload")?;
+    if let Some(path) = w.strip_prefix('@') {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let profile: WorkloadProfile =
+            serde_json::from_str(&text).map_err(|e| format!("bad profile JSON: {e}"))?;
+        profile.validate().map_err(|e| e.to_string())?;
+        return Ok(profile);
+    }
+    published_profile(&w).ok_or_else(|| format!("unknown workload `{w}`"))
+}
+
+fn default_clients(profile: &WorkloadProfile) -> usize {
+    match profile.name.as_str() {
+        "tpcw-browsing" => 30,
+        "tpcw-shopping" => 40,
+        _ => 50,
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?.as_str();
+    let rest = &args[1..];
+    match cmd {
+        "predict" => predict(rest),
+        "plan" => plan_cmd(rest),
+        "profile" => profile_cmd(rest),
+        "simulate" => simulate(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn predict(args: &[String]) -> Result<(), String> {
+    let profile = load_profile(args)?;
+    let design = flag(args, "--design").unwrap_or_else(|| "mm".into());
+    let replicas: usize = parse_flag(args, "--replicas")?.unwrap_or(16);
+    let clients: usize =
+        parse_flag(args, "--clients")?.unwrap_or_else(|| default_clients(&profile));
+    let config = SystemConfig::lan_cluster(clients);
+    println!(
+        "{:>3} {:>12} {:>12} {:>10} {:>18}",
+        "N", "tput (tps)", "resp (ms)", "abort %", "bottleneck"
+    );
+    for n in 1..=replicas {
+        let p = match design.as_str() {
+            "mm" => MultiMasterModel::new(profile.clone(), config.clone())
+                .predict(n)
+                .map_err(|e| e.to_string())?,
+            "sm" => SingleMasterModel::new(profile.clone(), config.clone())
+                .predict(n)
+                .map_err(|e| e.to_string())?,
+            other => return Err(format!("unknown design `{other}` (use mm or sm)")),
+        };
+        println!(
+            "{n:>3} {:>12.1} {:>12.1} {:>10.3} {:>12} ({:.0}%)",
+            p.throughput_tps,
+            p.response_time * 1e3,
+            p.abort_rate * 1e2,
+            p.bottleneck,
+            p.bottleneck_utilization * 1e2
+        );
+    }
+    Ok(())
+}
+
+fn plan_cmd(args: &[String]) -> Result<(), String> {
+    let profile = load_profile(args)?;
+    let tps: f64 = parse_flag(args, "--tps")?.ok_or("missing --tps")?;
+    let max_resp_ms: Option<f64> = parse_flag(args, "--max-response-ms")?;
+    let max_abort_pct: Option<f64> = parse_flag(args, "--max-abort-pct")?;
+    let clients: usize =
+        parse_flag(args, "--clients")?.unwrap_or_else(|| default_clients(&profile));
+    let slo = Slo {
+        min_throughput_tps: tps,
+        max_response_time: max_resp_ms.map(|r| r / 1e3),
+        max_abort_rate: max_abort_pct.map(|a| a / 1e2),
+    };
+    let plans = plan(&profile, &SystemConfig::lan_cluster(clients), &slo, 16)
+        .map_err(|e| e.to_string())?;
+    if plans.is_empty() {
+        println!("SLO infeasible within 16 replicas");
+        return Ok(());
+    }
+    for p in plans {
+        println!(
+            "{:?}: {} replicas -> {:.1} tps, {:.1} ms, abort {:.3}%",
+            p.design,
+            p.replicas,
+            p.prediction.throughput_tps,
+            p.prediction.response_time * 1e3,
+            p.prediction.abort_rate * 1e2
+        );
+    }
+    Ok(())
+}
+
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    let w = flag(args, "--workload").ok_or("missing --workload")?;
+    let spec = workload_spec(&w).ok_or_else(|| format!("unknown workload `{w}`"))?;
+    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
+    let outcome = Profiler::new(spec).seed(seed).profile();
+    if args.iter().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome.profile).expect("profile serializes")
+        );
+        return Ok(());
+    }
+    let p = &outcome.profile;
+    println!("workload        {}", p.name);
+    println!("Pr / Pw         {:.1}% / {:.1}%", p.pr * 1e2, p.pw * 1e2);
+    println!("A1              {:.4}%", p.a1 * 1e2);
+    println!(
+        "rc (cpu/disk)   {:.2} / {:.2} ms",
+        p.cpu.read * 1e3,
+        p.disk.read * 1e3
+    );
+    println!(
+        "wc (cpu/disk)   {:.2} / {:.2} ms",
+        p.cpu.write * 1e3,
+        p.disk.write * 1e3
+    );
+    println!(
+        "ws (cpu/disk)   {:.2} / {:.2} ms",
+        p.cpu.writeset * 1e3,
+        p.disk.writeset * 1e3
+    );
+    println!("L(1)            {:.1} ms", p.l1 * 1e3);
+    println!("U               {:.2}", p.update_ops);
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let w = flag(args, "--workload").ok_or("missing --workload")?;
+    let spec = workload_spec(&w).ok_or_else(|| format!("unknown workload `{w}`"))?;
+    let design = flag(args, "--design").unwrap_or_else(|| "mm".into());
+    let replicas: usize = parse_flag(args, "--replicas")?.unwrap_or(4);
+    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
+    let cfg = SimConfig::quick(replicas, seed);
+    let report = match design.as_str() {
+        "mm" => MultiMasterSim::new(spec, cfg).run(),
+        "sm" => SingleMasterSim::new(spec, cfg).run(),
+        other => return Err(format!("unknown design `{other}` (use mm or sm)")),
+    };
+    println!("workload        {}", report.workload);
+    println!("replicas        {} ({} clients)", report.replicas, report.clients);
+    println!("throughput      {:.1} tps", report.throughput_tps);
+    println!("response        {:.1} ms", report.response_time * 1e3);
+    println!("abort rate      {:.3}%", report.abort_rate * 1e2);
+    println!(
+        "bottleneck      {} ({:.0}%)",
+        report.bottleneck,
+        report.max_utilization * 1e2
+    );
+    println!(
+        "writesets       {} applied, {:.0} B mean",
+        report.writesets_applied, report.mean_writeset_bytes
+    );
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Cross-validation of the two independent artifacts: the analytical
+//! models (replipred-core) against the mechanistic cluster simulation
+//! (replipred-repl) — the reproduction of the paper's Section 6
+//! validation, in miniature.
+
+use replipred::model::{MultiMasterModel, SingleMasterModel, SystemConfig};
+use replipred::profiler::Profiler;
+use replipred::repl::{MultiMasterSim, SimConfig, SingleMasterSim};
+use replipred::workload::{rubis, tpcw};
+
+fn sim_cfg(n: usize) -> SimConfig {
+    SimConfig {
+        warmup: 15.0,
+        duration: 60.0,
+        ..SimConfig::quick(n, 2009)
+    }
+}
+
+#[test]
+fn mm_shopping_prediction_tracks_simulation() {
+    let spec = tpcw::mix(tpcw::Mix::Shopping);
+    let profile = Profiler::new(spec.clone()).seed(2009).profile().profile;
+    let model = MultiMasterModel::new(profile, SystemConfig::lan_cluster(40));
+    for n in [1usize, 4] {
+        let predicted = model.predict(n).unwrap().throughput_tps;
+        let simulated = MultiMasterSim::new(spec.clone(), sim_cfg(n)).run().throughput_tps;
+        let err = (predicted - simulated).abs() / simulated;
+        assert!(
+            err < 0.20,
+            "N={n}: predicted {predicted:.1} vs simulated {simulated:.1} (err {:.0}%)",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn mm_browsing_scales_in_both_artifacts() {
+    let spec = tpcw::mix(tpcw::Mix::Browsing);
+    let profile = Profiler::new(spec.clone()).seed(1).profile().profile;
+    let model = MultiMasterModel::new(profile, SystemConfig::lan_cluster(30));
+    let p1 = model.predict(1).unwrap().throughput_tps;
+    let p6 = model.predict(6).unwrap().throughput_tps;
+    assert!(p6 > 5.0 * p1, "model: {p1} -> {p6}");
+    let s1 = MultiMasterSim::new(spec.clone(), sim_cfg(1)).run().throughput_tps;
+    let s6 = MultiMasterSim::new(spec, sim_cfg(6)).run().throughput_tps;
+    assert!(s6 > 5.0 * s1, "sim: {s1} -> {s6}");
+}
+
+#[test]
+fn sm_ordering_saturates_in_both_artifacts() {
+    // Paper Figure 8: the ordering mix saturates the master around 4
+    // replicas; model and simulation must both show the plateau.
+    let spec = tpcw::mix(tpcw::Mix::Ordering);
+    let profile = Profiler::new(spec.clone()).seed(3).profile().profile;
+    let model = SingleMasterModel::new(profile, SystemConfig::lan_cluster(50));
+    let p4 = model.predict(4).unwrap().throughput_tps;
+    let p8 = model.predict(8).unwrap().throughput_tps;
+    assert!(p8 < 1.25 * p4, "model should plateau: {p4} -> {p8}");
+    let s4 = SingleMasterSim::new(spec.clone(), sim_cfg(4)).run().throughput_tps;
+    let s8 = SingleMasterSim::new(spec, sim_cfg(8)).run().throughput_tps;
+    assert!(s8 < 1.25 * s4, "sim should plateau: {s4} -> {s8}");
+}
+
+#[test]
+fn mm_beats_sm_at_scale_on_ordering_in_both_artifacts() {
+    // The paper's headline design comparison at an update-heavy mix.
+    let spec = tpcw::mix(tpcw::Mix::Ordering);
+    let profile = Profiler::new(spec.clone()).seed(5).profile().profile;
+    let config = SystemConfig::lan_cluster(50);
+    let mm_pred = MultiMasterModel::new(profile.clone(), config.clone())
+        .predict(8)
+        .unwrap()
+        .throughput_tps;
+    let sm_pred = SingleMasterModel::new(profile, config)
+        .predict(8)
+        .unwrap()
+        .throughput_tps;
+    assert!(mm_pred > 1.2 * sm_pred, "model: mm {mm_pred} sm {sm_pred}");
+    let mm_sim = MultiMasterSim::new(spec.clone(), sim_cfg(8)).run().throughput_tps;
+    let sm_sim = SingleMasterSim::new(spec, sim_cfg(8)).run().throughput_tps;
+    assert!(mm_sim > 1.2 * sm_sim, "sim: mm {mm_sim} sm {sm_sim}");
+}
+
+#[test]
+fn rubis_bidding_shapes_match_the_paper() {
+    // RUBiS bidding is disk-write-heavy. Paper Figures 10 and 12: the MM
+    // system keeps gaining (modestly) up to ~6 replicas, while the SM
+    // system is pinned by the master's disk. At 6 replicas the two designs
+    // are nearly tied; the distinguishing shape is the growth pattern.
+    let spec = rubis::mix(rubis::Mix::Bidding);
+    let mm3 = MultiMasterSim::new(spec.clone(), sim_cfg(3)).run().throughput_tps;
+    let mm6 = MultiMasterSim::new(spec.clone(), sim_cfg(6)).run().throughput_tps;
+    assert!(mm6 > 1.1 * mm3, "MM should still gain: {mm3} -> {mm6}");
+    let sm3 = SingleMasterSim::new(spec.clone(), sim_cfg(3)).run().throughput_tps;
+    let sm6 = SingleMasterSim::new(spec, sim_cfg(6)).run().throughput_tps;
+    assert!(
+        sm6 < 1.35 * sm3,
+        "SM should be near its master-disk ceiling: {sm3} -> {sm6}"
+    );
+    // And the designs are within ~15% of each other at N=6.
+    assert!((mm6 - sm6).abs() / sm6 < 0.15, "mm {mm6} vs sm {sm6}");
+}
+
+#[test]
+fn response_time_prediction_is_sane() {
+    let spec = tpcw::mix(tpcw::Mix::Shopping);
+    let profile = Profiler::new(spec.clone()).seed(7).profile().profile;
+    let model = MultiMasterModel::new(profile, SystemConfig::lan_cluster(40));
+    let predicted = model.predict(4).unwrap().response_time;
+    let simulated = MultiMasterSim::new(spec, sim_cfg(4)).run().response_time;
+    let err = (predicted - simulated).abs() / simulated;
+    assert!(
+        err < 0.35,
+        "predicted {:.1} ms vs simulated {:.1} ms",
+        predicted * 1e3,
+        simulated * 1e3
+    );
+}

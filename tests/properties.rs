@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) on the core invariants, spanning the
+//! solver, the abort algebra and the storage engine.
+
+use proptest::prelude::*;
+use replipred::model::{AbortModel, MultiMasterModel, SystemConfig, WorkloadProfile};
+use replipred::mva::{approx, bounds, exact, ClosedNetwork};
+use replipred::sidb::{Database, Value};
+
+fn arb_network() -> impl Strategy<Value = ClosedNetwork> {
+    (
+        0.001f64..0.2,   // cpu demand
+        0.001f64..0.2,   // disk demand
+        0.0f64..0.05,    // delay
+        0.0f64..3.0,     // think time
+    )
+        .prop_map(|(cpu, disk, delay, z)| {
+            ClosedNetwork::builder()
+                .queueing("cpu", cpu)
+                .queueing("disk", disk)
+                .delay("lan", delay)
+                .think_time(z)
+                .build()
+                .expect("generated demands are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact MVA always sits inside the asymptotic bounds, and Little's
+    /// law holds exactly at every population.
+    #[test]
+    fn mva_respects_bounds_and_littles_law(net in arb_network(), n in 1usize..400) {
+        let sol = exact::solve(&net, n).unwrap();
+        let b = bounds::asymptotic(&net, n);
+        prop_assert!(sol.throughput <= b.throughput_upper + 1e-9);
+        prop_assert!(sol.throughput >= b.throughput_lower - 1e-9);
+        let reconstructed = sol.throughput * (sol.response_time + net.think_time());
+        prop_assert!((reconstructed - n as f64).abs() < 1e-6);
+    }
+
+    /// Throughput is monotone in population; utilization never exceeds 1
+    /// at queueing centers.
+    #[test]
+    fn mva_monotonicity_and_utilization(net in arb_network(), n in 2usize..300) {
+        let a = exact::solve(&net, n - 1).unwrap();
+        let b = exact::solve(&net, n).unwrap();
+        prop_assert!(b.throughput >= a.throughput - 1e-9);
+        for c in &b.centers {
+            if c.name != "lan" {
+                prop_assert!(c.utilization <= 1.0 + 1e-9, "{} u={}", c.name, c.utilization);
+            }
+        }
+    }
+
+    /// The Schweitzer approximation stays within a few percent of exact.
+    #[test]
+    fn schweitzer_close_to_exact(net in arb_network(), n in 1usize..300) {
+        let e = exact::solve(&net, n).unwrap();
+        let a = approx::solve_single(&net, n).unwrap();
+        let rel = (a.throughput - e.throughput).abs() / e.throughput;
+        prop_assert!(rel < 0.08, "rel {rel} at n={n}");
+    }
+
+    /// Abort algebra: A_N is a probability, grows with the window and the
+    /// replica count, and reduces to A1 at CW = L(1), N = 1.
+    #[test]
+    fn abort_model_algebra(
+        a1 in 0.0001f64..0.05,
+        l1 in 0.005f64..0.5,
+        cw_mult in 1.0f64..10.0,
+        n in 1usize..32,
+    ) {
+        let m = AbortModel::new(a1, l1);
+        let a_n = m.replicated(l1 * cw_mult, n);
+        prop_assert!((0.0..1.0).contains(&a_n));
+        prop_assert!(a_n >= a1 - 1e-12 || n == 1 && cw_mult == 1.0);
+        prop_assert!(m.replicated(l1 * cw_mult, n + 1) >= a_n - 1e-12);
+        prop_assert!(m.replicated(l1 * cw_mult * 2.0, n) >= a_n - 1e-12);
+        let identity = m.replicated(l1, 1);
+        prop_assert!((identity - a1).abs() < 1e-12);
+    }
+
+    /// The MM model yields finite, positive, monotone-in-N throughput for
+    /// arbitrary valid profiles.
+    #[test]
+    fn mm_model_total_function(
+        pr in 0.5f64..1.0,
+        rc in 0.005f64..0.08,
+        wc in 0.002f64..0.05,
+        ws_frac in 0.05f64..0.9,
+        a1 in 0.0f64..0.01,
+    ) {
+        let mut profile = WorkloadProfile {
+            name: "prop".into(),
+            pr,
+            pw: 1.0 - pr,
+            a1,
+            cpu: replipred::model::ResourceDemands { read: rc, write: wc, writeset: wc * ws_frac },
+            disk: replipred::model::ResourceDemands { read: rc / 2.0, write: wc / 2.0, writeset: wc * ws_frac / 2.0 },
+            l1: wc * 2.0,
+            update_ops: 3.0,
+            db_update_size: 10_000.0,
+        };
+        profile.estimate_l1(40, 1.0).unwrap();
+        let model = MultiMasterModel::new(profile, SystemConfig::lan_cluster(40));
+        let mut last = 0.0;
+        for n in [1usize, 2, 4, 8] {
+            let p = model.predict(n).unwrap();
+            prop_assert!(p.throughput_tps.is_finite() && p.throughput_tps > 0.0);
+            prop_assert!(p.throughput_tps >= last * 0.999, "dip at N={n}");
+            prop_assert!((0.0..1.0).contains(&p.abort_rate));
+            last = p.throughput_tps;
+        }
+    }
+
+    /// SI engine: first committer wins regardless of the interleaving of
+    /// a batch of single-row updates.
+    #[test]
+    fn si_first_committer_wins(rows in proptest::collection::vec(0u64..20, 2..12)) {
+        let mut db = Database::new();
+        db.create_table("t", &["v"]).unwrap();
+        let seed = db.begin();
+        for i in 0..20u64 {
+            db.insert(seed, "t", i, vec![Value::Int(0)]).unwrap();
+        }
+        db.commit(seed).unwrap();
+        // Begin all transactions concurrently (same snapshot), each
+        // updating its assigned row; commit in order.
+        let txns: Vec<_> = rows.iter().map(|_| db.begin()).collect();
+        for (txn, &row) in txns.iter().zip(&rows) {
+            db.update(*txn, "t", row, vec![Value::Int(1)]).unwrap();
+        }
+        let mut winners: std::collections::HashMap<u64, usize> = Default::default();
+        for (i, (txn, &row)) in txns.iter().zip(&rows).enumerate() {
+            match db.commit(*txn) {
+                Ok(_) => {
+                    // Must be the first committer for this row.
+                    prop_assert!(!winners.contains_key(&row), "row {row} won twice");
+                    winners.insert(row, i);
+                }
+                Err(e) => {
+                    prop_assert!(e.is_conflict());
+                    // Some earlier transaction must have won this row.
+                    prop_assert!(winners.contains_key(&row));
+                }
+            }
+        }
+    }
+
+    /// Writeset application is deterministic: applying the same stream to
+    /// two replicas yields identical versions.
+    #[test]
+    fn writeset_application_deterministic(updates in proptest::collection::vec((0u64..50, -100i64..100), 1..40)) {
+        let build = || {
+            let mut db = Database::new();
+            db.create_table("t", &["v"]).unwrap();
+            let s = db.begin();
+            for i in 0..50u64 {
+                db.insert(s, "t", i, vec![Value::Int(0)]).unwrap();
+            }
+            db.commit(s).unwrap();
+            db
+        };
+        let mut primary = build();
+        let mut replica_a = build();
+        let mut replica_b = build();
+        for &(row, val) in &updates {
+            let t = primary.begin();
+            primary.update(t, "t", row, vec![Value::Int(val)]).unwrap();
+            let info = primary.commit(t).unwrap();
+            replica_a.apply_writeset(&info.writeset).unwrap();
+            replica_b.apply_writeset(&info.writeset).unwrap();
+        }
+        let scan = |db: &mut Database| {
+            let t = db.begin();
+            db.scan(t, "t").unwrap()
+        };
+        prop_assert_eq!(scan(&mut replica_a), scan(&mut replica_b));
+        prop_assert_eq!(replica_a.version(), replica_b.version());
+    }
+}
