@@ -41,7 +41,8 @@ fn bench_certifier(c: &mut Criterion) {
         b.iter(|| {
             let t = db.begin();
             row += 1;
-            db.update(t, "t", row % 100_000, vec![Value::Int(1)]).unwrap();
+            db.update(t, "t", row % 100_000, vec![Value::Int(1)])
+                .unwrap();
             let ws = db.writeset_of(t).unwrap();
             db.abort(t).unwrap();
             black_box(cert.certify(&ws))
@@ -66,5 +67,10 @@ fn bench_des_events(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sidb_commit, bench_certifier, bench_des_events);
+criterion_group!(
+    benches,
+    bench_sidb_commit,
+    bench_certifier,
+    bench_des_events
+);
 criterion_main!(benches);

@@ -19,8 +19,8 @@ fn main() {
         let interleaved = MultiMasterModel::new(profile.clone(), config.clone())
             .predict_abort_rate(16)
             .expect("valid");
-        let naive = AbortModel::new(a1, profile.l1)
-            .replicated(profile.l1 + config.certifier_delay, 16);
+        let naive =
+            AbortModel::new(a1, profile.l1).replicated(profile.l1 + config.certifier_delay, 16);
         println!(
             "{:>7.2}% {:>15.2}% {:>15.2}%",
             100.0 * a1,

@@ -2,9 +2,7 @@
 //! the workload's ground-truth means. Quantifies how much prediction
 //! error the measurement pipeline itself introduces.
 use replipred_bench::{profile_workload, replica_sweep};
-use replipred_core::{
-    MultiMasterModel, ResourceDemands, SystemConfig, WorkloadProfile,
-};
+use replipred_core::{MultiMasterModel, ResourceDemands, SystemConfig, WorkloadProfile};
 use replipred_workload::tpcw;
 
 fn main() {
@@ -29,15 +27,23 @@ fn main() {
         update_ops: spec.mean_update_ops(),
         db_update_size: spec.db_update_size as f64,
     };
-    truth.estimate_l1(spec.clients_per_replica, 1.0).expect("valid");
+    truth
+        .estimate_l1(spec.clients_per_replica, 1.0)
+        .expect("valid");
     let config = SystemConfig::lan_cluster(spec.clients_per_replica);
     let m_prof = MultiMasterModel::new(profiled, config.clone());
     let m_truth = MultiMasterModel::new(truth, config);
     println!("# Ablation: profiled parameters vs ground truth (MM, TPC-W shopping).");
-    println!("{:>3} {:>14} {:>14} {:>8}", "N", "tput(profiled)", "tput(truth)", "gap%");
+    println!(
+        "{:>3} {:>14} {:>14} {:>8}",
+        "N", "tput(profiled)", "tput(truth)", "gap%"
+    );
     for &n in &replica_sweep() {
         let a = m_prof.predict(n).expect("valid").throughput_tps;
         let b = m_truth.predict(n).expect("valid").throughput_tps;
-        println!("{n:>3} {a:>14.1} {b:>14.1} {:>7.2}%", 100.0 * (a - b).abs() / b);
+        println!(
+            "{n:>3} {a:>14.1} {b:>14.1} {:>7.2}%",
+            100.0 * (a - b).abs() / b
+        );
     }
 }

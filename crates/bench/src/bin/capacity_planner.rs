@@ -23,7 +23,10 @@ fn main() {
         };
         let plans = plan(&profile, &config, &slo, 16).expect("valid inputs");
         if plans.is_empty() {
-            println!("{target:>12.0} {:>14} {:>14} {:>10} {:>12}", "infeasible", "-", "-", "-");
+            println!(
+                "{target:>12.0} {:>14} {:>14} {:>10} {:>12}",
+                "infeasible", "-", "-", "-"
+            );
             continue;
         }
         for p in plans {

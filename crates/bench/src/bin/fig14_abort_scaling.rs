@@ -45,12 +45,13 @@ fn main() {
         let standalone = StandaloneSim::new(spec.clone(), calibration_config()).run();
         let a1 = standalone.abort_rate;
         let profile = profile_workload(&spec).with_a1(a1.max(1e-6));
-        let model = MultiMasterModel::new(
-            profile,
-            SystemConfig::lan_cluster(spec.clients_per_replica),
+        let model =
+            MultiMasterModel::new(profile, SystemConfig::lan_cluster(spec.clients_per_replica));
+        println!(
+            "# target A1 {:.2}% -> heap {rows} rows, measured standalone A1 {:.2}%",
+            100.0 * target_a1,
+            100.0 * a1
         );
-        println!("# target A1 {:.2}% -> heap {rows} rows, measured standalone A1 {:.2}%",
-            100.0 * target_a1, 100.0 * a1);
         for &n in &replica_sweep() {
             let measured = MultiMasterSim::new(spec.clone(), sim_config(n)).run();
             let predicted = model.predict_abort_rate(n).expect("valid inputs");

@@ -8,7 +8,10 @@ use replipred_core::{MultiMasterModel, SystemConfig, WorkloadProfile};
 fn main() {
     let profile = WorkloadProfile::tpcw_shopping();
     println!("# Sensitivity: load balancer / network delay (MM, TPC-W shopping, N=8).");
-    println!("{:>12} {:>12} {:>14}", "lb delay", "tput (tps)", "response (ms)");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "lb delay", "tput (tps)", "response (ms)"
+    );
     for delay_ms in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0] {
         let config = SystemConfig {
             lb_delay: delay_ms / 1e3,

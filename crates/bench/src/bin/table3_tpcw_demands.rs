@@ -18,13 +18,25 @@ fn main() {
         let name = spec.name.trim_start_matches("tpcw-");
         println!(
             "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2} | {:>8.2} {:>8.2} {:>8.2}",
-            name, "CPU", p.cpu.read * 1e3, p.cpu.write * 1e3, p.cpu.writeset * 1e3,
-            rc_c * 1e3, wc_c * 1e3, ws_c * 1e3
+            name,
+            "CPU",
+            p.cpu.read * 1e3,
+            p.cpu.write * 1e3,
+            p.cpu.writeset * 1e3,
+            rc_c * 1e3,
+            wc_c * 1e3,
+            ws_c * 1e3
         );
         println!(
             "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2} | {:>8.2} {:>8.2} {:>8.2}",
-            "", "Disk", p.disk.read * 1e3, p.disk.write * 1e3, p.disk.writeset * 1e3,
-            rc_d * 1e3, wc_d * 1e3, ws_d * 1e3
+            "",
+            "Disk",
+            p.disk.read * 1e3,
+            p.disk.write * 1e3,
+            p.disk.writeset * 1e3,
+            rc_d * 1e3,
+            wc_d * 1e3,
+            ws_d * 1e3
         );
     }
 }

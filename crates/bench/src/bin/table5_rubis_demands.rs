@@ -15,11 +15,19 @@ fn main() {
         let name = spec.name.trim_start_matches("rubis-");
         println!(
             "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2}",
-            name, "CPU", p.cpu.read * 1e3, p.cpu.write * 1e3, p.cpu.writeset * 1e3
+            name,
+            "CPU",
+            p.cpu.read * 1e3,
+            p.cpu.write * 1e3,
+            p.cpu.writeset * 1e3
         );
         println!(
             "{:<10} {:<9} {:>10.2} {:>10.2} {:>12.2}",
-            "", "Disk", p.disk.read * 1e3, p.disk.write * 1e3, p.disk.writeset * 1e3
+            "",
+            "Disk",
+            p.disk.read * 1e3,
+            p.disk.write * 1e3,
+            p.disk.writeset * 1e3
         );
     }
 }

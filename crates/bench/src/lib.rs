@@ -74,7 +74,9 @@ pub fn replica_sweep() -> Vec<usize> {
 
 /// True when `REPLIPRED_FULL=1`.
 pub fn full_mode() -> bool {
-    std::env::var("REPLIPRED_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("REPLIPRED_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The experiment seed (`REPLIPRED_SEED`, default 2009).

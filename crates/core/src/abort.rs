@@ -36,7 +36,10 @@ impl AbortModel {
     /// callers validate profiles before constructing models.
     pub fn new(a1: f64, l1: f64) -> Self {
         assert!((0.0..1.0).contains(&a1), "A1 must be in [0,1), got {a1}");
-        assert!(l1 > 0.0 && l1.is_finite(), "L(1) must be positive, got {l1}");
+        assert!(
+            l1 > 0.0 && l1.is_finite(),
+            "L(1) must be positive, got {l1}"
+        );
         AbortModel { a1, l1 }
     }
 

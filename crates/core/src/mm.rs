@@ -110,7 +110,11 @@ impl MultiMasterModel {
         let wc_disk = p.disk.write;
         // Interleaved CW/A_N fixed point: state carried across MVA client
         // iterations.
-        let mut a_n = if n == 1 { p.a1 } else { abort.replicated(p.l1 + certifier_delay, n) };
+        let mut a_n = if n == 1 {
+            p.a1
+        } else {
+            abort.replicated(p.l1 + certifier_delay, n)
+        };
         let mut cw = p.l1 + certifier_delay;
         let network = self.network(n, a_n)?;
         let this = self.clone();
@@ -237,10 +241,7 @@ mod tests {
         let m = model(WorkloadProfile::tpcw_ordering(), 50);
         let curve = m.predict_curve(16).unwrap();
         let speedup = curve.total_speedup().unwrap();
-        assert!(
-            (4.5..=9.5).contains(&speedup),
-            "ordering speedup {speedup}"
-        );
+        assert!((4.5..=9.5).contains(&speedup), "ordering speedup {speedup}");
         // And it is clearly worse than browsing's.
         let browsing = model(WorkloadProfile::tpcw_browsing(), 30)
             .predict_curve(16)
@@ -267,7 +268,12 @@ mod tests {
         .predict()
         .unwrap();
         let rel = (mm.throughput_tps - sa.throughput_tps).abs() / sa.throughput_tps;
-        assert!(rel < 0.03, "mm {} vs standalone {}", mm.throughput_tps, sa.throughput_tps);
+        assert!(
+            rel < 0.03,
+            "mm {} vs standalone {}",
+            mm.throughput_tps,
+            sa.throughput_tps
+        );
     }
 
     #[test]

@@ -42,11 +42,7 @@ impl ResourceDemands {
     }
 
     fn validate(&self, resource: &str) -> Result<(), ModelError> {
-        for (name, v) in [
-            ("rc", self.read),
-            ("wc", self.write),
-            ("ws", self.writeset),
-        ] {
+        for (name, v) in [("rc", self.read), ("wc", self.write), ("ws", self.writeset)] {
             if !v.is_finite() || v < 0.0 {
                 return Err(ModelError::InvalidProfile(format!(
                     "{resource} {name} demand {v} must be finite and non-negative"
@@ -161,10 +157,7 @@ impl WorkloadProfile {
     /// Returns a copy with a different measured `A1` (used by the Figure-14
     /// abort-stress experiment, which dials `A1` up via a heap table).
     pub fn with_a1(&self, a1: f64) -> Self {
-        WorkloadProfile {
-            a1,
-            ..self.clone()
-        }
+        WorkloadProfile { a1, ..self.clone() }
     }
 
     // ---- Published parameters (paper Tables 2-5) ----

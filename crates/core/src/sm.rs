@@ -119,11 +119,14 @@ impl SingleMasterModel {
             return Ok(solve_single_real(&self.slave_network(0.0)?, 0.0)?);
         }
         // Initial guess: no-queueing throughput.
-        let mut read_tps =
-            clients / (self.config.think_time + p.cpu.read + p.disk.read).max(1e-9);
+        let mut read_tps = clients / (self.config.think_time + p.cpu.read + p.disk.read).max(1e-9);
         let mut sol = None;
         for _ in 0..200 {
-            let ratio = if read_tps > 1e-9 { write_tps / read_tps } else { 0.0 };
+            let ratio = if read_tps > 1e-9 {
+                write_tps / read_tps
+            } else {
+                0.0
+            };
             let net = self.slave_network(ratio)?;
             let s = solve_single_real(&net, clients)?;
             let new_tps = s.throughput;
@@ -202,7 +205,11 @@ impl SingleMasterModel {
 
             // Property (2): populations proportional to class residence.
             let denom = p.pr * (r_r + z) + p.pw * (r_w + z);
-            let n_w_target = if denom > 0.0 { total * p.pw * (r_w + z) / denom } else { 0.0 };
+            let n_w_target = if denom > 0.0 {
+                total * p.pw * (r_w + z) / denom
+            } else {
+                0.0
+            };
 
             // Least-loaded read dispatch: move read share toward the
             // faster node.
@@ -238,12 +245,10 @@ impl SingleMasterModel {
         // within the solver tolerance (property 1) unless the workload is
         // degenerate.
         debug_assert!(
-            b.write_tps <= 0.0
-                || p.pw == 0.0
-                || {
-                    let err = self.ratio_error(&b).abs();
-                    err <= BALANCE_TOL.max(0.02) * (b.read_tps + b.write_tps)
-                },
+            b.write_tps <= 0.0 || p.pw == 0.0 || {
+                let err = self.ratio_error(&b).abs();
+                err <= BALANCE_TOL.max(0.02) * (b.read_tps + b.write_tps)
+            },
             "unbalanced fixed point: reads {} writes {}",
             b.read_tps,
             b.write_tps
@@ -314,12 +319,11 @@ impl SingleMasterModel {
         let abort_model = AbortModel::new(p.a1, p.l1);
         let a_master = abort_model.master(b.l_master, n);
         // System response time by the interactive response-time law.
-        let response =
-            replipred_mva::ops::interactive_response_time(
-                total_clients as f64,
-                x_total,
-                self.config.think_time,
-            );
+        let response = replipred_mva::ops::interactive_response_time(
+            total_clients as f64,
+            x_total,
+            self.config.think_time,
+        );
         // Bottleneck across master and slave resources.
         // The approximate (Schweitzer) solver can overshoot U = 1 by a
         // hair near saturation; clamp for reporting.
@@ -444,7 +448,12 @@ mod tests {
         .predict(1)
         .unwrap();
         let rel = (sm.throughput_tps - mm.throughput_tps).abs() / mm.throughput_tps;
-        assert!(rel < 0.08, "sm {} mm {}", sm.throughput_tps, mm.throughput_tps);
+        assert!(
+            rel < 0.08,
+            "sm {} mm {}",
+            sm.throughput_tps,
+            mm.throughput_tps
+        );
     }
 
     #[test]

@@ -56,10 +56,7 @@ impl StandaloneModel {
     pub fn predict_at(&self, clients: usize) -> Result<Prediction, ModelError> {
         let network = self.network()?;
         let sol = exact::solve(&network, clients)?;
-        let bottleneck = sol
-            .bottleneck()
-            .expect("network has centers")
-            .clone();
+        let bottleneck = sol.bottleneck().expect("network has centers").clone();
         Ok(Prediction {
             design: Design::Standalone,
             replicas: 1,

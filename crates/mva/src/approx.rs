@@ -122,7 +122,11 @@ pub fn solve_single_real(
             r_total += residence[k];
         }
         let denom = network.think_time() + r_total;
-        let throughput = if denom > 0.0 { n / denom } else { f64::INFINITY };
+        let throughput = if denom > 0.0 {
+            n / denom
+        } else {
+            f64::INFINITY
+        };
         let mut delta: f64 = 0.0;
         for k in 0..k_count {
             let new_q = throughput * residence[k];
@@ -257,7 +261,11 @@ pub fn solve_multiclass_real(
                 r_total += r;
             }
             let denom = network.think_time(c) + r_total;
-            throughput[c] = if denom > 0.0 { pop / denom } else { f64::INFINITY };
+            throughput[c] = if denom > 0.0 {
+                pop / denom
+            } else {
+                f64::INFINITY
+            };
             response[c] = r_total;
         }
         for c in 0..classes {

@@ -48,12 +48,24 @@ pub fn asymptotic(network: &ClosedNetwork, population: usize) -> AsymptoticBound
     let d = network.total_demand();
     let z = network.think_time();
     let dmax = network.max_queueing_demand();
-    let sat = if dmax > 0.0 { 1.0 / dmax } else { f64::INFINITY };
-    let light = if d + z > 0.0 { n / (d + z) } else { f64::INFINITY };
+    let sat = if dmax > 0.0 {
+        1.0 / dmax
+    } else {
+        f64::INFINITY
+    };
+    let light = if d + z > 0.0 {
+        n / (d + z)
+    } else {
+        f64::INFINITY
+    };
     AsymptoticBounds {
         population,
         throughput_upper: sat.min(light),
-        throughput_lower: if n * d + z > 0.0 { n / (n * d + z) } else { f64::INFINITY },
+        throughput_lower: if n * d + z > 0.0 {
+            n / (n * d + z)
+        } else {
+            f64::INFINITY
+        },
         response_lower: d.max(n * dmax - z),
         response_upper: n * d,
     }
@@ -111,7 +123,11 @@ pub fn balanced(network: &ClosedNetwork, population: usize) -> BalancedBounds {
         .map(|c| c.demand)
         .collect();
     if queueing.is_empty() {
-        let x = if d + z > 0.0 { n / (d + z) } else { f64::INFINITY };
+        let x = if d + z > 0.0 {
+            n / (d + z)
+        } else {
+            f64::INFINITY
+        };
         return BalancedBounds {
             population,
             throughput_upper: x,
@@ -119,7 +135,11 @@ pub fn balanced(network: &ClosedNetwork, population: usize) -> BalancedBounds {
         };
     }
     let davg = queueing.iter().sum::<f64>() / queueing.len() as f64;
-    let saturation = if dmax > 0.0 { 1.0 / dmax } else { f64::INFINITY };
+    let saturation = if dmax > 0.0 {
+        1.0 / dmax
+    } else {
+        f64::INFINITY
+    };
     let upper = if z == 0.0 {
         (n / (d + (n - 1.0) * davg)).min(saturation)
     } else {

@@ -227,7 +227,11 @@ impl Recurrence {
         let denom = self.think + total_r;
         // A network whose every demand is zero and think time is zero would
         // yield infinite throughput; clamp via the denominator guard.
-        self.throughput = if denom > 0.0 { n as f64 / denom } else { f64::INFINITY };
+        self.throughput = if denom > 0.0 {
+            n as f64 / denom
+        } else {
+            f64::INFINITY
+        };
         self.response = total_r;
         for k in 0..self.demands.len() {
             self.queue[k] = self.throughput * self.residence[k];
@@ -285,7 +289,11 @@ mod tests {
     fn saturates_at_bottleneck() {
         let net = simple_net();
         let sol = solve(&net, 2000).unwrap();
-        assert!((sol.throughput - 50.0).abs() < 0.05, "tput {}", sol.throughput);
+        assert!(
+            (sol.throughput - 50.0).abs() < 0.05,
+            "tput {}",
+            sol.throughput
+        );
         let cpu = sol.utilization("cpu").unwrap();
         assert!(cpu > 0.999);
     }

@@ -191,9 +191,7 @@ pub fn solve_exact(
     for c in (0..classes.saturating_sub(1)).rev() {
         strides[c] = strides[c + 1] * dims[c + 1];
     }
-    let index = |n: &[usize]| -> usize {
-        n.iter().zip(&strides).map(|(v, s)| v * s).sum()
-    };
+    let index = |n: &[usize]| -> usize { n.iter().zip(&strides).map(|(v, s)| v * s).sum() };
 
     // Q[k] per lattice point.
     let mut q = vec![0.0f64; lattice * centers];
@@ -425,11 +423,7 @@ mod tests {
                 ("cpu".into(), CenterKind::Queueing),
                 ("disk".into(), CenterKind::Queueing),
             ],
-            vec![
-                vec![0.02, 0.01],
-                vec![0.01, 0.02],
-                vec![0.015, 0.015],
-            ],
+            vec![vec![0.02, 0.01], vec![0.01, 0.02], vec![0.015, 0.015]],
             vec![0.5, 0.5, 0.5],
         )
         .unwrap();

@@ -300,7 +300,10 @@ mod tests {
 
     #[test]
     fn with_demands_rejects_wrong_len() {
-        let net = ClosedNetwork::builder().queueing("cpu", 0.02).build().unwrap();
+        let net = ClosedNetwork::builder()
+            .queueing("cpu", 0.02)
+            .build()
+            .unwrap();
         assert!(matches!(
             net.with_demands(&[0.1, 0.2]),
             Err(MvaError::DimensionMismatch { .. })
@@ -322,7 +325,10 @@ mod tests {
     fn zero_demand_center_is_allowed() {
         // Zero-demand centers arise naturally (e.g. a pure-read mix has no
         // writeset application cost); they must be representable.
-        let net = ClosedNetwork::builder().queueing("cpu", 0.0).build().unwrap();
+        let net = ClosedNetwork::builder()
+            .queueing("cpu", 0.0)
+            .build()
+            .unwrap();
         assert_eq!(net.total_demand(), 0.0);
     }
 }

@@ -175,7 +175,9 @@ mod tests {
 
     #[test]
     fn read_only_workload_profiles_cleanly() {
-        let outcome = Profiler::new(rubis::mix(rubis::Mix::Browsing)).seed(2).profile();
+        let outcome = Profiler::new(rubis::mix(rubis::Mix::Browsing))
+            .seed(2)
+            .profile();
         let p = &outcome.profile;
         assert_eq!(p.pw, 0.0);
         assert_eq!(p.a1, 0.0);
@@ -187,7 +189,9 @@ mod tests {
     fn profile_feeds_the_models() {
         // End-to-end: profile -> predict. The headline workflow of the
         // paper must typecheck *and* produce sane numbers.
-        let outcome = Profiler::new(tpcw::mix(tpcw::Mix::Shopping)).seed(3).profile();
+        let outcome = Profiler::new(tpcw::mix(tpcw::Mix::Shopping))
+            .seed(3)
+            .profile();
         let config = replipred_core::SystemConfig::lan_cluster(40);
         let mm = replipred_core::MultiMasterModel::new(outcome.profile.clone(), config.clone());
         let p1 = mm.predict(1).unwrap();
@@ -199,8 +203,12 @@ mod tests {
 
     #[test]
     fn profiling_is_deterministic() {
-        let a = Profiler::new(tpcw::mix(tpcw::Mix::Ordering)).seed(9).profile();
-        let b = Profiler::new(tpcw::mix(tpcw::Mix::Ordering)).seed(9).profile();
+        let a = Profiler::new(tpcw::mix(tpcw::Mix::Ordering))
+            .seed(9)
+            .profile();
+        let b = Profiler::new(tpcw::mix(tpcw::Mix::Ordering))
+            .seed(9)
+            .profile();
         assert_eq!(a.profile, b.profile);
     }
 }

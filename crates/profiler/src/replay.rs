@@ -58,7 +58,11 @@ struct WsWorld {
 /// standalone system's resources (open loop: the replayer, like the
 /// paper's, feeds captured writesets as fast as the log did) and derives
 /// `ws` demands with the Utilization Law.
-pub fn measure_writeset_demands(spec: &WorkloadSpec, cfg: &SimConfig, rate: f64) -> MeasuredDemands {
+pub fn measure_writeset_demands(
+    spec: &WorkloadSpec,
+    cfg: &SimConfig,
+    rate: f64,
+) -> MeasuredDemands {
     assert!(rate > 0.0, "writeset replay needs a positive rate");
     let world = WsWorld {
         cpu: Ps::new(1.0),
@@ -109,14 +113,24 @@ fn schedule_arrival(engine: &mut Engine<WsWorld>) {
             let w = e.world_mut();
             (w.rng.exp(w.ws_cpu), w.rng.exp(w.ws_disk))
         };
-        Ps::submit(e, |w: &mut WsWorld| &mut w.cpu, cpu_d, move |e| {
-            Fcfs::submit(e, |w: &mut WsWorld| &mut w.disk, disk_d, |e| {
-                let w = e.world_mut();
-                if w.measuring {
-                    w.applied += 1;
-                }
-            });
-        });
+        Ps::submit(
+            e,
+            |w: &mut WsWorld| &mut w.cpu,
+            cpu_d,
+            move |e| {
+                Fcfs::submit(
+                    e,
+                    |w: &mut WsWorld| &mut w.disk,
+                    disk_d,
+                    |e| {
+                        let w = e.world_mut();
+                        if w.measuring {
+                            w.applied += 1;
+                        }
+                    },
+                );
+            },
+        );
         schedule_arrival(e);
     });
 }
@@ -145,7 +159,12 @@ mod tests {
         let spec = tpcw::mix(tpcw::Mix::Shopping);
         let m = measure_transaction_demands(&spec, &cfg(1), TxnFilter::ReadsOnly);
         let rel = (m.cpu - spec.mean_read_cpu()).abs() / spec.mean_read_cpu();
-        assert!(rel < 0.08, "rc_cpu {} vs {} (rel {rel})", m.cpu, spec.mean_read_cpu());
+        assert!(
+            rel < 0.08,
+            "rc_cpu {} vs {} (rel {rel})",
+            m.cpu,
+            spec.mean_read_cpu()
+        );
         let rel_d = (m.disk - spec.mean_read_disk()).abs() / spec.mean_read_disk();
         assert!(rel_d < 0.08, "rc_disk rel {rel_d}");
     }

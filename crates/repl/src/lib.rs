@@ -49,9 +49,9 @@ pub mod sm;
 pub mod standalone;
 
 pub use certifier::Certifier;
-pub use replicated_certifier::ReplicatedCertifier;
 pub use config::SimConfig;
 pub use metrics::RunReport;
 pub use mm::MultiMasterSim;
+pub use replicated_certifier::ReplicatedCertifier;
 pub use sm::SingleMasterSim;
 pub use standalone::StandaloneSim;

@@ -180,10 +180,7 @@ mod tests {
             80,
             10.0,
             &m,
-            &[
-                ("replica0".into(), 0.5, 0.2),
-                ("replica1".into(), 0.9, 0.3),
-            ],
+            &[("replica0".into(), 0.5, 0.2), ("replica1".into(), 0.9, 0.3)],
         );
         assert!((r.throughput_tps - 10.0).abs() < 1e-12);
         assert!((r.mean_cpu_utilization - 0.7).abs() < 1e-12);

@@ -374,7 +374,13 @@ fn complete_attempt(
 }
 
 /// Records a completed transaction and returns the client to think state.
-fn respond(engine: &mut Engine<World>, client: ClientId, replica: usize, started: f64, update: bool) {
+fn respond(
+    engine: &mut Engine<World>,
+    client: ClientId,
+    replica: usize,
+    started: f64,
+    update: bool,
+) {
     let now = engine.now().as_secs();
     release(engine, replica);
     {
@@ -443,8 +449,7 @@ fn mark_ready(
             break;
         }
         let ws = entry.remove();
-        r.db
-            .apply_writeset(&ws)
+        r.db.apply_writeset(&ws)
             .expect("writeset references seeded tables");
         r.apply_next += 1;
     }

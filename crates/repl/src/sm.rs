@@ -413,8 +413,7 @@ fn mark_ready(engine: &mut Engine<World>, node: usize, seq: u64, writeset: Write
             break;
         }
         let ws = entry.remove();
-        s.db
-            .apply_writeset(&ws)
+        s.db.apply_writeset(&ws)
             .expect("writeset references seeded tables");
         s.apply_next += 1;
     }
@@ -453,10 +452,7 @@ mod tests {
         let x8 = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), quick(8, 2))
             .run()
             .throughput_tps;
-        assert!(
-            x8 < 1.25 * x4,
-            "ordering should saturate: x4={x4} x8={x8}"
-        );
+        assert!(x8 < 1.25 * x4, "ordering should saturate: x4={x4} x8={x8}");
     }
 
     #[test]
@@ -511,7 +507,12 @@ mod tests {
         };
         let tight = SingleMasterSim::new(spec, tight_cfg).run();
         let rel = (wide.throughput_tps - tight.throughput_tps).abs() / wide.throughput_tps;
-        assert!(rel < 0.10, "wide {} vs tight {}", wide.throughput_tps, tight.throughput_tps);
+        assert!(
+            rel < 0.10,
+            "wide {} vs tight {}",
+            wide.throughput_tps,
+            tight.throughput_tps
+        );
     }
 
     #[test]

@@ -325,10 +325,7 @@ fn complete_attempt(
         client_cycle(engine, client);
     } else if attempt < MAX_RETRIES {
         // Immediate retry with fresh demand samples (paper Section 6.1).
-        let retry = engine
-            .world_mut()
-            .pool
-            .resample_demands(client, &template);
+        let retry = engine.world_mut().pool.resample_demands(client, &template);
         start_attempt(engine, client, retry, started, attempt + 1);
     } else {
         engine.world_mut().retries_exhausted += 1;

@@ -266,13 +266,7 @@ impl Database {
     ///
     /// Returns [`DbError::DuplicateRow`] when the row id is already visible
     /// in the snapshot (or buffered), plus the usual table/txn/arity errors.
-    pub fn insert(
-        &mut self,
-        txn: TxnId,
-        table: &str,
-        row: u64,
-        data: Row,
-    ) -> Result<(), DbError> {
+    pub fn insert(&mut self, txn: TxnId, table: &str, row: u64, data: Row) -> Result<(), DbError> {
         self.check_arity(table, &data)?;
         let state = self.state(txn)?;
         let snapshot = state.snapshot;
@@ -305,13 +299,7 @@ impl Database {
     ///
     /// Returns [`DbError::NoSuchRow`] when the row is not visible in the
     /// snapshot, plus table/txn/arity errors.
-    pub fn update(
-        &mut self,
-        txn: TxnId,
-        table: &str,
-        row: u64,
-        data: Row,
-    ) -> Result<(), DbError> {
+    pub fn update(&mut self, txn: TxnId, table: &str, row: u64, data: Row) -> Result<(), DbError> {
         self.check_arity(table, &data)?;
         self.require_visible(txn, table, row)?;
         self.buffer_write(txn, table, row, Some(data));
@@ -482,9 +470,7 @@ impl Database {
     ///
     /// Returns [`DbError::TxnNotActive`] for unknown/finished transactions.
     pub fn abort(&mut self, txn: TxnId) -> Result<(), DbError> {
-        self.active
-            .remove(&txn)
-            .ok_or(DbError::TxnNotActive(txn))?;
+        self.active.remove(&txn).ok_or(DbError::TxnNotActive(txn))?;
         self.stats.voluntary_aborts += 1;
         self.log_stmt(txn, StatementKind::Abort { conflict: false }, None);
         Ok(())
@@ -631,8 +617,13 @@ mod tests {
         db.create_table("items", &["name", "stock"]).unwrap();
         let t = db.begin();
         for i in 0..10 {
-            db.insert(t, "items", i, vec![Value::text(format!("item{i}")), Value::Int(100)])
-                .unwrap();
+            db.insert(
+                t,
+                "items",
+                i,
+                vec![Value::text(format!("item{i}")), Value::Int(100)],
+            )
+            .unwrap();
         }
         db.commit(t).unwrap();
         db
@@ -657,8 +648,13 @@ mod tests {
         let mut db = seeded();
         let reader = db.begin();
         let writer = db.begin();
-        db.update(writer, "items", 0, vec![Value::text("item0"), Value::Int(1)])
-            .unwrap();
+        db.update(
+            writer,
+            "items",
+            0,
+            vec![Value::text("item0"), Value::Int(1)],
+        )
+        .unwrap();
         db.commit(writer).unwrap();
         // Reader still sees the pre-update value: snapshot stability.
         let row = db.read(reader, "items", 0).unwrap().unwrap();
@@ -917,10 +913,7 @@ mod tests {
         assert!(removed >= 19, "removed {removed}");
         // Data is still readable.
         let t = db.begin();
-        assert_eq!(
-            db.read(t, "items", 1).unwrap().unwrap()[1],
-            Value::Int(19)
-        );
+        assert_eq!(db.read(t, "items", 1).unwrap().unwrap()[1], Value::Int(19));
     }
 
     #[test]
@@ -945,6 +938,7 @@ mod tests {
     fn abort_probability_from_stats() {
         let mut db = seeded();
         db.reset_stats(); // discard the seeding transaction
+
         // 1 conflict out of 2 update attempts.
         let t1 = db.begin();
         let t2 = db.begin();

@@ -148,14 +148,12 @@ mod tests {
         };
         let big = WriteSet {
             base_version: 0,
-            items: vec![
-                WriteItem {
-                    table: "t".into(),
-                    row: 1,
-                    op: WriteOp::Update,
-                    data: Some(vec![Value::Bytes(vec![0u8; 200])]),
-                },
-            ],
+            items: vec![WriteItem {
+                table: "t".into(),
+                row: 1,
+                op: WriteOp::Update,
+                data: Some(vec![Value::Bytes(vec![0u8; 200])]),
+            }],
         };
         assert!(big.wire_size() > small.wire_size());
         assert!(small.wire_size() > 8);

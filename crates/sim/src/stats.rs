@@ -113,7 +113,11 @@ impl TimeWeighted {
     ///
     /// Panics if `t` goes backwards — the simulation clock is monotone.
     pub fn set(&mut self, t: f64, value: f64) {
-        assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        assert!(
+            t >= self.last_t,
+            "time went backwards: {t} < {}",
+            self.last_t
+        );
         self.area += self.value * (t - self.last_t);
         self.last_t = t;
         self.value = value;
@@ -296,12 +300,7 @@ impl BatchMeans {
             return None;
         }
         let mean = self.mean().expect("at least one batch");
-        let var = self
-            .batches
-            .iter()
-            .map(|b| (b - mean).powi(2))
-            .sum::<f64>()
-            / (k - 1) as f64;
+        let var = self.batches.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / (k - 1) as f64;
         // Normal critical value; adequate for k >= ~10 batches.
         Some(1.96 * (var / k as f64).sqrt())
     }

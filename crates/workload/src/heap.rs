@@ -75,11 +75,7 @@ mod tests {
         for _ in 0..200 {
             let t = stressed.sample(&mut rng);
             if t.is_update {
-                let heap_writes = t
-                    .writes
-                    .iter()
-                    .filter(|(tbl, _)| tbl == HEAP_TABLE)
-                    .count();
+                let heap_writes = t.writes.iter().filter(|(tbl, _)| tbl == HEAP_TABLE).count();
                 assert_eq!(heap_writes, 1, "each update hits the heap exactly once");
                 assert!(t.writes.iter().all(|(tbl, r)| tbl != HEAP_TABLE || *r < 64));
                 saw_heap = true;

@@ -142,7 +142,11 @@ impl WorkloadSpec {
         self.class_mean(|c| c.is_update, |c| c.disk)
     }
 
-    fn class_mean(&self, filter: impl Fn(&TxnClass) -> bool, get: impl Fn(&TxnClass) -> f64) -> f64 {
+    fn class_mean(
+        &self,
+        filter: impl Fn(&TxnClass) -> bool,
+        get: impl Fn(&TxnClass) -> f64,
+    ) -> f64 {
         let matching: Vec<&TxnClass> = self.classes.iter().filter(|c| filter(c)).collect();
         let w: f64 = matching.iter().map(|c| c.weight).sum();
         if w == 0.0 {

@@ -170,7 +170,10 @@ mod tests {
             assert!((s.mean_read_cpu() - rc_cpu).abs() < 1e-9, "{m:?} rc_cpu");
             assert!((s.mean_read_disk() - rc_disk).abs() < 1e-9, "{m:?} rc_disk");
             assert!((s.mean_write_cpu() - wc_cpu).abs() < 1e-9, "{m:?} wc_cpu");
-            assert!((s.mean_write_disk() - wc_disk).abs() < 1e-9, "{m:?} wc_disk");
+            assert!(
+                (s.mean_write_disk() - wc_disk).abs() < 1e-9,
+                "{m:?} wc_disk"
+            );
             assert_eq!(s.ws_cpu, ws_cpu);
             assert_eq!(s.ws_disk, ws_disk);
         }

@@ -26,10 +26,8 @@ fn main() {
             .profile()
             .profile
             .with_a1(standalone.abort_rate.max(1e-6));
-        let model = MultiMasterModel::new(
-            profile,
-            SystemConfig::lan_cluster(spec.clients_per_replica),
-        );
+        let model =
+            MultiMasterModel::new(profile, SystemConfig::lan_cluster(spec.clients_per_replica));
         println!(
             "\nheap = {heap_rows} rows -> standalone A1 = {:.2}%",
             standalone.abort_rate * 1e2

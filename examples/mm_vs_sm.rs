@@ -26,12 +26,11 @@ fn main() {
         let sm = SingleMasterModel::new(profile.clone(), config);
         let mm_curve = mm.predict_curve(16).expect("published profile is valid");
         let sm_curve = sm.predict_curve(16).expect("published profile is valid");
+        println!("\n== {} (Pw = {:.0}%) ==", profile.name, profile.pw * 100.0);
         println!(
-            "\n== {} (Pw = {:.0}%) ==",
-            profile.name,
-            profile.pw * 100.0
+            "{:>3} {:>12} {:>12} {:>10}",
+            "N", "MM tps", "SM tps", "MM/SM"
         );
-        println!("{:>3} {:>12} {:>12} {:>10}", "N", "MM tps", "SM tps", "MM/SM");
         for n in [1usize, 2, 4, 8, 12, 16] {
             let m = mm_curve.at(n).expect("curve covers 1..=16");
             let s = sm_curve.at(n).expect("curve covers 1..=16");

@@ -23,7 +23,12 @@ fn main() {
     println!("profiling the standalone database (TPC-W shopping)...");
     let outcome = Profiler::new(spec.clone()).seed(2009).profile();
     let p = &outcome.profile;
-    println!("  Pr = {:.1}%  Pw = {:.1}%  A1 = {:.4}%", p.pr * 1e2, p.pw * 1e2, p.a1 * 1e2);
+    println!(
+        "  Pr = {:.1}%  Pw = {:.1}%  A1 = {:.4}%",
+        p.pr * 1e2,
+        p.pw * 1e2,
+        p.a1 * 1e2
+    );
     println!(
         "  rc = {:.2}/{:.2} ms  wc = {:.2}/{:.2} ms  ws = {:.2}/{:.2} ms (cpu/disk)",
         p.cpu.read * 1e3,
@@ -48,8 +53,8 @@ fn main() {
     for n in [1usize, 2, 4, 8] {
         let predicted = model.predict(n).expect("profiled inputs are valid");
         let simulated = MultiMasterSim::new(spec.clone(), SimConfig::quick(n, 2009)).run();
-        let err = (predicted.throughput_tps - simulated.throughput_tps).abs()
-            / simulated.throughput_tps;
+        let err =
+            (predicted.throughput_tps - simulated.throughput_tps).abs() / simulated.throughput_tps;
         println!(
             "{n:>3} {:>8.1} tps {:>8.1} tps {:>7.1}%",
             predicted.throughput_tps,

@@ -15,9 +15,7 @@
 use std::process::ExitCode;
 
 use replipred::model::planner::{plan, Slo};
-use replipred::model::{
-    MultiMasterModel, SingleMasterModel, SystemConfig, WorkloadProfile,
-};
+use replipred::model::{MultiMasterModel, SingleMasterModel, SystemConfig, WorkloadProfile};
 use replipred::profiler::Profiler;
 use replipred::repl::{MultiMasterSim, SimConfig, SingleMasterSim};
 use replipred::workload::spec::WorkloadSpec;
@@ -88,8 +86,7 @@ fn workload_spec(name: &str) -> Option<WorkloadSpec> {
 fn load_profile(args: &[String]) -> Result<WorkloadProfile, String> {
     let w = flag(args, "--workload").ok_or("missing --workload")?;
     if let Some(path) = w.strip_prefix('@') {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let profile: WorkloadProfile =
             serde_json::from_str(&text).map_err(|e| format!("bad profile JSON: {e}"))?;
         profile.validate().map_err(|e| e.to_string())?;
@@ -167,8 +164,8 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
         max_response_time: max_resp_ms.map(|r| r / 1e3),
         max_abort_rate: max_abort_pct.map(|a| a / 1e2),
     };
-    let plans = plan(&profile, &SystemConfig::lan_cluster(clients), &slo, 16)
-        .map_err(|e| e.to_string())?;
+    let plans =
+        plan(&profile, &SystemConfig::lan_cluster(clients), &slo, 16).map_err(|e| e.to_string())?;
     if plans.is_empty() {
         println!("SLO infeasible within 16 replicas");
         return Ok(());
@@ -235,7 +232,10 @@ fn simulate(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown design `{other}` (use mm or sm)")),
     };
     println!("workload        {}", report.workload);
-    println!("replicas        {} ({} clients)", report.replicas, report.clients);
+    println!(
+        "replicas        {} ({} clients)",
+        report.replicas, report.clients
+    );
     println!("throughput      {:.1} tps", report.throughput_tps);
     println!("response        {:.1} ms", report.response_time * 1e3);
     println!("abort rate      {:.3}%", report.abort_rate * 1e2);

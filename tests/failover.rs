@@ -38,7 +38,8 @@ fn updates_survive_leader_failover_mid_stream() {
         let row = step % 50;
         let db = &mut replicas[origin];
         let txn = db.begin();
-        db.update(txn, "t", row, vec![Value::Int(step as i64)]).unwrap();
+        db.update(txn, "t", row, vec![Value::Int(step as i64)])
+            .unwrap();
         let mut ws = db.writeset_of(txn).unwrap();
         db.abort(txn).unwrap();
         ws.base_version -= offset;
@@ -84,8 +85,5 @@ fn no_quorum_blocks_rather_than_diverges() {
     assert!(cert.certify(&ws).is_err());
     // After recovery it serves again, with no lost state.
     cert.restart(0);
-    assert!(matches!(
-        cert.certify(&ws),
-        Ok(Certification::Commit(1))
-    ));
+    assert!(matches!(cert.certify(&ws), Ok(Certification::Commit(1))));
 }

@@ -23,7 +23,9 @@ fn mm_shopping_prediction_tracks_simulation() {
     let model = MultiMasterModel::new(profile, SystemConfig::lan_cluster(40));
     for n in [1usize, 4] {
         let predicted = model.predict(n).unwrap().throughput_tps;
-        let simulated = MultiMasterSim::new(spec.clone(), sim_cfg(n)).run().throughput_tps;
+        let simulated = MultiMasterSim::new(spec.clone(), sim_cfg(n))
+            .run()
+            .throughput_tps;
         let err = (predicted - simulated).abs() / simulated;
         assert!(
             err < 0.20,
@@ -41,7 +43,9 @@ fn mm_browsing_scales_in_both_artifacts() {
     let p1 = model.predict(1).unwrap().throughput_tps;
     let p6 = model.predict(6).unwrap().throughput_tps;
     assert!(p6 > 5.0 * p1, "model: {p1} -> {p6}");
-    let s1 = MultiMasterSim::new(spec.clone(), sim_cfg(1)).run().throughput_tps;
+    let s1 = MultiMasterSim::new(spec.clone(), sim_cfg(1))
+        .run()
+        .throughput_tps;
     let s6 = MultiMasterSim::new(spec, sim_cfg(6)).run().throughput_tps;
     assert!(s6 > 5.0 * s1, "sim: {s1} -> {s6}");
 }
@@ -56,7 +60,9 @@ fn sm_ordering_saturates_in_both_artifacts() {
     let p4 = model.predict(4).unwrap().throughput_tps;
     let p8 = model.predict(8).unwrap().throughput_tps;
     assert!(p8 < 1.25 * p4, "model should plateau: {p4} -> {p8}");
-    let s4 = SingleMasterSim::new(spec.clone(), sim_cfg(4)).run().throughput_tps;
+    let s4 = SingleMasterSim::new(spec.clone(), sim_cfg(4))
+        .run()
+        .throughput_tps;
     let s8 = SingleMasterSim::new(spec, sim_cfg(8)).run().throughput_tps;
     assert!(s8 < 1.25 * s4, "sim should plateau: {s4} -> {s8}");
 }
@@ -76,7 +82,9 @@ fn mm_beats_sm_at_scale_on_ordering_in_both_artifacts() {
         .unwrap()
         .throughput_tps;
     assert!(mm_pred > 1.2 * sm_pred, "model: mm {mm_pred} sm {sm_pred}");
-    let mm_sim = MultiMasterSim::new(spec.clone(), sim_cfg(8)).run().throughput_tps;
+    let mm_sim = MultiMasterSim::new(spec.clone(), sim_cfg(8))
+        .run()
+        .throughput_tps;
     let sm_sim = SingleMasterSim::new(spec, sim_cfg(8)).run().throughput_tps;
     assert!(mm_sim > 1.2 * sm_sim, "sim: mm {mm_sim} sm {sm_sim}");
 }
@@ -88,10 +96,16 @@ fn rubis_bidding_shapes_match_the_paper() {
     // system is pinned by the master's disk. At 6 replicas the two designs
     // are nearly tied; the distinguishing shape is the growth pattern.
     let spec = rubis::mix(rubis::Mix::Bidding);
-    let mm3 = MultiMasterSim::new(spec.clone(), sim_cfg(3)).run().throughput_tps;
-    let mm6 = MultiMasterSim::new(spec.clone(), sim_cfg(6)).run().throughput_tps;
+    let mm3 = MultiMasterSim::new(spec.clone(), sim_cfg(3))
+        .run()
+        .throughput_tps;
+    let mm6 = MultiMasterSim::new(spec.clone(), sim_cfg(6))
+        .run()
+        .throughput_tps;
     assert!(mm6 > 1.1 * mm3, "MM should still gain: {mm3} -> {mm6}");
-    let sm3 = SingleMasterSim::new(spec.clone(), sim_cfg(3)).run().throughput_tps;
+    let sm3 = SingleMasterSim::new(spec.clone(), sim_cfg(3))
+        .run()
+        .throughput_tps;
     let sm6 = SingleMasterSim::new(spec, sim_cfg(6)).run().throughput_tps;
     assert!(
         sm6 < 1.35 * sm3,

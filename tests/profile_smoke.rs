@@ -1,0 +1,82 @@
+//! Smoke tests for the published profiles and the `@profile.json` CLI
+//! ingestion path: a profile serialized with `profile --json` semantics
+//! must be accepted back by `replipred predict --workload @file`.
+
+use std::process::Command;
+
+use replipred::model::WorkloadProfile;
+
+/// All five profiles the paper publishes (Tables 2-5).
+fn published() -> [WorkloadProfile; 5] {
+    [
+        WorkloadProfile::tpcw_browsing(),
+        WorkloadProfile::tpcw_shopping(),
+        WorkloadProfile::tpcw_ordering(),
+        WorkloadProfile::rubis_browsing(),
+        WorkloadProfile::rubis_bidding(),
+    ]
+}
+
+#[test]
+fn published_profiles_construct_and_validate() {
+    for p in published() {
+        assert!(!p.name.is_empty());
+        p.validate()
+            .unwrap_or_else(|e| panic!("profile {} invalid: {e}", p.name));
+        assert!((p.pr + p.pw - 1.0).abs() < 1e-9, "{}: Pr + Pw != 1", p.name);
+    }
+}
+
+#[test]
+fn profile_json_roundtrips_through_pretty_form() {
+    // The CLI writes pretty JSON (`profile --json`); the `@path` reader
+    // must accept it unchanged.
+    for p in published() {
+        let json = serde_json::to_string_pretty(&p).unwrap();
+        let back: WorkloadProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back, "pretty JSON round-trip changed {}", p.name);
+    }
+}
+
+#[test]
+fn cli_accepts_profile_json_file() {
+    let profile = WorkloadProfile::tpcw_shopping();
+    let path = std::env::temp_dir().join(format!("replipred-smoke-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_string_pretty(&profile).unwrap()).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "predict",
+            "--workload",
+            &format!("@{}", path.display()),
+            "--replicas",
+            "2",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    std::fs::remove_file(&path).ok();
+
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("tput (tps)"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn cli_rejects_malformed_profile_json() {
+    let path = std::env::temp_dir().join(format!("replipred-bad-{}.json", std::process::id()));
+    std::fs::write(&path, "{ not json").unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args(["predict", "--workload", &format!("@{}", path.display())])
+        .output()
+        .expect("spawn replipred binary");
+    std::fs::remove_file(&path).ok();
+
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("bad profile JSON"), "stderr: {stderr}");
+}

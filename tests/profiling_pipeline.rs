@@ -18,7 +18,8 @@ fn every_mix_profiles_to_a_valid_model_input() {
     for spec in all_specs() {
         let outcome = Profiler::new(spec.clone()).seed(11).profile();
         let p = &outcome.profile;
-        p.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        p.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         // Mix fractions within counting noise.
         assert!(
             (p.pw - spec.pw()).abs() < 0.03,
@@ -45,8 +46,12 @@ fn profiles_drive_both_models_across_the_sweep() {
         let config = SystemConfig::lan_cluster(spec.clients_per_replica);
         let mm = MultiMasterModel::new(profile.clone(), config.clone());
         let sm = SingleMasterModel::new(profile, config);
-        let mm_curve = mm.predict_curve(16).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-        let sm_curve = sm.predict_curve(16).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let mm_curve = mm
+            .predict_curve(16)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let sm_curve = sm
+            .predict_curve(16)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         for curve in [&mm_curve, &sm_curve] {
             for p in &curve.points {
                 assert!(
@@ -65,14 +70,18 @@ fn profiles_drive_both_models_across_the_sweep() {
 
 #[test]
 fn profiled_u_matches_workload_definition() {
-    let outcome = Profiler::new(tpcw::mix(tpcw::Mix::Ordering)).seed(17).profile();
+    let outcome = Profiler::new(tpcw::mix(tpcw::Mix::Ordering))
+        .seed(17)
+        .profile();
     // TPC-W update classes write 2 or 4 rows with equal weight -> U = 3.
     assert!(
         (outcome.profile.update_ops - 3.0).abs() < 0.3,
         "U = {}",
         outcome.profile.update_ops
     );
-    let rubis = Profiler::new(rubis::mix(rubis::Mix::Bidding)).seed(17).profile();
+    let rubis = Profiler::new(rubis::mix(rubis::Mix::Bidding))
+        .seed(17)
+        .profile();
     assert!(
         (rubis.profile.update_ops - 2.0).abs() < 0.2,
         "RUBiS U = {}",
@@ -82,7 +91,9 @@ fn profiled_u_matches_workload_definition() {
 
 #[test]
 fn log_summary_counts_are_consistent() {
-    let outcome = Profiler::new(tpcw::mix(tpcw::Mix::Shopping)).seed(19).profile();
+    let outcome = Profiler::new(tpcw::mix(tpcw::Mix::Shopping))
+        .seed(19)
+        .profile();
     let s = &outcome.log_summary;
     assert_eq!(
         s.read_commits + s.update_commits,

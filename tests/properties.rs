@@ -8,10 +8,10 @@ use replipred::sidb::{Database, Value};
 
 fn arb_network() -> impl Strategy<Value = ClosedNetwork> {
     (
-        0.001f64..0.2,   // cpu demand
-        0.001f64..0.2,   // disk demand
-        0.0f64..0.05,    // delay
-        0.0f64..3.0,     // think time
+        0.001f64..0.2, // cpu demand
+        0.001f64..0.2, // disk demand
+        0.0f64..0.05,  // delay
+        0.0f64..3.0,   // think time
     )
         .prop_map(|(cpu, disk, delay, z)| {
             ClosedNetwork::builder()

@@ -99,7 +99,8 @@ fn no_lost_updates_under_certified_concurrency() {
                 Value::Int(b) => b,
                 _ => unreachable!(),
             };
-            db.update(txn, "acct", row, vec![Value::Int(bal + 1)]).unwrap();
+            db.update(txn, "acct", row, vec![Value::Int(bal + 1)])
+                .unwrap();
             let mut ws = db.writeset_of(txn).unwrap();
             db.abort(txn).unwrap();
             ws.base_version -= offset;
@@ -156,7 +157,10 @@ fn stale_replica_catches_up_in_order() {
     }
     // Catch-up: replica 1 pulls the missing suffix.
     let behind = replicas[1].version() - offset;
-    for ws in certifier.writesets_between(behind, certifier.version()).to_vec() {
+    for ws in certifier
+        .writesets_between(behind, certifier.version())
+        .to_vec()
+    {
         replicas[1].apply_writeset(&ws).unwrap();
         applied_on_1 += 1;
     }

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the entry points the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! calibrated timing loop instead of criterion's statistical machinery.
+//! Each benchmark prints `name ... <time>/iter (n iterations)`.
+//!
+//! `cargo bench --no-run` compiles these harnesses; running them gives
+//! rough but honest wall-clock numbers.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (stand-in for criterion's `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: grow the iteration count until the batch takes a
+        // meaningful fraction of the time budget.
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            body(&mut bencher);
+            if bencher.elapsed >= self.target / 10 || bencher.iters >= 1 << 24 {
+                break;
+            }
+            let grow = if bencher.elapsed.is_zero() {
+                16
+            } else {
+                (self.target.as_nanos() / bencher.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            bencher.iters = bencher.iters.saturating_mul(grow);
+        }
+        // Measure: rerun the calibrated batch and keep the best of 3.
+        let mut best = bencher.elapsed;
+        for _ in 0..2 {
+            bencher.elapsed = Duration::ZERO;
+            body(&mut bencher);
+            best = best.min(bencher.elapsed);
+        }
+        let per_iter = best.as_nanos() as f64 / bencher.iters as f64;
+        println!(
+            "{name:<40} {} ({} iterations)",
+            format_ns(per_iter),
+            bencher.iters
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:9.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:9.2} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:9.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Timing loop handle passed to the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called once per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function (simple `(name, targets...)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

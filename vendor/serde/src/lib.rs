@@ -1,0 +1,365 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal, API-compatible subset of serde: the
+//! `Serialize` / `Deserialize` traits plus derive macros, backed by a
+//! self-describing [`Value`] tree instead of serde's visitor machinery.
+//! [`serde_json`](../serde_json) serializes that tree to JSON text using
+//! the same external representation real serde_json produces for the
+//! shapes this workspace uses (structs as objects, newtype structs as
+//! their inner value, unit enum variants as strings, data-carrying
+//! variants as single-key objects).
+//!
+//! Only what the workspace needs is implemented; the surface is kept
+//! source-compatible so swapping the real serde back in is a
+//! `Cargo.toml`-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized tree — the intermediate representation
+/// between typed data and a concrete format such as JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (anything that fits `i64`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key/value map (insertion order preserved, like a JSON
+    /// object literal).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// First value for `key` in a map entry list (helper for derived code).
+    pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric contents widened to `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            Value::Float(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents as `i128` (exact), if this is an integer.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Value::Int(n) => Some(n as i128),
+            Value::UInt(n) => Some(n as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the intermediate tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from the intermediate tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// Fallback used by derived struct impls when a field is absent.
+    /// `Option<T>` overrides this to yield `None`; everything else
+    /// reports a missing-field error.
+    fn if_missing() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let wide = *self as i128;
+                if let Ok(n) = i64::try_from(wide) {
+                    Value::Int(n)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = value
+                    .as_i128()
+                    .ok_or_else(|| DeError::custom(format!(
+                        concat!("expected ", stringify!($ty), ", got {:?}"), value
+                    )))?;
+                <$ty>::try_from(wide).map_err(|_| {
+                    DeError::custom(format!(
+                        concat!("integer {} out of range for ", stringify!($ty)), wide
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_f64()
+                    .map(|n| n as $ty)
+                    .ok_or_else(|| DeError::custom(format!(
+                        concat!("expected ", stringify!($ty), ", got {:?}"), value
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {value:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::custom(format!("expected char, got {value:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn if_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, got {value:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom(format!("expected tuple, got {value:?}")))?;
+                let want = [$($idx),+].len();
+                if seq.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {want}, got {} elements", seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: ToString + std::str::FromStr + Ord, V: Serialize> Serialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected map, got {value:?}")))?
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .parse()
+                    .map_err(|_| DeError::custom(format!("bad map key {k:?}")))?;
+                Ok((key, V::from_value(v)?))
+            })
+            .collect()
+    }
+}

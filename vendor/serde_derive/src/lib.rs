@@ -1,0 +1,498 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! The build environment has no crates.io access, so this macro is
+//! written against the bare `proc_macro` API — no `syn`, no `quote`.
+//! It parses the subset of item shapes the workspace actually uses:
+//!
+//! - structs with named fields (optionally `#[serde(default)]` per field)
+//! - tuple structs (newtype structs serialize transparently)
+//! - enums with unit, newtype/tuple, and struct variants
+//!   (externally tagged, matching real serde's default representation)
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is
+//! a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Cursor over a flat token-tree list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes `#[...]` attribute groups; returns true if any of them
+    /// was `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                has_default |= attr_is_serde_default(g.stream());
+            }
+        }
+        has_default
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, ... if present.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes type tokens until a `,` at angle-bracket depth 0, eating
+    /// the comma itself.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Counts comma-separated slots at angle-depth 0 inside a tuple body.
+fn count_tuple_slots(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut slots = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                slots += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        slots -= 1;
+    }
+    slots
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let default = cursor.skip_attrs();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_visibility();
+        let name = cursor.expect_ident("field name");
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        cursor.skip_type();
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attrs();
+        if cursor.at_end() {
+            break;
+        }
+        let name = cursor.expect_ident("variant name");
+        let fields = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let slots = count_tuple_slots(g.stream());
+                cursor.next();
+                Fields::Tuple(slots)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                cursor.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Discriminant (`= expr`) and the separating comma.
+        while let Some(t) = cursor.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                cursor.next();
+                break;
+            }
+            cursor.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attrs();
+    cursor.skip_visibility();
+    let kind = cursor.expect_ident("`struct` or `enum`");
+    let name = cursor.expect_ident("item name");
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+    match kind.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_slots(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream).
+// ---------------------------------------------------------------------
+
+fn ser_named_fields(receiver: &str, fields: &[Field]) -> String {
+    let mut out = String::from(
+        "{ let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "__entries.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_value(&{receiver}{name})));",
+            name = f.name,
+        ));
+    }
+    out.push_str("::serde::Value::Map(__entries) }");
+    out
+}
+
+/// Builds the struct-literal body that reconstructs named fields from
+/// `__entries` (a `&[(String, Value)]` binding in scope).
+fn de_named_fields(type_name: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "match ::serde::Deserialize::if_missing() {{ \
+                   ::std::option::Option::Some(v) => v, \
+                   ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::DeError::custom(\"missing field `{field}` in `{ty}`\")), \
+                 }}",
+                field = f.name,
+                ty = type_name,
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::Value::map_get(__entries, \"{name}\") {{ \
+               ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+               ::std::option::Option::None => {missing}, \
+             }},",
+            name = f.name,
+        ));
+    }
+    out
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Named(fs) => ser_named_fields("self.", fs),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(","))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(\
+                           ::std::string::String::from(\"{vn}\"), \
+                           ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![(\
+                               ::std::string::String::from(\"{vn}\"), \
+                               ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binds = binds.join(","),
+                            items = items.join(","),
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_fields("*", fs);
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                               ::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds = binds.join(","),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {arms} }} \
+                   }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fs) => format!(
+                    "{{ let __entries = __value.as_map().ok_or_else(|| \
+                       ::serde::DeError::custom(\"expected map for `{name}`\"))?; \
+                       ::std::result::Result::Ok({name} {{ {fields} }}) }}",
+                    fields = de_named_fields(name, fs),
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __seq = __value.as_seq().ok_or_else(|| \
+                           ::serde::DeError::custom(\"expected sequence for `{name}`\"))?; \
+                           if __seq.len() != {n} {{ \
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                               \"wrong tuple arity for `{name}`\")); \
+                           }} \
+                           ::std::result::Result::Ok({name}({items})) }}",
+                        items = items.join(","),
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__value: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                           ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __seq = __inner.as_seq().ok_or_else(|| \
+                               ::serde::DeError::custom(\"expected sequence for `{name}::{vn}`\"))?; \
+                               if __seq.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                   \"wrong arity for `{name}::{vn}`\")); \
+                               }} \
+                               ::std::result::Result::Ok({name}::{vn}({items})) }},",
+                            items = items.join(","),
+                        ));
+                    }
+                    Fields::Named(fs) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{ let __entries = __inner.as_map().ok_or_else(|| \
+                           ::serde::DeError::custom(\"expected map for `{name}::{vn}`\"))?; \
+                           ::std::result::Result::Ok({name}::{vn} {{ {fields} }}) }},",
+                        fields = de_named_fields(&format!("{name}::{vn}"), fs),
+                    )),
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__value: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{ \
+                     match __value {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                           format!(\"unknown `{name}` variant `{{__other}}`\"))), \
+                       }}, \
+                       ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                         let (__tag, __inner) = &__entries[0]; \
+                         match __tag.as_str() {{ \
+                           {data_arms} \
+                           __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"unknown `{name}` variant `{{__other}}`\"))), \
+                         }} \
+                       }}, \
+                       __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"cannot deserialize `{name}` from {{__other:?}}\"))), \
+                     }} \
+                   }} \
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
