@@ -8,7 +8,7 @@ use replipred_workload::tpcw;
 
 fn main() {
     let spec = tpcw::mix(tpcw::Mix::Shopping);
-    let points = compare(&spec, Design::Mm, &replica_sweep());
+    let points = compare(&spec, Design::MultiMaster, &replica_sweep());
     println!("# Ablation: delay-center certifier (model) vs mechanistic (sim).");
     println!(
         "{:>3} {:>12} {:>12} {:>8} {:>12} {:>12}",

@@ -5,7 +5,7 @@
 //! This ablation compares the interleaved scheme against a naive
 //! fixed CW = L(1) + certification (no feedback) across elevated A1
 //! values, showing when the feedback matters.
-use replipred_core::{AbortModel, MultiMasterModel, SystemConfig, WorkloadProfile};
+use replipred_core::{AbortModel, Design, SystemConfig, WorkloadProfile};
 
 fn main() {
     println!("# Ablation: conflict-window fixed point (MM, TPC-W shopping, N=16).");
@@ -16,9 +16,12 @@ fn main() {
     for a1 in [0.0024, 0.0053, 0.0090] {
         let profile = WorkloadProfile::tpcw_shopping().with_a1(a1);
         let config = SystemConfig::lan_cluster(40);
-        let interleaved = MultiMasterModel::new(profile.clone(), config.clone())
-            .predict_abort_rate(16)
-            .expect("valid");
+        let interleaved = Design::MultiMaster
+            .predictor(profile.clone(), config.clone())
+            .expect("valid")
+            .predict(16)
+            .expect("valid")
+            .abort_rate;
         let naive =
             AbortModel::new(a1, profile.l1).replicated(profile.l1 + config.certifier_delay, 16);
         println!(

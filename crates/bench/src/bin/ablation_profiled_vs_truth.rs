@@ -1,8 +1,8 @@
 //! Ablation (DESIGN.md §5.1): model driven by *profiled* parameters vs
 //! the workload's ground-truth means. Quantifies how much prediction
 //! error the measurement pipeline itself introduces.
-use replipred_bench::{profile_workload, replica_sweep};
-use replipred_core::{MultiMasterModel, ResourceDemands, SystemConfig, WorkloadProfile};
+use replipred_bench::{profile_workload, replica_sweep, Design};
+use replipred_core::{ResourceDemands, SystemConfig, WorkloadProfile};
 use replipred_workload::tpcw;
 
 fn main() {
@@ -31,8 +31,12 @@ fn main() {
         .estimate_l1(spec.clients_per_replica, 1.0)
         .expect("valid");
     let config = SystemConfig::lan_cluster(spec.clients_per_replica);
-    let m_prof = MultiMasterModel::new(profiled, config.clone());
-    let m_truth = MultiMasterModel::new(truth, config);
+    let m_prof = Design::MultiMaster
+        .predictor(profiled, config.clone())
+        .expect("valid inputs");
+    let m_truth = Design::MultiMaster
+        .predictor(truth, config)
+        .expect("valid inputs");
     println!("# Ablation: profiled parameters vs ground truth (MM, TPC-W shopping).");
     println!(
         "{:>3} {:>14} {:>14} {:>8}",

@@ -32,7 +32,7 @@ fn main() {
         for p in plans {
             println!(
                 "{target:>12.0} {:>14} {:>14} {:>10.1} {:>9.1} ms",
-                format!("{:?}", p.design),
+                p.design.key(),
                 p.replicas,
                 p.prediction.throughput_tps,
                 p.prediction.response_time * 1e3

@@ -9,7 +9,10 @@ fn main() {
         .into_iter()
         .map(|m| {
             let spec = rubis::mix(m);
-            (spec.name.clone(), compare(&spec, Design::Mm, &sweep))
+            (
+                spec.name.clone(),
+                compare(&spec, Design::MultiMaster, &sweep),
+            )
         })
         .collect();
     print_throughput_figure("Figure 10. RUBiS throughput on MM system.", &series);

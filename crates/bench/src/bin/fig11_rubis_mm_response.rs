@@ -9,7 +9,10 @@ fn main() {
         .into_iter()
         .map(|m| {
             let spec = rubis::mix(m);
-            (spec.name.clone(), compare(&spec, Design::Mm, &sweep))
+            (
+                spec.name.clone(),
+                compare(&spec, Design::MultiMaster, &sweep),
+            )
         })
         .collect();
     print_response_figure("Figure 11. RUBiS response time on MM system.", &series);

@@ -9,7 +9,10 @@ fn main() {
         .into_iter()
         .map(|m| {
             let spec = rubis::mix(m);
-            (spec.name.clone(), compare(&spec, Design::Sm, &sweep))
+            (
+                spec.name.clone(),
+                compare(&spec, Design::SingleMaster, &sweep),
+            )
         })
         .collect();
     print_throughput_figure("Figure 12. RUBiS throughput on SM system.", &series);

@@ -9,7 +9,10 @@ fn main() {
         .into_iter()
         .map(|m| {
             let spec = rubis::mix(m);
-            (spec.name.clone(), compare(&spec, Design::Sm, &sweep))
+            (
+                spec.name.clone(),
+                compare(&spec, Design::SingleMaster, &sweep),
+            )
         })
         .collect();
     print_response_figure("Figure 13. RUBiS response time on SM system.", &series);

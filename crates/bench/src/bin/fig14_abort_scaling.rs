@@ -8,9 +8,9 @@
 //! 29% at N=16). We pick heap sizes with the inverted abort formula,
 //! measure the resulting `A1` on the standalone simulation, and compare
 //! the measured replicated abort rate with the model's prediction.
-use replipred_bench::{profile_workload, replica_sweep, seed, sim_config};
-use replipred_core::{MultiMasterModel, SystemConfig};
-use replipred_repl::{MultiMasterSim, SimConfig, StandaloneSim};
+use replipred_bench::{profile_workload, replica_sweep, sim_config, Design};
+use replipred_core::SystemConfig;
+use replipred_repl::{SimConfig, SimulatorRegistry};
 use replipred_workload::{heap, tpcw};
 
 /// A1 is a rare-event probability (~0.2-1%); at ~5 updates/s a 60 s window
@@ -26,7 +26,9 @@ fn calibration_config() -> SimConfig {
 fn main() {
     let base = tpcw::mix(tpcw::Mix::Shopping);
     // Calibrate the heap sizes from a baseline standalone run.
-    let baseline = StandaloneSim::new(base.clone(), calibration_config()).run();
+    let baseline = Design::Standalone
+        .simulator(base.clone(), calibration_config())
+        .run();
     let update_rate = baseline.update_commits as f64 / baseline.duration;
     let l1 = baseline.update_response_time;
     println!("# Figure 14. TPC-W shopping MM abort probabilities.");
@@ -42,19 +44,24 @@ fn main() {
         let rows = heap::heap_rows_for_a1(target_a1, update_rate, l1);
         let spec = heap::with_heap_stress(&base, rows);
         // Measure the *actual* standalone A1 with the heap installed.
-        let standalone = StandaloneSim::new(spec.clone(), calibration_config()).run();
+        let standalone = Design::Standalone
+            .simulator(spec.clone(), calibration_config())
+            .run();
         let a1 = standalone.abort_rate;
         let profile = profile_workload(&spec).with_a1(a1.max(1e-6));
-        let model =
-            MultiMasterModel::new(profile, SystemConfig::lan_cluster(spec.clients_per_replica));
+        let model = Design::MultiMaster
+            .predictor(profile, SystemConfig::lan_cluster(spec.clients_per_replica))
+            .expect("valid inputs");
         println!(
             "# target A1 {:.2}% -> heap {rows} rows, measured standalone A1 {:.2}%",
             100.0 * target_a1,
             100.0 * a1
         );
         for &n in &replica_sweep() {
-            let measured = MultiMasterSim::new(spec.clone(), sim_config(n)).run();
-            let predicted = model.predict_abort_rate(n).expect("valid inputs");
+            let measured = Design::MultiMaster
+                .simulator(spec.clone(), sim_config(n))
+                .run();
+            let predicted = model.predict(n).expect("valid inputs").abort_rate;
             println!(
                 "{:>9.2}% {:>10} {:>3} {:>13.2}% {:>13.2}%",
                 100.0 * target_a1,
@@ -65,5 +72,4 @@ fn main() {
             );
         }
     }
-    let _ = seed();
 }

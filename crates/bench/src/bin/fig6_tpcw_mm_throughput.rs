@@ -10,7 +10,10 @@ fn main() {
         .into_iter()
         .map(|m| {
             let spec = tpcw::mix(m);
-            (spec.name.clone(), compare(&spec, Design::Mm, &sweep))
+            (
+                spec.name.clone(),
+                compare(&spec, Design::MultiMaster, &sweep),
+            )
         })
         .collect();
     print_throughput_figure("Figure 6. TPC-W throughput on MM system.", &series);

@@ -9,7 +9,10 @@ fn main() {
         .into_iter()
         .map(|m| {
             let spec = tpcw::mix(m);
-            (spec.name.clone(), compare(&spec, Design::Mm, &sweep))
+            (
+                spec.name.clone(),
+                compare(&spec, Design::MultiMaster, &sweep),
+            )
         })
         .collect();
     print_response_figure("Figure 7. TPC-W response time on MM system.", &series);

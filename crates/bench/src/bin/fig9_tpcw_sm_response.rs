@@ -9,7 +9,10 @@ fn main() {
         .into_iter()
         .map(|m| {
             let spec = tpcw::mix(m);
-            (spec.name.clone(), compare(&spec, Design::Sm, &sweep))
+            (
+                spec.name.clone(),
+                compare(&spec, Design::SingleMaster, &sweep),
+            )
         })
         .collect();
     print_response_figure("Figure 9. TPC-W response time on SM system.", &series);

@@ -5,9 +5,9 @@
 //! negligible. This experiment (a) sweeps the delay in the model, and
 //! (b) cross-checks the delay-center approximation against the
 //! mechanistic simulation at the paper's 12 ms.
-use replipred_bench::{profile_workload, sim_config};
-use replipred_core::{MultiMasterModel, SystemConfig};
-use replipred_repl::{MultiMasterSim, SimConfig};
+use replipred_bench::{profile_workload, sim_config, Design};
+use replipred_core::SystemConfig;
+use replipred_repl::{SimConfig, SimulatorRegistry};
 use replipred_workload::tpcw;
 
 fn main() {
@@ -23,17 +23,20 @@ fn main() {
             certifier_delay: delay_ms / 1e3,
             ..SystemConfig::lan_cluster(40)
         };
-        let p = MultiMasterModel::new(profile.clone(), config)
+        let p = Design::MultiMaster
+            .predictor(profile.clone(), config)
+            .expect("valid inputs")
             .predict(8)
             .expect("valid inputs");
-        let sim = MultiMasterSim::new(
-            spec.clone(),
-            SimConfig {
-                certifier_delay: delay_ms / 1e3,
-                ..sim_config(8)
-            },
-        )
-        .run();
+        let sim = Design::MultiMaster
+            .simulator(
+                spec.clone(),
+                SimConfig {
+                    certifier_delay: delay_ms / 1e3,
+                    ..sim_config(8)
+                },
+            )
+            .run();
         println!(
             "{:>11.0} ms {:>14.1} {:>11.1} ms {:>14.1} {:>11.1} ms",
             delay_ms,

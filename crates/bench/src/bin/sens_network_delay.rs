@@ -3,7 +3,7 @@
 //! the effective think time; this sweep shows model throughput is nearly
 //! insensitive to LB delays in the LAN range and only degrades at
 //! WAN-like delays (where the paper says the model does not apply).
-use replipred_core::{MultiMasterModel, SystemConfig, WorkloadProfile};
+use replipred_core::{Design, SystemConfig, WorkloadProfile};
 
 fn main() {
     let profile = WorkloadProfile::tpcw_shopping();
@@ -17,7 +17,9 @@ fn main() {
             lb_delay: delay_ms / 1e3,
             ..SystemConfig::lan_cluster(40)
         };
-        let p = MultiMasterModel::new(profile.clone(), config)
+        let p = Design::MultiMaster
+            .predictor(profile.clone(), config)
+            .expect("valid inputs")
             .predict(8)
             .expect("valid inputs");
         println!(

@@ -13,6 +13,10 @@
 //! cargo run --release -p replipred-bench --bin fig6_tpcw_mm_throughput
 //! ```
 //!
+//! Experiments consume designs only through the `Design` registry and the
+//! shared `Scenario` driver (`replipred::scenario`) — no per-design match
+//! arms live here.
+//!
 //! Environment knobs:
 //!
 //! - `REPLIPRED_FULL=1` — paper-length windows (10 min warm-up, 15 min
@@ -20,12 +24,13 @@
 //!   configuration (20 s / 60 s, N ∈ {1, 2, 4, 8, 12, 16}).
 //! - `REPLIPRED_SEED=<u64>` — RNG seed (default 2009, the paper's year).
 
-use replipred_core::{
-    MultiMasterModel, Prediction, SingleMasterModel, SystemConfig, WorkloadProfile,
-};
+use replipred::scenario::Scenario;
+use replipred_core::{Prediction, WorkloadProfile};
 use replipred_profiler::Profiler;
-use replipred_repl::{MultiMasterSim, RunReport, SimConfig, SingleMasterSim};
+use replipred_repl::{RunReport, SimConfig};
 use replipred_workload::spec::WorkloadSpec;
+
+pub use replipred_core::Design;
 
 /// One experiment point: model prediction next to simulated measurement.
 #[derive(Debug, Clone)]
@@ -96,45 +101,39 @@ pub fn sim_config(replicas: usize) -> SimConfig {
     }
 }
 
-/// The replicated-system design under test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Design {
-    /// Multi-master.
-    Mm,
-    /// Single-master.
-    Sm,
-}
-
 /// Profiles the workload on the standalone system (the paper's Section-4
 /// pipeline) and returns the resulting model input.
 pub fn profile_workload(spec: &WorkloadSpec) -> WorkloadProfile {
     Profiler::new(spec.clone()).seed(seed()).profile().profile
 }
 
-/// Runs one model-vs-simulation comparison across the replica sweep.
+/// Runs one model-vs-simulation comparison across the replica sweep,
+/// through the shared [`Scenario`] driver: the profile is measured on the
+/// standalone simulation, then the design's predictor and simulator run
+/// side by side via the registry.
 pub fn compare(spec: &WorkloadSpec, design: Design, sweep: &[usize]) -> Vec<ComparisonPoint> {
-    let profile = profile_workload(spec);
-    let config = SystemConfig::lan_cluster(spec.clients_per_replica);
-    sweep
-        .iter()
-        .map(|&n| {
-            let predicted = match design {
-                Design::Mm => MultiMasterModel::new(profile.clone(), config.clone())
-                    .predict(n)
-                    .expect("profiled inputs are valid"),
-                Design::Sm => SingleMasterModel::new(profile.clone(), config.clone())
-                    .predict(n)
-                    .expect("profiled inputs are valid"),
-            };
-            let measured = match design {
-                Design::Mm => MultiMasterSim::new(spec.clone(), sim_config(n)).run(),
-                Design::Sm => SingleMasterSim::new(spec.clone(), sim_config(n)).run(),
-            };
-            ComparisonPoint {
-                n,
-                predicted,
-                measured,
-            }
+    let report = Scenario::from_spec(spec.clone())
+        .designs(vec![design])
+        .replicas(sweep.iter().copied())
+        .seed(seed())
+        .simulate(true)
+        .sim_config(sim_config(0))
+        .run()
+        .expect("profiled inputs are valid");
+    let d = report
+        .designs
+        .into_iter()
+        .next()
+        .expect("exactly one design requested");
+    let curve = d.predicted.expect("prediction enabled");
+    curve
+        .points
+        .into_iter()
+        .zip(d.measured)
+        .map(|(predicted, measured)| ComparisonPoint {
+            n: predicted.replicas,
+            predicted,
+            measured,
         })
         .collect()
 }

@@ -17,20 +17,25 @@
 //! - [`sm`] — the single-master model (Sections 3.2.2, 3.3.3) with the
 //!   Figure-3 load-balancing algorithm on top of multiclass MVA.
 //! - [`abort`] — the abort-probability algebra shared by both models.
+//! - [`predictor`] — the design-polymorphic [`Predictor`] trait and the
+//!   [`Design`] registry (`design.predictor(profile, config)`).
 //! - [`planner`] — capacity planning built on the predictors (the paper's
-//!   stated application).
+//!   stated application), comparing arbitrary design sets.
 //!
 //! # Examples
 //!
+//! Callers address designs through the registry rather than naming
+//! concrete model types:
+//!
 //! ```
-//! use replipred_core::{MultiMasterModel, SingleMasterModel, SystemConfig, WorkloadProfile};
+//! use replipred_core::{Design, SystemConfig, WorkloadProfile};
 //!
 //! // TPC-W shopping-mix parameters as published in the paper (Tables 2-3).
 //! let profile = WorkloadProfile::tpcw_shopping();
 //! let config = SystemConfig::lan_cluster(40);
 //!
-//! let mm = MultiMasterModel::new(profile.clone(), config.clone());
-//! let sm = SingleMasterModel::new(profile, config);
+//! let mm = Design::MultiMaster.predictor(profile.clone(), config.clone()).unwrap();
+//! let sm = Design::SingleMaster.predictor(profile, config).unwrap();
 //!
 //! let mm8 = mm.predict(8).unwrap();
 //! let sm8 = sm.predict(8).unwrap();
@@ -44,6 +49,7 @@ pub mod config;
 pub mod error;
 pub mod mm;
 pub mod planner;
+pub mod predictor;
 pub mod profile;
 pub mod report;
 pub mod sm;
@@ -53,7 +59,8 @@ pub use abort::AbortModel;
 pub use config::SystemConfig;
 pub use error::ModelError;
 pub use mm::MultiMasterModel;
+pub use predictor::Predictor;
 pub use profile::{ResourceDemands, WorkloadProfile};
-pub use report::Prediction;
+pub use report::{Design, Prediction, ScalabilityCurve};
 pub use sm::SingleMasterModel;
 pub use standalone::StandaloneModel;

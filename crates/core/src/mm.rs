@@ -209,6 +209,7 @@ impl MultiMasterModel {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ScalabilityCurve {
             workload: self.profile.name.clone(),
+            design: Design::MultiMaster,
             points,
         })
     }

@@ -11,10 +11,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::SystemConfig;
 use crate::error::ModelError;
-use crate::mm::MultiMasterModel;
+use crate::predictor::Predictor;
 use crate::profile::WorkloadProfile;
 use crate::report::{Design, Prediction};
-use crate::sm::SingleMasterModel;
 
 /// A service-level objective for a deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,48 +53,81 @@ pub struct Plan {
 }
 
 /// Finds the minimum number of replicas (up to `max_replicas`) meeting the
-/// SLO for each design, and returns the recommendations sorted by replica
-/// count (cheapest first).
+/// SLO for each predictor, and returns the recommendations sorted by
+/// replica count (cheapest first).
 ///
-/// Designs that cannot meet the SLO within `max_replicas` are omitted; an
-/// empty vector means the SLO is infeasible at this scale.
+/// Design-polymorphic: any set of [`Predictor`]s can compete — the two
+/// replicated designs, the standalone baseline, or future designs
+/// registered behind the trait.
+///
+/// Predictors that cannot meet the SLO within `max_replicas` are omitted;
+/// an empty vector means the SLO is infeasible at this scale.
 ///
 /// # Errors
 ///
 /// Propagates model evaluation errors.
+pub fn plan_with(
+    predictors: &[&dyn Predictor],
+    slo: &Slo,
+    max_replicas: usize,
+) -> Result<Vec<Plan>, ModelError> {
+    let mut plans = Vec::new();
+    for predictor in predictors {
+        for n in 1..=predictor.max_deployment(max_replicas) {
+            let p = predictor.predict(n)?;
+            if slo.satisfied_by(&p) {
+                plans.push(Plan {
+                    design: predictor.design(),
+                    replicas: n,
+                    prediction: p,
+                });
+                break;
+            }
+        }
+    }
+    plans.sort_by_key(|p| p.replicas);
+    Ok(plans)
+}
+
+/// [`plan_with`] over the given designs, instantiated from the registry.
+///
+/// # Errors
+///
+/// Propagates profile/config validation and model evaluation errors.
+pub fn plan_designs(
+    profile: &WorkloadProfile,
+    config: &SystemConfig,
+    designs: &[Design],
+    slo: &Slo,
+    max_replicas: usize,
+) -> Result<Vec<Plan>, ModelError> {
+    let predictors = designs
+        .iter()
+        .map(|d| d.predictor(profile.clone(), config.clone()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let refs: Vec<&dyn Predictor> = predictors.iter().map(|p| p.as_ref()).collect();
+    plan_with(&refs, slo, max_replicas)
+}
+
+/// [`plan_designs`] over the paper's two replicated designs — the
+/// comparison the paper's capacity-planning application makes.
+///
+/// # Errors
+///
+/// Same as [`plan_designs`].
 pub fn plan(
     profile: &WorkloadProfile,
     config: &SystemConfig,
     slo: &Slo,
     max_replicas: usize,
 ) -> Result<Vec<Plan>, ModelError> {
-    let mut plans = Vec::new();
-    let mm = MultiMasterModel::new(profile.clone(), config.clone());
-    for n in 1..=max_replicas {
-        let p = mm.predict(n)?;
-        if slo.satisfied_by(&p) {
-            plans.push(Plan {
-                design: Design::MultiMaster,
-                replicas: n,
-                prediction: p,
-            });
-            break;
-        }
-    }
-    let sm = SingleMasterModel::new(profile.clone(), config.clone());
-    for n in 1..=max_replicas {
-        let p = sm.predict(n)?;
-        if slo.satisfied_by(&p) {
-            plans.push(Plan {
-                design: Design::SingleMaster,
-                replicas: n,
-                prediction: p,
-            });
-            break;
-        }
-    }
-    plans.sort_by_key(|p| p.replicas);
-    Ok(plans)
+    plan_designs(
+        profile,
+        config,
+        &[Design::MultiMaster, Design::SingleMaster],
+        slo,
+        max_replicas,
+    )
 }
 
 #[cfg(test)]
@@ -117,21 +149,13 @@ mod tests {
             assert!(p.prediction.throughput_tps >= 150.0);
             // Minimality: one fewer replica must miss the SLO.
             if p.replicas > 1 {
-                let model_tps = match p.design {
-                    Design::MultiMaster => {
-                        MultiMasterModel::new(profile.clone(), config.clone())
-                            .predict(p.replicas - 1)
-                            .unwrap()
-                            .throughput_tps
-                    }
-                    Design::SingleMaster => {
-                        SingleMasterModel::new(profile.clone(), config.clone())
-                            .predict(p.replicas - 1)
-                            .unwrap()
-                            .throughput_tps
-                    }
-                    Design::Standalone => unreachable!(),
-                };
+                let model_tps = p
+                    .design
+                    .predictor(profile.clone(), config.clone())
+                    .unwrap()
+                    .predict(p.replicas - 1)
+                    .unwrap()
+                    .throughput_tps;
                 assert!(model_tps < 150.0);
             }
         }
@@ -164,6 +188,37 @@ mod tests {
         let plans = plan(&profile, &config, &slo, 16).unwrap();
         assert!(!plans.is_empty());
         assert_eq!(plans[0].design, Design::MultiMaster);
+    }
+
+    #[test]
+    fn arbitrary_design_sets_compete() {
+        // All three designs (standalone baseline included) compete for a
+        // modest SLO; the standalone node meets it at scale 1 and wins.
+        let profile = WorkloadProfile::tpcw_shopping();
+        let config = SystemConfig::lan_cluster(40);
+        let slo = Slo {
+            min_throughput_tps: 10.0,
+            max_response_time: None,
+            max_abort_rate: None,
+        };
+        let plans = plan_designs(&profile, &config, &Design::ALL, &slo, 16).unwrap();
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].replicas, 1);
+        // The standalone baseline is one machine: it is never recommended
+        // at a "deployment size" above 1 (those scale points model offered
+        // load, not hardware).
+        assert!(plans
+            .iter()
+            .all(|p| p.design != Design::Standalone || p.replicas == 1));
+        // An SLO only replication can reach excludes the standalone node.
+        let slo = Slo {
+            min_throughput_tps: 150.0,
+            max_response_time: None,
+            max_abort_rate: None,
+        };
+        let plans = plan_designs(&profile, &config, &Design::ALL, &slo, 16).unwrap();
+        assert!(!plans.is_empty());
+        assert!(plans.iter().all(|p| p.design != Design::Standalone));
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Design-polymorphic prediction: the [`Predictor`] trait and the
+//! [`Design`] registry.
+//!
+//! The paper's whole point is comparing designs under one workload
+//! profile, so callers — the planner, the CLI, the experiment harness —
+//! should never have to name a concrete model type. They ask the
+//! registry for a boxed predictor and drive it through this trait:
+//!
+//! ```
+//! use replipred_core::{Design, SystemConfig, WorkloadProfile};
+//!
+//! let profile = WorkloadProfile::tpcw_shopping();
+//! let config = SystemConfig::lan_cluster(40);
+//! for design in Design::ALL {
+//!     let predictor = design.predictor(profile.clone(), config.clone()).unwrap();
+//!     let p = predictor.predict(8).unwrap();
+//!     assert!(p.throughput_tps > 0.0);
+//! }
+//! ```
+
+use crate::config::SystemConfig;
+use crate::error::ModelError;
+use crate::mm::MultiMasterModel;
+use crate::profile::WorkloadProfile;
+use crate::report::{Design, Prediction, ScalabilityCurve};
+use crate::sm::SingleMasterModel;
+use crate::standalone::StandaloneModel;
+
+/// An analytical scalability predictor for one replication design.
+///
+/// `predict(n)` evaluates the design at *scale point* `n`: `n*C` clients
+/// offered to the deployment the design prescribes at that scale (`n`
+/// replicas for the replicated designs; one node absorbing the whole
+/// load for [`Design::Standalone`] — the paper's baseline that shows why
+/// replication is needed at all).
+///
+/// The trait is object-safe; the registry ([`Design::predictor`]) hands
+/// out `Box<dyn Predictor>`.
+pub trait Predictor {
+    /// The design this predictor models.
+    fn design(&self) -> Design;
+
+    /// The workload profile driving the predictions.
+    fn profile(&self) -> &WorkloadProfile;
+
+    /// Predicts the operating point at scale `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidReplicaCount`] for `n == 0` and
+    /// propagates profile/config/solver errors.
+    fn predict(&self, n: usize) -> Result<Prediction, ModelError>;
+
+    /// The largest *deployment size* a capacity planner should consider
+    /// when searching up to `max_replicas` scale points. Replicated
+    /// designs can buy up to `max_replicas` machines; the standalone
+    /// baseline overrides this to 1 — its scale points beyond 1 model
+    /// offered load, not purchasable hardware.
+    fn max_deployment(&self, max_replicas: usize) -> usize {
+        max_replicas
+    }
+
+    /// Predicts a curve at the given scale points (ascending).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Predictor::predict`].
+    fn curve_at(&self, points: &[usize]) -> Result<ScalabilityCurve, ModelError> {
+        let points = points
+            .iter()
+            .map(|&n| self.predict(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScalabilityCurve {
+            workload: self.profile().name.clone(),
+            design: self.design(),
+            points,
+        })
+    }
+
+    /// Predicts the whole scalability curve for `1..=max_n`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Predictor::predict`].
+    fn curve(&self, max_n: usize) -> Result<ScalabilityCurve, ModelError> {
+        let points: Vec<usize> = (1..=max_n).collect();
+        self.curve_at(&points)
+    }
+}
+
+impl Predictor for MultiMasterModel {
+    fn design(&self) -> Design {
+        Design::MultiMaster
+    }
+
+    fn profile(&self) -> &WorkloadProfile {
+        MultiMasterModel::profile(self)
+    }
+
+    fn predict(&self, n: usize) -> Result<Prediction, ModelError> {
+        MultiMasterModel::predict(self, n)
+    }
+}
+
+impl Predictor for SingleMasterModel {
+    fn design(&self) -> Design {
+        Design::SingleMaster
+    }
+
+    fn profile(&self) -> &WorkloadProfile {
+        SingleMasterModel::profile(self)
+    }
+
+    fn predict(&self, n: usize) -> Result<Prediction, ModelError> {
+        SingleMasterModel::predict(self, n)
+    }
+}
+
+impl Predictor for StandaloneModel {
+    fn design(&self) -> Design {
+        Design::Standalone
+    }
+
+    fn profile(&self) -> &WorkloadProfile {
+        StandaloneModel::profile(self)
+    }
+
+    fn predict(&self, n: usize) -> Result<Prediction, ModelError> {
+        self.predict_scaled(n)
+    }
+
+    fn max_deployment(&self, _max_replicas: usize) -> usize {
+        1
+    }
+}
+
+impl Design {
+    /// The registry: builds the analytical predictor for this design
+    /// without the caller naming a concrete model type.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile/config validation errors.
+    pub fn predictor(
+        self,
+        profile: WorkloadProfile,
+        config: SystemConfig,
+    ) -> Result<Box<dyn Predictor>, ModelError> {
+        profile.validate()?;
+        config.validate()?;
+        Ok(match self {
+            Design::Standalone => Box::new(StandaloneModel::new(profile, config)?),
+            Design::MultiMaster => Box::new(MultiMasterModel::new(profile, config)),
+            Design::SingleMaster => Box::new(SingleMasterModel::new(profile, config)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_design() {
+        let profile = WorkloadProfile::tpcw_shopping();
+        let config = SystemConfig::lan_cluster(40);
+        for design in Design::ALL {
+            let p = design
+                .predictor(profile.clone(), config.clone())
+                .expect("valid inputs");
+            assert_eq!(p.design(), design);
+            assert_eq!(p.profile().name, "tpcw-shopping");
+            let point = p.predict(4).expect("solves");
+            assert_eq!(point.design, design);
+            assert!(point.throughput_tps > 0.0);
+        }
+    }
+
+    #[test]
+    fn registry_rejects_invalid_profile() {
+        let mut profile = WorkloadProfile::tpcw_shopping();
+        profile.pw = 0.5; // Pr + Pw != 1
+        for design in Design::ALL {
+            assert!(design
+                .predictor(profile.clone(), SystemConfig::lan_cluster(40))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn trait_curve_matches_inherent_curve() {
+        let profile = WorkloadProfile::tpcw_shopping();
+        let config = SystemConfig::lan_cluster(40);
+        let model = MultiMasterModel::new(profile, config);
+        let via_trait = Predictor::curve(&model, 4).unwrap();
+        let inherent = model.predict_curve(4).unwrap();
+        assert_eq!(via_trait, inherent);
+    }
+
+    #[test]
+    fn curve_at_honours_requested_points() {
+        let profile = WorkloadProfile::tpcw_shopping();
+        let config = SystemConfig::lan_cluster(40);
+        let p = Design::MultiMaster.predictor(profile, config).unwrap();
+        let curve = p.curve_at(&[1, 4, 8]).unwrap();
+        assert_eq!(
+            curve.points.iter().map(|p| p.replicas).collect::<Vec<_>>(),
+            vec![1, 4, 8]
+        );
+    }
+
+    #[test]
+    fn design_keys_round_trip() {
+        for design in Design::ALL {
+            assert_eq!(Design::parse(design.key()), Some(design));
+            assert_eq!(format!("{design}"), design.key());
+        }
+        assert_eq!(Design::parse("multi-master"), Some(Design::MultiMaster));
+        assert_eq!(Design::parse("nope"), None);
+    }
+}

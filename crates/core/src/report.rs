@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The replication design a prediction refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Design {
     /// One standalone database, no replication.
     Standalone,
@@ -11,6 +11,40 @@ pub enum Design {
     MultiMaster,
     /// Single-master (master/slave, Ganymed-style).
     SingleMaster,
+}
+
+impl Design {
+    /// Every design the workspace knows, in comparison order.
+    pub const ALL: [Design; 3] = [
+        Design::Standalone,
+        Design::MultiMaster,
+        Design::SingleMaster,
+    ];
+
+    /// Stable short key, as used by the CLI (`--design mm`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Design::Standalone => "standalone",
+            Design::MultiMaster => "mm",
+            Design::SingleMaster => "sm",
+        }
+    }
+
+    /// Parses a CLI/user design key (short or long form).
+    pub fn parse(s: &str) -> Option<Design> {
+        match s {
+            "standalone" | "sa" => Some(Design::Standalone),
+            "mm" | "multi-master" | "multimaster" => Some(Design::MultiMaster),
+            "sm" | "single-master" | "singlemaster" => Some(Design::SingleMaster),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
 }
 
 /// A single point on a predicted scalability curve.
@@ -54,6 +88,8 @@ impl Prediction {
 pub struct ScalabilityCurve {
     /// Workload name the curve was computed for.
     pub workload: String,
+    /// The design the curve describes.
+    pub design: Design,
     /// Points indexed by replica count (ascending).
     pub points: Vec<Prediction>,
 }
@@ -111,6 +147,7 @@ mod tests {
     fn curve_lookup_and_totals() {
         let curve = ScalabilityCurve {
             workload: "w".into(),
+            design: Design::MultiMaster,
             points: (1..=4).map(|n| point(n, 20.0 * n as f64)).collect(),
         };
         assert_eq!(curve.at(3).unwrap().throughput_tps, 60.0);

@@ -49,6 +49,31 @@ pub struct SingleMasterModel {
     config: SystemConfig,
 }
 
+/// Warm-start state threaded through the nested fixed points: each
+/// outer-loop iteration seeds the next solve with the previous fixed
+/// point instead of restarting cold, which cuts the inner iteration
+/// counts by an order of magnitude near convergence.
+#[derive(Debug, Clone)]
+struct BalanceWarm {
+    /// Clients resident in the master's update class.
+    n_w: f64,
+    /// Fraction of read clients served by the master.
+    f: f64,
+    /// Per-slave read throughput (seeds [`SingleMasterModel::solve_slave`]).
+    slave_tps: f64,
+}
+
+impl BalanceWarm {
+    /// The paper's nominal client split, used before any solve has run.
+    fn initial(profile: &WorkloadProfile, n: usize, total_clients: f64) -> Self {
+        BalanceWarm {
+            n_w: profile.pw * total_clients,
+            f: if n == 1 { 1.0 } else { 0.0 },
+            slave_tps: 0.0,
+        }
+    }
+}
+
 /// One balanced solve: throughputs and diagnostics.
 #[derive(Debug, Clone)]
 struct Balanced {
@@ -98,13 +123,24 @@ impl SingleMasterModel {
         )?)
     }
 
-    /// Slave network for a given writeset-per-read amortization ratio.
-    fn slave_network(&self, ws_per_read: f64) -> Result<ClosedNetwork, ModelError> {
+    /// Slave demands for a given writeset-per-read amortization ratio
+    /// (solver order: cpu, disk, lb).
+    fn slave_demands(&self, ws_per_read: f64) -> [f64; 3] {
         let p = &self.profile;
+        [
+            p.cpu.read + ws_per_read * p.cpu.writeset,
+            p.disk.read + ws_per_read * p.disk.writeset,
+            self.config.lb_delay,
+        ]
+    }
+
+    /// Slave network at a given writeset-per-read amortization ratio.
+    fn slave_network(&self, ws_per_read: f64) -> Result<ClosedNetwork, ModelError> {
+        let d = self.slave_demands(ws_per_read);
         Ok(ClosedNetwork::builder()
-            .queueing("cpu", p.cpu.read + ws_per_read * p.cpu.writeset)
-            .queueing("disk", p.disk.read + ws_per_read * p.disk.writeset)
-            .delay("lb", self.config.lb_delay)
+            .queueing("cpu", d[0])
+            .queueing("disk", d[1])
+            .delay("lb", d[2])
             .think_time(self.config.think_time)
             .build()?)
     }
@@ -113,13 +149,31 @@ impl SingleMasterModel {
     /// writeset rate, iterating the demand amortization to a fixed point:
     /// each slave applies *all* `write_tps` writesets, so the per-read
     /// overhead is `ws · write_tps / read_tps_of_this_slave`.
-    fn solve_slave(&self, clients: f64, write_tps: f64) -> Result<MvaSolution, ModelError> {
+    ///
+    /// `net` is the cached slave-tier network (built once per solve by the
+    /// caller); only its demands are rewritten here, keeping the hot
+    /// fixed-point loop allocation-free. `guess` warm-starts the
+    /// amortization fixed point with the previous call's read throughput
+    /// (pass a non-positive value for a cold start).
+    fn solve_slave(
+        &self,
+        net: &mut ClosedNetwork,
+        clients: f64,
+        write_tps: f64,
+        guess: f64,
+    ) -> Result<MvaSolution, ModelError> {
         let p = &self.profile;
         if clients <= 0.0 {
-            return Ok(solve_single_real(&self.slave_network(0.0)?, 0.0)?);
+            net.set_demands(&self.slave_demands(0.0))?;
+            return Ok(solve_single_real(net, 0.0)?);
         }
-        // Initial guess: no-queueing throughput.
-        let mut read_tps = clients / (self.config.think_time + p.cpu.read + p.disk.read).max(1e-9);
+        // Initial guess: previous fixed point if available, else the
+        // no-queueing throughput.
+        let mut read_tps = if guess > 0.0 {
+            guess
+        } else {
+            clients / (self.config.think_time + p.cpu.read + p.disk.read).max(1e-9)
+        };
         let mut sol = None;
         for _ in 0..200 {
             let ratio = if read_tps > 1e-9 {
@@ -127,8 +181,8 @@ impl SingleMasterModel {
             } else {
                 0.0
             };
-            let net = self.slave_network(ratio)?;
-            let s = solve_single_real(&net, clients)?;
+            net.set_demands(&self.slave_demands(ratio))?;
+            let s = solve_single_real(net, clients)?;
             let new_tps = s.throughput;
             let done = (new_tps - read_tps).abs() <= 1e-9 * (1.0 + new_tps);
             // Damped update for stability near saturation.
@@ -168,16 +222,24 @@ impl SingleMasterModel {
     ///   read-only transactions E at the master").
     /// - the slave writeset amortization (writesets per read), resolved
     ///   inside [`SingleMasterModel::solve_slave`].
-    fn balance(&self, n: usize, a_master: f64) -> Result<Balanced, ModelError> {
+    fn balance(
+        &self,
+        n: usize,
+        a_master: f64,
+        slave_net: &mut ClosedNetwork,
+        warm: &mut BalanceWarm,
+    ) -> Result<Balanced, ModelError> {
         let p = &self.profile;
         let z = self.config.think_time;
         let total = (n * self.config.clients_per_replica) as f64;
         let slaves = (n - 1) as f64;
         let master_net = self.master_network(a_master)?;
 
-        // Unknowns, with the paper's nominal split as the initial guess.
-        let mut n_w = p.pw * total;
-        let mut f: f64 = if n == 1 { 1.0 } else { 0.0 };
+        // Unknowns, seeded from the previous solve's fixed point (the
+        // paper's nominal split on the first call).
+        let mut n_w = warm.n_w.clamp(0.0, total);
+        let mut f: f64 = if n == 1 { 1.0 } else { warm.f };
+        let mut slave_guess = warm.slave_tps;
         let mut out = None;
         for _ in 0..400 {
             let n_r = (total - n_w).max(0.0);
@@ -186,10 +248,13 @@ impl SingleMasterModel {
             let master = solve_multiclass_real(&master_net, &[n_rm, n_w])?;
             let write_tps = master.throughput[1];
             let slave = if n > 1 {
-                Some(self.solve_slave(n_rs_per, write_tps)?)
+                Some(self.solve_slave(slave_net, n_rs_per, write_tps, slave_guess)?)
             } else {
                 None
             };
+            if let Some(s) = &slave {
+                slave_guess = s.throughput;
+            }
             let x_rm = master.throughput[0];
             let x_rs = slave.as_ref().map(|s| s.throughput * slaves).unwrap_or(0.0);
             let read_tps = x_rm + x_rs;
@@ -240,6 +305,9 @@ impl SingleMasterModel {
                 break;
             }
         }
+        warm.n_w = n_w;
+        warm.f = f;
+        warm.slave_tps = slave_guess;
         let b = out.expect("at least one iteration");
         // Sanity: at the fixed point the throughput ratio honours Pr:Pw
         // within the solver tolerance (property 1) unless the workload is
@@ -262,8 +330,14 @@ impl SingleMasterModel {
         let abort = AbortModel::new(p.a1, p.l1);
         let mut a_master = p.a1;
         let mut last = None;
+        // The slave-tier network shape never changes across the nested
+        // fixed points — build it once and rewrite demands in place; the
+        // warm state carries each iteration's fixed point into the next.
+        let mut slave_net = self.slave_network(0.0)?;
+        let total = (n * self.config.clients_per_replica) as f64;
+        let mut warm = BalanceWarm::initial(p, n, total);
         for _ in 0..ABORT_ITERS {
-            let b = self.balance(n, a_master)?;
+            let b = self.balance(n, a_master, &mut slave_net, &mut warm)?;
             let new_a = abort.master(b.l_master, n);
             let done = (new_a - a_master).abs() < 1e-10;
             a_master = 0.5 * a_master + 0.5 * new_a;
@@ -366,6 +440,7 @@ impl SingleMasterModel {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ScalabilityCurve {
             workload: self.profile.name.clone(),
+            design: Design::SingleMaster,
             points,
         })
     }

@@ -37,6 +37,11 @@ impl StandaloneModel {
         &self.profile
     }
 
+    /// The system configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
     /// Builds the standalone closed network (CPU + disk + LB delay).
     pub fn network(&self) -> Result<ClosedNetwork, ModelError> {
         Ok(ClosedNetwork::builder()
@@ -77,6 +82,30 @@ impl StandaloneModel {
     /// Propagates solver errors.
     pub fn predict(&self) -> Result<Prediction, ModelError> {
         self.predict_at(self.config.clients_per_replica)
+    }
+
+    /// Predicts at scale point `n`: the whole `n*C`-client load of an
+    /// `n`-replica deployment offered to the single standalone node. This
+    /// is the baseline curve the replicated designs are compared against
+    /// (it saturates almost immediately — the reason to replicate).
+    ///
+    /// The returned point reports `replicas: n` so it lines up with the
+    /// replicated designs' curves; the deployment is still one machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidReplicaCount`] for `n == 0` and
+    /// propagates solver errors.
+    pub fn predict_scaled(&self, n: usize) -> Result<Prediction, ModelError> {
+        if n == 0 {
+            return Err(ModelError::InvalidReplicaCount {
+                n,
+                reason: "the standalone baseline needs at least scale 1".into(),
+            });
+        }
+        let mut p = self.predict_at(n * self.config.clients_per_replica)?;
+        p.replicas = n;
+        Ok(p)
     }
 }
 
@@ -144,6 +173,26 @@ mod tests {
         assert!(x10 < x40 && x40 < x400);
         // Saturated: nearly flat beyond.
         assert!((x800 - x400) / x400 < 0.01);
+    }
+
+    #[test]
+    fn scaled_baseline_saturates_immediately() {
+        let m = StandaloneModel::new(
+            WorkloadProfile::tpcw_shopping(),
+            SystemConfig::lan_cluster(40),
+        )
+        .unwrap();
+        assert!(matches!(
+            m.predict_scaled(0),
+            Err(ModelError::InvalidReplicaCount { .. })
+        ));
+        let p1 = m.predict_scaled(1).unwrap();
+        assert_eq!(p1, m.predict().unwrap());
+        let p8 = m.predict_scaled(8).unwrap();
+        assert_eq!(p8.replicas, 8);
+        assert_eq!(p8.clients, 320);
+        // One node cannot absorb 8 replicas' worth of clients.
+        assert!(p8.throughput_tps < 2.0 * p1.throughput_tps);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   measurement windows, delays).
 //! - [`metrics`] — the measured [`metrics::RunReport`]: throughput,
 //!   response times, abort rate, utilizations.
+//! - [`design`] — the design-polymorphic [`Simulator`] trait and the
+//!   simulator side of the design registry
+//!   (`design.simulator(spec, sim_config)`).
 //! - [`certifier`] — the multi-master certification service: version-based
 //!   write-write conflict detection over the global writeset log.
 //! - [`standalone`] — a one-node simulation (the profiling target and the
@@ -42,6 +45,7 @@
 
 pub mod certifier;
 pub mod config;
+pub mod design;
 pub mod metrics;
 pub mod mm;
 pub mod replicated_certifier;
@@ -50,8 +54,10 @@ pub mod standalone;
 
 pub use certifier::Certifier;
 pub use config::SimConfig;
+pub use design::{DesignSpec, Simulator, SimulatorRegistry};
 pub use metrics::RunReport;
 pub use mm::MultiMasterSim;
 pub use replicated_certifier::ReplicatedCertifier;
+pub use replipred_core::Design;
 pub use sm::SingleMasterSim;
 pub use standalone::StandaloneSim;

@@ -84,6 +84,11 @@ impl MultiMasterSim {
         MultiMasterSim { spec, cfg }
     }
 
+    /// Name of the workload being simulated.
+    pub fn spec_name(&self) -> &str {
+        &self.spec.name
+    }
+
     /// Runs the simulation and reports measured performance.
     ///
     /// # Panics

@@ -72,6 +72,11 @@ impl SingleMasterSim {
         SingleMasterSim { spec, cfg }
     }
 
+    /// Name of the workload being simulated.
+    pub fn spec_name(&self) -> &str {
+        &self.spec.name
+    }
+
     /// Runs the simulation and reports measured performance.
     ///
     /// # Panics

@@ -86,6 +86,11 @@ impl StandaloneSim {
         }
     }
 
+    /// Name of the workload being simulated.
+    pub fn spec_name(&self) -> &str {
+        &self.spec.name
+    }
+
     /// Turns on statement logging (the profiler's raw input). Seeding
     /// operations are not logged; only client transactions are.
     pub fn with_statement_log(mut self) -> Self {

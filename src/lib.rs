@@ -21,20 +21,45 @@
 //! - [`model`] — the paper's analytical models: the multi-master and
 //!   single-master predictors, the conflict-window fixed point and the
 //!   Figure-3 load-balancing algorithm.
+//! - [`scenario`] — the shared experiment driver: declare *workload ×
+//!   design set × replica range × seed* once and get a serializable
+//!   [`scenario::ScenarioReport`] back.
 //!
 //! # Quickstart
 //!
+//! Designs are addressed through the registry — `model::Design` plus the
+//! `Predictor`/`Simulator` traits — so code is polymorphic over
+//! standalone, multi-master and single-master:
+//!
 //! ```
-//! use replipred::model::{MultiMasterModel, SystemConfig, WorkloadProfile};
+//! use replipred::model::{Design, SystemConfig, WorkloadProfile};
 //!
 //! // A profile as measured on a standalone database (here: the paper's
 //! // published TPC-W shopping-mix numbers, Tables 2-3).
 //! let profile = WorkloadProfile::tpcw_shopping();
 //! let config = SystemConfig::lan_cluster(40);
-//! let model = MultiMasterModel::new(profile, config);
-//! let prediction = model.predict(8).unwrap();
+//! let predictor = Design::MultiMaster.predictor(profile, config).unwrap();
+//! let prediction = predictor.predict(8).unwrap();
 //! assert!(prediction.throughput_tps > 0.0);
 //! ```
+//!
+//! Whole experiments — the paper's figures, the CLI subcommands — are one
+//! [`scenario::Scenario`]:
+//!
+//! ```
+//! use replipred::scenario::Scenario;
+//!
+//! let report = Scenario::published("tpcw-shopping")
+//!     .unwrap()
+//!     .all_designs()
+//!     .replicas(1..=8)
+//!     .run()
+//!     .unwrap();
+//! // Three designs, eight predicted points each, ready to serialize.
+//! assert_eq!(report.designs.len(), 3);
+//! ```
+pub mod scenario;
+
 pub use replipred_core as model;
 pub use replipred_mva as mva;
 pub use replipred_profiler as profiler;

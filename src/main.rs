@@ -1,25 +1,29 @@
 //! `replipred` — command-line scalability prediction.
 //!
 //! ```text
-//! replipred predict --workload tpcw-shopping --design mm --replicas 16
-//! replipred plan    --workload tpcw-ordering --tps 250 --max-response-ms 400
-//! replipred profile --workload rubis-bidding --seed 7
+//! replipred predict  --workload tpcw-shopping --design mm --replicas 16
+//! replipred sweep    --workload tpcw-shopping --design all --replicas 8 --json
 //! replipred simulate --workload tpcw-shopping --design sm --replicas 8
+//! replipred plan     --workload tpcw-ordering --tps 250 --max-response-ms 400
+//! replipred profile  --workload rubis-bidding --seed 7
 //! ```
+//!
+//! Every experiment subcommand is a thin front end over
+//! [`replipred::scenario::Scenario`]: designs are addressed through the
+//! registry (`--design standalone|mm|sm|all`), and `--json` emits the
+//! scenario's serialized report.
 //!
 //! `--workload` accepts the five published profiles
 //! (`tpcw-{browsing,shopping,ordering}`, `rubis-{browsing,bidding}`) or
 //! `@path/to/profile.json` (a serialized `WorkloadProfile`, as produced by
-//! `profile --json`).
+//! `profile --json`; prediction only).
 
 use std::process::ExitCode;
 
-use replipred::model::planner::{plan, Slo};
-use replipred::model::{MultiMasterModel, SingleMasterModel, SystemConfig, WorkloadProfile};
+use replipred::model::planner::{plan_designs, Plan, Slo};
+use replipred::model::{Design, SystemConfig, WorkloadProfile};
 use replipred::profiler::Profiler;
-use replipred::repl::{MultiMasterSim, SimConfig, SingleMasterSim};
-use replipred::workload::spec::WorkloadSpec;
-use replipred::workload::{rubis, tpcw};
+use replipred::scenario::{workload_spec, Scenario, ScenarioReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,24 +39,40 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  replipred predict  --workload <w> [--design mm|sm] [--replicas N] [--clients C]
+  replipred predict  --workload <w> [--design <d>] [--replicas N] [--clients C] [--json]
+  replipred sweep    --workload <w> [--design <d>] [--replicas N] [--clients C] [--simulate]
+                     [--seed S] [--json]
+  replipred simulate --workload <w> [--design <d>] [--replicas N] [--seed S] [--json]
   replipred plan     --workload <w> --tps X [--max-response-ms R] [--max-abort-pct A]
+                     [--design <d>] [--clients C] [--json]
   replipred profile  --workload <w> [--seed S] [--json]
-  replipred simulate --workload <w> [--design mm|sm] [--replicas N] [--seed S]
 
+designs:   standalone mm sm, a comma list of those, or all
 workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-bidding
-           or @profile.json (predict/plan only)";
+           or @profile.json (predict/sweep/plan only)";
 
-/// Parses `--flag value` pairs after the subcommand.
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Parses `--flag value` pairs after the subcommand, rejecting repeated
+/// flags and flag names standing in for values (`--replicas --seed`).
+fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    let mut positions = args.iter().enumerate().filter(|(_, a)| *a == name);
+    let first = positions.next();
+    if positions.next().is_some() {
+        return Err(format!("flag {name} given more than once"));
+    }
+    let Some((i, _)) = first else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(v) if v.starts_with("--") => Err(format!(
+            "missing value for {name} (found flag `{v}` instead)"
+        )),
+        Some(v) => Ok(Some(v.clone())),
+        None => Err(format!("missing value for {name}")),
+    }
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
-    match flag(args, name) {
+    match flag(args, name)? {
         None => Ok(None),
         Some(v) => v
             .parse()
@@ -61,46 +81,64 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Optio
     }
 }
 
-fn published_profile(name: &str) -> Option<WorkloadProfile> {
-    match name {
-        "tpcw-browsing" => Some(WorkloadProfile::tpcw_browsing()),
-        "tpcw-shopping" => Some(WorkloadProfile::tpcw_shopping()),
-        "tpcw-ordering" => Some(WorkloadProfile::tpcw_ordering()),
-        "rubis-browsing" => Some(WorkloadProfile::rubis_browsing()),
-        "rubis-bidding" => Some(WorkloadProfile::rubis_bidding()),
-        _ => None,
+/// True when the boolean flag is present (it takes no value).
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// `--design`: one key, a comma list, or `all`; `default` when absent.
+fn parse_designs(args: &[String], default: &[Design]) -> Result<Vec<Design>, String> {
+    match flag(args, "--design")? {
+        None => Ok(default.to_vec()),
+        Some(v) if v == "all" => Ok(Design::ALL.to_vec()),
+        Some(v) => {
+            let mut designs = Vec::new();
+            for k in v.split(',') {
+                let d = Design::parse(k).ok_or_else(|| {
+                    format!("unknown design `{k}` (use standalone, mm, sm or all)")
+                })?;
+                if designs.contains(&d) {
+                    return Err(format!("duplicate design `{k}`"));
+                }
+                designs.push(d);
+            }
+            Ok(designs)
+        }
     }
 }
 
-fn workload_spec(name: &str) -> Option<WorkloadSpec> {
-    match name {
-        "tpcw-browsing" => Some(tpcw::mix(tpcw::Mix::Browsing)),
-        "tpcw-shopping" => Some(tpcw::mix(tpcw::Mix::Shopping)),
-        "tpcw-ordering" => Some(tpcw::mix(tpcw::Mix::Ordering)),
-        "rubis-browsing" => Some(rubis::mix(rubis::Mix::Browsing)),
-        "rubis-bidding" => Some(rubis::mix(rubis::Mix::Bidding)),
-        _ => None,
+/// Reads and validates a serialized `WorkloadProfile` (the `@file` path).
+fn read_profile_file(path: &str) -> Result<WorkloadProfile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let profile: WorkloadProfile =
+        serde_json::from_str(&text).map_err(|e| format!("bad profile JSON: {e}"))?;
+    profile.validate().map_err(|e| e.to_string())?;
+    Ok(profile)
+}
+
+/// Builds the scenario for `--workload`: a published name or `@file`.
+fn workload_scenario(args: &[String]) -> Result<Scenario, String> {
+    let w = flag(args, "--workload")?.ok_or("missing --workload")?;
+    match w.strip_prefix('@') {
+        Some(path) => Ok(Scenario::from_profile(read_profile_file(path)?)),
+        None => Scenario::published(&w).map_err(|e| e.to_string()),
     }
 }
 
+/// The profile alone (for `plan`, which drives the planner directly).
 fn load_profile(args: &[String]) -> Result<WorkloadProfile, String> {
-    let w = flag(args, "--workload").ok_or("missing --workload")?;
-    if let Some(path) = w.strip_prefix('@') {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let profile: WorkloadProfile =
-            serde_json::from_str(&text).map_err(|e| format!("bad profile JSON: {e}"))?;
-        profile.validate().map_err(|e| e.to_string())?;
-        return Ok(profile);
+    let w = flag(args, "--workload")?.ok_or("missing --workload")?;
+    match w.strip_prefix('@') {
+        Some(path) => read_profile_file(path),
+        None => replipred::scenario::published_profile(&w)
+            .ok_or_else(|| format!("unknown workload `{w}`")),
     }
-    published_profile(&w).ok_or_else(|| format!("unknown workload `{w}`"))
 }
 
 fn default_clients(profile: &WorkloadProfile) -> usize {
-    match profile.name.as_str() {
-        "tpcw-browsing" => 30,
-        "tpcw-shopping" => 40,
-        _ => 50,
-    }
+    workload_spec(&profile.name)
+        .map(|s| s.clients_per_replica)
+        .unwrap_or(50)
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -108,9 +146,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest = &args[1..];
     match cmd {
         "predict" => predict(rest),
+        "sweep" => sweep(rest),
+        "simulate" => simulate(rest),
         "plan" => plan_cmd(rest),
         "profile" => profile_cmd(rest),
-        "simulate" => simulate(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -119,41 +158,156 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn predict(args: &[String]) -> Result<(), String> {
-    let profile = load_profile(args)?;
-    let design = flag(args, "--design").unwrap_or_else(|| "mm".into());
-    let replicas: usize = parse_flag(args, "--replicas")?.unwrap_or(16);
-    let clients: usize =
-        parse_flag(args, "--clients")?.unwrap_or_else(|| default_clients(&profile));
-    let config = SystemConfig::lan_cluster(clients);
+/// Applies the shared scenario flags (`--replicas` as a 1..=N curve,
+/// `--clients`, `--seed`).
+fn configure(
+    mut scenario: Scenario,
+    args: &[String],
+    default_replicas: usize,
+) -> Result<Scenario, String> {
+    let max: usize = parse_flag(args, "--replicas")?.unwrap_or(default_replicas);
+    if max == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    scenario = scenario.replicas(1..=max);
+    if let Some(clients) = parse_flag(args, "--clients")? {
+        scenario = scenario.clients(clients);
+    }
+    if let Some(seed) = parse_flag(args, "--seed")? {
+        scenario = scenario.seed(seed);
+    }
+    Ok(scenario)
+}
+
+fn print_json<T: serde::Serialize>(value: &T) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(value).expect("report serializes")
+    );
+}
+
+/// One printed row of a curve table: `(N, tput, resp, abort, bottleneck,
+/// utilization)`.
+type CurveRow<'a> = (usize, f64, f64, f64, &'a str, f64);
+
+fn print_table<'a>(title: String, rows: impl Iterator<Item = CurveRow<'a>>) {
+    println!("# {title}");
     println!(
         "{:>3} {:>12} {:>12} {:>10} {:>18}",
         "N", "tput (tps)", "resp (ms)", "abort %", "bottleneck"
     );
-    for n in 1..=replicas {
-        let p = match design.as_str() {
-            "mm" => MultiMasterModel::new(profile.clone(), config.clone())
-                .predict(n)
-                .map_err(|e| e.to_string())?,
-            "sm" => SingleMasterModel::new(profile.clone(), config.clone())
-                .predict(n)
-                .map_err(|e| e.to_string())?,
-            other => return Err(format!("unknown design `{other}` (use mm or sm)")),
-        };
+    for (n, tput, resp, abort, bottleneck, util) in rows {
         println!(
-            "{n:>3} {:>12.1} {:>12.1} {:>10.3} {:>12} ({:.0}%)",
-            p.throughput_tps,
-            p.response_time * 1e3,
-            p.abort_rate * 1e2,
-            p.bottleneck,
-            p.bottleneck_utilization * 1e2
+            "{n:>3} {tput:>12.1} {:>12.1} {:>10.3} {bottleneck:>12} ({:.0}%)",
+            resp * 1e3,
+            abort * 1e2,
+            util * 1e2
         );
+    }
+}
+
+fn emit(report: &ScenarioReport, json: bool) {
+    if json {
+        print_json(report);
+        return;
+    }
+    for d in &report.designs {
+        if let Some(curve) = &d.predicted {
+            print_table(
+                format!("design {} (model)", d.design),
+                curve.points.iter().map(|p| {
+                    (
+                        p.replicas,
+                        p.throughput_tps,
+                        p.response_time,
+                        p.abort_rate,
+                        p.bottleneck.as_str(),
+                        p.bottleneck_utilization,
+                    )
+                }),
+            );
+        }
+        if !d.measured.is_empty() {
+            print_table(
+                format!("design {} (simulated)", d.design),
+                d.measured.iter().map(|r| {
+                    (
+                        r.replicas,
+                        r.throughput_tps,
+                        r.response_time,
+                        r.abort_rate,
+                        r.bottleneck.as_str(),
+                        r.max_utilization,
+                    )
+                }),
+            );
+        }
+    }
+}
+
+fn predict(args: &[String]) -> Result<(), String> {
+    let designs = parse_designs(args, &[Design::MultiMaster])?;
+    let scenario = configure(workload_scenario(args)?, args, 16)?.designs(designs);
+    let report = scenario.run().map_err(|e| e.to_string())?;
+    emit(&report, has_flag(args, "--json"));
+    Ok(())
+}
+
+fn sweep(args: &[String]) -> Result<(), String> {
+    let designs = parse_designs(args, &Design::ALL)?;
+    let mut scenario = configure(workload_scenario(args)?, args, 8)?.designs(designs);
+    if has_flag(args, "--simulate") {
+        scenario = scenario.simulate(true);
+    }
+    let report = scenario.run().map_err(|e| e.to_string())?;
+    emit(&report, has_flag(args, "--json"));
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let designs = parse_designs(args, &[Design::MultiMaster])?;
+    let replicas: usize = parse_flag(args, "--replicas")?.unwrap_or(4);
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let mut scenario = workload_scenario(args)?
+        .designs(designs)
+        .replicas([replicas])
+        .predict(false)
+        .simulate(true);
+    if let Some(seed) = parse_flag(args, "--seed")? {
+        scenario = scenario.seed(seed);
+    }
+    let report = scenario.run().map_err(|e| e.to_string())?;
+    if has_flag(args, "--json") {
+        print_json(&report);
+        return Ok(());
+    }
+    for d in &report.designs {
+        for r in &d.measured {
+            println!("design          {}", d.design);
+            println!("workload        {}", r.workload);
+            println!("replicas        {} ({} clients)", r.replicas, r.clients);
+            println!("throughput      {:.1} tps", r.throughput_tps);
+            println!("response        {:.1} ms", r.response_time * 1e3);
+            println!("abort rate      {:.3}%", r.abort_rate * 1e2);
+            println!(
+                "bottleneck      {} ({:.0}%)",
+                r.bottleneck,
+                r.max_utilization * 1e2
+            );
+            println!(
+                "writesets       {} applied, {:.0} B mean",
+                r.writesets_applied, r.mean_writeset_bytes
+            );
+        }
     }
     Ok(())
 }
 
 fn plan_cmd(args: &[String]) -> Result<(), String> {
     let profile = load_profile(args)?;
+    let designs = parse_designs(args, &[Design::MultiMaster, Design::SingleMaster])?;
     let tps: f64 = parse_flag(args, "--tps")?.ok_or("missing --tps")?;
     let max_resp_ms: Option<f64> = parse_flag(args, "--max-response-ms")?;
     let max_abort_pct: Option<f64> = parse_flag(args, "--max-abort-pct")?;
@@ -164,15 +318,25 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
         max_response_time: max_resp_ms.map(|r| r / 1e3),
         max_abort_rate: max_abort_pct.map(|a| a / 1e2),
     };
-    let plans =
-        plan(&profile, &SystemConfig::lan_cluster(clients), &slo, 16).map_err(|e| e.to_string())?;
+    let plans: Vec<Plan> = plan_designs(
+        &profile,
+        &SystemConfig::lan_cluster(clients),
+        &designs,
+        &slo,
+        16,
+    )
+    .map_err(|e| e.to_string())?;
+    if has_flag(args, "--json") {
+        print_json(&plans);
+        return Ok(());
+    }
     if plans.is_empty() {
         println!("SLO infeasible within 16 replicas");
         return Ok(());
     }
     for p in plans {
         println!(
-            "{:?}: {} replicas -> {:.1} tps, {:.1} ms, abort {:.3}%",
+            "{}: {} replicas -> {:.1} tps, {:.1} ms, abort {:.3}%",
             p.design,
             p.replicas,
             p.prediction.throughput_tps,
@@ -184,15 +348,12 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn profile_cmd(args: &[String]) -> Result<(), String> {
-    let w = flag(args, "--workload").ok_or("missing --workload")?;
+    let w = flag(args, "--workload")?.ok_or("missing --workload")?;
     let spec = workload_spec(&w).ok_or_else(|| format!("unknown workload `{w}`"))?;
     let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
     let outcome = Profiler::new(spec).seed(seed).profile();
-    if args.iter().any(|a| a == "--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&outcome.profile).expect("profile serializes")
-        );
+    if has_flag(args, "--json") {
+        print_json(&outcome.profile);
         return Ok(());
     }
     let p = &outcome.profile;
@@ -216,37 +377,5 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
     );
     println!("L(1)            {:.1} ms", p.l1 * 1e3);
     println!("U               {:.2}", p.update_ops);
-    Ok(())
-}
-
-fn simulate(args: &[String]) -> Result<(), String> {
-    let w = flag(args, "--workload").ok_or("missing --workload")?;
-    let spec = workload_spec(&w).ok_or_else(|| format!("unknown workload `{w}`"))?;
-    let design = flag(args, "--design").unwrap_or_else(|| "mm".into());
-    let replicas: usize = parse_flag(args, "--replicas")?.unwrap_or(4);
-    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
-    let cfg = SimConfig::quick(replicas, seed);
-    let report = match design.as_str() {
-        "mm" => MultiMasterSim::new(spec, cfg).run(),
-        "sm" => SingleMasterSim::new(spec, cfg).run(),
-        other => return Err(format!("unknown design `{other}` (use mm or sm)")),
-    };
-    println!("workload        {}", report.workload);
-    println!(
-        "replicas        {} ({} clients)",
-        report.replicas, report.clients
-    );
-    println!("throughput      {:.1} tps", report.throughput_tps);
-    println!("response        {:.1} ms", report.response_time * 1e3);
-    println!("abort rate      {:.3}%", report.abort_rate * 1e2);
-    println!(
-        "bottleneck      {} ({:.0}%)",
-        report.bottleneck,
-        report.max_utilization * 1e2
-    );
-    println!(
-        "writesets       {} applied, {:.0} B mean",
-        report.writesets_applied, report.mean_writeset_bytes
-    );
     Ok(())
 }

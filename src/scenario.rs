@@ -1,0 +1,476 @@
+//! The shared experiment driver: one [`Scenario`] describes *workload ×
+//! design set × replica range × seed*, and [`Scenario::run`] turns it
+//! into a serializable [`ScenarioReport`] by driving the analytical
+//! predictors and/or the mechanistic simulators through the design
+//! registry.
+//!
+//! Every front end — the `replipred` CLI (`predict`, `simulate`,
+//! `sweep`), the figure/table experiment bins in `replipred-bench`, and
+//! library users — expresses experiments this way instead of
+//! hand-rolling a predict→simulate→report loop per design.
+//!
+//! ```
+//! use replipred::model::Design;
+//! use replipred::scenario::Scenario;
+//!
+//! let report = Scenario::published("tpcw-shopping")
+//!     .unwrap()
+//!     .designs(vec![Design::MultiMaster, Design::SingleMaster])
+//!     .replicas(1..=4)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.designs.len(), 2);
+//! let mm = &report.designs[0].predicted.as_ref().unwrap();
+//! assert_eq!(mm.points.len(), 4);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use replipred_core::report::{Design, ScalabilityCurve};
+use replipred_core::{ModelError, SystemConfig, WorkloadProfile};
+use replipred_profiler::Profiler;
+use replipred_repl::{RunReport, SimConfig, SimulatorRegistry};
+use replipred_workload::spec::WorkloadSpec;
+use replipred_workload::{rubis, tpcw};
+
+/// The workload names the paper publishes profiles for (Tables 2-5).
+pub const PUBLISHED_WORKLOADS: [&str; 5] = [
+    "tpcw-browsing",
+    "tpcw-shopping",
+    "tpcw-ordering",
+    "rubis-browsing",
+    "rubis-bidding",
+];
+
+/// The published profile for `name`, if it is one of
+/// [`PUBLISHED_WORKLOADS`].
+pub fn published_profile(name: &str) -> Option<WorkloadProfile> {
+    match name {
+        "tpcw-browsing" => Some(WorkloadProfile::tpcw_browsing()),
+        "tpcw-shopping" => Some(WorkloadProfile::tpcw_shopping()),
+        "tpcw-ordering" => Some(WorkloadProfile::tpcw_ordering()),
+        "rubis-browsing" => Some(WorkloadProfile::rubis_browsing()),
+        "rubis-bidding" => Some(WorkloadProfile::rubis_bidding()),
+        _ => None,
+    }
+}
+
+/// The mechanistic workload spec for `name`, if it is one of
+/// [`PUBLISHED_WORKLOADS`].
+pub fn workload_spec(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "tpcw-browsing" => Some(tpcw::mix(tpcw::Mix::Browsing)),
+        "tpcw-shopping" => Some(tpcw::mix(tpcw::Mix::Shopping)),
+        "tpcw-ordering" => Some(tpcw::mix(tpcw::Mix::Ordering)),
+        "rubis-browsing" => Some(rubis::mix(rubis::Mix::Browsing)),
+        "rubis-bidding" => Some(rubis::mix(rubis::Mix::Bidding)),
+        _ => None,
+    }
+}
+
+/// What can go wrong while building or running a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The workload name is not one of [`PUBLISHED_WORKLOADS`].
+    UnknownWorkload(String),
+    /// Simulation was requested but the scenario only has an analytical
+    /// profile (no mechanistic workload to simulate).
+    SimulationUnavailable(String),
+    /// The scenario has no replica points or no designs.
+    EmptyScenario(&'static str),
+    /// A model rejected its inputs or failed to solve.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownWorkload(w) => {
+                write!(f, "unknown workload `{w}` (published: ")?;
+                for (i, name) in PUBLISHED_WORKLOADS.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(name)?;
+                }
+                f.write_str(")")
+            }
+            ScenarioError::SimulationUnavailable(w) => write!(
+                f,
+                "workload `{w}` has only an analytical profile; simulation needs \
+                 a mechanistic workload (use a published workload name)"
+            ),
+            ScenarioError::EmptyScenario(what) => write!(f, "scenario has no {what}"),
+            ScenarioError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ModelError> for ScenarioError {
+    fn from(e: ModelError) -> Self {
+        ScenarioError::Model(e)
+    }
+}
+
+/// Where the scenario's workload parameters come from.
+#[derive(Debug, Clone)]
+enum Source {
+    /// A published profile plus its mechanistic workload: predictors use
+    /// the paper's table values, simulators run the real thing.
+    Published {
+        profile: WorkloadProfile,
+        spec: WorkloadSpec,
+    },
+    /// An explicit profile (e.g. `@profile.json`): predictors only.
+    Profile(WorkloadProfile),
+    /// A mechanistic workload: the profile is *measured* by the Section-4
+    /// profiling pipeline at run time, then both sides run (what the
+    /// paper's validation figures do).
+    Profiled(WorkloadSpec),
+}
+
+/// A declarative experiment: workload × design set × replica range ×
+/// seed. Built fluently, run once, reported as a [`ScenarioReport`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    source: Source,
+    designs: Vec<Design>,
+    replicas: Vec<usize>,
+    clients: Option<usize>,
+    seed: u64,
+    predict: bool,
+    simulate: bool,
+    system: Option<SystemConfig>,
+    sim_template: Option<SimConfig>,
+}
+
+impl Scenario {
+    fn new(source: Source) -> Self {
+        Scenario {
+            source,
+            designs: vec![Design::MultiMaster, Design::SingleMaster],
+            replicas: (1..=16).collect(),
+            clients: None,
+            seed: 2009,
+            predict: true,
+            simulate: false,
+            system: None,
+            sim_template: None,
+        }
+    }
+
+    /// A scenario over one of the [`PUBLISHED_WORKLOADS`]: predictors use
+    /// the published profile, simulators (if enabled) run the mechanistic
+    /// workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownWorkload`] for other names.
+    pub fn published(name: &str) -> Result<Self, ScenarioError> {
+        match (published_profile(name), workload_spec(name)) {
+            (Some(profile), Some(spec)) => Ok(Scenario::new(Source::Published { profile, spec })),
+            _ => Err(ScenarioError::UnknownWorkload(name.to_string())),
+        }
+    }
+
+    /// A scenario over an explicit profile (e.g. loaded from
+    /// `profile --json` output). Prediction only: there is no mechanistic
+    /// workload to simulate.
+    pub fn from_profile(profile: WorkloadProfile) -> Self {
+        Scenario::new(Source::Profile(profile))
+    }
+
+    /// A scenario over a mechanistic workload spec. At run time the
+    /// profile is *measured* on the standalone simulation by the paper's
+    /// Section-4 pipeline — predictions are then driven purely by
+    /// standalone profiling, exactly like the paper's validation.
+    pub fn from_spec(spec: WorkloadSpec) -> Self {
+        Scenario::new(Source::Profiled(spec))
+    }
+
+    /// The designs to compare (default: multi-master vs single-master).
+    pub fn designs(mut self, designs: Vec<Design>) -> Self {
+        self.designs = designs;
+        self
+    }
+
+    /// Compares all known designs, standalone baseline included.
+    pub fn all_designs(self) -> Self {
+        let designs = Design::ALL.to_vec();
+        self.designs(designs)
+    }
+
+    /// The replica counts to evaluate (default: `1..=16`).
+    pub fn replicas(mut self, range: impl IntoIterator<Item = usize>) -> Self {
+        self.replicas = range.into_iter().collect();
+        self
+    }
+
+    /// Clients per replica (default: the workload's published `C`).
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = Some(clients);
+        self
+    }
+
+    /// Seed for profiling and simulation runs (default 2009).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables/disables the analytical predictors (default on).
+    pub fn predict(mut self, on: bool) -> Self {
+        self.predict = on;
+        self
+    }
+
+    /// Enables/disables the mechanistic simulation (default off; needs a
+    /// workload spec, i.e. a published or [`Scenario::from_spec`]
+    /// scenario).
+    pub fn simulate(mut self, on: bool) -> Self {
+        self.simulate = on;
+        self
+    }
+
+    /// Overrides the deployment parameters (default:
+    /// [`SystemConfig::lan_cluster`] at the workload's client count).
+    pub fn system(mut self, config: SystemConfig) -> Self {
+        self.system = Some(config);
+        self
+    }
+
+    /// Template for simulation runs (windows, delays, MPL). The scenario
+    /// overrides its `replicas` per point and its `seed` with
+    /// [`Scenario::seed`]. Default: [`SimConfig::quick`].
+    pub fn sim_config(mut self, template: SimConfig) -> Self {
+        self.sim_template = Some(template);
+        self
+    }
+
+    /// Runs the scenario: predictor curves and/or simulator measurements
+    /// for every design, over the replica points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::EmptyScenario`] for empty design/replica
+    /// sets, [`ScenarioError::SimulationUnavailable`] when simulation is
+    /// requested on a profile-only scenario, and propagates model errors.
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        if self.designs.is_empty() {
+            return Err(ScenarioError::EmptyScenario("designs"));
+        }
+        if self.replicas.is_empty() {
+            return Err(ScenarioError::EmptyScenario("replica points"));
+        }
+        let (profile, spec) = match &self.source {
+            Source::Published { profile, spec } => (profile.clone(), Some(spec.clone())),
+            Source::Profile(profile) => (profile.clone(), None),
+            Source::Profiled(spec) => {
+                let measured = Profiler::new(spec.clone()).seed(self.seed).profile();
+                (measured.profile, Some(spec.clone()))
+            }
+        };
+        if self.simulate && spec.is_none() {
+            return Err(ScenarioError::SimulationUnavailable(profile.name.clone()));
+        }
+        // Client-count fallback order: explicit override, the scenario's
+        // own spec, the published spec matching the profile's name (so an
+        // `@profile.json` of a published workload predicts at the same C
+        // as the named workload), then 50.
+        let clients = self
+            .clients
+            .or_else(|| spec.as_ref().map(|s| s.clients_per_replica))
+            .or_else(|| workload_spec(&profile.name).map(|s| s.clients_per_replica))
+            .unwrap_or(50);
+        let config = self
+            .system
+            .clone()
+            .unwrap_or_else(|| SystemConfig::lan_cluster(clients));
+        // Model and simulation must describe the same system: the resolved
+        // per-replica client count drives both sides.
+        let spec = spec.map(|mut s| {
+            s.clients_per_replica = config.clients_per_replica;
+            s
+        });
+
+        let mut designs = Vec::with_capacity(self.designs.len());
+        for &design in &self.designs {
+            let predicted = if self.predict {
+                let predictor = design.predictor(profile.clone(), config.clone())?;
+                Some(predictor.curve_at(&self.replicas)?)
+            } else {
+                None
+            };
+            let mut measured = Vec::new();
+            if self.simulate {
+                let spec = spec.as_ref().expect("checked above");
+                for &n in &self.replicas {
+                    let cfg = SimConfig {
+                        replicas: n,
+                        seed: self.seed,
+                        ..self
+                            .sim_template
+                            .clone()
+                            .unwrap_or_else(|| SimConfig::quick(n, self.seed))
+                    };
+                    measured.push(design.simulator(spec.clone(), cfg).run());
+                }
+            }
+            designs.push(DesignReport {
+                design,
+                predicted,
+                measured,
+            });
+        }
+        Ok(ScenarioReport {
+            workload: profile.name.clone(),
+            seed: self.seed,
+            clients_per_replica: config.clients_per_replica,
+            replicas: self.replicas.clone(),
+            designs,
+        })
+    }
+}
+
+/// One design's results within a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignReport {
+    /// The design evaluated.
+    pub design: Design,
+    /// Predicted scalability curve (present when prediction is enabled).
+    pub predicted: Option<ScalabilityCurve>,
+    /// Simulated measurements, one per replica point (empty when
+    /// simulation is disabled).
+    pub measured: Vec<RunReport>,
+}
+
+impl DesignReport {
+    /// Predicted and measured results paired by replica point, for
+    /// side-by-side validation output. Empty unless both sides ran.
+    pub fn paired(&self) -> Vec<(&replipred_core::Prediction, &RunReport)> {
+        match &self.predicted {
+            Some(curve) => curve.points.iter().zip(&self.measured).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// The serializable result of one [`Scenario::run`] — what
+/// `replipred sweep --json` emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Workload name (profile name).
+    pub workload: String,
+    /// Seed used for profiling/simulation.
+    pub seed: u64,
+    /// Clients per replica (`C`).
+    pub clients_per_replica: usize,
+    /// Replica points evaluated.
+    pub replicas: Vec<usize>,
+    /// Per-design results, in the order the designs were given.
+    pub designs: Vec<DesignReport>,
+}
+
+impl ScenarioReport {
+    /// The report for `design`, if it was part of the scenario.
+    pub fn design(&self, design: Design) -> Option<&DesignReport> {
+        self.designs.iter().find(|d| d.design == design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_workload_is_rejected() {
+        assert!(matches!(
+            Scenario::published("tpcw-nope"),
+            Err(ScenarioError::UnknownWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn profile_only_scenario_cannot_simulate() {
+        let s = Scenario::from_profile(WorkloadProfile::tpcw_shopping())
+            .replicas([2])
+            .simulate(true);
+        assert!(matches!(
+            s.run(),
+            Err(ScenarioError::SimulationUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn empty_sets_are_rejected() {
+        let s = Scenario::published("tpcw-shopping").unwrap();
+        assert!(matches!(
+            s.clone().designs(vec![]).run(),
+            Err(ScenarioError::EmptyScenario("designs"))
+        ));
+        assert!(matches!(
+            s.replicas([]).run(),
+            Err(ScenarioError::EmptyScenario("replica points"))
+        ));
+    }
+
+    #[test]
+    fn predict_only_run_covers_all_designs() {
+        let report = Scenario::published("tpcw-shopping")
+            .unwrap()
+            .all_designs()
+            .replicas([1, 4])
+            .run()
+            .unwrap();
+        assert_eq!(report.workload, "tpcw-shopping");
+        assert_eq!(report.designs.len(), 3);
+        for d in &report.designs {
+            let curve = d.predicted.as_ref().expect("prediction enabled");
+            assert_eq!(curve.design, d.design);
+            assert_eq!(curve.points.len(), 2);
+            assert!(d.measured.is_empty());
+        }
+        // The registry preserves the requested order.
+        let keys: Vec<_> = report.designs.iter().map(|d| d.design).collect();
+        assert_eq!(keys, Design::ALL.to_vec());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = Scenario::published("rubis-browsing")
+            .unwrap()
+            .designs(vec![Design::MultiMaster])
+            .replicas([1, 2])
+            .run()
+            .unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: ScenarioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn simulation_pairs_with_prediction() {
+        let report = Scenario::published("tpcw-shopping")
+            .unwrap()
+            .designs(vec![Design::MultiMaster])
+            .replicas([2])
+            .seed(7)
+            .simulate(true)
+            .sim_config(SimConfig {
+                warmup: 2.0,
+                duration: 10.0,
+                ..SimConfig::quick(0, 0)
+            })
+            .run()
+            .unwrap();
+        let d = report.design(Design::MultiMaster).unwrap();
+        let paired = d.paired();
+        assert_eq!(paired.len(), 1);
+        let (predicted, measured) = paired[0];
+        assert_eq!(predicted.replicas, 2);
+        assert_eq!(measured.replicas, 2);
+        assert!(measured.throughput_tps > 0.0);
+    }
+}

@@ -1,10 +1,13 @@
-//! Smoke tests for the published profiles and the `@profile.json` CLI
-//! ingestion path: a profile serialized with `profile --json` semantics
-//! must be accepted back by `replipred predict --workload @file`.
+//! Smoke tests for the published profiles, the `@profile.json` CLI
+//! ingestion path, trait-object dispatch parity, and the `sweep` /
+//! `--design all` / `--json` CLI paths.
 
 use std::process::Command;
 
-use replipred::model::WorkloadProfile;
+use replipred::model::{
+    Design, MultiMasterModel, SingleMasterModel, StandaloneModel, SystemConfig, WorkloadProfile,
+};
+use replipred::scenario::{workload_spec, ScenarioReport};
 
 /// All five profiles the paper publishes (Tables 2-5).
 fn published() -> [WorkloadProfile; 5] {
@@ -39,6 +42,45 @@ fn profile_json_roundtrips_through_pretty_form() {
 }
 
 #[test]
+fn dyn_predictor_dispatch_matches_concrete_calls() {
+    // The registry's `&dyn Predictor` must be a pure indirection: for
+    // every published profile and every design, trait-object dispatch
+    // returns bit-identical predictions to the concrete model types.
+    for profile in published() {
+        let clients = workload_spec(&profile.name)
+            .expect("published profiles have specs")
+            .clients_per_replica;
+        let config = SystemConfig::lan_cluster(clients);
+        for n in [1usize, 4] {
+            for design in Design::ALL {
+                let via_trait = design
+                    .predictor(profile.clone(), config.clone())
+                    .expect("published profiles are valid")
+                    .predict(n)
+                    .expect("solves");
+                let concrete = match design {
+                    Design::Standalone => StandaloneModel::new(profile.clone(), config.clone())
+                        .unwrap()
+                        .predict_scaled(n),
+                    Design::MultiMaster => {
+                        MultiMasterModel::new(profile.clone(), config.clone()).predict(n)
+                    }
+                    Design::SingleMaster => {
+                        SingleMasterModel::new(profile.clone(), config.clone()).predict(n)
+                    }
+                }
+                .expect("solves");
+                assert_eq!(
+                    via_trait, concrete,
+                    "{}: dyn dispatch diverged for {design} at n={n}",
+                    profile.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn cli_accepts_profile_json_file() {
     let profile = WorkloadProfile::tpcw_shopping();
     let path = std::env::temp_dir().join(format!("replipred-smoke-{}.json", std::process::id()));
@@ -63,6 +105,106 @@ fn cli_accepts_profile_json_file() {
         String::from_utf8_lossy(&output.stderr)
     );
     assert!(stdout.contains("tput (tps)"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn cli_sweep_design_all_emits_valid_scenario_report() {
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "sweep",
+            "--workload",
+            "tpcw-shopping",
+            "--design",
+            "all",
+            "--replicas",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(
+        output.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let report: ScenarioReport =
+        serde_json::from_str(&stdout).expect("sweep --json emits a ScenarioReport");
+    assert_eq!(report.workload, "tpcw-shopping");
+    assert_eq!(report.replicas, vec![1, 2]);
+    let designs: Vec<_> = report.designs.iter().map(|d| d.design).collect();
+    assert_eq!(designs, Design::ALL.to_vec());
+    for d in &report.designs {
+        let curve = d.predicted.as_ref().expect("sweep predicts by default");
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points.iter().all(|p| p.throughput_tps > 0.0));
+        assert!(d.measured.is_empty(), "sweep only simulates on --simulate");
+    }
+}
+
+#[test]
+fn cli_predict_design_all_prints_every_design() {
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "predict",
+            "--workload",
+            "rubis-browsing",
+            "--design",
+            "all",
+            "--replicas",
+            "2",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for design in Design::ALL {
+        assert!(
+            stdout.contains(&format!("# design {design} (model)")),
+            "missing {design} section in: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn cli_rejects_repeated_flags() {
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "predict",
+            "--workload",
+            "tpcw-shopping",
+            "--workload",
+            "tpcw-ordering",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--workload given more than once"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn cli_rejects_flag_as_flag_value() {
+    // `--replicas --seed` must not silently consume `--seed` as a value.
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "predict",
+            "--workload",
+            "tpcw-shopping",
+            "--replicas",
+            "--seed",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("missing value for --replicas"),
+        "stderr: {stderr}"
+    );
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of the proptest API this workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map`, range and tuple
+//! tests use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`, range and tuple
 //! strategies, [`collection::vec`], the `proptest!` macro with
 //! `#![proptest_config(..)]`, and the `prop_assert!` family.
 //!
