@@ -18,10 +18,10 @@ fn main() {
         println!(
             "{:>3} {:>12.1} {:>12.1} {:>7.1}% {:>11.3}% {:>11.3}%",
             p.n,
-            p.measured.throughput_tps,
+            p.measured_throughput(),
             p.predicted.throughput_tps,
             100.0 * p.throughput_error(),
-            100.0 * p.measured.abort_rate,
+            100.0 * p.measured_abort(),
             100.0 * p.predicted.abort_rate
         );
     }

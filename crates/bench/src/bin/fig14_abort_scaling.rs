@@ -8,9 +8,10 @@
 //! 29% at N=16). We pick heap sizes with the inverted abort formula,
 //! measure the resulting `A1` on the standalone simulation, and compare
 //! the measured replicated abort rate with the model's prediction.
-use replipred_bench::{profile_workload, replica_sweep, sim_config, Design};
+use replipred_bench::{jobs, profile_workload, replica_sweep, sim_config, Design};
 use replipred_core::SystemConfig;
 use replipred_repl::{SimConfig, SimulatorRegistry};
+use replipred_sim::pool::map_parallel;
 use replipred_workload::{heap, tpcw};
 
 /// A1 is a rare-event probability (~0.2-1%); at ~5 updates/s a 60 s window
@@ -57,10 +58,14 @@ fn main() {
             100.0 * target_a1,
             100.0 * a1
         );
-        for &n in &replica_sweep() {
-            let measured = Design::MultiMaster
+        // Replica points are independent simulation cells: fan them out
+        // over the pool (row order is preserved regardless of job count).
+        let measured = map_parallel(jobs(), replica_sweep(), |n| {
+            Design::MultiMaster
                 .simulator(spec.clone(), sim_config(n))
-                .run();
+                .run()
+        });
+        for (n, measured) in replica_sweep().into_iter().zip(measured) {
             let predicted = model.predict(n).expect("valid inputs").abort_rate;
             println!(
                 "{:>9.2}% {:>10} {:>3} {:>13.2}% {:>13.2}%",

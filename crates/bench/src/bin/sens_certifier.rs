@@ -5,9 +5,10 @@
 //! negligible. This experiment (a) sweeps the delay in the model, and
 //! (b) cross-checks the delay-center approximation against the
 //! mechanistic simulation at the paper's 12 ms.
-use replipred_bench::{profile_workload, sim_config, Design};
+use replipred_bench::{jobs, profile_workload, sim_config, Design};
 use replipred_core::SystemConfig;
 use replipred_repl::{SimConfig, SimulatorRegistry};
+use replipred_sim::pool::map_parallel;
 use replipred_workload::tpcw;
 
 fn main() {
@@ -18,7 +19,9 @@ fn main() {
         "{:>14} {:>14} {:>14} {:>14} {:>14}",
         "cert delay", "model tps", "model resp", "sim tps", "sim resp"
     );
-    for delay_ms in [0.0, 6.0, 12.0, 24.0, 48.0] {
+    // Each delay point is an independent model+simulation cell; fan them
+    // out over the pool (row order is preserved regardless of job count).
+    let rows = map_parallel(jobs(), vec![0.0, 6.0, 12.0, 24.0, 48.0], |delay_ms| {
         let config = SystemConfig {
             certifier_delay: delay_ms / 1e3,
             ..SystemConfig::lan_cluster(40)
@@ -37,6 +40,9 @@ fn main() {
                 },
             )
             .run();
+        (delay_ms, p, sim)
+    });
+    for (delay_ms, p, sim) in rows {
         println!(
             "{:>11.0} ms {:>14.1} {:>11.1} ms {:>14.1} {:>11.1} ms",
             delay_ms,

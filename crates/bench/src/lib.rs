@@ -23,8 +23,15 @@
 //!   measurement) and the full replica sweep 1..=16. Default is a quick
 //!   configuration (20 s / 60 s, N ∈ {1, 2, 4, 8, 12, 16}).
 //! - `REPLIPRED_SEED=<u64>` — RNG seed (default 2009, the paper's year).
+//! - `REPLIPRED_JOBS=<n>` — worker threads for simulation cells (default:
+//!   one per core). Results are identical for every value; only
+//!   wall-clock time changes.
+//! - `REPLIPRED_SEEDS=<n>` — seed replications per simulated point
+//!   (default 1); ≥ 2 makes every figure's measured column the
+//!   replication mean (lower-noise validation) and attaches a 95% CI to
+//!   each [`ComparisonPoint`].
 
-use replipred::scenario::Scenario;
+use replipred::scenario::{ReplicationSummary, Scenario};
 use replipred_core::{Prediction, WorkloadProfile};
 use replipred_profiler::Profiler;
 use replipred_repl::{RunReport, SimConfig};
@@ -39,19 +46,47 @@ pub struct ComparisonPoint {
     pub n: usize,
     /// Model prediction.
     pub predicted: Prediction,
-    /// Simulated measurement.
+    /// Simulated measurement at the base seed.
     pub measured: RunReport,
+    /// Mean ± CI across seed replications (present when
+    /// [`seed_replications`] ≥ 2); the `measured_*` accessors and error
+    /// metrics then use the replication mean instead of the single run.
+    pub replicated: Option<ReplicationSummary>,
 }
 
 impl ComparisonPoint {
+    /// Measured throughput: the replication mean when seeds ≥ 2, else the
+    /// base-seed run.
+    pub fn measured_throughput(&self) -> f64 {
+        self.replicated
+            .as_ref()
+            .map_or(self.measured.throughput_tps, |r| r.throughput_tps)
+    }
+
+    /// Measured response time: the replication mean when seeds ≥ 2, else
+    /// the base-seed run.
+    pub fn measured_response(&self) -> f64 {
+        self.replicated
+            .as_ref()
+            .map_or(self.measured.response_time, |r| r.response_time)
+    }
+
+    /// Measured abort rate: the replication mean when seeds ≥ 2, else the
+    /// base-seed run.
+    pub fn measured_abort(&self) -> f64 {
+        self.replicated
+            .as_ref()
+            .map_or(self.measured.abort_rate, |r| r.abort_rate)
+    }
+
     /// Relative error of the predicted throughput vs the measurement.
     pub fn throughput_error(&self) -> f64 {
-        rel_error(self.predicted.throughput_tps, self.measured.throughput_tps)
+        rel_error(self.predicted.throughput_tps, self.measured_throughput())
     }
 
     /// Relative error of the predicted response time vs the measurement.
     pub fn response_error(&self) -> f64 {
-        rel_error(self.predicted.response_time, self.measured.response_time)
+        rel_error(self.predicted.response_time, self.measured_response())
     }
 }
 
@@ -92,6 +127,39 @@ pub fn seed() -> u64 {
         .unwrap_or(2009)
 }
 
+/// Parses a positive-integer environment knob; like the CLI's
+/// `--jobs`/`--seeds` validation, a set-but-invalid value (zero or
+/// non-numeric) is a loud error, not a silent fallback.
+fn env_count(name: &str, default: impl FnOnce() -> usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("{name} must be a positive integer, got `{v}`")),
+        Err(_) => default(),
+    }
+}
+
+/// Worker threads for simulation cells (`REPLIPRED_JOBS`, default: one
+/// per core). Reports are identical for every value.
+///
+/// # Panics
+///
+/// Panics if `REPLIPRED_JOBS` is set to zero or a non-integer.
+pub fn jobs() -> usize {
+    env_count("REPLIPRED_JOBS", replipred_sim::pool::default_jobs)
+}
+
+/// Seed replications per simulated point (`REPLIPRED_SEEDS`, default 1).
+///
+/// # Panics
+///
+/// Panics if `REPLIPRED_SEEDS` is set to zero or a non-integer.
+pub fn seed_replications() -> usize {
+    env_count("REPLIPRED_SEEDS", || 1)
+}
+
 /// Simulation config for the current mode.
 pub fn sim_config(replicas: usize) -> SimConfig {
     if full_mode() {
@@ -110,12 +178,16 @@ pub fn profile_workload(spec: &WorkloadSpec) -> WorkloadProfile {
 /// Runs one model-vs-simulation comparison across the replica sweep,
 /// through the shared [`Scenario`] driver: the profile is measured on the
 /// standalone simulation, then the design's predictor and simulator run
-/// side by side via the registry.
+/// side by side via the registry. Simulation cells fan out over
+/// [`jobs`] worker threads ([`seed_replications`] seeds per point);
+/// results are identical to a serial run.
 pub fn compare(spec: &WorkloadSpec, design: Design, sweep: &[usize]) -> Vec<ComparisonPoint> {
     let report = Scenario::from_spec(spec.clone())
         .designs(vec![design])
         .replicas(sweep.iter().copied())
         .seed(seed())
+        .seeds(seed_replications())
+        .jobs(jobs())
         .simulate(true)
         .sim_config(sim_config(0))
         .run()
@@ -126,6 +198,7 @@ pub fn compare(spec: &WorkloadSpec, design: Design, sweep: &[usize]) -> Vec<Comp
         .next()
         .expect("exactly one design requested");
     let curve = d.predicted.expect("prediction enabled");
+    let mut replicated = d.replicated.into_iter();
     curve
         .points
         .into_iter()
@@ -134,6 +207,7 @@ pub fn compare(spec: &WorkloadSpec, design: Design, sweep: &[usize]) -> Vec<Comp
             n: predicted.replicas,
             predicted,
             measured,
+            replicated: replicated.next(),
         })
         .collect()
 }
@@ -153,7 +227,7 @@ pub fn print_throughput_figure(title: &str, series: &[(String, Vec<ComparisonPoi
                 "{:<18} {:>3} {:>12.1} {:>12.1} {:>7.1}%",
                 name,
                 p.n,
-                p.measured.throughput_tps,
+                p.measured_throughput(),
                 p.predicted.throughput_tps,
                 100.0 * p.throughput_error()
             );
@@ -161,7 +235,7 @@ pub fn print_throughput_figure(title: &str, series: &[(String, Vec<ComparisonPoi
         if let (Some(first), Some(last)) = (points.first(), points.last()) {
             println!(
                 "# {name}: measured speedup {:.1}x, predicted speedup {:.1}x",
-                last.measured.throughput_tps / first.measured.throughput_tps,
+                last.measured_throughput() / first.measured_throughput(),
                 last.predicted.throughput_tps / first.predicted.throughput_tps
             );
         }
@@ -182,7 +256,7 @@ pub fn print_response_figure(title: &str, series: &[(String, Vec<ComparisonPoint
                 "{:<18} {:>3} {:>12.1} {:>12.1} {:>7.1}%",
                 name,
                 p.n,
-                p.measured.response_time * 1e3,
+                p.measured_response() * 1e3,
                 p.predicted.response_time * 1e3,
                 100.0 * p.response_error()
             );
@@ -199,6 +273,27 @@ mod tests {
         assert_eq!(rel_error(11.0, 10.0), 0.1);
         assert_eq!(rel_error(0.0, 0.0), 0.0);
         assert!(rel_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn env_count_accepts_positive_and_defaults_when_unset() {
+        std::env::set_var("REPLIPRED_TEST_COUNT_OK", "3");
+        assert_eq!(env_count("REPLIPRED_TEST_COUNT_OK", || 7), 3);
+        assert_eq!(env_count("REPLIPRED_TEST_COUNT_UNSET", || 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a positive integer")]
+    fn env_count_rejects_zero() {
+        std::env::set_var("REPLIPRED_TEST_COUNT_ZERO", "0");
+        env_count("REPLIPRED_TEST_COUNT_ZERO", || 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a positive integer")]
+    fn env_count_rejects_non_numeric() {
+        std::env::set_var("REPLIPRED_TEST_COUNT_BAD", "abc");
+        env_count("REPLIPRED_TEST_COUNT_BAD", || 1);
     }
 
     #[test]

@@ -19,9 +19,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use replipred_sidb::{Database, WriteSet};
-use replipred_sim::engine::Engine;
-use replipred_sim::resource::{Fcfs, Ps};
+use replipred_sidb::{Database, TxnId, WriteSet};
+use replipred_sim::engine::{Engine, Event};
+use replipred_sim::resource::{Fcfs, Ps, ServiceToken};
 use replipred_sim::{Rng, SimTime};
 use replipred_workload::client::{ClientId, ClientPool};
 use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
@@ -36,8 +36,8 @@ const MAX_RETRIES: u32 = 1000;
 /// One database replica with its hardware.
 struct Replica {
     db: Database,
-    cpu: Ps<World>,
-    disk: Fcfs<World>,
+    cpu: Ps<World, Ev>,
+    disk: Fcfs<World, Ev>,
     /// Transactions currently resident (load-balancer signal).
     inflight: usize,
     /// Next global version to retire into the local database. Writesets
@@ -70,6 +70,147 @@ struct World {
     lb_delay: f64,
     certifier_delay: f64,
     mpl: usize,
+    /// Vacuum interval, seconds (0 disables).
+    vacuum_interval: f64,
+    /// End of the simulated horizon (no vacuums past it).
+    end_time: f64,
+}
+
+/// One in-flight transaction attempt moving through the CPU→disk phases
+/// of its replica.
+struct Attempt {
+    client: ClientId,
+    replica: usize,
+    txn: TxnId,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+}
+
+/// An update whose writeset has reached the certification service.
+struct CertRequest {
+    client: ClientId,
+    replica: usize,
+    template: TxnTemplate,
+    writeset: WriteSet,
+    started: f64,
+    attempt: u32,
+}
+
+/// A certified writeset consuming its `ws` demands on a remote replica.
+struct WsApply {
+    replica: usize,
+    version: u64,
+    writeset: WriteSet,
+    /// Disk demand, sampled together with the CPU demand at propagation
+    /// time (keeps the RNG draw order independent of resource contention).
+    ws_disk: f64,
+}
+
+/// The typed event vocabulary of the multi-master simulation.
+enum Ev {
+    /// A client finished thinking; the load balancer takes over.
+    Think(ClientId),
+    /// The LAN delay elapsed: pick a replica and admit.
+    Dispatch(ClientId),
+    /// An attempt finished its CPU phase; the disk phase follows.
+    CpuDone(Attempt),
+    /// An attempt finished its disk phase; commit or certify.
+    DiskDone(Attempt),
+    /// The certifier round trip elapsed: certify and resolve.
+    Certify(CertRequest),
+    /// A propagated writeset finished its CPU phase on a remote replica.
+    WsCpuDone(WsApply),
+    /// A propagated writeset finished its disk phase; retire in order.
+    WsDiskDone(WsApply),
+    /// End of warm-up: discard all measurements.
+    Warmup,
+    /// Periodic version GC on every replica.
+    Vacuum,
+    /// Internal PS completion for `replicas[i].cpu`.
+    CpuFired(usize),
+    /// Internal FCFS completion for `replicas[i].disk`.
+    DiskFired(usize, ServiceToken),
+}
+
+impl Event<World> for Ev {
+    fn fire(self, engine: &mut Engine<World, Ev>) {
+        match self {
+            Ev::Think(client) => {
+                let delay = engine.world().lb_delay;
+                engine.schedule_event_in(delay, Ev::Dispatch(client));
+            }
+            Ev::Dispatch(client) => dispatch(engine, client),
+            Ev::CpuDone(attempt) => {
+                let replica = attempt.replica;
+                let disk_demand = attempt.template.disk_demand;
+                Fcfs::submit_event(
+                    engine,
+                    move |w: &mut World| &mut w.replicas[replica].disk,
+                    disk_demand,
+                    Ev::DiskDone(attempt),
+                    move |t| Ev::DiskFired(replica, t),
+                );
+            }
+            Ev::DiskDone(a) => complete_attempt(engine, a),
+            Ev::Certify(request) => certify(engine, request),
+            Ev::WsCpuDone(ws) => {
+                let replica = ws.replica;
+                let ws_disk = ws.ws_disk;
+                Fcfs::submit_event(
+                    engine,
+                    move |w: &mut World| &mut w.replicas[replica].disk,
+                    ws_disk,
+                    Ev::WsDiskDone(ws),
+                    move |t| Ev::DiskFired(replica, t),
+                );
+            }
+            Ev::WsDiskDone(ws) => {
+                {
+                    let bytes = ws.writeset.wire_size() as u64;
+                    let w = engine.world_mut();
+                    if w.measuring {
+                        w.metrics.writesets_applied += 1;
+                        w.metrics.writeset_bytes += bytes;
+                    }
+                }
+                mark_ready(engine, ws.replica, ws.version, ws.writeset);
+            }
+            Ev::Warmup => {
+                let now = engine.now().as_secs();
+                let w = engine.world_mut();
+                w.metrics.reset();
+                for r in &mut w.replicas {
+                    r.db.reset_stats();
+                    r.cpu.stats.reset(now);
+                    r.disk.stats.reset(now);
+                }
+                w.measuring = true;
+            }
+            Ev::Vacuum => {
+                let w = engine.world_mut();
+                for r in &mut w.replicas {
+                    r.db.vacuum();
+                }
+                let interval = w.vacuum_interval;
+                let next = engine.now().as_secs() + interval;
+                if next < engine.world().end_time {
+                    engine.schedule_event_in(interval, Ev::Vacuum);
+                }
+            }
+            Ev::CpuFired(replica) => Ps::on_fired(
+                engine,
+                move |w: &mut World| &mut w.replicas[replica].cpu,
+                move || Ev::CpuFired(replica),
+            ),
+            Ev::DiskFired(replica, token) => Fcfs::on_fired(
+                engine,
+                move |w: &mut World| &mut w.replicas[replica].disk,
+                token,
+                move |t| Ev::DiskFired(replica, t),
+            ),
+        }
+    }
 }
 
 /// The multi-master cluster simulator.
@@ -131,24 +272,17 @@ impl MultiMasterSim {
             lb_delay: self.cfg.lb_delay,
             certifier_delay: self.cfg.certifier_delay,
             mpl: self.cfg.mpl.max(1),
+            vacuum_interval: self.cfg.vacuum_interval,
+            end_time: self.cfg.end_time(),
         };
-        let mut engine = Engine::new(world);
+        let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {
             client_cycle(&mut engine, ClientId(i));
         }
-        let warmup = self.cfg.warmup;
-        engine.schedule_at(SimTime::from_secs(warmup), move |e| {
-            let now = e.now().as_secs();
-            let w = e.world_mut();
-            w.metrics.reset();
-            for r in &mut w.replicas {
-                r.db.reset_stats();
-                r.cpu.stats.reset(now);
-                r.disk.stats.reset(now);
-            }
-            w.measuring = true;
-        });
-        schedule_vacuum(&mut engine, self.cfg.vacuum_interval, self.cfg.end_time());
+        engine.schedule_event_at(SimTime::from_secs(self.cfg.warmup), Ev::Warmup);
+        if self.cfg.vacuum_interval > 0.0 {
+            engine.schedule_event_in(self.cfg.vacuum_interval, Ev::Vacuum);
+        }
         let end = SimTime::from_secs(self.cfg.end_time());
         engine.run_until(end);
         let end_s = end.as_secs();
@@ -176,53 +310,35 @@ impl MultiMasterSim {
     }
 }
 
-fn schedule_vacuum(engine: &mut Engine<World>, interval: f64, end: f64) {
-    if interval <= 0.0 {
-        return;
-    }
-    fn tick(e: &mut Engine<World>, interval: f64, end: f64) {
-        for r in &mut e.world_mut().replicas {
-            r.db.vacuum();
-        }
-        let next = e.now().as_secs() + interval;
-        if next < end {
-            e.schedule_in(interval, move |e| tick(e, interval, end));
-        }
-    }
-    engine.schedule_in(interval, move |e| tick(e, interval, end));
-}
-
-fn client_cycle(engine: &mut Engine<World>, client: ClientId) {
+fn client_cycle(engine: &mut Engine<World, Ev>, client: ClientId) {
     let think = engine.world_mut().pool.next_think(client);
-    engine.schedule_in(think, move |e| dispatch(e, client));
+    engine.schedule_event_in(think, Ev::Think(client));
 }
 
-/// Load balancer: LAN delay, then forward to the least loaded replica.
-fn dispatch(engine: &mut Engine<World>, client: ClientId) {
-    let delay = engine.world().lb_delay;
-    engine.schedule_in(delay, move |e| {
-        let (template, replica) = {
-            let w = e.world_mut();
-            let template = w.pool.next_transaction(client);
-            let replica = w
-                .replicas
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, r)| r.inflight)
-                .map(|(i, _)| i)
-                .expect("at least one replica");
-            w.replicas[replica].inflight += 1;
-            (template, replica)
-        };
-        let started = e.now().as_secs();
-        admit(e, client, replica, template, started);
-    });
+/// Load balancer (after the LAN delay): forward to the least loaded
+/// replica.
+fn dispatch(engine: &mut Engine<World, Ev>, client: ClientId) {
+    let (template, replica) = {
+        let w = engine.world_mut();
+        let template = w.pool.next_transaction(client);
+        let replica = w
+            .replicas
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.inflight)
+            .map(|(i, _)| i)
+            .expect("at least one replica");
+        w.replicas[replica].inflight += 1;
+        (template, replica)
+    };
+    let started = engine.now().as_secs();
+    admit(engine, client, replica, template, started);
 }
 
 /// Admission control (connection pool): at most `mpl` transactions execute
 /// concurrently per replica; excess arrivals wait without an open snapshot.
 fn admit(
-    engine: &mut Engine<World>,
+    engine: &mut Engine<World, Ev>,
     client: ClientId,
     replica: usize,
     template: TxnTemplate,
@@ -247,7 +363,7 @@ fn admit(
 
 /// Releases an admission slot, immediately admitting the next waiter (the
 /// slot transfers without touching the counter).
-fn release(engine: &mut Engine<World>, replica: usize) {
+fn release(engine: &mut Engine<World, Ev>, replica: usize) {
     let next = {
         let w = engine.world_mut();
         let r = &mut w.replicas[replica];
@@ -265,7 +381,7 @@ fn release(engine: &mut Engine<World>, replica: usize) {
 }
 
 fn start_attempt(
-    engine: &mut Engine<World>,
+    engine: &mut Engine<World, Ev>,
     client: ClientId,
     replica: usize,
     template: TxnTemplate,
@@ -282,32 +398,33 @@ fn start_attempt(
         w.replicas[replica].db.begin()
     };
     let cpu_demand = template.cpu_demand;
-    let disk_demand = template.disk_demand;
-    Ps::submit(
+    let attempt = Attempt {
+        client,
+        replica,
+        txn,
+        template,
+        started,
+        attempt,
+    };
+    Ps::submit_event(
         engine,
         move |w: &mut World| &mut w.replicas[replica].cpu,
         cpu_demand,
-        move |e| {
-            Fcfs::submit(
-                e,
-                move |w: &mut World| &mut w.replicas[replica].disk,
-                disk_demand,
-                move |e| complete_attempt(e, client, replica, txn, template, started, attempt),
-            );
-        },
+        Ev::CpuDone(attempt),
+        move || Ev::CpuFired(replica),
     );
 }
 
-fn complete_attempt(
-    engine: &mut Engine<World>,
-    client: ClientId,
-    replica: usize,
-    txn: replipred_sidb::TxnId,
-    template: TxnTemplate,
-    started: f64,
-    attempt: u32,
-) {
+fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
     let now = engine.now().as_secs();
+    let Attempt {
+        client,
+        replica,
+        txn,
+        template,
+        started,
+        attempt,
+    } = a;
     if !template.is_update {
         // Read-only: commit locally, no certification (GSI guarantee).
         let w = engine.world_mut();
@@ -341,46 +458,68 @@ fn complete_attempt(
         ws
     };
     let cert_delay = engine.world().certifier_delay;
-    engine.schedule_in(cert_delay, move |e| {
-        let verdict = e.world_mut().certifier.certify(&writeset);
-        match verdict {
-            Certification::Commit(version) => {
-                // Propagate to every replica. The origin pays nothing (its
-                // execution already did the work) and retires immediately
-                // when the prefix allows; remote replicas first consume the
-                // sampled ws demands, then retire in order.
-                let n = e.world().replicas.len();
-                for r in 0..n {
-                    if r == replica {
-                        mark_ready(e, r, version, writeset.clone(), true);
-                    } else {
-                        propagate(e, r, version, writeset.clone());
-                    }
-                }
-                respond(e, client, replica, started, true);
-            }
-            Certification::Abort => {
-                {
-                    let w = e.world_mut();
-                    if w.measuring {
-                        w.metrics.conflict_aborts += 1;
-                    }
-                }
-                if attempt < MAX_RETRIES {
-                    let retry = e.world_mut().pool.resample_demands(client, &template);
-                    start_attempt(e, client, replica, retry, started, attempt + 1);
+    engine.schedule_event_in(
+        cert_delay,
+        Ev::Certify(CertRequest {
+            client,
+            replica,
+            template,
+            writeset,
+            started,
+            attempt,
+        }),
+    );
+}
+
+/// Resolves a certification round trip: commit propagates the writeset to
+/// every replica, abort retries the client's transaction.
+fn certify(engine: &mut Engine<World, Ev>, request: CertRequest) {
+    let CertRequest {
+        client,
+        replica,
+        template,
+        writeset,
+        started,
+        attempt,
+    } = request;
+    let verdict = engine.world_mut().certifier.certify(&writeset);
+    match verdict {
+        Certification::Commit(version) => {
+            // Propagate to every replica. The origin pays nothing (its
+            // execution already did the work) and retires immediately
+            // when the prefix allows; remote replicas first consume the
+            // sampled ws demands, then retire in order.
+            let n = engine.world().replicas.len();
+            for r in 0..n {
+                if r == replica {
+                    mark_ready(engine, r, version, writeset.clone());
                 } else {
-                    e.world_mut().retries_exhausted += 1;
-                    respond(e, client, replica, started, true);
+                    propagate(engine, r, version, writeset.clone());
                 }
+            }
+            respond(engine, client, replica, started, true);
+        }
+        Certification::Abort => {
+            {
+                let w = engine.world_mut();
+                if w.measuring {
+                    w.metrics.conflict_aborts += 1;
+                }
+            }
+            if attempt < MAX_RETRIES {
+                let retry = engine.world_mut().pool.resample_demands(client, &template);
+                start_attempt(engine, client, replica, retry, started, attempt + 1);
+            } else {
+                engine.world_mut().retries_exhausted += 1;
+                respond(engine, client, replica, started, true);
             }
         }
-    });
+    }
 }
 
 /// Records a completed transaction and returns the client to think state.
 fn respond(
-    engine: &mut Engine<World>,
+    engine: &mut Engine<World, Ev>,
     client: ClientId,
     replica: usize,
     started: f64,
@@ -407,45 +546,28 @@ fn respond(
 
 /// Consumes the ws resource demands for a remote writeset, then queues it
 /// for in-order retirement.
-fn propagate(engine: &mut Engine<World>, replica: usize, version: u64, writeset: WriteSet) {
+fn propagate(engine: &mut Engine<World, Ev>, replica: usize, version: u64, writeset: WriteSet) {
     let (ws_cpu, ws_disk) = {
         let w = engine.world_mut();
         (w.rng.exp(w.spec.ws_cpu), w.rng.exp(w.spec.ws_disk))
     };
-    let bytes = writeset.wire_size() as u64;
-    Ps::submit(
+    Ps::submit_event(
         engine,
         move |w: &mut World| &mut w.replicas[replica].cpu,
         ws_cpu,
-        move |e| {
-            Fcfs::submit(
-                e,
-                move |w: &mut World| &mut w.replicas[replica].disk,
-                ws_disk,
-                move |e| {
-                    {
-                        let w = e.world_mut();
-                        if w.measuring {
-                            w.metrics.writesets_applied += 1;
-                            w.metrics.writeset_bytes += bytes;
-                        }
-                    }
-                    mark_ready(e, replica, version, writeset, false);
-                },
-            );
-        },
+        Ev::WsCpuDone(WsApply {
+            replica,
+            version,
+            writeset,
+            ws_disk,
+        }),
+        move || Ev::CpuFired(replica),
     );
 }
 
 /// Retires ready writesets into the replica database in strict global
 /// order, so the local version always equals a prefix of the certifier log.
-fn mark_ready(
-    engine: &mut Engine<World>,
-    replica: usize,
-    version: u64,
-    writeset: WriteSet,
-    _is_origin: bool,
-) {
+fn mark_ready(engine: &mut Engine<World, Ev>, replica: usize, version: u64, writeset: WriteSet) {
     let w = engine.world_mut();
     let r = &mut w.replicas[replica];
     r.apply_ready.insert(version, writeset);

@@ -16,9 +16,9 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use replipred_sidb::{Database, WriteSet};
-use replipred_sim::engine::Engine;
-use replipred_sim::resource::{Fcfs, Ps};
+use replipred_sidb::{Database, TxnId, WriteSet};
+use replipred_sim::engine::{Engine, Event};
+use replipred_sim::resource::{Fcfs, Ps, ServiceToken};
 use replipred_sim::{Rng, SimTime};
 use replipred_workload::client::{ClientId, ClientPool};
 use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
@@ -32,8 +32,8 @@ const MAX_RETRIES: u32 = 1000;
 /// One node (master or slave) with its hardware.
 struct Node {
     db: Database,
-    cpu: Ps<World>,
-    disk: Fcfs<World>,
+    cpu: Ps<World, Ev>,
+    disk: Fcfs<World, Ev>,
     inflight: usize,
     /// Next writeset sequence number to retire into the local database.
     apply_next: u64,
@@ -58,6 +58,135 @@ struct World {
     /// Master commit counter used to sequence slave-side application.
     ws_seq: u64,
     mpl: usize,
+    /// Vacuum interval, seconds (0 disables).
+    vacuum_interval: f64,
+    /// End of the simulated horizon (no vacuums past it).
+    end_time: f64,
+}
+
+/// One in-flight transaction attempt moving through the CPU→disk phases
+/// of its node.
+struct Attempt {
+    client: ClientId,
+    node: usize,
+    txn: TxnId,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+}
+
+/// A committed writeset consuming its `ws` demands on a slave.
+struct WsApply {
+    node: usize,
+    seq: u64,
+    writeset: WriteSet,
+    /// Disk demand, sampled together with the CPU demand at propagation
+    /// time (keeps the RNG draw order independent of resource contention).
+    ws_disk: f64,
+}
+
+/// The typed event vocabulary of the single-master simulation.
+enum Ev {
+    /// A client finished thinking; the load balancer takes over.
+    Think(ClientId),
+    /// The LAN delay elapsed: route to master (updates) or least-loaded
+    /// node (reads) and admit.
+    Dispatch(ClientId),
+    /// An attempt finished its CPU phase; the disk phase follows.
+    CpuDone(Attempt),
+    /// An attempt finished its disk phase; commit or retry.
+    DiskDone(Attempt),
+    /// A relayed writeset finished its CPU phase on a slave.
+    WsCpuDone(WsApply),
+    /// A relayed writeset finished its disk phase; retire in order.
+    WsDiskDone(WsApply),
+    /// End of warm-up: discard all measurements.
+    Warmup,
+    /// Periodic version GC on every node.
+    Vacuum,
+    /// Internal PS completion for `nodes[i].cpu`.
+    CpuFired(usize),
+    /// Internal FCFS completion for `nodes[i].disk`.
+    DiskFired(usize, ServiceToken),
+}
+
+impl Event<World> for Ev {
+    fn fire(self, engine: &mut Engine<World, Ev>) {
+        match self {
+            Ev::Think(client) => {
+                let delay = engine.world().lb_delay;
+                engine.schedule_event_in(delay, Ev::Dispatch(client));
+            }
+            Ev::Dispatch(client) => dispatch(engine, client),
+            Ev::CpuDone(attempt) => {
+                let node = attempt.node;
+                let disk_demand = attempt.template.disk_demand;
+                Fcfs::submit_event(
+                    engine,
+                    move |w: &mut World| &mut w.nodes[node].disk,
+                    disk_demand,
+                    Ev::DiskDone(attempt),
+                    move |t| Ev::DiskFired(node, t),
+                );
+            }
+            Ev::DiskDone(a) => complete_attempt(engine, a),
+            Ev::WsCpuDone(ws) => {
+                let node = ws.node;
+                let ws_disk = ws.ws_disk;
+                Fcfs::submit_event(
+                    engine,
+                    move |w: &mut World| &mut w.nodes[node].disk,
+                    ws_disk,
+                    Ev::WsDiskDone(ws),
+                    move |t| Ev::DiskFired(node, t),
+                );
+            }
+            Ev::WsDiskDone(ws) => {
+                {
+                    let bytes = ws.writeset.wire_size() as u64;
+                    let w = engine.world_mut();
+                    if w.measuring {
+                        w.metrics.writesets_applied += 1;
+                        w.metrics.writeset_bytes += bytes;
+                    }
+                }
+                mark_ready(engine, ws.node, ws.seq, ws.writeset);
+            }
+            Ev::Warmup => {
+                let now = engine.now().as_secs();
+                let w = engine.world_mut();
+                w.metrics.reset();
+                for node in &mut w.nodes {
+                    node.db.reset_stats();
+                    node.cpu.stats.reset(now);
+                    node.disk.stats.reset(now);
+                }
+                w.measuring = true;
+            }
+            Ev::Vacuum => {
+                let w = engine.world_mut();
+                for node in &mut w.nodes {
+                    node.db.vacuum();
+                }
+                let interval = w.vacuum_interval;
+                let next = engine.now().as_secs() + interval;
+                if next < engine.world().end_time {
+                    engine.schedule_event_in(interval, Ev::Vacuum);
+                }
+            }
+            Ev::CpuFired(node) => Ps::on_fired(
+                engine,
+                move |w: &mut World| &mut w.nodes[node].cpu,
+                move || Ev::CpuFired(node),
+            ),
+            Ev::DiskFired(node, token) => Fcfs::on_fired(
+                engine,
+                move |w: &mut World| &mut w.nodes[node].disk,
+                token,
+                move |t| Ev::DiskFired(node, t),
+            ),
+        }
+    }
 }
 
 /// The single-master cluster simulator.
@@ -115,24 +244,17 @@ impl SingleMasterSim {
             lb_delay: self.cfg.lb_delay,
             ws_seq: 0,
             mpl: self.cfg.mpl.max(1),
+            vacuum_interval: self.cfg.vacuum_interval,
+            end_time: self.cfg.end_time(),
         };
-        let mut engine = Engine::new(world);
+        let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {
             client_cycle(&mut engine, ClientId(i));
         }
-        let warmup = self.cfg.warmup;
-        engine.schedule_at(SimTime::from_secs(warmup), move |e| {
-            let now = e.now().as_secs();
-            let w = e.world_mut();
-            w.metrics.reset();
-            for node in &mut w.nodes {
-                node.db.reset_stats();
-                node.cpu.stats.reset(now);
-                node.disk.stats.reset(now);
-            }
-            w.measuring = true;
-        });
-        schedule_vacuum(&mut engine, self.cfg.vacuum_interval, self.cfg.end_time());
+        engine.schedule_event_at(SimTime::from_secs(self.cfg.warmup), Ev::Warmup);
+        if self.cfg.vacuum_interval > 0.0 {
+            engine.schedule_event_in(self.cfg.vacuum_interval, Ev::Vacuum);
+        }
         let end = SimTime::from_secs(self.cfg.end_time());
         engine.run_until(end);
         let end_s = end.as_secs();
@@ -165,56 +287,38 @@ impl SingleMasterSim {
     }
 }
 
-fn schedule_vacuum(engine: &mut Engine<World>, interval: f64, end: f64) {
-    if interval <= 0.0 {
-        return;
-    }
-    fn tick(e: &mut Engine<World>, interval: f64, end: f64) {
-        for node in &mut e.world_mut().nodes {
-            node.db.vacuum();
-        }
-        let next = e.now().as_secs() + interval;
-        if next < end {
-            e.schedule_in(interval, move |e| tick(e, interval, end));
-        }
-    }
-    engine.schedule_in(interval, move |e| tick(e, interval, end));
-}
-
-fn client_cycle(engine: &mut Engine<World>, client: ClientId) {
+fn client_cycle(engine: &mut Engine<World, Ev>, client: ClientId) {
     let think = engine.world_mut().pool.next_think(client);
-    engine.schedule_in(think, move |e| dispatch(e, client));
+    engine.schedule_event_in(think, Ev::Think(client));
 }
 
-/// Load balancer: updates to the master; reads to the least loaded node.
-fn dispatch(engine: &mut Engine<World>, client: ClientId) {
-    let delay = engine.world().lb_delay;
-    engine.schedule_in(delay, move |e| {
-        let (template, node) = {
-            let w = e.world_mut();
-            let template = w.pool.next_transaction(client);
-            let node = if template.is_update {
-                0
-            } else {
-                w.nodes
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, n)| n.inflight)
-                    .map(|(i, _)| i)
-                    .expect("at least the master")
-            };
-            w.nodes[node].inflight += 1;
-            (template, node)
+/// Load balancer (after the LAN delay): updates to the master; reads to
+/// the least loaded node.
+fn dispatch(engine: &mut Engine<World, Ev>, client: ClientId) {
+    let (template, node) = {
+        let w = engine.world_mut();
+        let template = w.pool.next_transaction(client);
+        let node = if template.is_update {
+            0
+        } else {
+            w.nodes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| n.inflight)
+                .map(|(i, _)| i)
+                .expect("at least the master")
         };
-        let started = e.now().as_secs();
-        admit(e, client, node, template, started);
-    });
+        w.nodes[node].inflight += 1;
+        (template, node)
+    };
+    let started = engine.now().as_secs();
+    admit(engine, client, node, template, started);
 }
 
 /// Admission control (connection pool): at most `mpl` transactions execute
 /// concurrently per node; excess arrivals wait without an open snapshot.
 fn admit(
-    engine: &mut Engine<World>,
+    engine: &mut Engine<World, Ev>,
     client: ClientId,
     node: usize,
     template: TxnTemplate,
@@ -238,7 +342,7 @@ fn admit(
 }
 
 /// Releases an admission slot, immediately admitting the next waiter.
-fn release(engine: &mut Engine<World>, node: usize) {
+fn release(engine: &mut Engine<World, Ev>, node: usize) {
     let next = {
         let w = engine.world_mut();
         let s = &mut w.nodes[node];
@@ -256,7 +360,7 @@ fn release(engine: &mut Engine<World>, node: usize) {
 }
 
 fn start_attempt(
-    engine: &mut Engine<World>,
+    engine: &mut Engine<World, Ev>,
     client: ClientId,
     node: usize,
     template: TxnTemplate,
@@ -272,32 +376,33 @@ fn start_attempt(
         w.nodes[node].db.begin()
     };
     let cpu_demand = template.cpu_demand;
-    let disk_demand = template.disk_demand;
-    Ps::submit(
+    let attempt = Attempt {
+        client,
+        node,
+        txn,
+        template,
+        started,
+        attempt,
+    };
+    Ps::submit_event(
         engine,
         move |w: &mut World| &mut w.nodes[node].cpu,
         cpu_demand,
-        move |e| {
-            Fcfs::submit(
-                e,
-                move |w: &mut World| &mut w.nodes[node].disk,
-                disk_demand,
-                move |e| complete_attempt(e, client, node, txn, template, started, attempt),
-            );
-        },
+        Ev::CpuDone(attempt),
+        move || Ev::CpuFired(node),
     );
 }
 
-fn complete_attempt(
-    engine: &mut Engine<World>,
-    client: ClientId,
-    node: usize,
-    txn: replipred_sidb::TxnId,
-    template: TxnTemplate,
-    started: f64,
-    attempt: u32,
-) {
+fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
     let now = engine.now().as_secs();
+    let Attempt {
+        client,
+        node,
+        txn,
+        template,
+        started,
+        attempt,
+    } = a;
     if !template.is_update {
         let w = engine.world_mut();
         w.nodes[node].db.set_time(now);
@@ -356,7 +461,13 @@ fn complete_attempt(
     }
 }
 
-fn respond(engine: &mut Engine<World>, client: ClientId, node: usize, started: f64, update: bool) {
+fn respond(
+    engine: &mut Engine<World, Ev>,
+    client: ClientId,
+    node: usize,
+    started: f64,
+    update: bool,
+) {
     let now = engine.now().as_secs();
     release(engine, node);
     {
@@ -378,38 +489,27 @@ fn respond(engine: &mut Engine<World>, client: ClientId, node: usize, started: f
 
 /// Consumes the ws resource demands on a slave, then queues the writeset
 /// for in-order retirement.
-fn propagate(engine: &mut Engine<World>, node: usize, seq: u64, writeset: WriteSet) {
+fn propagate(engine: &mut Engine<World, Ev>, node: usize, seq: u64, writeset: WriteSet) {
     let (ws_cpu, ws_disk) = {
         let w = engine.world_mut();
         (w.rng.exp(w.spec.ws_cpu), w.rng.exp(w.spec.ws_disk))
     };
-    let bytes = writeset.wire_size() as u64;
-    Ps::submit(
+    Ps::submit_event(
         engine,
         move |w: &mut World| &mut w.nodes[node].cpu,
         ws_cpu,
-        move |e| {
-            Fcfs::submit(
-                e,
-                move |w: &mut World| &mut w.nodes[node].disk,
-                ws_disk,
-                move |e| {
-                    {
-                        let w = e.world_mut();
-                        if w.measuring {
-                            w.metrics.writesets_applied += 1;
-                            w.metrics.writeset_bytes += bytes;
-                        }
-                    }
-                    mark_ready(e, node, seq, writeset);
-                },
-            );
-        },
+        Ev::WsCpuDone(WsApply {
+            node,
+            seq,
+            writeset,
+            ws_disk,
+        }),
+        move || Ev::CpuFired(node),
     );
 }
 
 /// Retires ready writesets into the slave database in master commit order.
-fn mark_ready(engine: &mut Engine<World>, node: usize, seq: u64, writeset: WriteSet) {
+fn mark_ready(engine: &mut Engine<World, Ev>, node: usize, seq: u64, writeset: WriteSet) {
     let w = engine.world_mut();
     let s = &mut w.nodes[node];
     s.apply_ready.insert(seq, writeset);

@@ -4,12 +4,16 @@
 //! profiler measures (Section 4) and the `N = 1` anchor of every measured
 //! scalability curve. One database engine, one CPU (processor sharing),
 //! one disk (FCFS), `C` closed-loop clients.
+//!
+//! The simulation runs on the engine's *typed event* path: every event is
+//! a variant of the private `Ev` enum stored inline in the engine's slab,
+//! so the steady-state loop performs no per-event allocation.
 
 use std::collections::VecDeque;
 
-use replipred_sidb::Database;
-use replipred_sim::engine::Engine;
-use replipred_sim::resource::{Fcfs, Ps};
+use replipred_sidb::{Database, TxnId};
+use replipred_sim::engine::{Engine, Event};
+use replipred_sim::resource::{Fcfs, Ps, ServiceToken};
 use replipred_sim::SimTime;
 use replipred_workload::client::{ClientId, ClientPool};
 use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
@@ -53,8 +57,8 @@ pub struct StandaloneOutcome {
 
 struct World {
     db: Database,
-    cpu: Ps<World>,
-    disk: Fcfs<World>,
+    cpu: Ps<World, Ev>,
+    disk: Fcfs<World, Ev>,
     pool: ClientPool,
     spec: WorkloadSpec,
     metrics: Metrics,
@@ -66,12 +70,88 @@ struct World {
     executing: usize,
     /// Arrivals waiting for an admission slot (connection pool).
     admission: VecDeque<(ClientId, TxnTemplate, f64)>,
+    /// Vacuum interval, seconds (0 disables).
+    vacuum_interval: f64,
+    /// End of the simulated horizon (no vacuums past it).
+    end_time: f64,
 }
 
-fn cpu_lens(w: &mut World) -> &mut Ps<World> {
+/// One in-flight transaction attempt moving through the CPU→disk phases.
+struct Attempt {
+    client: ClientId,
+    txn: TxnId,
+    template: TxnTemplate,
+    started: f64,
+    attempt: u32,
+}
+
+/// The typed event vocabulary of the standalone simulation.
+enum Ev {
+    /// A client finished thinking and submits its next transaction.
+    Think(ClientId),
+    /// An attempt finished its CPU phase; the disk phase follows.
+    CpuDone(Attempt),
+    /// An attempt finished its disk phase; commit or retry.
+    DiskDone(Attempt),
+    /// End of warm-up: discard all measurements.
+    Warmup,
+    /// Periodic version GC.
+    Vacuum,
+    /// Internal PS completion (see [`Ps::on_fired`]).
+    CpuFired,
+    /// Internal FCFS completion (see [`Fcfs::on_fired`]).
+    DiskFired(ServiceToken),
+}
+
+impl Event<World> for Ev {
+    fn fire(self, engine: &mut Engine<World, Ev>) {
+        match self {
+            Ev::Think(client) => dispatch(engine, client),
+            Ev::CpuDone(attempt) => {
+                let disk_demand = attempt.template.disk_demand;
+                Fcfs::submit_event(
+                    engine,
+                    disk_lens,
+                    disk_demand,
+                    Ev::DiskDone(attempt),
+                    Ev::DiskFired,
+                );
+            }
+            Ev::DiskDone(a) => {
+                complete_attempt(engine, a.client, a.txn, a.template, a.started, a.attempt)
+            }
+            Ev::Warmup => {
+                let now = engine.now().as_secs();
+                let w = engine.world_mut();
+                w.metrics.reset();
+                w.db.reset_stats();
+                // Discard warm-up log lines so the captured log covers
+                // exactly the measurement window (the paper's 15-minute
+                // capture).
+                let _ = w.db.log.take();
+                w.cpu.stats.reset(now);
+                w.disk.stats.reset(now);
+                w.measuring = true;
+            }
+            Ev::Vacuum => {
+                let w = engine.world_mut();
+                w.db.vacuum();
+                let interval = w.vacuum_interval;
+                let next = engine.now().as_secs() + interval;
+                if next < engine.world().end_time {
+                    engine.schedule_event_in(interval, Ev::Vacuum);
+                }
+            }
+            Ev::CpuFired => Ps::on_fired(engine, cpu_lens, || Ev::CpuFired),
+            Ev::DiskFired(token) => Fcfs::on_fired(engine, disk_lens, token, Ev::DiskFired),
+        }
+    }
+}
+
+fn cpu_lens(w: &mut World) -> &mut Ps<World, Ev> {
     &mut w.cpu
 }
-fn disk_lens(w: &mut World) -> &mut Fcfs<World> {
+fn disk_lens(w: &mut World) -> &mut Fcfs<World, Ev> {
     &mut w.disk
 }
 
@@ -135,26 +215,18 @@ impl StandaloneSim {
             mpl: self.cfg.mpl.max(1),
             executing: 0,
             admission: VecDeque::new(),
+            vacuum_interval: self.cfg.vacuum_interval,
+            end_time: self.cfg.end_time(),
         };
-        let mut engine = Engine::new(world);
+        let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {
             client_cycle(&mut engine, ClientId(i));
         }
         // End of warm-up: discard all measurements.
-        let warmup = self.cfg.warmup;
-        engine.schedule_at(SimTime::from_secs(warmup), move |e| {
-            let now = e.now().as_secs();
-            let w = e.world_mut();
-            w.metrics.reset();
-            w.db.reset_stats();
-            // Discard warm-up log lines so the captured log covers exactly
-            // the measurement window (the paper's 15-minute capture).
-            let _ = w.db.log.take();
-            w.cpu.stats.reset(now);
-            w.disk.stats.reset(now);
-            w.measuring = true;
-        });
-        schedule_vacuum(&mut engine, self.cfg.vacuum_interval, self.cfg.end_time());
+        engine.schedule_event_at(SimTime::from_secs(self.cfg.warmup), Ev::Warmup);
+        if self.cfg.vacuum_interval > 0.0 {
+            engine.schedule_event_in(self.cfg.vacuum_interval, Ev::Vacuum);
+        }
         let end = SimTime::from_secs(self.cfg.end_time());
         engine.run_until(end);
         let end_s = end.as_secs();
@@ -181,26 +253,12 @@ impl StandaloneSim {
     }
 }
 
-fn schedule_vacuum(engine: &mut Engine<World>, interval: f64, end: f64) {
-    if interval <= 0.0 {
-        return;
-    }
-    fn tick(e: &mut Engine<World>, interval: f64, end: f64) {
-        e.world_mut().db.vacuum();
-        let next = e.now().as_secs() + interval;
-        if next < end {
-            e.schedule_in(interval, move |e| tick(e, interval, end));
-        }
-    }
-    engine.schedule_in(interval, move |e| tick(e, interval, end));
-}
-
-fn client_cycle(engine: &mut Engine<World>, client: ClientId) {
+fn client_cycle(engine: &mut Engine<World, Ev>, client: ClientId) {
     let think = engine.world_mut().pool.next_think(client);
-    engine.schedule_in(think, move |e| dispatch(e, client));
+    engine.schedule_event_in(think, Ev::Think(client));
 }
 
-fn dispatch(engine: &mut Engine<World>, client: ClientId) {
+fn dispatch(engine: &mut Engine<World, Ev>, client: ClientId) {
     let template = {
         let w = engine.world_mut();
         let mut t = w.pool.next_transaction(client);
@@ -226,7 +284,7 @@ fn dispatch(engine: &mut Engine<World>, client: ClientId) {
 
 /// Admission control (connection pool): at most `mpl` transactions execute
 /// concurrently; excess arrivals wait without an open snapshot.
-fn admit(engine: &mut Engine<World>, client: ClientId, template: TxnTemplate, started: f64) {
+fn admit(engine: &mut Engine<World, Ev>, client: ClientId, template: TxnTemplate, started: f64) {
     let admitted = {
         let w = engine.world_mut();
         if w.executing < w.mpl {
@@ -243,7 +301,7 @@ fn admit(engine: &mut Engine<World>, client: ClientId, template: TxnTemplate, st
 }
 
 /// Releases an admission slot, immediately admitting the next waiter.
-fn release(engine: &mut Engine<World>) {
+fn release(engine: &mut Engine<World, Ev>) {
     let next = {
         let w = engine.world_mut();
         match w.admission.pop_front() {
@@ -260,7 +318,7 @@ fn release(engine: &mut Engine<World>) {
 }
 
 fn start_attempt(
-    engine: &mut Engine<World>,
+    engine: &mut Engine<World, Ev>,
     client: ClientId,
     template: TxnTemplate,
     started: f64,
@@ -276,16 +334,20 @@ fn start_attempt(
         w.db.begin()
     };
     let cpu_demand = template.cpu_demand;
-    let disk_demand = template.disk_demand;
-    Ps::submit(engine, cpu_lens, cpu_demand, move |e| {
-        Fcfs::submit(e, disk_lens, disk_demand, move |e| {
-            complete_attempt(e, client, txn, template, started, attempt);
-        });
+    let attempt = Attempt {
+        client,
+        txn,
+        template,
+        started,
+        attempt,
+    };
+    Ps::submit_event(engine, cpu_lens, cpu_demand, Ev::CpuDone(attempt), || {
+        Ev::CpuFired
     });
 }
 
 fn complete_attempt(
-    engine: &mut Engine<World>,
+    engine: &mut Engine<World, Ev>,
     client: ClientId,
     txn: replipred_sidb::TxnId,
     template: TxnTemplate,

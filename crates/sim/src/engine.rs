@@ -1,40 +1,120 @@
 //! The event loop: virtual clock plus a priority heap of pending events.
 //!
-//! Events are boxed `FnOnce(&mut Engine<W>)` closures. Two events scheduled
-//! for the same instant fire in schedule order (a monotonically increasing
-//! sequence number breaks ties), which makes every simulation run fully
+//! # Event representation
+//!
+//! The engine is generic over the *event type* `E`, which must implement
+//! [`Event`]. Two modes of use:
+//!
+//! - **Boxed closures** (the default, `E =` [`BoxedEvent`]): events are
+//!   `FnOnce(&mut Engine<W>)` closures scheduled with
+//!   [`Engine::schedule_at`] / [`Engine::schedule_in`]. Convenient, but
+//!   every event costs a heap allocation.
+//! - **Typed events**: the simulation defines its own event enum,
+//!   implements [`Event`] for it, and schedules values with
+//!   [`Engine::schedule_event_at`] / [`Engine::schedule_event_in`]. Event
+//!   payloads are stored inline in a slab whose slots are recycled, so the
+//!   steady-state event loop performs *no* per-event allocation. The hot
+//!   simulators in `replipred-repl` use this mode.
+//!
+//! # Storage and cancellation
+//!
+//! Pending events live in a slab (a `Vec` of generation-stamped slots with
+//! a free list); the binary heap orders small `Copy` entries — `(time,
+//! sequence, slot, generation)` — only. Two events scheduled for the same
+//! instant fire in schedule order (the monotonically increasing sequence
+//! number breaks ties), which makes every simulation run fully
 //! deterministic given a fixed RNG seed.
+//!
+//! An [`EventId`] names its slab slot *and* the slot's generation at
+//! scheduling time. Each slot's generation is bumped when its event fires
+//! or is cancelled, so a stale id (already fired, already cancelled, or a
+//! duplicate cancel) simply no longer matches and the cancel is an O(1)
+//! no-op — there is no side table of cancelled ids that could grow or
+//! drift out of sync with the heap. Heap entries left behind by a cancel
+//! are discarded lazily when they surface at the top of the heap.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// An event callback.
+/// A schedulable event over a world type `W`.
+///
+/// Implement this for a simulation-specific enum to get the unboxed event
+/// path: the engine stores the value inline and calls [`Event::fire`]
+/// exactly once when its time arrives.
+pub trait Event<W>: Sized + 'static {
+    /// Executes the event. The engine's clock has already advanced to the
+    /// event's scheduled time.
+    fn fire(self, engine: &mut Engine<W, Self>);
+}
+
+/// The default event type: a boxed `FnOnce` closure.
+///
+/// This is what [`Engine::schedule_at`] / [`Engine::schedule_in`] wrap
+/// their callbacks in, preserving the original closure-based API.
+pub struct BoxedEvent<W>(EventFn<W>);
+
+impl<W> BoxedEvent<W> {
+    /// Wraps a closure as an event.
+    pub fn new(action: impl FnOnce(&mut Engine<W>) + 'static) -> Self {
+        BoxedEvent(Box::new(action))
+    }
+}
+
+impl<W: 'static> Event<W> for BoxedEvent<W> {
+    fn fire(self, engine: &mut Engine<W>) {
+        (self.0)(engine)
+    }
+}
+
+/// An event callback (the boxed closure form).
 pub type EventFn<W> = Box<dyn FnOnce(&mut Engine<W>)>;
 
 /// Identifier of a scheduled event, used for cancellation.
+///
+/// An id is a slab slot index plus the slot's *generation* at scheduling
+/// time. Firing or cancelling an event bumps its slot's generation, so an
+/// id can never act on anything but the exact scheduling it came from:
+/// cancelling an already-fired, already-cancelled, or otherwise stale id
+/// is a no-op, even if the slot has since been reused by a newer event.
+/// (Generations are 32-bit and wrap; an id would have to be retained
+/// across 2³² reuses of one slot to alias, which does not happen in
+/// practice.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
-struct Scheduled<W> {
+/// One slab slot: the event payload (if scheduled) plus the generation
+/// stamp that validates heap entries and [`EventId`]s pointing at it.
+struct Slot<E> {
+    gen: u32,
+    event: Option<E>,
+}
+
+/// What the binary heap actually orders: small and `Copy`, no payload.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    action: Option<EventFn<W>>,
+    slot: u32,
+    gen: u32,
 }
 
-impl<W> PartialEq for Scheduled<W> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.seq == other.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap but we want earliest-first.
         other
@@ -44,28 +124,51 @@ impl<W> Ord for Scheduled<W> {
     }
 }
 
-/// Discrete-event simulation engine over a world type `W`.
+/// Discrete-event simulation engine over a world type `W` and an event
+/// type `E` (default: boxed closures).
 ///
 /// The world holds all domain state (replicas, clients, resources); events
-/// receive `&mut Engine<W>` and may inspect/mutate the world and schedule
-/// further events.
-pub struct Engine<W> {
+/// receive `&mut Engine<W, E>` and may inspect/mutate the world and
+/// schedule further events.
+pub struct Engine<W, E = BoxedEvent<W>> {
     clock: SimTime,
-    heap: BinaryHeap<Scheduled<W>>,
+    /// Cached minimum: always earlier (by `(at, seq)`) than every entry in
+    /// `heap` when `Some`. The schedule→fire chain pattern — exactly one
+    /// event in flight, e.g. a PS server's pending completion or a client
+    /// think timer on an otherwise quiet engine — then never touches the
+    /// heap at all.
+    front: Option<HeapEntry>,
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    /// One-slot cache in front of `free`: the slot vacated by the last
+    /// fire/cancel, reused by the next schedule without touching the Vec.
+    hot_slot: Option<u32>,
+    free: Vec<u32>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
     executed: u64,
     world: W,
 }
 
-impl<W> Engine<W> {
+/// Strict `(at, seq)` order (distinct seq values make this total).
+fn earlier(a: &HeapEntry, b: &HeapEntry) -> bool {
+    match a.at.cmp(&b.at) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a.seq < b.seq,
+    }
+}
+
+impl<W, E: Event<W>> Engine<W, E> {
     /// Creates an engine at time zero wrapping `world`.
     pub fn new(world: W) -> Self {
         Engine {
             clock: SimTime::ZERO,
+            front: None,
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            hot_slot: None,
+            free: Vec::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
             executed: 0,
             world,
         }
@@ -96,77 +199,152 @@ impl<W> Engine<W> {
         self.executed
     }
 
-    /// Number of events currently pending (excluding cancelled ones).
+    /// Number of events currently pending (excluding cancelled ones):
+    /// exactly the occupied slab slots, so cancellation bookkeeping can
+    /// never drift.
     pub fn events_pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.slots.len() - self.free.len() - usize::from(self.hot_slot.is_some())
     }
 
-    /// Schedules `action` to run at absolute time `at`.
+    /// Returns a vacant slab slot to the free pool.
+    #[inline]
+    fn release_slot(&mut self, slot: u32) {
+        if let Some(spill) = self.hot_slot.replace(slot) {
+            self.free.push(spill);
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the past — scheduling into the past is always a
     /// logic error in a DES.
-    pub fn schedule_at(
-        &mut self,
-        at: SimTime,
-        action: impl FnOnce(&mut Engine<W>) + 'static,
-    ) -> EventId {
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) -> EventId {
         assert!(
             at >= self.clock,
             "cannot schedule into the past: now={}, at={}",
             self.clock,
             at
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled {
-            at,
-            seq,
-            action: Some(Box::new(action)),
-        });
-        EventId(seq)
+        self.schedule_validated(at, event)
     }
 
-    /// Schedules `action` to run `delay` seconds from now.
+    /// Scheduling core, after `at` has been validated as `>= clock`.
+    #[inline]
+    fn schedule_validated(&mut self, at: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let (slot, gen) = match self.hot_slot.take().or_else(|| self.free.pop()) {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.event = Some(event);
+                (slot, s.gen)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    gen: 0,
+                    event: Some(event),
+                });
+                (slot, 0)
+            }
+        };
+        let entry = HeapEntry { at, seq, slot, gen };
+        // Keep `front` the global minimum; fall back to the heap.
+        match &self.front {
+            Some(f) if earlier(&entry, f) => {
+                let old = self.front.replace(entry).expect("front is Some");
+                self.heap.push(old);
+            }
+            Some(_) => self.heap.push(entry),
+            None => match self.heap.peek() {
+                Some(top) if earlier(top, &entry) => self.heap.push(entry),
+                _ => self.front = Some(entry),
+            },
+        }
+        EventId { slot, gen }
+    }
+
+    /// Schedules `event` to fire `delay` seconds from now.
     ///
     /// # Panics
     ///
     /// Panics if `delay` is negative or NaN.
-    pub fn schedule_in(
-        &mut self,
-        delay: f64,
-        action: impl FnOnce(&mut Engine<W>) + 'static,
-    ) -> EventId {
+    #[inline]
+    pub fn schedule_event_in(&mut self, delay: f64, event: E) -> EventId {
         assert!(
             delay.is_finite() && delay >= 0.0,
             "delay must be finite and non-negative, got {delay}"
         );
-        self.schedule_at(self.clock + delay, action)
+        // A validated delay cannot land before `now`, so skip the
+        // schedule_event_at assert.
+        self.schedule_validated(self.clock.offset_unchecked(delay), event)
     }
 
-    /// Cancels a pending event. Cancelling an already-fired or
-    /// already-cancelled event is a no-op (lazy deletion).
+    /// Cancels a pending event in O(1). Cancelling an already-fired,
+    /// already-cancelled, or otherwise stale id is a no-op: the id's
+    /// generation no longer matches its slot, so nothing happens (in
+    /// particular, [`Engine::events_pending`] stays exact).
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        if let Some(slot) = self.slots.get_mut(id.slot as usize) {
+            if slot.gen == id.gen && slot.event.is_some() {
+                slot.event = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.release_slot(id.slot);
+            }
+        }
+    }
+
+    /// Discards stale entries (from cancellations) until the earliest
+    /// pending event is live, and returns its time. Afterwards that event
+    /// sits in `front`.
+    fn peek_live(&mut self) -> Option<SimTime> {
+        loop {
+            if self.front.is_none() {
+                self.front = self.heap.pop();
+            }
+            let entry = self.front.as_ref()?;
+            if self.slots[entry.slot as usize].gen == entry.gen {
+                return Some(entry.at);
+            }
+            self.front = None;
+        }
+    }
+
+    /// Pops the next live event, advancing the clock to its time.
+    #[inline]
+    fn pop_live(&mut self) -> Option<E> {
+        loop {
+            let entry = match self.front.take() {
+                Some(entry) => entry,
+                None => self.heap.pop()?,
+            };
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.gen != entry.gen {
+                continue;
+            }
+            let event = slot.event.take().expect("live slot holds an event");
+            slot.gen = slot.gen.wrapping_add(1);
+            self.release_slot(entry.slot);
+            debug_assert!(entry.at >= self.clock, "event heap yielded past event");
+            self.clock = entry.at;
+            self.executed += 1;
+            return Some(event);
+        }
     }
 
     /// Executes the next pending event, advancing the clock.
     ///
     /// Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        while let Some(mut ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                continue;
+        match self.pop_live() {
+            Some(event) => {
+                event.fire(self);
+                true
             }
-            debug_assert!(ev.at >= self.clock, "event heap yielded past event");
-            self.clock = ev.at;
-            let action = ev.action.take().expect("event fired twice");
-            self.executed += 1;
-            action(self);
-            return true;
+            None => false,
         }
-        false
     }
 
     /// Runs until the event heap is empty.
@@ -180,27 +358,48 @@ impl<W> Engine<W> {
     /// After returning, the clock is `max(clock, deadline)` so that
     /// measurement windows line up even if the heap ran dry early.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            let next_at = loop {
-                match self.heap.peek() {
-                    Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let ev = self.heap.pop().expect("peeked event exists");
-                        self.cancelled.remove(&ev.seq);
-                    }
-                    Some(ev) => break Some(ev.at),
-                    None => break None,
-                }
-            };
-            match next_at {
-                Some(at) if at <= deadline => {
-                    self.step();
-                }
-                _ => break,
+        while let Some(at) = self.peek_live() {
+            if at > deadline {
+                break;
             }
+            let event = self.pop_live().expect("peek_live found a live event");
+            event.fire(self);
         }
         if self.clock < deadline {
             self.clock = deadline;
         }
+    }
+}
+
+impl<W: 'static> Engine<W> {
+    /// Schedules a closure to run at absolute time `at` (boxed-event
+    /// engines only; see [`Engine::schedule_event_at`] for the unboxed
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_event_at(at, BoxedEvent::new(action))
+    }
+
+    /// Schedules a closure to run `delay` seconds from now (boxed-event
+    /// engines only; see [`Engine::schedule_event_in`] for the unboxed
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(
+        &mut self,
+        delay: f64,
+        action: impl FnOnce(&mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_event_in(delay, BoxedEvent::new(action))
     }
 }
 
@@ -273,6 +472,60 @@ mod tests {
     }
 
     #[test]
+    fn stale_cancel_does_not_kill_slot_reuser() {
+        // Regression: a cancel of an already-fired id must not cancel the
+        // *new* event that has since reused the same slab slot, and must
+        // not corrupt the pending count (the old side-table design leaked
+        // fired/duplicate ids into `cancelled`, making `events_pending` =
+        // `heap.len() - cancelled.len()` wrong and underflow-prone).
+        let mut engine = Engine::new(0u32);
+        let a = engine.schedule_in(1.0, |e| *e.world_mut() += 1);
+        engine.run();
+        // `b` reuses slot 0 (freed when `a` fired) at a new generation.
+        let b = engine.schedule_in(1.0, |e| *e.world_mut() += 10);
+        engine.cancel(a); // stale: must be a no-op
+        assert_eq!(engine.events_pending(), 1);
+        engine.run();
+        assert_eq!(*engine.world(), 11);
+        let _ = b;
+    }
+
+    #[test]
+    fn duplicate_cancels_keep_pending_count_exact() {
+        // Regression: repeated cancels of the same id (and cancels of
+        // already-fired ids) must leave `events_pending` exact — the old
+        // design could make it underflow-panic.
+        let mut engine = Engine::new(());
+        let a = engine.schedule_in(1.0, |_| {});
+        let b = engine.schedule_in(2.0, |_| {});
+        assert_eq!(engine.events_pending(), 2);
+        engine.cancel(a);
+        engine.cancel(a); // duplicate
+        engine.cancel(a); // and again
+        assert_eq!(engine.events_pending(), 1);
+        engine.run();
+        assert_eq!(engine.events_pending(), 0);
+        engine.cancel(b); // already fired
+        engine.cancel(a); // long gone
+        assert_eq!(engine.events_pending(), 0);
+        assert_eq!(engine.events_executed(), 1);
+    }
+
+    #[test]
+    fn cancelled_then_rescheduled_fires_once() {
+        // A cancelled slot is reused immediately; the heap's stale entry
+        // for the old generation must be skipped without touching the new
+        // occupant even though both share the slot index.
+        let mut engine = Engine::new(0u32);
+        let a = engine.schedule_in(5.0, |e| *e.world_mut() += 100);
+        engine.cancel(a);
+        engine.schedule_in(1.0, |e| *e.world_mut() += 1); // reuses slot 0
+        engine.run();
+        assert_eq!(*engine.world(), 1);
+        assert_eq!(engine.events_executed(), 1);
+    }
+
+    #[test]
     fn run_until_stops_at_deadline() {
         let mut engine = Engine::new(0u32);
         for i in 1..=10 {
@@ -287,7 +540,7 @@ mod tests {
 
     #[test]
     fn run_until_advances_clock_past_empty_heap() {
-        let mut engine = Engine::new(());
+        let mut engine: Engine<()> = Engine::new(());
         engine.run_until(SimTime::from_secs(42.0));
         assert_eq!(engine.now().as_secs(), 42.0);
     }
@@ -316,5 +569,55 @@ mod tests {
     fn negative_delay_panics() {
         let mut engine = Engine::new(());
         engine.schedule_in(-1.0, |_| {});
+    }
+
+    // ---- typed (unboxed) event path ----
+
+    enum Tick {
+        Add(u32),
+        Chain,
+    }
+
+    impl Event<u32> for Tick {
+        fn fire(self, engine: &mut Engine<u32, Tick>) {
+            match self {
+                Tick::Add(x) => *engine.world_mut() += x,
+                Tick::Chain => {
+                    *engine.world_mut() += 1;
+                    if *engine.world() < 10 {
+                        engine.schedule_event_in(0.5, Tick::Chain);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn typed_events_fire_in_time_order() {
+        let mut engine: Engine<u32, Tick> = Engine::new(0);
+        engine.schedule_event_in(2.0, Tick::Add(10));
+        engine.schedule_event_in(1.0, Tick::Add(1));
+        engine.run();
+        assert_eq!(*engine.world(), 11);
+        assert_eq!(engine.events_executed(), 2);
+    }
+
+    #[test]
+    fn typed_event_chain_reuses_slab_slot() {
+        let mut engine: Engine<u32, Tick> = Engine::new(0);
+        engine.schedule_event_in(0.5, Tick::Chain);
+        engine.run();
+        assert_eq!(*engine.world(), 10);
+        assert!((engine.now().as_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typed_event_cancel() {
+        let mut engine: Engine<u32, Tick> = Engine::new(0);
+        let a = engine.schedule_event_in(1.0, Tick::Add(1));
+        engine.schedule_event_in(2.0, Tick::Add(10));
+        engine.cancel(a);
+        engine.run();
+        assert_eq!(*engine.world(), 10);
     }
 }

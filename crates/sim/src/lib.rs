@@ -5,12 +5,17 @@
 //! the authors' 16-machine prototype played. This crate provides the
 //! simulation substrate:
 //!
-//! - [`engine`] — virtual clock and event heap. Events are `FnOnce`
-//!   closures over a user-supplied world type; execution is deterministic
-//!   (ties broken by schedule order).
+//! - [`engine`] — virtual clock and event heap. Events are either boxed
+//!   `FnOnce` closures over a user-supplied world type (the convenient
+//!   default) or values of a user-defined typed event enum stored in a
+//!   recycled slab (the allocation-free hot path); execution is
+//!   deterministic (ties broken by schedule order).
 //! - [`resource`] — queueing resources: multi-server FCFS queues and an
 //!   egalitarian processor-sharing server, both with integrated busy-time
 //!   and queue-length accounting.
+//! - [`pool`] — a deterministic scoped-thread-pool executor
+//!   ([`pool::map_parallel`]) for fanning independent simulation runs out
+//!   over cores with order-stable results.
 //! - [`rng`] — a small, self-contained xoshiro256++ PRNG with SplitMix64
 //!   seeding, giving reproducible independent streams without external
 //!   dependencies.
@@ -44,11 +49,12 @@
 //! ```
 
 pub mod engine;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::Engine;
+pub use engine::{Engine, Event};
 pub use rng::Rng;
 pub use time::SimTime;

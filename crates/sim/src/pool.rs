@@ -1,0 +1,137 @@
+//! A small deterministic scoped-thread-pool executor.
+//!
+//! The experiment pipeline fans independent simulation cells (workload ×
+//! design × replica point × seed) out over OS threads. The build is fully
+//! offline, so this is a dependency-free stand-in for `rayon`-style
+//! parallel iteration built on [`std::thread::scope`]:
+//!
+//! - Workers pull work items from a shared queue (dynamic load balancing —
+//!   simulation cells have wildly different costs).
+//! - Every result is tagged with its input index and the output is
+//!   reassembled in input order, so the result of [`map_parallel`] is
+//!   **identical for every `jobs` value**, including `jobs = 1` (which
+//!   runs inline on the caller's thread with no pool at all). Determinism
+//!   therefore only requires that `f` itself is a pure function of its
+//!   input — which simulation runs are, seeds included.
+//! - A panic in any worker propagates to the caller after the scope joins.
+//!
+//! ```
+//! use replipred_sim::pool::map_parallel;
+//!
+//! let squares = map_parallel(4, (0u64..8).collect(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads suggested by the host: `available_parallelism`,
+/// or 1 when the runtime cannot tell.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads and returns
+/// the results **in input order**.
+///
+/// `jobs` is clamped to the number of items; `jobs <= 1` runs inline on
+/// the calling thread. The mapping from items to results is independent
+/// of `jobs` — only wall-clock time changes.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (after all workers have joined).
+pub fn map_parallel<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let f = &f;
+    let queue = &queue;
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        // Hold the lock only for the pop, not for f().
+                        let next = queue.lock().expect("pool queue poisoned").pop_front();
+                        match next {
+                            Some((index, item)) => local.push((index, f(item))),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| match w.join() {
+                Ok(results) => results,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(index, _)| *index);
+    tagged.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        // Make later items cheaper so they finish first on a real pool.
+        let out = map_parallel(4, (0u64..64).collect(), |x| {
+            std::thread::sleep(std::time::Duration::from_micros(64 - x));
+            x * 2
+        });
+        assert_eq!(out, (0u64..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_is_independent_of_job_count() {
+        let work = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        let serial = map_parallel(1, (0u64..100).collect(), work);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(map_parallel(jobs, (0u64..100).collect(), work), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        assert_eq!(map_parallel(8, Vec::<u64>::new(), |x| x), Vec::<u64>::new());
+        assert_eq!(map_parallel(8, vec![7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_jobs_runs_inline() {
+        assert_eq!(map_parallel(0, vec![1, 2, 3], |x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = map_parallel(2, vec![1u64, 2, 3, 4], |x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

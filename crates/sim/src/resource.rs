@@ -11,10 +11,19 @@
 //!   general service-time distributions.
 //!
 //! Both resources live *inside* the user's world type. Because an event
-//! callback receives `&mut Engine<W>`, resource operations are associated
-//! functions taking the engine plus a *lens* — a `Copy` closure mapping
-//! `&mut W` to the resource — so the engine and the resource are never
-//! borrowed simultaneously.
+//! callback receives `&mut Engine<W, E>`, resource operations are
+//! associated functions taking the engine plus a *lens* — a `Copy` closure
+//! mapping `&mut W` to the resource — so the engine and the resource are
+//! never borrowed simultaneously.
+//!
+//! Like the engine, resources are generic over the event type `E`:
+//!
+//! - With the default boxed events, [`Fcfs::submit`] / [`Ps::submit`] take
+//!   completion *closures* — convenient, one allocation per job.
+//! - With a typed event enum, [`Fcfs::submit_event`] / [`Ps::submit_event`]
+//!   take completion *events* plus a factory producing the resource's
+//!   internal service-completion event. Continuations are stored inline in
+//!   the resource's recycled buffers, so the hot path never allocates.
 //!
 //! # Examples
 //!
@@ -40,8 +49,9 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 
-use crate::engine::{Engine, EventFn, EventId};
+use crate::engine::{BoxedEvent, Engine, Event, EventId};
 use crate::stats::{Tally, TimeWeighted};
 
 /// Utilization / occupancy statistics shared by both disciplines.
@@ -76,22 +86,32 @@ impl ResourceStats {
     }
 }
 
-struct FcfsJob<W> {
+/// Identifies a job in service inside an [`Fcfs`] resource. The resource's
+/// internal completion events carry it so the right continuation fires
+/// when a multi-server queue completes jobs out of submission order.
+pub type ServiceToken = u32;
+
+struct FcfsJob<E> {
     service: f64,
     arrived: f64,
-    done: EventFn<W>,
+    done: E,
 }
 
 /// A multi-server FCFS queueing resource.
-pub struct Fcfs<W> {
+pub struct Fcfs<W, E = BoxedEvent<W>> {
     servers: usize,
     busy: usize,
-    queue: VecDeque<FcfsJob<W>>,
+    queue: VecDeque<FcfsJob<E>>,
+    /// Continuations of jobs currently in service, indexed by
+    /// [`ServiceToken`]; slots are recycled via `free_tokens`.
+    in_service: Vec<Option<E>>,
+    free_tokens: Vec<ServiceToken>,
     /// Measurement state, publicly readable for reporting.
     pub stats: ResourceStats,
+    _world: PhantomData<fn(&mut W)>,
 }
 
-impl<W: 'static> Fcfs<W> {
+impl<W, E> Fcfs<W, E> {
     /// Creates a resource with `servers` identical servers.
     ///
     /// # Panics
@@ -103,7 +123,10 @@ impl<W: 'static> Fcfs<W> {
             servers,
             busy: 0,
             queue: VecDeque::new(),
+            in_service: Vec::new(),
+            free_tokens: Vec::new(),
             stats: ResourceStats::new(),
+            _world: PhantomData,
         }
     }
 
@@ -122,7 +145,96 @@ impl<W: 'static> Fcfs<W> {
         self.queue.len()
     }
 
-    /// Submits a job needing `service` seconds; `done` fires on completion.
+    /// Stores an in-service continuation, reusing a free slot.
+    fn store(&mut self, done: E) -> ServiceToken {
+        match self.free_tokens.pop() {
+            Some(token) => {
+                self.in_service[token as usize] = Some(done);
+                token
+            }
+            None => {
+                let token =
+                    ServiceToken::try_from(self.in_service.len()).expect("token space exhausted");
+                self.in_service.push(Some(done));
+                token
+            }
+        }
+    }
+
+    /// Average utilization per server over the window ending at `t`.
+    pub fn utilization_at(&self, t: f64) -> f64 {
+        self.stats.busy.mean_at(t) / self.servers as f64
+    }
+}
+
+impl<W: 'static, E: Event<W>> Fcfs<W, E> {
+    /// Submits a job needing `service` seconds; the `done` event fires on
+    /// completion. `fired` builds the resource's internal
+    /// service-completion event for a given token — route it to
+    /// [`Fcfs::on_fired`] with the same lens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is negative or NaN.
+    pub fn submit_event<L, F>(engine: &mut Engine<W, E>, lens: L, service: f64, done: E, fired: F)
+    where
+        L: Fn(&mut W) -> &mut Fcfs<W, E> + Copy,
+        F: Fn(ServiceToken) -> E,
+    {
+        assert!(
+            service.is_finite() && service >= 0.0,
+            "service time must be finite and non-negative, got {service}"
+        );
+        let now = engine.now().as_secs();
+        let res = lens(engine.world_mut());
+        if res.busy < res.servers {
+            res.busy += 1;
+            res.stats.busy.set(now, res.busy as f64);
+            res.stats.wait.record(0.0);
+            let token = res.store(done);
+            engine.schedule_event_in(service, fired(token));
+        } else {
+            res.queue.push_back(FcfsJob {
+                service,
+                arrived: now,
+                done,
+            });
+            res.stats.queue.set(now, res.queue.len() as f64);
+        }
+    }
+
+    /// Handles the service-completion event for `token`: starts the next
+    /// queued job (if any) and fires the completed job's `done` event.
+    /// Call this from the event your `fired` factory produced.
+    pub fn on_fired<L, F>(engine: &mut Engine<W, E>, lens: L, token: ServiceToken, fired: F)
+    where
+        L: Fn(&mut W) -> &mut Fcfs<W, E> + Copy,
+        F: Fn(ServiceToken) -> E,
+    {
+        let now = engine.now().as_secs();
+        let res = lens(engine.world_mut());
+        res.stats.completions += 1;
+        let done = res.in_service[token as usize]
+            .take()
+            .expect("service token is live");
+        res.free_tokens.push(token);
+        if let Some(job) = res.queue.pop_front() {
+            // Server stays busy; next job starts immediately.
+            res.stats.queue.set(now, res.queue.len() as f64);
+            res.stats.wait.record(now - job.arrived);
+            let next = res.store(job.done);
+            engine.schedule_event_in(job.service, fired(next));
+        } else {
+            res.busy -= 1;
+            res.stats.busy.set(now, res.busy as f64);
+        }
+        done.fire(engine);
+    }
+}
+
+impl<W: 'static> Fcfs<W> {
+    /// Submits a job needing `service` seconds; `done` fires on completion
+    /// (boxed-closure form of [`Fcfs::submit_event`]).
     ///
     /// # Panics
     ///
@@ -135,55 +247,26 @@ impl<W: 'static> Fcfs<W> {
     ) where
         L: Fn(&mut W) -> &mut Fcfs<W> + Copy + 'static,
     {
-        assert!(
-            service.is_finite() && service >= 0.0,
-            "service time must be finite and non-negative, got {service}"
-        );
-        let now = engine.now().as_secs();
-        let res = lens(engine.world_mut());
-        if res.busy < res.servers {
-            res.busy += 1;
-            res.stats.busy.set(now, res.busy as f64);
-            res.stats.wait.record(0.0);
-            engine.schedule_in(service, move |e| Self::finish(e, lens, Box::new(done)));
-        } else {
-            res.queue.push_back(FcfsJob {
-                service,
-                arrived: now,
-                done: Box::new(done),
-            });
-            res.stats.queue.set(now, res.queue.len() as f64);
-        }
+        Self::submit_event(engine, lens, service, BoxedEvent::new(done), move |t| {
+            Self::boxed_fired(lens, t)
+        });
     }
 
-    fn finish<L>(engine: &mut Engine<W>, lens: L, done: EventFn<W>)
+    /// The boxed service-completion event: re-enters [`Fcfs::on_fired`]
+    /// with a factory that rebuilds itself (a named fn so it can recurse).
+    fn boxed_fired<L>(lens: L, token: ServiceToken) -> BoxedEvent<W>
     where
         L: Fn(&mut W) -> &mut Fcfs<W> + Copy + 'static,
     {
-        let now = engine.now().as_secs();
-        let res = lens(engine.world_mut());
-        res.stats.completions += 1;
-        if let Some(job) = res.queue.pop_front() {
-            // Server stays busy; next job starts immediately.
-            res.stats.queue.set(now, res.queue.len() as f64);
-            res.stats.wait.record(now - job.arrived);
-            engine.schedule_in(job.service, move |e| Self::finish(e, lens, job.done));
-        } else {
-            res.busy -= 1;
-            res.stats.busy.set(now, res.busy as f64);
-        }
-        done(engine);
-    }
-
-    /// Average utilization per server over the window ending at `t`.
-    pub fn utilization_at(&self, t: f64) -> f64 {
-        self.stats.busy.mean_at(t) / self.servers as f64
+        BoxedEvent::new(move |e| {
+            Self::on_fired(e, lens, token, move |t| Self::boxed_fired(lens, t))
+        })
     }
 }
 
-struct PsJob<W> {
+struct PsJob<E> {
     remaining: f64,
-    done: Option<EventFn<W>>,
+    done: Option<E>,
 }
 
 /// An egalitarian processor-sharing server.
@@ -191,16 +274,17 @@ struct PsJob<W> {
 /// All resident jobs progress at `rate / n` where `n` is the number of
 /// resident jobs; a job with `work` seconds of demand completes after
 /// `work * n_avg / rate` of wall-clock time.
-pub struct Ps<W> {
+pub struct Ps<W, E = BoxedEvent<W>> {
     rate: f64,
-    jobs: Vec<PsJob<W>>,
+    jobs: Vec<PsJob<E>>,
     last_advance: f64,
     pending_completion: Option<EventId>,
     /// Measurement state, publicly readable for reporting.
     pub stats: ResourceStats,
+    _world: PhantomData<fn(&mut W)>,
 }
 
-impl<W: 'static> Ps<W> {
+impl<W, E> Ps<W, E> {
     /// Creates a PS server with total capacity `rate` (1.0 = one CPU-second
     /// of work per second).
     ///
@@ -215,44 +299,13 @@ impl<W: 'static> Ps<W> {
             last_advance: 0.0,
             pending_completion: None,
             stats: ResourceStats::new(),
+            _world: PhantomData,
         }
     }
 
     /// Number of resident jobs.
     pub fn resident(&self) -> usize {
         self.jobs.len()
-    }
-
-    /// Submits a job with `work` seconds of service demand.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `work` is negative or NaN.
-    pub fn submit<L>(
-        engine: &mut Engine<W>,
-        lens: L,
-        work: f64,
-        done: impl FnOnce(&mut Engine<W>) + 'static,
-    ) where
-        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
-    {
-        assert!(
-            work.is_finite() && work >= 0.0,
-            "work must be finite and non-negative, got {work}"
-        );
-        let now = engine.now().as_secs();
-        {
-            let res = lens(engine.world_mut());
-            res.advance_to(now);
-            res.jobs.push(PsJob {
-                remaining: work,
-                done: Some(Box::new(done)),
-            });
-            res.stats.queue.set(now, res.jobs.len() as f64);
-            res.stats.busy.set(now, 1.0);
-            res.stats.wait.record(0.0);
-        }
-        Self::reschedule(engine, lens);
     }
 
     /// Advances all resident jobs' remaining work to time `t`.
@@ -268,13 +321,52 @@ impl<W: 'static> Ps<W> {
         }
     }
 
+    /// Fraction of the window ending at `t` during which the server was
+    /// busy (any job resident).
+    pub fn utilization_at(&self, t: f64) -> f64 {
+        self.stats.busy.mean_at(t)
+    }
+}
+
+impl<W: 'static, E: Event<W>> Ps<W, E> {
+    /// Submits a job with `work` seconds of service demand; the `done`
+    /// event fires on completion. `fired` builds the server's internal
+    /// completion event — route it to [`Ps::on_fired`] with the same lens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is negative or NaN.
+    pub fn submit_event<L, F>(engine: &mut Engine<W, E>, lens: L, work: f64, done: E, fired: F)
+    where
+        L: Fn(&mut W) -> &mut Ps<W, E> + Copy,
+        F: Fn() -> E,
+    {
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "work must be finite and non-negative, got {work}"
+        );
+        let now = engine.now().as_secs();
+        {
+            let res = lens(engine.world_mut());
+            res.advance_to(now);
+            res.jobs.push(PsJob {
+                remaining: work,
+                done: Some(done),
+            });
+            res.stats.queue.set(now, res.jobs.len() as f64);
+            res.stats.busy.set(now, 1.0);
+            res.stats.wait.record(0.0);
+        }
+        Self::reschedule(engine, lens, fired);
+    }
+
     /// (Re)schedules the completion event for the job with least remaining
     /// work, cancelling any previously scheduled one.
-    fn reschedule<L>(engine: &mut Engine<W>, lens: L)
+    fn reschedule<L, F>(engine: &mut Engine<W, E>, lens: L, fired: F)
     where
-        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
+        L: Fn(&mut W) -> &mut Ps<W, E> + Copy,
+        F: Fn() -> E,
     {
-        let now = engine.now().as_secs();
         let (old_event, next_delay) = {
             let res = lens(engine.world_mut());
             let old = res.pending_completion.take();
@@ -290,15 +382,18 @@ impl<W: 'static> Ps<W> {
             engine.cancel(id);
         }
         if let Some(delay) = next_delay {
-            let id = engine.schedule_in(delay, move |e| Self::complete_next(e, lens));
+            let id = engine.schedule_event_in(delay, fired());
             lens(engine.world_mut()).pending_completion = Some(id);
         }
-        let _ = now;
     }
 
-    fn complete_next<L>(engine: &mut Engine<W>, lens: L)
+    /// Handles the server's completion event: retires the job with the
+    /// least remaining work, reschedules, and fires the job's `done`
+    /// event. Call this from the event your `fired` factory produced.
+    pub fn on_fired<L, F>(engine: &mut Engine<W, E>, lens: L, fired: F)
     where
-        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
+        L: Fn(&mut W) -> &mut Ps<W, E> + Copy,
+        F: Fn() -> E,
     {
         let now = engine.now().as_secs();
         let done = {
@@ -325,16 +420,40 @@ impl<W: 'static> Ps<W> {
                 None => None,
             }
         };
-        Self::reschedule(engine, lens);
+        Self::reschedule(engine, lens, fired);
         if let Some(done) = done {
-            done(engine);
+            done.fire(engine);
         }
     }
+}
 
-    /// Fraction of the window ending at `t` during which the server was
-    /// busy (any job resident).
-    pub fn utilization_at(&self, t: f64) -> f64 {
-        self.stats.busy.mean_at(t)
+impl<W: 'static> Ps<W> {
+    /// Submits a job with `work` seconds of service demand; `done` fires on
+    /// completion (boxed-closure form of [`Ps::submit_event`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is negative or NaN.
+    pub fn submit<L>(
+        engine: &mut Engine<W>,
+        lens: L,
+        work: f64,
+        done: impl FnOnce(&mut Engine<W>) + 'static,
+    ) where
+        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
+    {
+        Self::submit_event(engine, lens, work, BoxedEvent::new(done), move || {
+            Self::boxed_fired(lens)
+        });
+    }
+
+    /// The boxed completion event: re-enters [`Ps::on_fired`] with a
+    /// factory that rebuilds itself (a named fn so it can recurse).
+    fn boxed_fired<L>(lens: L) -> BoxedEvent<W>
+    where
+        L: Fn(&mut W) -> &mut Ps<W> + Copy + 'static,
+    {
+        BoxedEvent::new(move |e| Self::on_fired(e, lens, move || Self::boxed_fired(lens)))
     }
 }
 
@@ -604,5 +723,104 @@ mod tests {
         engine.run_until(SimTime::from_secs(2.0));
         let u = engine.world().cpu.utilization_at(2.0);
         assert!((u - 0.5).abs() < 1e-9, "u={u}");
+    }
+
+    // ---- typed (unboxed) event path ----
+
+    struct TypedWorld {
+        disk: Fcfs<TypedWorld, Ev>,
+        cpu: Ps<TypedWorld, Ev>,
+        completed_at: Vec<f64>,
+    }
+
+    enum Ev {
+        DiskDone,
+        DiskFired(ServiceToken),
+        CpuDone,
+        CpuFired,
+    }
+
+    fn tdisk(w: &mut TypedWorld) -> &mut Fcfs<TypedWorld, Ev> {
+        &mut w.disk
+    }
+    fn tcpu(w: &mut TypedWorld) -> &mut Ps<TypedWorld, Ev> {
+        &mut w.cpu
+    }
+
+    impl Event<TypedWorld> for Ev {
+        fn fire(self, engine: &mut Engine<TypedWorld, Ev>) {
+            match self {
+                Ev::DiskDone | Ev::CpuDone => {
+                    let now = engine.now().as_secs();
+                    engine.world_mut().completed_at.push(now);
+                }
+                Ev::DiskFired(token) => Fcfs::on_fired(engine, tdisk, token, Ev::DiskFired),
+                Ev::CpuFired => Ps::on_fired(engine, tcpu, || Ev::CpuFired),
+            }
+        }
+    }
+
+    fn typed_engine() -> Engine<TypedWorld, Ev> {
+        Engine::new(TypedWorld {
+            disk: Fcfs::new(1),
+            cpu: Ps::new(1.0),
+            completed_at: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn typed_fcfs_serializes_like_boxed() {
+        let mut engine = typed_engine();
+        for _ in 0..4 {
+            Fcfs::submit_event(&mut engine, tdisk, 0.25, Ev::DiskDone, Ev::DiskFired);
+        }
+        engine.run();
+        assert_eq!(engine.world().completed_at, vec![0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn typed_ps_shares_like_boxed() {
+        let mut engine = typed_engine();
+        Ps::submit_event(&mut engine, tcpu, 1.0, Ev::CpuDone, || Ev::CpuFired);
+        Ps::submit_event(&mut engine, tcpu, 0.2, Ev::CpuDone, || Ev::CpuFired);
+        engine.run();
+        let done = &engine.world().completed_at;
+        assert!((done[0] - 0.4).abs() < 1e-9, "first {}", done[0]);
+        assert!((done[1] - 1.2).abs() < 1e-9, "second {}", done[1]);
+    }
+
+    #[test]
+    fn typed_multi_server_tokens_route_out_of_order_completions() {
+        // Two servers, first job longer than the second: completions come
+        // back out of submission order and the tokens must route each
+        // `done` to the right job.
+        struct W {
+            disk: Fcfs<W, E2>,
+            order: Vec<u32>,
+        }
+        enum E2 {
+            Done(u32),
+            Fired(ServiceToken),
+        }
+        fn lens(w: &mut W) -> &mut Fcfs<W, E2> {
+            &mut w.disk
+        }
+        impl Event<W> for E2 {
+            fn fire(self, engine: &mut Engine<W, E2>) {
+                match self {
+                    E2::Done(tag) => engine.world_mut().order.push(tag),
+                    E2::Fired(token) => Fcfs::on_fired(engine, lens, token, E2::Fired),
+                }
+            }
+        }
+        let mut engine: Engine<W, E2> = Engine::new(W {
+            disk: Fcfs::new(2),
+            order: Vec::new(),
+        });
+        Fcfs::submit_event(&mut engine, lens, 2.0, E2::Done(1), E2::Fired);
+        Fcfs::submit_event(&mut engine, lens, 1.0, E2::Done(2), E2::Fired);
+        Fcfs::submit_event(&mut engine, lens, 5.0, E2::Done(3), E2::Fired);
+        engine.run();
+        assert_eq!(engine.world().order, vec![2, 1, 3]);
     }
 }

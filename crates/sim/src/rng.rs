@@ -34,6 +34,15 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives a deterministic, well-mixed seed for an independent stream
+/// (e.g. replication `k` of a multi-seed experiment). Distinct `stream`
+/// values give uncorrelated SplitMix64-mixed seeds; the result depends
+/// only on `(base, stream)`, never on global state.
+pub fn derive_stream_seed(base: u64, stream: u64) -> u64 {
+    let mut state = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state)
+}
+
 impl Rng {
     /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
     pub fn seed_from_u64(seed: u64) -> Self {

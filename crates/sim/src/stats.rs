@@ -239,6 +239,21 @@ impl Histogram {
     }
 }
 
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (tabulated through 30, the asymptotic normal value 1.96 beyond).
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        _ => 1.96,
+    }
+}
+
 /// Batch-means confidence interval estimator.
 ///
 /// Observations are grouped into fixed-size batches; the batch means are
@@ -292,7 +307,9 @@ impl BatchMeans {
         Some(self.batches.iter().sum::<f64>() / self.batches.len() as f64)
     }
 
-    /// Half-width of an approximate 95% confidence interval on the mean.
+    /// Half-width of an approximate 95% confidence interval on the mean,
+    /// using the Student-t critical value for the batch count (essential
+    /// for small counts: at k = 2 the t value is 12.71, not 1.96).
     /// Returns `None` with fewer than two batches.
     pub fn ci95_half_width(&self) -> Option<f64> {
         let k = self.batches.len();
@@ -301,8 +318,7 @@ impl BatchMeans {
         }
         let mean = self.mean().expect("at least one batch");
         let var = self.batches.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / (k - 1) as f64;
-        // Normal critical value; adequate for k >= ~10 batches.
-        Some(1.96 * (var / k as f64).sqrt())
+        Some(t_critical_95(k - 1) * (var / k as f64).sqrt())
     }
 
     /// Discards everything (end-of-warm-up).
@@ -424,6 +440,18 @@ mod tests {
         let mean = bm.mean().unwrap();
         assert!((mean - 10.0).abs() < 0.01, "mean {mean}");
         assert!(bm.ci95_half_width().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn batch_means_small_sample_uses_t_critical_value() {
+        // Two batches, df = 1: the 95% CI must use t = 12.706, not the
+        // normal 1.96 — the interval is ~6.5x wider.
+        let mut bm = BatchMeans::new(1);
+        bm.record(9.0);
+        bm.record(11.0);
+        // sd = sqrt(2), half-width = 12.706 * sqrt(2/2) = 12.706.
+        let hw = bm.ci95_half_width().unwrap();
+        assert!((hw - 12.706).abs() < 1e-9, "hw={hw}");
     }
 
     #[test]

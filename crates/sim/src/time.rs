@@ -35,6 +35,13 @@ impl SimTime {
         self.0
     }
 
+    /// Adds a delay already validated as finite and non-negative — the
+    /// engine's scheduling fast path, which skips the NaN/negative assert
+    /// (two finite non-negative summands cannot produce either).
+    pub(crate) fn offset_unchecked(self, secs: f64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+
     /// Milliseconds since simulation start.
     pub fn as_millis(self) -> f64 {
         self.0 * 1e3

@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use replipred::model::planner::{plan_designs, Plan, Slo};
 use replipred::model::{Design, SystemConfig, WorkloadProfile};
 use replipred::profiler::Profiler;
-use replipred::scenario::{workload_spec, Scenario, ScenarioReport};
+use replipred::scenario::{workload_spec, ReplicationSummary, Scenario, ScenarioReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,15 +41,19 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   replipred predict  --workload <w> [--design <d>] [--replicas N] [--clients C] [--json]
   replipred sweep    --workload <w> [--design <d>] [--replicas N] [--clients C] [--simulate]
-                     [--seed S] [--json]
-  replipred simulate --workload <w> [--design <d>] [--replicas N] [--seed S] [--json]
+                     [--seed S] [--seeds K] [--jobs J] [--json]
+  replipred simulate --workload <w> [--design <d>] [--replicas N] [--seed S] [--seeds K]
+                     [--jobs J] [--json]
   replipred plan     --workload <w> --tps X [--max-response-ms R] [--max-abort-pct A]
                      [--design <d>] [--clients C] [--json]
   replipred profile  --workload <w> [--seed S] [--json]
 
 designs:   standalone mm sm, a comma list of those, or all
 workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-bidding
-           or @profile.json (predict/sweep/plan only)";
+           or @profile.json (predict/sweep/plan only)
+--jobs J:  worker threads for simulation cells (default: all cores; the
+           report is identical for every J)
+--seeds K: seed replications per simulated point, aggregated to mean +- CI";
 
 /// Parses `--flag value` pairs after the subcommand, rejecting repeated
 /// flags and flag names standing in for values (`--replicas --seed`).
@@ -79,6 +83,26 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Optio
             .map(Some)
             .map_err(|_| format!("invalid value for {name}: {v}")),
     }
+}
+
+/// Parses a count flag that must be a positive integer (`--jobs`,
+/// `--seeds`, `--replicas`): rejects non-numeric values and zero.
+fn parse_count(args: &[String], name: &str) -> Result<Option<usize>, String> {
+    match parse_flag::<usize>(args, name)? {
+        Some(0) => Err(format!("{name} must be at least 1")),
+        other => Ok(other),
+    }
+}
+
+/// Applies `--jobs` (default: one worker per core) and `--seeds`
+/// (default 1) to a scenario.
+fn configure_parallelism(mut scenario: Scenario, args: &[String]) -> Result<Scenario, String> {
+    let jobs = parse_count(args, "--jobs")?.unwrap_or_else(replipred_sim::pool::default_jobs);
+    scenario = scenario.jobs(jobs);
+    if let Some(seeds) = parse_count(args, "--seeds")? {
+        scenario = scenario.seeds(seeds);
+    }
+    Ok(scenario)
 }
 
 /// True when the boolean flag is present (it takes no value).
@@ -165,10 +189,7 @@ fn configure(
     args: &[String],
     default_replicas: usize,
 ) -> Result<Scenario, String> {
-    let max: usize = parse_flag(args, "--replicas")?.unwrap_or(default_replicas);
-    if max == 0 {
-        return Err("--replicas must be at least 1".into());
-    }
+    let max = parse_count(args, "--replicas")?.unwrap_or(default_replicas);
     scenario = scenario.replicas(1..=max);
     if let Some(clients) = parse_flag(args, "--clients")? {
         scenario = scenario.clients(clients);
@@ -242,6 +263,35 @@ fn emit(report: &ScenarioReport, json: bool) {
                 }),
             );
         }
+        if !d.replicated.is_empty() {
+            print_ci_table(
+                format!(
+                    "design {} (simulated, {} seeds, mean +- 95% CI)",
+                    d.design, report.seeds
+                ),
+                &d.replicated,
+            );
+        }
+    }
+}
+
+fn print_ci_table(title: String, rows: &[ReplicationSummary]) {
+    println!("# {title}");
+    println!(
+        "{:>3} {:>12} {:>10} {:>12} {:>10} {:>9} {:>9}",
+        "N", "tput (tps)", "+-", "resp (ms)", "+-", "abort %", "+-"
+    );
+    for r in rows {
+        println!(
+            "{:>3} {:>12.1} {:>10.1} {:>12.1} {:>10.1} {:>9.3} {:>9.3}",
+            r.replicas,
+            r.throughput_tps,
+            r.throughput_ci95,
+            r.response_time * 1e3,
+            r.response_ci95 * 1e3,
+            r.abort_rate * 1e2,
+            r.abort_ci95 * 1e2
+        );
     }
 }
 
@@ -256,6 +306,14 @@ fn predict(args: &[String]) -> Result<(), String> {
 fn sweep(args: &[String]) -> Result<(), String> {
     let designs = parse_designs(args, &Design::ALL)?;
     let mut scenario = configure(workload_scenario(args)?, args, 8)?.designs(designs);
+    if parse_count(args, "--seeds")?.is_some() && !has_flag(args, "--simulate") {
+        return Err(
+            "--seeds requires --simulate (prediction is deterministic, so seed \
+             replication only applies to simulated runs)"
+                .into(),
+        );
+    }
+    scenario = configure_parallelism(scenario, args)?;
     if has_flag(args, "--simulate") {
         scenario = scenario.simulate(true);
     }
@@ -266,15 +324,13 @@ fn sweep(args: &[String]) -> Result<(), String> {
 
 fn simulate(args: &[String]) -> Result<(), String> {
     let designs = parse_designs(args, &[Design::MultiMaster])?;
-    let replicas: usize = parse_flag(args, "--replicas")?.unwrap_or(4);
-    if replicas == 0 {
-        return Err("--replicas must be at least 1".into());
-    }
+    let replicas = parse_count(args, "--replicas")?.unwrap_or(4);
     let mut scenario = workload_scenario(args)?
         .designs(designs)
         .replicas([replicas])
         .predict(false)
         .simulate(true);
+    scenario = configure_parallelism(scenario, args)?;
     if let Some(seed) = parse_flag(args, "--seed")? {
         scenario = scenario.seed(seed);
     }

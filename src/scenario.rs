@@ -1,5 +1,5 @@
 //! The shared experiment driver: one [`Scenario`] describes *workload ×
-//! design set × replica range × seed*, and [`Scenario::run`] turns it
+//! design set × replica range × seeds*, and [`Scenario::run`] turns it
 //! into a serializable [`ScenarioReport`] by driving the analytical
 //! predictors and/or the mechanistic simulators through the design
 //! registry.
@@ -8,6 +8,21 @@
 //! `sweep`), the figure/table experiment bins in `replipred-bench`, and
 //! library users — expresses experiments this way instead of
 //! hand-rolling a predict→simulate→report loop per design.
+//!
+//! # Parallelism and determinism
+//!
+//! Predictor curves run inline (they cost microseconds, and model errors
+//! must surface before simulation time is spent). The simulation grid
+//! then decomposes into independent *cells* — one run per design ×
+//! replica point × seed replication — and [`Scenario::jobs`] fans them
+//! out over a deterministic scoped thread pool
+//! ([`replipred_sim::pool`]); results are reassembled in grid order, so
+//! **the report is byte-for-byte identical for every job count**,
+//! including the serial `jobs(1)` default. [`Scenario::seeds`] replicates every simulated cell under
+//! derived seeds and aggregates the replications into mean ± 95% CI rows
+//! ([`ReplicationSummary`]); `measured` always holds the base-seed run,
+//! so adding replications refines the error bars without moving the
+//! curve.
 //!
 //! ```
 //! use replipred::model::Design;
@@ -30,6 +45,9 @@ use replipred_core::report::{Design, ScalabilityCurve};
 use replipred_core::{ModelError, SystemConfig, WorkloadProfile};
 use replipred_profiler::Profiler;
 use replipred_repl::{RunReport, SimConfig, SimulatorRegistry};
+use replipred_sim::pool::map_parallel;
+use replipred_sim::rng::derive_stream_seed;
+use replipred_sim::stats::BatchMeans;
 use replipred_workload::spec::WorkloadSpec;
 use replipred_workload::{rubis, tpcw};
 
@@ -132,7 +150,7 @@ enum Source {
 }
 
 /// A declarative experiment: workload × design set × replica range ×
-/// seed. Built fluently, run once, reported as a [`ScenarioReport`].
+/// seeds. Built fluently, run once, reported as a [`ScenarioReport`].
 #[derive(Debug, Clone)]
 pub struct Scenario {
     source: Source,
@@ -140,6 +158,8 @@ pub struct Scenario {
     replicas: Vec<usize>,
     clients: Option<usize>,
     seed: u64,
+    seeds: usize,
+    jobs: usize,
     predict: bool,
     simulate: bool,
     system: Option<SystemConfig>,
@@ -154,6 +174,8 @@ impl Scenario {
             replicas: (1..=16).collect(),
             clients: None,
             seed: 2009,
+            seeds: 1,
+            jobs: 1,
             predict: true,
             simulate: false,
             system: None,
@@ -220,6 +242,27 @@ impl Scenario {
         self
     }
 
+    /// Number of seed replications per simulated cell (default 1; zero is
+    /// treated as 1). Replication `0` uses [`Scenario::seed`] itself, so
+    /// `measured` is unchanged by replication; replication `k > 0` uses a
+    /// seed derived deterministically from `(seed, k)`. With two or more
+    /// replications every design gains [`DesignReport::replicated`] rows
+    /// aggregating throughput/response/abort into mean ± 95% CI.
+    pub fn seeds(mut self, seeds: usize) -> Self {
+        self.seeds = seeds.max(1);
+        self
+    }
+
+    /// Number of worker threads for running the scenario's cells
+    /// (default 1 = serial; zero is treated as 1). The report is
+    /// identical for every job count — parallelism only changes
+    /// wall-clock time. Use [`replipred_sim::pool::default_jobs`] for
+    /// one-per-core.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
     /// Enables/disables the analytical predictors (default on).
     pub fn predict(mut self, on: bool) -> Self {
         self.predict = on;
@@ -249,8 +292,24 @@ impl Scenario {
         self
     }
 
+    /// The seed of replication `rep`: the base seed for `rep == 0`, a
+    /// deterministically derived stream seed otherwise.
+    fn replication_seed(&self, rep: usize) -> u64 {
+        if rep == 0 {
+            self.seed
+        } else {
+            derive_stream_seed(self.seed, rep as u64)
+        }
+    }
+
     /// Runs the scenario: predictor curves and/or simulator measurements
     /// for every design, over the replica points.
+    ///
+    /// Predictor curves run inline (microseconds; model errors surface
+    /// before any simulation time is spent), then the independent
+    /// simulation cells execute on up to [`Scenario::jobs`] threads;
+    /// results are reassembled in grid order, so the report does not
+    /// depend on the job count.
     ///
     /// # Errors
     ///
@@ -295,43 +354,123 @@ impl Scenario {
             s
         });
 
-        let mut designs = Vec::with_capacity(self.designs.len());
+        // Predictor curves run inline first: they cost microseconds, and
+        // any model error must surface *before* simulation time is spent.
+        let mut curves: Vec<Option<ScalabilityCurve>> = Vec::with_capacity(self.designs.len());
         for &design in &self.designs {
-            let predicted = if self.predict {
+            curves.push(if self.predict {
                 let predictor = design.predictor(profile.clone(), config.clone())?;
                 Some(predictor.curve_at(&self.replicas)?)
             } else {
                 None
-            };
-            let mut measured = Vec::new();
-            if self.simulate {
-                let spec = spec.as_ref().expect("checked above");
+            });
+        }
+
+        // Decompose the simulation grid into independent cells, in a fixed
+        // order that the reassembly below mirrors exactly.
+        struct Cell {
+            design: Design,
+            n: usize,
+            rep: usize,
+        }
+        let mut cells = Vec::new();
+        if self.simulate {
+            for &design in &self.designs {
                 for &n in &self.replicas {
-                    let cfg = SimConfig {
-                        replicas: n,
-                        seed: self.seed,
-                        ..self
-                            .sim_template
-                            .clone()
-                            .unwrap_or_else(|| SimConfig::quick(n, self.seed))
-                    };
-                    measured.push(design.simulator(spec.clone(), cfg).run());
+                    for rep in 0..self.seeds {
+                        cells.push(Cell { design, n, rep });
+                    }
+                }
+            }
+        }
+        let spec_ref = &spec;
+        let outputs = map_parallel(self.jobs, cells, |cell| {
+            let spec = spec_ref.as_ref().expect("checked above");
+            let seed = self.replication_seed(cell.rep);
+            let cfg = SimConfig {
+                replicas: cell.n,
+                seed,
+                ..self
+                    .sim_template
+                    .clone()
+                    .unwrap_or_else(|| SimConfig::quick(cell.n, seed))
+            };
+            cell.design.simulator(spec.clone(), cfg).run()
+        });
+
+        // Reassemble in grid order (identical for every job count).
+        let mut outputs = outputs.into_iter();
+        let mut designs = Vec::with_capacity(self.designs.len());
+        for (&design, predicted) in self.designs.iter().zip(curves) {
+            let mut measured = Vec::new();
+            let mut replicated = Vec::new();
+            if self.simulate {
+                for &n in &self.replicas {
+                    let mut throughput = BatchMeans::new(1);
+                    let mut response = BatchMeans::new(1);
+                    let mut abort = BatchMeans::new(1);
+                    for rep in 0..self.seeds {
+                        let run = outputs.next().expect("cell order mirrors construction");
+                        throughput.record(run.throughput_tps);
+                        response.record(run.response_time);
+                        abort.record(run.abort_rate);
+                        if rep == 0 {
+                            measured.push(run);
+                        }
+                    }
+                    if self.seeds > 1 {
+                        replicated.push(ReplicationSummary {
+                            replicas: n,
+                            seeds: self.seeds,
+                            throughput_tps: throughput.mean().expect("at least one replication"),
+                            throughput_ci95: throughput.ci95_half_width().unwrap_or(0.0),
+                            response_time: response.mean().expect("at least one replication"),
+                            response_ci95: response.ci95_half_width().unwrap_or(0.0),
+                            abort_rate: abort.mean().expect("at least one replication"),
+                            abort_ci95: abort.ci95_half_width().unwrap_or(0.0),
+                        });
+                    }
                 }
             }
             designs.push(DesignReport {
                 design,
                 predicted,
                 measured,
+                replicated,
             });
         }
         Ok(ScenarioReport {
             workload: profile.name.clone(),
             seed: self.seed,
+            seeds: self.seeds,
             clients_per_replica: config.clients_per_replica,
             replicas: self.replicas.clone(),
             designs,
         })
     }
+}
+
+/// Mean ± 95% confidence interval over the seed replications of one
+/// replica point (present when [`Scenario::seeds`] ≥ 2). Half-widths come
+/// from [`replipred_sim::stats::BatchMeans`] over the per-seed runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationSummary {
+    /// Replica count of this point.
+    pub replicas: usize,
+    /// Number of seed replications aggregated.
+    pub seeds: usize,
+    /// Mean committed throughput across replications, tps.
+    pub throughput_tps: f64,
+    /// 95% CI half-width of the throughput mean.
+    pub throughput_ci95: f64,
+    /// Mean response time across replications, seconds.
+    pub response_time: f64,
+    /// 95% CI half-width of the response-time mean.
+    pub response_ci95: f64,
+    /// Mean update abort rate across replications.
+    pub abort_rate: f64,
+    /// 95% CI half-width of the abort-rate mean.
+    pub abort_ci95: f64,
 }
 
 /// One design's results within a scenario.
@@ -341,9 +480,14 @@ pub struct DesignReport {
     pub design: Design,
     /// Predicted scalability curve (present when prediction is enabled).
     pub predicted: Option<ScalabilityCurve>,
-    /// Simulated measurements, one per replica point (empty when
-    /// simulation is disabled).
+    /// Simulated measurements at the base seed, one per replica point
+    /// (empty when simulation is disabled). Independent of
+    /// [`Scenario::seeds`].
     pub measured: Vec<RunReport>,
+    /// Mean ± CI across seed replications, one per replica point (empty
+    /// unless [`Scenario::seeds`] ≥ 2 and simulation is enabled).
+    #[serde(default)]
+    pub replicated: Vec<ReplicationSummary>,
 }
 
 impl DesignReport {
@@ -363,8 +507,11 @@ impl DesignReport {
 pub struct ScenarioReport {
     /// Workload name (profile name).
     pub workload: String,
-    /// Seed used for profiling/simulation.
+    /// Base seed used for profiling/simulation.
     pub seed: u64,
+    /// Seed replications per simulated cell.
+    #[serde(default)]
+    pub seeds: usize,
     /// Clients per replica (`C`).
     pub clients_per_replica: usize,
     /// Replica points evaluated.
@@ -448,6 +595,56 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ScenarioReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let scenario = Scenario::published("tpcw-shopping")
+            .unwrap()
+            .all_designs()
+            .replicas([1, 2])
+            .seed(7)
+            .simulate(true)
+            .sim_config(SimConfig {
+                warmup: 2.0,
+                duration: 8.0,
+                ..SimConfig::quick(0, 0)
+            });
+        let serial = scenario.clone().jobs(1).run().unwrap();
+        let parallel = scenario.jobs(4).run().unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn seed_replications_add_ci_rows_without_moving_measured() {
+        let scenario = Scenario::published("tpcw-shopping")
+            .unwrap()
+            .designs(vec![Design::MultiMaster])
+            .replicas([2])
+            .seed(11)
+            .simulate(true)
+            .sim_config(SimConfig {
+                warmup: 2.0,
+                duration: 8.0,
+                ..SimConfig::quick(0, 0)
+            });
+        let single = scenario.clone().run().unwrap();
+        let replicated = scenario.seeds(3).jobs(2).run().unwrap();
+        let d1 = single.design(Design::MultiMaster).unwrap();
+        let d3 = replicated.design(Design::MultiMaster).unwrap();
+        // The base-seed measurement is replication 0: unchanged.
+        assert_eq!(d1.measured, d3.measured);
+        assert!(d1.replicated.is_empty());
+        assert_eq!(d3.replicated.len(), 1);
+        let summary = &d3.replicated[0];
+        assert_eq!(summary.replicas, 2);
+        assert_eq!(summary.seeds, 3);
+        assert!(summary.throughput_tps > 0.0);
+        // Three distinct seeds: the CI half-width is strictly positive.
+        assert!(summary.throughput_ci95 > 0.0);
     }
 
     #[test]

@@ -208,6 +208,88 @@ fn cli_rejects_flag_as_flag_value() {
 }
 
 #[test]
+fn cli_rejects_zero_jobs_and_seeds() {
+    for flag in ["--jobs", "--seeds"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+            .args(["sweep", "--workload", "tpcw-shopping", flag, "0"])
+            .output()
+            .expect("spawn replipred binary");
+        assert!(!output.status.success(), "{flag} 0 must be rejected");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(&format!("{flag} must be at least 1")),
+            "stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn cli_rejects_seeds_without_simulate() {
+    // Prediction is deterministic: seed replication on a predict-only
+    // sweep would silently do nothing, so it is an error instead.
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args(["sweep", "--workload", "tpcw-shopping", "--seeds", "2"])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--seeds requires --simulate"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn cli_rejects_non_numeric_jobs_and_seeds() {
+    for (flag, value) in [("--jobs", "many"), ("--seeds", "3.5")] {
+        let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+            .args(["simulate", "--workload", "tpcw-shopping", flag, value])
+            .output()
+            .expect("spawn replipred binary");
+        assert!(!output.status.success(), "{flag} {value} must be rejected");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(&format!("invalid value for {flag}: {value}")),
+            "stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn cli_sweep_with_jobs_and_seeds_reports_ci() {
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "sweep",
+            "--workload",
+            "tpcw-shopping",
+            "--design",
+            "mm",
+            "--replicas",
+            "2",
+            "--simulate",
+            "--jobs",
+            "2",
+            "--seeds",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let report: replipred::scenario::ScenarioReport =
+        serde_json::from_str(&stdout).expect("valid report JSON");
+    assert_eq!(report.seeds, 2);
+    let design = &report.designs[0];
+    assert_eq!(design.measured.len(), 2);
+    assert_eq!(design.replicated.len(), 2);
+    for summary in &design.replicated {
+        assert_eq!(summary.seeds, 2);
+        assert!(summary.throughput_tps > 0.0);
+    }
+}
+
+#[test]
 fn cli_rejects_malformed_profile_json() {
     let path = std::env::temp_dir().join(format!("replipred-bad-{}.json", std::process::id()));
     std::fs::write(&path, "{ not json").unwrap();

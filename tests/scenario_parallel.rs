@@ -1,0 +1,59 @@
+//! Parallel-execution determinism: `Scenario::run` must produce a
+//! byte-identical `ScenarioReport` for every `jobs` value.
+//!
+//! This is the contract that lets `--jobs` default to one worker per
+//! core: parallelism may only change wall-clock time, never results.
+
+use replipred::model::Design;
+use replipred::scenario::{Scenario, PUBLISHED_WORKLOADS};
+use replipred_repl::SimConfig;
+
+/// Short windows keep the 5 × 3 × 2-point grid fast while still driving
+/// every event type (commits, certification, propagation, retries).
+fn quick_windows() -> SimConfig {
+    SimConfig {
+        warmup: 2.0,
+        duration: 8.0,
+        ..SimConfig::quick(0, 0)
+    }
+}
+
+#[test]
+fn parallel_sweep_is_identical_to_serial_for_all_published_workloads() {
+    for workload in PUBLISHED_WORKLOADS {
+        let scenario = Scenario::published(workload)
+            .expect("published workload")
+            .designs(Design::ALL.to_vec())
+            .replicas([1, 2])
+            .seed(2009)
+            .simulate(true)
+            .sim_config(quick_windows());
+        let serial = scenario.clone().jobs(1).run().expect("serial run");
+        let parallel = scenario.jobs(8).run().expect("parallel run");
+        assert_eq!(
+            serde_json::to_string(&serial).expect("serialize serial"),
+            serde_json::to_string(&parallel).expect("serialize parallel"),
+            "jobs=8 diverged from jobs=1 on {workload}"
+        );
+    }
+}
+
+#[test]
+fn parallel_multi_seed_sweep_is_identical_to_serial() {
+    // Seed replication fans out more cells per point; the reassembly (and
+    // the CI aggregation order) must still be independent of the pool.
+    let scenario = Scenario::published("rubis-bidding")
+        .expect("published workload")
+        .designs(vec![Design::MultiMaster, Design::SingleMaster])
+        .replicas([1, 2])
+        .seed(7)
+        .seeds(3)
+        .simulate(true)
+        .sim_config(quick_windows());
+    let serial = scenario.clone().jobs(1).run().expect("serial run");
+    let parallel = scenario.jobs(8).run().expect("parallel run");
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialize serial"),
+        serde_json::to_string(&parallel).expect("serialize parallel"),
+    );
+}
