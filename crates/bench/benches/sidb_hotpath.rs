@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the sidb storage hot path: the full
+//! begin→read/write→certify→commit cycle every simulated transaction
+//! pays, the read-only fast path, and remote writeset application (the
+//! slave/replica-proxy path). These are the paths PR 3 measured as
+//! dominating simulation wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replipred_sidb::{Database, RowId, TableId, Value};
+use std::hint::black_box;
+
+const ROWS: u64 = 10_000;
+
+fn seeded() -> (Database, TableId, TableId) {
+    let mut db = Database::new();
+    let items = db
+        .create_table("items", &["payload", "counter", "version"])
+        .unwrap();
+    let catalog = db
+        .create_table("catalog", &["payload", "counter", "version"])
+        .unwrap();
+    let t = db.begin();
+    for row in 0..ROWS {
+        let payload = || {
+            vec![
+                Value::Text(format!("row-{row:08}-{}", "x".repeat(48))),
+                Value::Int(0),
+                Value::Int(row as i64),
+            ]
+        };
+        db.insert(t, items, RowId(row), payload()).unwrap();
+        db.insert(t, catalog, RowId(row), payload()).unwrap();
+    }
+    db.commit(t).unwrap();
+    (db, items, catalog)
+}
+
+/// The update-transaction cycle of the cluster simulators: begin, six
+/// snapshot reads, three read-modify-write updates, first-committer-wins
+/// certification, commit (writeset extraction included).
+fn bench_commit_path(c: &mut Criterion) {
+    let (mut db, items, catalog) = seeded();
+    let mut cursor = 0u64;
+    c.bench_function("sidb_commit_path", |b| {
+        b.iter(|| {
+            cursor = (cursor + 13) % ROWS;
+            let t = db.begin();
+            for i in 0..6 {
+                black_box(db.read(t, catalog, RowId((cursor + i * 7) % ROWS)).unwrap());
+            }
+            for i in 0..3u64 {
+                let row = RowId((cursor + i * 31) % ROWS);
+                let current = db.read(t, items, row).unwrap().unwrap();
+                let mut next = current.clone();
+                if let Value::Int(n) = next[1] {
+                    next[1] = Value::Int(n + 1);
+                }
+                db.update(t, items, row, next).unwrap();
+            }
+            let info = db.commit(t).unwrap();
+            black_box(info.commit_seq)
+        });
+    });
+}
+
+/// The read-only transaction cycle (80% of the paper's mixes): begin,
+/// ten snapshot reads, commit without certification.
+fn bench_read_only_path(c: &mut Criterion) {
+    let (mut db, _, catalog) = seeded();
+    let mut cursor = 0u64;
+    c.bench_function("sidb_read_only_path", |b| {
+        b.iter(|| {
+            cursor = (cursor + 17) % ROWS;
+            let t = db.begin();
+            for i in 0..10 {
+                black_box(
+                    db.read(t, catalog, RowId((cursor + i * 11) % ROWS))
+                        .unwrap(),
+                );
+            }
+            let info = db.commit(t).unwrap();
+            black_box(info.commit_seq)
+        });
+    });
+}
+
+/// Remote writeset application (the slave proxy): pre-extracted 3-row
+/// writesets applied in order, with the periodic vacuum the simulators
+/// run folded in.
+fn bench_writeset_apply(c: &mut Criterion) {
+    let (mut primary, items, _) = seeded();
+    let mut writesets = Vec::with_capacity(1024);
+    for k in 0..1024u64 {
+        let t = primary.begin();
+        for i in 0..3u64 {
+            let row = RowId((k * 3 + i * 97) % ROWS);
+            let current = primary.read(t, items, row).unwrap().unwrap().clone();
+            primary.update(t, items, row, current).unwrap();
+        }
+        let info = primary.commit(t).unwrap();
+        writesets.push(info.writeset);
+    }
+    let (mut replica, _, _) = seeded();
+    let mut k = 0usize;
+    c.bench_function("sidb_writeset_apply", |b| {
+        b.iter(|| {
+            let v = replica.apply_writeset(&writesets[k % 1024]).unwrap();
+            k += 1;
+            if k % 1024 == 0 {
+                replica.vacuum();
+            }
+            black_box(v)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_commit_path,
+    bench_read_only_path,
+    bench_writeset_apply,
+);
+criterion_main!(benches);

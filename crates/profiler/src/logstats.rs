@@ -4,10 +4,13 @@
 //! transactions in the captured log to determine the fractions Pr and Pw.
 //! We count the number of aborted update transactions to calculate the
 //! abort probability A1."
+//!
+//! The engine's statement log folds those counts as statements retire
+//! ([`LogTotals`]); [`summarize`] turns the folded totals into the
+//! derived fractions. No entry vector is ever replayed — a 60-second
+//! capture is a fixed-size struct regardless of throughput.
 
-use std::collections::HashMap;
-
-use replipred_sidb::{StatementKind, StatementLogEntry, TxnId};
+use replipred_sidb::LogTotals;
 use serde::{Deserialize, Serialize};
 
 /// Aggregates derived from a statement log.
@@ -31,75 +34,34 @@ pub struct LogSummary {
     pub mean_update_ops: f64,
 }
 
-/// Analyzes a statement log into a [`LogSummary`].
-///
-/// Transactions are grouped by session id; a transaction is an update
-/// transaction when it issued at least one INSERT/UPDATE/DELETE.
-pub fn analyze(entries: &[StatementLogEntry]) -> LogSummary {
-    #[derive(Default)]
-    struct Session {
-        writes: u64,
-    }
-    let mut open: HashMap<TxnId, Session> = HashMap::new();
-    let mut read_commits = 0u64;
-    let mut update_commits = 0u64;
-    let mut conflict_aborts = 0u64;
-    let mut voluntary_aborts = 0u64;
-    let mut total_update_ops = 0u64;
-    for entry in entries {
-        match entry.kind {
-            StatementKind::Begin => {
-                open.insert(entry.session, Session::default());
-            }
-            StatementKind::Select => {}
-            StatementKind::Insert | StatementKind::Update | StatementKind::Delete => {
-                open.entry(entry.session).or_default().writes += 1;
-            }
-            StatementKind::Commit => {
-                let s = open.remove(&entry.session).unwrap_or_default();
-                if s.writes > 0 {
-                    update_commits += 1;
-                    total_update_ops += s.writes;
-                } else {
-                    read_commits += 1;
-                }
-            }
-            StatementKind::Abort { conflict } => {
-                open.remove(&entry.session);
-                if conflict {
-                    conflict_aborts += 1;
-                } else {
-                    voluntary_aborts += 1;
-                }
-            }
-        }
-    }
-    let commits = read_commits + update_commits;
-    let attempts = update_commits + conflict_aborts;
+/// Derives the paper's log statistics from the engine's folded totals.
+pub fn summarize(totals: &LogTotals) -> LogSummary {
+    let commits = totals.commits();
+    let attempts = totals.update_commits + totals.conflict_aborts;
     LogSummary {
-        read_commits,
-        update_commits,
-        conflict_aborts,
-        voluntary_aborts,
+        read_commits: totals.read_commits,
+        update_commits: totals.update_commits,
+        conflict_aborts: totals.conflict_aborts,
+        voluntary_aborts: totals.voluntary_aborts,
         pr: if commits == 0 {
             0.0
         } else {
-            read_commits as f64 / commits as f64
+            totals.read_commits as f64 / commits as f64
         },
         pw: if commits == 0 {
             0.0
         } else {
-            update_commits as f64 / commits as f64
+            totals.update_commits as f64 / commits as f64
         },
         a1: if attempts == 0 {
             0.0
         } else {
-            conflict_aborts as f64 / attempts as f64
+            totals.conflict_aborts as f64 / attempts as f64
         },
-        mean_update_ops: if update_commits == 0 {
+        mean_update_ops: if totals.update_commits == 0 {
             0.0
         } else {
-            total_update_ops as f64 / update_commits as f64
+            totals.update_ops_sum as f64 / totals.update_commits as f64
         },
     }
 }
@@ -107,38 +69,36 @@ pub fn analyze(entries: &[StatementLogEntry]) -> LogSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use replipred_sidb::{Database, RowId, Value};
 
-    fn entry(session: u64, kind: StatementKind) -> StatementLogEntry {
-        StatementLogEntry {
-            at: 0.0,
-            session: fake_txn(session),
-            kind,
-            table: None,
+    /// Builds totals by driving a real engine with logging on — the same
+    /// pipeline the profiler uses.
+    fn run_and_total(script: impl FnOnce(&mut Database)) -> LogTotals {
+        let mut db = Database::new();
+        let t = db.create_table("t", &["v"]).unwrap();
+        let seed = db.begin();
+        for i in 0..8u64 {
+            db.insert(seed, t, RowId(i), vec![Value::Int(0)]).unwrap();
         }
-    }
-
-    /// Builds a TxnId through the engine (ids are opaque).
-    fn fake_txn(n: u64) -> TxnId {
-        let mut db = replipred_sidb::Database::new();
-        let mut id = db.begin();
-        for _ in 0..n {
-            id = db.begin();
-        }
-        id
+        db.commit(seed).unwrap();
+        db.set_statement_logging(true);
+        script(&mut db);
+        db.log().totals()
     }
 
     #[test]
     fn classifies_read_and_update_transactions() {
-        let log = vec![
-            entry(0, StatementKind::Begin),
-            entry(0, StatementKind::Select),
-            entry(0, StatementKind::Commit),
-            entry(1, StatementKind::Begin),
-            entry(1, StatementKind::Update),
-            entry(1, StatementKind::Update),
-            entry(1, StatementKind::Commit),
-        ];
-        let s = analyze(&log);
+        let totals = run_and_total(|db| {
+            let t = db.table_id("t").unwrap();
+            let r = db.begin();
+            db.read(r, t, RowId(0)).unwrap();
+            db.commit(r).unwrap();
+            let w = db.begin();
+            db.update(w, t, RowId(1), vec![Value::Int(1)]).unwrap();
+            db.update(w, t, RowId(2), vec![Value::Int(1)]).unwrap();
+            db.commit(w).unwrap();
+        });
+        let s = summarize(&totals);
         assert_eq!(s.read_commits, 1);
         assert_eq!(s.update_commits, 1);
         assert!((s.pr - 0.5).abs() < 1e-12);
@@ -147,17 +107,20 @@ mod tests {
 
     #[test]
     fn counts_conflict_aborts_for_a1() {
-        let log = vec![
-            entry(0, StatementKind::Begin),
-            entry(0, StatementKind::Update),
-            entry(0, StatementKind::Commit),
-            entry(1, StatementKind::Begin),
-            entry(1, StatementKind::Update),
-            entry(1, StatementKind::Abort { conflict: true }),
-            entry(2, StatementKind::Begin),
-            entry(2, StatementKind::Abort { conflict: false }),
-        ];
-        let s = analyze(&log);
+        let totals = run_and_total(|db| {
+            let t = db.table_id("t").unwrap();
+            // Two concurrent writers on the same row: one conflicts.
+            let a = db.begin();
+            let b = db.begin();
+            db.update(a, t, RowId(3), vec![Value::Int(1)]).unwrap();
+            db.update(b, t, RowId(3), vec![Value::Int(2)]).unwrap();
+            db.commit(a).unwrap();
+            assert!(db.commit(b).is_err());
+            // Plus one voluntary rollback.
+            let c = db.begin();
+            db.abort(c).unwrap();
+        });
+        let s = summarize(&totals);
         assert_eq!(s.conflict_aborts, 1);
         assert_eq!(s.voluntary_aborts, 1);
         // 1 conflict among 2 update attempts.
@@ -166,22 +129,24 @@ mod tests {
 
     #[test]
     fn empty_log_is_all_zero() {
-        let s = analyze(&[]);
+        let s = summarize(&LogTotals::default());
         assert_eq!(s.read_commits, 0);
         assert_eq!(s.pr, 0.0);
         assert_eq!(s.a1, 0.0);
+        assert_eq!(s.mean_update_ops, 0.0);
     }
 
     #[test]
     fn inserts_and_deletes_count_as_update_ops() {
-        let log = vec![
-            entry(0, StatementKind::Begin),
-            entry(0, StatementKind::Insert),
-            entry(0, StatementKind::Delete),
-            entry(0, StatementKind::Update),
-            entry(0, StatementKind::Commit),
-        ];
-        let s = analyze(&log);
+        let totals = run_and_total(|db| {
+            let t = db.table_id("t").unwrap();
+            let w = db.begin();
+            db.insert(w, t, RowId(100), vec![Value::Int(1)]).unwrap();
+            db.delete(w, t, RowId(0)).unwrap();
+            db.update(w, t, RowId(1), vec![Value::Int(5)]).unwrap();
+            db.commit(w).unwrap();
+        });
+        let s = summarize(&totals);
         assert_eq!(s.update_commits, 1);
         assert!((s.mean_update_ops - 3.0).abs() < 1e-12);
     }

@@ -7,7 +7,7 @@ use replipred_repl::{RunReport, SimConfig};
 use replipred_workload::spec::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::logstats::{analyze, LogSummary};
+use crate::logstats::{summarize, LogSummary};
 use crate::replay::{measure_transaction_demands, measure_writeset_demands, MeasuredDemands};
 
 /// Everything the profiling pipeline produced.
@@ -75,7 +75,7 @@ impl Profiler {
             .with_statement_log()
             .run_with_db();
         let capture_run = outcome.report.clone();
-        let log_summary = analyze(outcome.db.log.entries());
+        let log_summary = summarize(&outcome.db.log().totals());
 
         // Step 2-3: replay segments.
         let rc = measure_transaction_demands(&self.spec, &self.cfg, TxnFilter::ReadsOnly);

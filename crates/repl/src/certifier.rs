@@ -13,9 +13,12 @@
 //! paper justifies in Section 6.3.2 and which our
 //! `sens_certifier` experiment revisits.
 
-use replipred_sidb::WriteSet;
+use replipred_sidb::{RowMap, WriteSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Version sentinel for "row never certified" in the per-table vectors
+/// (global versions start at 1).
+const NEVER: u64 = 0;
 
 /// Certification verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,9 +37,11 @@ pub struct Certifier {
     log: Vec<WriteSet>,
     /// Number of log entries removed by [`Certifier::truncate_applied`].
     truncated: u64,
-    /// Newest global version per `(table, row)` key — an index that makes
-    /// certification O(|writeset|) instead of O(log length).
-    newest: HashMap<(String, u64), u64>,
+    /// Newest certified global version per row, one vector per
+    /// [`replipred_sidb::TableId`] — certification is O(1) per writeset
+    /// item (an array load for dense keys, one integer hash for sparse
+    /// ones), with no string handling anywhere.
+    newest: Vec<RowMap<u64>>,
     /// Certification requests served.
     pub requests: u64,
     /// Requests rejected with a conflict.
@@ -72,16 +77,23 @@ impl Certifier {
             return Certification::Commit(self.version());
         }
         for (table, row) in ws.keys() {
-            if let Some(&v) = self.newest.get(&(table.to_string(), row)) {
-                if v > ws.base_version {
-                    self.conflicts += 1;
-                    return Certification::Abort;
-                }
+            let v = self
+                .newest
+                .get(table.index())
+                .and_then(|m| m.get(row.raw()))
+                .unwrap_or(NEVER);
+            if v > ws.base_version {
+                self.conflicts += 1;
+                return Certification::Abort;
             }
         }
         let version = self.version() + 1;
         for (table, row) in ws.keys() {
-            self.newest.insert((table.to_string(), row), version);
+            if table.index() >= self.newest.len() {
+                self.newest
+                    .resize_with(table.index() + 1, || RowMap::new(NEVER));
+            }
+            self.newest[table.index()].insert(row.raw(), version);
         }
         self.log.push(ws.clone());
         Certification::Commit(version)
@@ -129,7 +141,7 @@ impl Certifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use replipred_sidb::{Value, WriteItem, WriteOp};
+    use replipred_sidb::{RowId, TableId, Value, WriteItem, WriteOp};
 
     fn ws(base: u64, rows: &[u64]) -> WriteSet {
         WriteSet {
@@ -137,8 +149,8 @@ mod tests {
             items: rows
                 .iter()
                 .map(|&row| WriteItem {
-                    table: "t".into(),
-                    row,
+                    table: TableId(0),
+                    row: RowId(row),
                     op: WriteOp::Update,
                     data: Some(vec![Value::Int(1)]),
                 })
@@ -197,8 +209,8 @@ mod tests {
         let mut c = Certifier::new();
         c.certify(&ws(0, &[1]));
         c.certify(&ws(1, &[2]));
-        assert_eq!(c.writeset_at(1).unwrap().items[0].row, 1);
-        assert_eq!(c.writeset_at(2).unwrap().items[0].row, 2);
+        assert_eq!(c.writeset_at(1).unwrap().items[0].row, RowId(1));
+        assert_eq!(c.writeset_at(2).unwrap().items[0].row, RowId(2));
         assert!(c.writeset_at(0).is_none());
         assert!(c.writeset_at(3).is_none());
         let between = c.writesets_between(0, 2);
@@ -216,7 +228,7 @@ mod tests {
         assert_eq!(dropped, 5);
         assert_eq!(c.version(), 10);
         assert!(c.writeset_at(5).is_none());
-        assert_eq!(c.writeset_at(6).unwrap().items[0].row, 5);
+        assert_eq!(c.writeset_at(6).unwrap().items[0].row, RowId(5));
         // Conflict detection still works across the truncation horizon.
         assert_eq!(c.certify(&ws(0, &[3])), Certification::Abort);
         assert_eq!(c.certify(&ws(10, &[3])), Certification::Commit(11));

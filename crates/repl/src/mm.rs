@@ -57,8 +57,8 @@ struct Replica {
 struct World {
     replicas: Vec<Replica>,
     certifier: Certifier,
+    /// Clients and their compiled statement plan (`pool.plan()`).
     pool: ClientPool,
-    spec: WorkloadSpec,
     metrics: Metrics,
     measuring: bool,
     /// Database version produced by seeding; subtracted so that writeset
@@ -241,13 +241,20 @@ impl MultiMasterSim {
         let clients = n * self.spec.clients_per_replica;
         let mut replicas = Vec::with_capacity(n);
         let mut base_offset = 0;
+        let mut plan = None;
         for _ in 0..n {
             let mut db = Database::new();
-            self.spec.create_schema(&mut db).expect("fresh database");
-            self.spec
-                .seed(&mut db, self.cfg.seed_scale)
-                .expect("seeding a fresh database");
+            let p = self
+                .spec
+                .install(&mut db, self.cfg.seed_scale)
+                .expect("workload installs on a fresh database");
             base_offset = db.version();
+            // Identical schema creation order means identical plans; the
+            // certifier and writesets rely on shared table ids.
+            if let Some(prev) = &plan {
+                debug_assert!(*prev == p, "replica plans diverged");
+            }
+            plan = Some(p);
             replicas.push(Replica {
                 db,
                 cpu: Ps::new(1.0),
@@ -259,11 +266,11 @@ impl MultiMasterSim {
                 admission: VecDeque::new(),
             });
         }
+        let plan = plan.expect("at least one replica");
         let world = World {
             replicas,
             certifier: Certifier::new(),
-            pool: ClientPool::new(self.spec.clone(), clients, self.cfg.seed),
-            spec: self.spec.clone(),
+            pool: ClientPool::new(plan, clients, self.cfg.seed),
             metrics: Metrics::default(),
             measuring: false,
             base_offset,
@@ -429,7 +436,8 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
         // Read-only: commit locally, no certification (GSI guarantee).
         let w = engine.world_mut();
         w.replicas[replica].db.set_time(now);
-        w.spec
+        w.pool
+            .plan()
             .execute(&mut w.replicas[replica].db, txn, &template)
             .expect("workload references seeded tables");
         w.replicas[replica]
@@ -445,7 +453,8 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
         let offset = w.base_offset;
         let db = &mut w.replicas[replica].db;
         db.set_time(now);
-        w.spec
+        w.pool
+            .plan()
             .execute(db, txn, &template)
             .expect("workload references seeded tables");
         let mut ws = db.writeset_of(txn).expect("transaction is active");
@@ -549,7 +558,11 @@ fn respond(
 fn propagate(engine: &mut Engine<World, Ev>, replica: usize, version: u64, writeset: WriteSet) {
     let (ws_cpu, ws_disk) = {
         let w = engine.world_mut();
-        (w.rng.exp(w.spec.ws_cpu), w.rng.exp(w.spec.ws_disk))
+        let (mean_cpu, mean_disk) = {
+            let spec = w.pool.spec();
+            (spec.ws_cpu, spec.ws_disk)
+        };
+        (w.rng.exp(mean_cpu), w.rng.exp(mean_disk))
     };
     Ps::submit_event(
         engine,

@@ -173,14 +173,14 @@ impl ReplicatedCertifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use replipred_sidb::{Value, WriteItem, WriteOp};
+    use replipred_sidb::{RowId, TableId, Value, WriteItem, WriteOp};
 
     fn ws(base: u64, row: u64) -> WriteSet {
         WriteSet {
             base_version: base,
             items: vec![WriteItem {
-                table: "t".into(),
-                row,
+                table: TableId(0),
+                row: RowId(row),
                 op: WriteOp::Update,
                 data: Some(vec![Value::Int(1)]),
             }],

@@ -48,8 +48,8 @@ struct Node {
 struct World {
     /// `nodes[0]` is the master; the rest are slaves.
     nodes: Vec<Node>,
+    /// Clients and their compiled statement plan (`pool.plan()`).
     pool: ClientPool,
-    spec: WorkloadSpec,
     metrics: Metrics,
     measuring: bool,
     rng: Rng,
@@ -216,12 +216,19 @@ impl SingleMasterSim {
         let n = self.cfg.replicas;
         let clients = n * self.spec.clients_per_replica;
         let mut nodes = Vec::with_capacity(n);
+        let mut plan = None;
         for _ in 0..n {
             let mut db = Database::new();
-            self.spec.create_schema(&mut db).expect("fresh database");
-            self.spec
-                .seed(&mut db, self.cfg.seed_scale)
-                .expect("seeding a fresh database");
+            let p = self
+                .spec
+                .install(&mut db, self.cfg.seed_scale)
+                .expect("workload installs on a fresh database");
+            // Identical schema creation order means identical plans; the
+            // relayed writesets rely on shared table ids.
+            if let Some(prev) = &plan {
+                debug_assert!(*prev == p, "node plans diverged");
+            }
+            plan = Some(p);
             nodes.push(Node {
                 db,
                 cpu: Ps::new(1.0),
@@ -233,10 +240,10 @@ impl SingleMasterSim {
                 admission: VecDeque::new(),
             });
         }
+        let plan = plan.expect("at least the master");
         let world = World {
             nodes,
-            pool: ClientPool::new(self.spec.clone(), clients, self.cfg.seed),
-            spec: self.spec.clone(),
+            pool: ClientPool::new(plan, clients, self.cfg.seed),
             metrics: Metrics::default(),
             measuring: false,
             rng: Rng::seed_from_u64(self.cfg.seed ^ 0x5A5A_1234),
@@ -406,7 +413,8 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
     if !template.is_update {
         let w = engine.world_mut();
         w.nodes[node].db.set_time(now);
-        w.spec
+        w.pool
+            .plan()
             .execute(&mut w.nodes[node].db, txn, &template)
             .expect("workload references seeded tables");
         w.nodes[node]
@@ -422,7 +430,8 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
         let w = engine.world_mut();
         let db = &mut w.nodes[0].db;
         db.set_time(now);
-        w.spec
+        w.pool
+            .plan()
             .execute(db, txn, &template)
             .expect("workload references seeded tables");
         db.commit(txn).map(|info| info.writeset)
@@ -492,7 +501,11 @@ fn respond(
 fn propagate(engine: &mut Engine<World, Ev>, node: usize, seq: u64, writeset: WriteSet) {
     let (ws_cpu, ws_disk) = {
         let w = engine.world_mut();
-        (w.rng.exp(w.spec.ws_cpu), w.rng.exp(w.spec.ws_disk))
+        let (mean_cpu, mean_disk) = {
+            let spec = w.pool.spec();
+            (spec.ws_cpu, spec.ws_disk)
+        };
+        (w.rng.exp(mean_cpu), w.rng.exp(mean_disk))
     };
     Ps::submit_event(
         engine,

@@ -59,8 +59,8 @@ struct World {
     db: Database,
     cpu: Ps<World, Ev>,
     disk: Fcfs<World, Ev>,
+    /// Clients and their compiled statement plan (`pool.plan()`).
     pool: ClientPool,
-    spec: WorkloadSpec,
     metrics: Metrics,
     measuring: bool,
     filter: TxnFilter,
@@ -125,10 +125,10 @@ impl Event<World> for Ev {
                 let w = engine.world_mut();
                 w.metrics.reset();
                 w.db.reset_stats();
-                // Discard warm-up log lines so the captured log covers
+                // Discard warm-up log totals so the capture covers
                 // exactly the measurement window (the paper's 15-minute
                 // capture).
-                let _ = w.db.log.take();
+                w.db.reset_log();
                 w.cpu.stats.reset(now);
                 w.disk.stats.reset(now);
                 w.measuring = true;
@@ -194,20 +194,19 @@ impl StandaloneSim {
     pub fn run_with_db(self) -> StandaloneOutcome {
         let clients = self.spec.clients_per_replica;
         let mut db = Database::new();
-        self.spec.create_schema(&mut db).expect("fresh database");
-        self.spec
-            .seed(&mut db, self.cfg.seed_scale)
-            .expect("seeding a fresh database");
+        let plan = self
+            .spec
+            .install(&mut db, self.cfg.seed_scale)
+            .expect("workload installs on a fresh database");
         if self.log_statements {
-            db.log.set_enabled(true);
+            db.set_statement_logging(true);
         }
-        let pool = ClientPool::new(self.spec.clone(), clients, self.cfg.seed);
+        let pool = ClientPool::new(plan, clients, self.cfg.seed);
         let world = World {
             db,
             cpu: Ps::new(1.0),
             disk: Fcfs::new(1),
             pool,
-            spec: self.spec.clone(),
             metrics: Metrics::default(),
             measuring: false,
             filter: self.filter,
@@ -361,7 +360,8 @@ fn complete_attempt(
         // The snapshot was taken at start_attempt; executing the logical
         // operations now and committing gives the transaction a conflict
         // window equal to its whole execution time.
-        w.spec
+        w.pool
+            .plan()
             .execute(&mut w.db, txn, &template)
             .expect("workload references seeded tables");
         match w.db.commit(txn) {
@@ -507,7 +507,7 @@ mod tests {
         let sim = StandaloneSim::new(spec, quick_cfg(17));
         let mut outcome = sim.run_with_db();
         // Logging was off by default.
-        assert!(outcome.db.log.is_empty());
+        assert!(outcome.db.log().is_empty());
         // But stats are live.
         outcome.db.set_time(0.0);
         assert!(outcome.db.stats().read_only_commits > 0);

@@ -1,13 +1,21 @@
 //! The database engine: transactions, snapshots, certification, writesets.
+//!
+//! Everything hot is id-addressed: callers resolve table names to
+//! [`TableId`]s once (at schema creation / plan compilation) and address
+//! rows as [`RowId`]s. Per statement the engine performs array indexing
+//! and at most one integer-hash lookup — no string hashing, no
+//! per-statement allocation beyond the row images the caller hands in.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::DbError;
-use crate::log::{StatementKind, StatementLog, StatementLogEntry};
-use crate::table::{RowVersion, Table};
-use crate::txn::{TxnId, TxnState};
+use crate::ids::{RowId, TableId};
+use crate::log::{StatementKind, StatementLog};
+use crate::rowmap::FxBuildHasher;
+use crate::table::Table;
+use crate::txn::{PendingWrite, TxnId, TxnState};
 use crate::value::Row;
 use crate::writeset::{WriteItem, WriteOp, WriteSet};
 
@@ -67,13 +75,15 @@ pub struct CommitInfo {
 /// well-defined.
 #[derive(Debug, Default)]
 pub struct Database {
-    tables: HashMap<String, Table>,
-    active: HashMap<TxnId, TxnState>,
+    tables: Vec<Table>,
+    names: HashMap<String, TableId>,
+    active: HashMap<TxnId, TxnState, FxBuildHasher>,
+    /// Refcounts of active snapshots; the first key is the GC watermark.
+    snapshots: BTreeMap<u64, usize>,
     next_txn: u64,
     commit_seq: u64,
     clock: f64,
-    /// Statement log (PostgreSQL `log_statement` equivalent).
-    pub log: StatementLog,
+    log: StatementLog,
     stats: DbStats,
 }
 
@@ -108,52 +118,99 @@ impl Database {
         self.active.len()
     }
 
-    /// Creates a table.
+    // ---- statement log (encapsulated; see `log` module) ----
+
+    /// The statement log, read-only.
+    pub fn log(&self) -> &StatementLog {
+        &self.log
+    }
+
+    /// Turns statement logging on or off (`log_statement` equivalent).
+    pub fn set_statement_logging(&mut self, on: bool) {
+        self.log.set_enabled(on);
+    }
+
+    /// Additionally captures raw log entries (debugging/tests; the
+    /// profiler needs only the folded totals).
+    pub fn set_log_capture(&mut self, on: bool) {
+        self.log.set_capture(on);
+    }
+
+    /// Discards folded totals and captured entries (start of a fresh
+    /// measurement window).
+    pub fn reset_log(&mut self) {
+        self.log.reset();
+    }
+
+    // ---- schema ----
+
+    /// Creates a table and returns its dense id.
+    ///
+    /// Ids are assigned in creation order: replicas that create the same
+    /// schema in the same order agree on every id, which is what lets
+    /// writesets carry [`TableId`]s across the cluster.
     ///
     /// # Errors
     ///
     /// Returns [`DbError::TableExists`] on duplicate names.
-    pub fn create_table(&mut self, name: &str, columns: &[&str]) -> Result<(), DbError> {
-        if self.tables.contains_key(name) {
+    pub fn create_table(&mut self, name: &str, columns: &[&str]) -> Result<TableId, DbError> {
+        if self.names.contains_key(name) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        self.tables.insert(name.to_string(), Table::new(columns));
-        Ok(())
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table::new(name, columns));
+        self.names.insert(name.to_string(), id);
+        Ok(id)
     }
 
-    /// Table names, unordered.
+    /// Resolves a table name to its id (cold path; hot paths hold ids).
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.names.get(name).copied()
+    }
+
+    /// The name of a table id.
+    pub fn table_name(&self, table: TableId) -> Option<&str> {
+        self.tables.get(table.index()).map(|t| t.name.as_str())
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table names, in id order.
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(String::as_str).collect()
+        self.tables.iter().map(|t| t.name.as_str()).collect()
     }
 
     /// Rows visible at the latest version in `table`.
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::NoSuchTable`] for unknown tables.
-    pub fn live_rows(&self, table: &str) -> Result<usize, DbError> {
+    /// Returns [`DbError::InvalidTable`] for unknown ids.
+    pub fn live_rows(&self, table: TableId) -> Result<usize, DbError> {
         let t = self
             .tables
-            .get(table)
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+            .get(table.index())
+            .ok_or(DbError::InvalidTable(table))?;
         Ok(t.live_rows_at(self.commit_seq))
     }
+
+    // ---- transactions ----
 
     /// Begins a transaction, taking a snapshot of the latest committed
     /// state.
     pub fn begin(&mut self) -> TxnId {
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
-        self.active.insert(id, TxnState::new(self.commit_seq));
-        self.log_stmt(id, StatementKind::Begin, None);
-        id
+        self.begin_at(self.commit_seq)
     }
 
     /// Begins a transaction on an explicitly *older* snapshot.
     ///
     /// This is the Generalized Snapshot Isolation (GSI) entry point: a
     /// replica may hand out its latest *local* snapshot, which can trail
-    /// the globally latest version ([Elnikety 2005]).
+    /// the globally latest version ([Elnikety 2005]). The snapshot must
+    /// not predate the last [`Database::vacuum`] watermark, or reads may
+    /// find garbage-collected versions missing.
     ///
     /// # Panics
     ///
@@ -168,7 +225,9 @@ impl Database {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         self.active.insert(id, TxnState::new(snapshot));
-        self.log_stmt(id, StatementKind::Begin, None);
+        *self.snapshots.entry(snapshot).or_insert(0) += 1;
+        self.log
+            .statement(self.clock, id, StatementKind::Begin, None);
         id
     }
 
@@ -182,35 +241,34 @@ impl Database {
     }
 
     /// Reads a row as of the transaction's snapshot, seeing its own
-    /// buffered writes first.
+    /// buffered writes first. Returns a reference — the hot read path
+    /// allocates nothing.
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::TxnNotActive`] or [`DbError::NoSuchTable`].
-    pub fn read(&mut self, txn: TxnId, table: &str, row: u64) -> Result<Option<Row>, DbError> {
-        if !self.tables.contains_key(table) {
-            return Err(DbError::NoSuchTable(table.to_string()));
-        }
+    /// Returns [`DbError::TxnNotActive`] or [`DbError::InvalidTable`].
+    pub fn read(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        row: RowId,
+    ) -> Result<Option<&Row>, DbError> {
+        self.check_table(table)?;
         let state = self
             .active
             .get_mut(&txn)
             .ok_or(DbError::TxnNotActive(txn))?;
         state.reads += 1;
         self.stats.rows_read += 1;
+        self.log
+            .statement(self.clock, txn, StatementKind::Select, Some(table));
         // Own writes first (read-your-writes).
-        if let Some(pending) = state.writes.get(table).and_then(|t| t.get(&row)) {
-            let result = pending.clone();
-            self.log_stmt(txn, StatementKind::Select, Some(table));
-            return Ok(result);
+        if let Some(pending) = state.pending(table, row) {
+            return Ok(pending.as_ref());
         }
-        let snapshot = state.snapshot;
-        let result = self.tables[table]
-            .rows
-            .get(&row)
-            .and_then(|chain| chain.visible_at(snapshot))
-            .and_then(|v| v.data.clone());
-        self.log_stmt(txn, StatementKind::Select, Some(table));
-        Ok(result)
+        let t = &self.tables[table.index()];
+        Ok(t.slot_of(row.0)
+            .and_then(|slot| t.visible_data(slot, state.snapshot)))
     }
 
     /// All rows visible to the transaction in `table` (own writes applied),
@@ -218,45 +276,44 @@ impl Database {
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::TxnNotActive`] or [`DbError::NoSuchTable`].
-    pub fn scan(&mut self, txn: TxnId, table: &str) -> Result<Vec<(u64, Row)>, DbError> {
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
-        let state = self
-            .active
-            .get_mut(&txn)
-            .ok_or(DbError::TxnNotActive(txn))?;
+    /// Returns [`DbError::TxnNotActive`] or [`DbError::InvalidTable`].
+    pub fn scan(&mut self, txn: TxnId, table: TableId) -> Result<Vec<(RowId, Row)>, DbError> {
+        self.check_table(table)?;
+        let state = self.state(txn)?;
         let snapshot = state.snapshot;
-        let mut rows: Vec<(u64, Row)> = t
-            .rows
-            .iter()
-            .filter_map(|(&id, chain)| {
-                // Own write overlays the committed version.
-                if let Some(pending) = state.writes.get(table).and_then(|w| w.get(&id)) {
-                    return pending.clone().map(|r| (id, r));
+        let t = &self.tables[table.index()];
+        let mut rows: Vec<(RowId, Row)> = Vec::new();
+        for (slot, key) in t.entries() {
+            let row = RowId(key);
+            // Own write overlays the committed version.
+            if let Some(pending) = state.pending(table, row) {
+                if let Some(data) = pending {
+                    rows.push((row, data.clone()));
                 }
-                chain
-                    .visible_at(snapshot)
-                    .and_then(|v| v.data.clone())
-                    .map(|r| (id, r))
-            })
-            .collect();
+                continue;
+            }
+            if let Some(data) = t.visible_data(slot, snapshot) {
+                rows.push((row, data.clone()));
+            }
+        }
         // Own inserts of rows that never existed.
-        if let Some(writes) = state.writes.get(table) {
-            for (&id, pending) in writes {
-                if !t.rows.contains_key(&id) {
-                    if let Some(r) = pending.clone() {
-                        rows.push((id, r));
-                    }
+        for w in &state.writes {
+            if w.table == table && t.slot_of(w.row.0).is_none() {
+                if let Some(data) = &w.data {
+                    rows.push((w.row, data.clone()));
                 }
             }
         }
-        state.reads += rows.len() as u64;
-        self.stats.rows_read += rows.len() as u64;
-        rows.sort_by_key(|(id, _)| *id);
-        self.log_stmt(txn, StatementKind::Select, Some(table));
+        let count = rows.len() as u64;
+        let state = self
+            .active
+            .get_mut(&txn)
+            .expect("state fetched above; txn is active");
+        state.reads += count;
+        self.stats.rows_read += count;
+        rows.sort_by_key(|(id, _)| id.0);
+        self.log
+            .statement(self.clock, txn, StatementKind::Select, Some(table));
         Ok(rows)
     }
 
@@ -266,30 +323,26 @@ impl Database {
     ///
     /// Returns [`DbError::DuplicateRow`] when the row id is already visible
     /// in the snapshot (or buffered), plus the usual table/txn/arity errors.
-    pub fn insert(&mut self, txn: TxnId, table: &str, row: u64, data: Row) -> Result<(), DbError> {
+    pub fn insert(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        row: RowId,
+        data: Row,
+    ) -> Result<(), DbError> {
         self.check_arity(table, &data)?;
         let state = self.state(txn)?;
-        let snapshot = state.snapshot;
-        let already_buffered = state
-            .writes
-            .get(table)
-            .and_then(|w| w.get(&row))
+        let buffered = state
+            .pending(table, row)
             .map(|p| p.is_some())
             .unwrap_or(false);
-        let visible = self.tables[table]
-            .rows
-            .get(&row)
-            .and_then(|c| c.visible_at(snapshot))
-            .map(|v| v.data.is_some())
-            .unwrap_or(false);
-        if already_buffered || visible {
-            return Err(DbError::DuplicateRow {
-                table: table.to_string(),
-                row,
-            });
+        let visible = self.snapshot_visible(state.snapshot, table, row);
+        if buffered || visible {
+            return Err(DbError::DuplicateRow { table, row });
         }
-        self.buffer_write(txn, table, row, Some(data));
-        self.log_stmt(txn, StatementKind::Insert, Some(table));
+        self.buffer_write(txn, table, row, Some(data), visible);
+        self.log
+            .statement(self.clock, txn, StatementKind::Insert, Some(table));
         Ok(())
     }
 
@@ -299,11 +352,18 @@ impl Database {
     ///
     /// Returns [`DbError::NoSuchRow`] when the row is not visible in the
     /// snapshot, plus table/txn/arity errors.
-    pub fn update(&mut self, txn: TxnId, table: &str, row: u64, data: Row) -> Result<(), DbError> {
+    pub fn update(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        row: RowId,
+        data: Row,
+    ) -> Result<(), DbError> {
         self.check_arity(table, &data)?;
-        self.require_visible(txn, table, row)?;
-        self.buffer_write(txn, table, row, Some(data));
-        self.log_stmt(txn, StatementKind::Update, Some(table));
+        let snap_visible = self.require_visible(txn, table, row)?;
+        self.buffer_write(txn, table, row, Some(data), snap_visible);
+        self.log
+            .statement(self.clock, txn, StatementKind::Update, Some(table));
         Ok(())
     }
 
@@ -313,13 +373,12 @@ impl Database {
     ///
     /// Returns [`DbError::NoSuchRow`] when the row is not visible in the
     /// snapshot, plus table/txn errors.
-    pub fn delete(&mut self, txn: TxnId, table: &str, row: u64) -> Result<(), DbError> {
-        if !self.tables.contains_key(table) {
-            return Err(DbError::NoSuchTable(table.to_string()));
-        }
-        self.require_visible(txn, table, row)?;
-        self.buffer_write(txn, table, row, None);
-        self.log_stmt(txn, StatementKind::Delete, Some(table));
+    pub fn delete(&mut self, txn: TxnId, table: TableId, row: RowId) -> Result<(), DbError> {
+        self.check_table(table)?;
+        let snap_visible = self.require_visible(txn, table, row)?;
+        self.buffer_write(txn, table, row, None, snap_visible);
+        self.log
+            .statement(self.clock, txn, StatementKind::Delete, Some(table));
         Ok(())
     }
 
@@ -327,23 +386,20 @@ impl Database {
     ///
     /// Read-only transactions always commit and do not advance the
     /// database version. Update transactions conflict-check every written
-    /// row: a newer committed version than the transaction's snapshot means
-    /// a concurrent committer won.
+    /// row against the per-table last-committed version vector: a newer
+    /// committed version than the transaction's snapshot means a
+    /// concurrent committer won.
     ///
     /// # Errors
     ///
     /// Returns [`DbError::WriteWriteConflict`] on certification failure
     /// (the transaction is aborted) or [`DbError::TxnNotActive`].
     pub fn commit(&mut self, txn: TxnId) -> Result<CommitInfo, DbError> {
-        let state = self
-            .active
-            .get(&txn)
-            .ok_or(DbError::TxnNotActive(txn))?
-            .clone();
+        let state = self.active.remove(&txn).ok_or(DbError::TxnNotActive(txn))?;
+        self.release_snapshot(state.snapshot);
         if state.is_read_only() {
-            self.active.remove(&txn);
             self.stats.read_only_commits += 1;
-            self.log_stmt(txn, StatementKind::Commit, None);
+            self.log.commit(self.clock, txn, 0);
             return Ok(CommitInfo {
                 txn,
                 commit_seq: state.snapshot,
@@ -353,22 +409,18 @@ impl Database {
                 },
             });
         }
-        // Certification: first committer wins.
-        for (table, rows) in &state.writes {
-            for &row in rows.keys() {
-                let newest = self.tables[table]
-                    .rows
-                    .get(&row)
-                    .and_then(|c| c.latest_seq())
-                    .unwrap_or(0);
-                if newest > state.snapshot {
-                    self.active.remove(&txn);
+        // Certification: one O(1) check per written row against the
+        // table's last-committed version vector.
+        for w in &state.writes {
+            let t = &self.tables[w.table.index()];
+            if let Some(slot) = t.slot_of(w.row.0) {
+                if t.latest_seq(slot) > state.snapshot {
                     self.stats.conflict_aborts += 1;
-                    self.log_stmt(txn, StatementKind::Abort { conflict: true }, Some(table));
+                    self.log.abort(self.clock, txn, true);
                     return Err(DbError::WriteWriteConflict {
                         txn,
-                        table: table.clone(),
-                        row,
+                        table: w.table,
+                        row: w.row,
                     });
                 }
             }
@@ -376,48 +428,28 @@ impl Database {
         // Install.
         self.commit_seq += 1;
         let seq = self.commit_seq;
-        let mut items = Vec::with_capacity(state.write_count());
-        for (table, rows) in &state.writes {
-            for (&row, pending) in rows {
-                let op = match (
-                    pending.is_some(),
-                    self.tables[table]
-                        .rows
-                        .get(&row)
-                        .and_then(|c| c.visible_at(state.snapshot))
-                        .map(|v| v.data.is_some())
-                        .unwrap_or(false),
-                ) {
-                    (true, false) => WriteOp::Insert,
-                    (true, true) => WriteOp::Update,
-                    (false, _) => WriteOp::Delete,
-                };
-                items.push(WriteItem {
-                    table: table.clone(),
-                    row,
-                    op,
-                    data: pending.clone(),
-                });
-                self.tables
-                    .get_mut(table)
-                    .expect("validated at write time")
-                    .rows
-                    .entry(row)
-                    .or_default()
-                    .push(RowVersion {
-                        commit_seq: seq,
-                        data: pending.clone(),
-                    });
-            }
+        let write_stmts = state.write_stmts;
+        let mut items = Vec::with_capacity(state.writes.len());
+        for w in state.writes {
+            let op = Self::op_of(&w);
+            let t = &mut self.tables[w.table.index()];
+            let slot = t.slot_or_intern(w.row.0);
+            t.install(slot, seq, w.data.clone());
+            items.push(WriteItem {
+                table: w.table,
+                row: w.row,
+                op,
+                data: w.data,
+            });
         }
-        self.active.remove(&txn);
+        let base_version = state.snapshot;
         self.stats.update_commits += 1;
-        self.log_stmt(txn, StatementKind::Commit, None);
+        self.log.commit(self.clock, txn, write_stmts);
         Ok(CommitInfo {
             txn,
             commit_seq: seq,
             writeset: WriteSet {
-                base_version: state.snapshot,
+                base_version,
                 items,
             },
         })
@@ -434,30 +466,16 @@ impl Database {
     /// Returns [`DbError::TxnNotActive`] for unknown/finished transactions.
     pub fn writeset_of(&self, txn: TxnId) -> Result<WriteSet, DbError> {
         let state = self.state(txn)?;
-        let mut items = Vec::with_capacity(state.write_count());
-        for (table, rows) in &state.writes {
-            for (&row, pending) in rows {
-                let op = match (
-                    pending.is_some(),
-                    self.tables
-                        .get(table)
-                        .and_then(|t| t.rows.get(&row))
-                        .and_then(|c| c.visible_at(state.snapshot))
-                        .map(|v| v.data.is_some())
-                        .unwrap_or(false),
-                ) {
-                    (true, false) => WriteOp::Insert,
-                    (true, true) => WriteOp::Update,
-                    (false, _) => WriteOp::Delete,
-                };
-                items.push(WriteItem {
-                    table: table.clone(),
-                    row,
-                    op,
-                    data: pending.clone(),
-                });
-            }
-        }
+        let items = state
+            .writes
+            .iter()
+            .map(|w| WriteItem {
+                table: w.table,
+                row: w.row,
+                op: Self::op_of(w),
+                data: w.data.clone(),
+            })
+            .collect();
         Ok(WriteSet {
             base_version: state.snapshot,
             items,
@@ -470,9 +488,10 @@ impl Database {
     ///
     /// Returns [`DbError::TxnNotActive`] for unknown/finished transactions.
     pub fn abort(&mut self, txn: TxnId) -> Result<(), DbError> {
-        self.active.remove(&txn).ok_or(DbError::TxnNotActive(txn))?;
+        let state = self.active.remove(&txn).ok_or(DbError::TxnNotActive(txn))?;
+        self.release_snapshot(state.snapshot);
         self.stats.voluntary_aborts += 1;
-        self.log_stmt(txn, StatementKind::Abort { conflict: false }, None);
+        self.log.abort(self.clock, txn, false);
         Ok(())
     }
 
@@ -481,7 +500,7 @@ impl Database {
     ///
     /// This is the replica-proxy/slave code path: "The slaves process only
     /// committed writesets; there are no aborts at the slaves" (paper
-    /// Section 3.3.3). Missing tables are an error; missing rows are
+    /// Section 3.3.3). Unknown table ids are an error; missing rows are
     /// created (inserts) or ignored (deletes of unknown rows are
     /// tombstoned), mirroring idempotent log application.
     ///
@@ -489,63 +508,91 @@ impl Database {
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::NoSuchTable`] when the writeset references an
-    /// unknown table.
+    /// Returns [`DbError::InvalidTable`] when the writeset references a
+    /// table id outside this schema.
     pub fn apply_writeset(&mut self, ws: &WriteSet) -> Result<u64, DbError> {
         for item in &ws.items {
-            if !self.tables.contains_key(&item.table) {
-                return Err(DbError::NoSuchTable(item.table.clone()));
-            }
+            self.check_table(item.table)?;
         }
         self.commit_seq += 1;
         let seq = self.commit_seq;
         for item in &ws.items {
-            self.tables
-                .get_mut(&item.table)
-                .expect("checked above")
-                .rows
-                .entry(item.row)
-                .or_default()
-                .push(RowVersion {
-                    commit_seq: seq,
-                    data: item.data.clone(),
-                });
+            let t = &mut self.tables[item.table.index()];
+            let slot = t.slot_or_intern(item.row.0);
+            t.install(slot, seq, item.data.clone());
         }
         self.stats.writesets_applied += 1;
         Ok(seq)
     }
 
-    /// Garbage-collects row versions no active snapshot can see.
+    /// Watermark garbage collection: frees row versions no active
+    /// snapshot can see (the watermark is the oldest active snapshot, or
+    /// the current version when the database is idle).
     ///
-    /// Returns the number of versions removed.
+    /// Returns the number of versions reclaimed into the arenas' free
+    /// lists.
     pub fn vacuum(&mut self) -> usize {
-        let horizon = self
-            .active
-            .values()
-            .map(|s| s.snapshot)
-            .min()
-            .unwrap_or(self.commit_seq);
-        self.tables
-            .values_mut()
-            .flat_map(|t| t.rows.values_mut())
-            .map(|chain| chain.vacuum(horizon))
-            .sum()
+        let watermark = self.watermark();
+        self.tables.iter_mut().map(|t| t.vacuum(watermark)).sum()
+    }
+
+    /// Live (non-reclaimed) row versions across all tables — the quantity
+    /// [`Database::vacuum`] keeps bounded over long captures.
+    pub fn version_count(&self) -> usize {
+        self.tables.iter().map(Table::version_count).sum()
     }
 
     // ---- internal helpers ----
+
+    /// The GC watermark: the oldest active snapshot, or the current
+    /// version when no transaction is active.
+    fn watermark(&self) -> u64 {
+        self.snapshots
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(self.commit_seq)
+    }
+
+    fn release_snapshot(&mut self, snapshot: u64) {
+        match self.snapshots.get_mut(&snapshot) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.snapshots.remove(&snapshot);
+            }
+            None => debug_assert!(false, "released a snapshot that was never acquired"),
+        }
+    }
+
+    fn op_of(w: &PendingWrite) -> WriteOp {
+        match (w.data.is_some(), w.visible_before) {
+            (true, false) => WriteOp::Insert,
+            (true, true) => WriteOp::Update,
+            (false, _) => WriteOp::Delete,
+        }
+    }
 
     fn state(&self, txn: TxnId) -> Result<&TxnState, DbError> {
         self.active.get(&txn).ok_or(DbError::TxnNotActive(txn))
     }
 
-    fn check_arity(&self, table: &str, data: &Row) -> Result<(), DbError> {
+    #[inline]
+    fn check_table(&self, table: TableId) -> Result<(), DbError> {
+        if table.index() < self.tables.len() {
+            Ok(())
+        } else {
+            Err(DbError::InvalidTable(table))
+        }
+    }
+
+    fn check_arity(&self, table: TableId, data: &Row) -> Result<(), DbError> {
         let t = self
             .tables
-            .get(table)
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+            .get(table.index())
+            .ok_or(DbError::InvalidTable(table))?;
         if data.len() != t.columns.len() {
             return Err(DbError::ArityMismatch {
-                table: table.to_string(),
+                table,
                 got: data.len(),
                 expected: t.columns.len(),
             });
@@ -553,57 +600,55 @@ impl Database {
         Ok(())
     }
 
-    /// Ensures `row` is visible to `txn` (snapshot or own write).
-    fn require_visible(&self, txn: TxnId, table: &str, row: u64) -> Result<(), DbError> {
+    /// Whether the committed row is visible at `snapshot` (own writes not
+    /// consulted).
+    #[inline]
+    fn snapshot_visible(&self, snapshot: u64, table: TableId, row: RowId) -> bool {
+        let t = &self.tables[table.index()];
+        t.slot_of(row.0)
+            .map(|slot| t.is_visible(slot, snapshot))
+            .unwrap_or(false)
+    }
+
+    /// Ensures `row` is visible to `txn` (snapshot or own write); returns
+    /// the snapshot visibility (for the buffered write's op derivation).
+    fn require_visible(&self, txn: TxnId, table: TableId, row: RowId) -> Result<bool, DbError> {
         let state = self.state(txn)?;
-        if let Some(pending) = state.writes.get(table).and_then(|w| w.get(&row)) {
-            return if pending.is_some() {
-                Ok(())
-            } else {
-                Err(DbError::NoSuchRow {
-                    table: table.to_string(),
-                    row,
-                })
-            };
-        }
-        let visible = self.tables[table]
-            .rows
-            .get(&row)
-            .and_then(|c| c.visible_at(state.snapshot))
-            .map(|v| v.data.is_some())
-            .unwrap_or(false);
+        let snap_visible = self.snapshot_visible(state.snapshot, table, row);
+        let visible = match state.pending(table, row) {
+            Some(pending) => pending.is_some(),
+            None => snap_visible,
+        };
         if visible {
-            Ok(())
+            Ok(snap_visible)
         } else {
-            Err(DbError::NoSuchRow {
-                table: table.to_string(),
-                row,
-            })
+            Err(DbError::NoSuchRow { table, row })
         }
     }
 
-    fn buffer_write(&mut self, txn: TxnId, table: &str, row: u64, data: Option<Row>) {
+    fn buffer_write(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        row: RowId,
+        data: Option<Row>,
+        snap_visible: bool,
+    ) {
         let state = self
             .active
             .get_mut(&txn)
             .expect("caller validated txn is active");
-        state
-            .writes
-            .entry(table.to_string())
-            .or_default()
-            .insert(row, data);
-        self.stats.rows_written += 1;
-    }
-
-    fn log_stmt(&mut self, txn: TxnId, kind: StatementKind, table: Option<&str>) {
-        if self.log.is_enabled() {
-            self.log.record(StatementLogEntry {
-                at: self.clock,
-                session: txn,
-                kind,
-                table: table.map(str::to_string),
-            });
+        match state.find_write(table, row) {
+            Some(i) => state.writes[i].data = data,
+            None => state.writes.push(PendingWrite {
+                table,
+                row,
+                data,
+                visible_before: snap_visible,
+            }),
         }
+        state.write_stmts += 1;
+        self.stats.rows_written += 1;
     }
 }
 
@@ -612,67 +657,90 @@ mod tests {
     use super::*;
     use crate::value::Value;
 
-    fn seeded() -> Database {
+    fn seeded() -> (Database, TableId) {
         let mut db = Database::new();
-        db.create_table("items", &["name", "stock"]).unwrap();
+        let items = db.create_table("items", &["name", "stock"]).unwrap();
         let t = db.begin();
         for i in 0..10 {
             db.insert(
                 t,
-                "items",
-                i,
+                items,
+                RowId(i),
                 vec![Value::text(format!("item{i}")), Value::Int(100)],
             )
             .unwrap();
         }
         db.commit(t).unwrap();
-        db
+        (db, items)
+    }
+
+    fn cell(db: &mut Database, txn: TxnId, table: TableId, row: u64, col: usize) -> Value {
+        db.read(txn, table, RowId(row)).unwrap().unwrap()[col].clone()
+    }
+
+    #[test]
+    fn table_ids_are_dense_and_resolvable() {
+        let mut db = Database::new();
+        let a = db.create_table("a", &["x"]).unwrap();
+        let b = db.create_table("b", &["x"]).unwrap();
+        assert_eq!(a, TableId(0));
+        assert_eq!(b, TableId(1));
+        assert_eq!(db.table_id("a"), Some(a));
+        assert_eq!(db.table_id("nope"), None);
+        assert_eq!(db.table_name(b), Some("b"));
+        assert_eq!(db.table_names(), vec!["a", "b"]);
+        assert_eq!(db.table_count(), 2);
+        assert!(matches!(
+            db.create_table("a", &["y"]),
+            Err(DbError::TableExists(_))
+        ));
     }
 
     #[test]
     fn read_your_own_writes() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
-        db.update(t, "items", 3, vec![Value::text("item3"), Value::Int(7)])
-            .unwrap();
-        let row = db.read(t, "items", 3).unwrap().unwrap();
-        assert_eq!(row[1], Value::Int(7));
+        db.update(
+            t,
+            items,
+            RowId(3),
+            vec![Value::text("item3"), Value::Int(7)],
+        )
+        .unwrap();
+        assert_eq!(cell(&mut db, t, items, 3, 1), Value::Int(7));
         // Other transactions still see the old value.
         let t2 = db.begin();
-        let row2 = db.read(t2, "items", 3).unwrap().unwrap();
-        assert_eq!(row2[1], Value::Int(100));
+        assert_eq!(cell(&mut db, t2, items, 3, 1), Value::Int(100));
     }
 
     #[test]
     fn snapshot_is_stable_across_concurrent_commits() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let reader = db.begin();
         let writer = db.begin();
         db.update(
             writer,
-            "items",
-            0,
+            items,
+            RowId(0),
             vec![Value::text("item0"), Value::Int(1)],
         )
         .unwrap();
         db.commit(writer).unwrap();
         // Reader still sees the pre-update value: snapshot stability.
-        let row = db.read(reader, "items", 0).unwrap().unwrap();
-        assert_eq!(row[1], Value::Int(100));
+        assert_eq!(cell(&mut db, reader, items, 0, 1), Value::Int(100));
         // A new transaction sees the update.
         let late = db.begin();
-        let row = db.read(late, "items", 0).unwrap().unwrap();
-        assert_eq!(row[1], Value::Int(1));
+        assert_eq!(cell(&mut db, late, items, 0, 1), Value::Int(1));
     }
 
     #[test]
     fn first_committer_wins() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t1 = db.begin();
         let t2 = db.begin();
-        db.update(t1, "items", 5, vec![Value::text("a"), Value::Int(1)])
+        db.update(t1, items, RowId(5), vec![Value::text("a"), Value::Int(1)])
             .unwrap();
-        db.update(t2, "items", 5, vec![Value::text("b"), Value::Int(2)])
+        db.update(t2, items, RowId(5), vec![Value::text("b"), Value::Int(2)])
             .unwrap();
         db.commit(t1).unwrap();
         let err = db.commit(t2).unwrap_err();
@@ -680,17 +748,17 @@ mod tests {
         assert_eq!(db.stats().conflict_aborts, 1);
         // The winner's value persists.
         let t3 = db.begin();
-        assert_eq!(db.read(t3, "items", 5).unwrap().unwrap()[1], Value::Int(1));
+        assert_eq!(cell(&mut db, t3, items, 5, 1), Value::Int(1));
     }
 
     #[test]
     fn disjoint_writes_do_not_conflict() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t1 = db.begin();
         let t2 = db.begin();
-        db.update(t1, "items", 1, vec![Value::text("x"), Value::Int(1)])
+        db.update(t1, items, RowId(1), vec![Value::text("x"), Value::Int(1)])
             .unwrap();
-        db.update(t2, "items", 2, vec![Value::text("y"), Value::Int(2)])
+        db.update(t2, items, RowId(2), vec![Value::text("y"), Value::Int(2)])
             .unwrap();
         assert!(db.commit(t1).is_ok());
         assert!(db.commit(t2).is_ok());
@@ -698,10 +766,10 @@ mod tests {
 
     #[test]
     fn serialized_rewrites_do_not_conflict() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         for i in 0..5 {
             let t = db.begin();
-            db.update(t, "items", 9, vec![Value::text("z"), Value::Int(i)])
+            db.update(t, items, RowId(9), vec![Value::text("z"), Value::Int(i)])
                 .unwrap();
             db.commit(t).unwrap();
         }
@@ -710,10 +778,10 @@ mod tests {
 
     #[test]
     fn read_only_txn_always_commits_and_keeps_version() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let v = db.version();
         let t = db.begin();
-        db.read(t, "items", 1).unwrap();
+        db.read(t, items, RowId(1)).unwrap();
         let info = db.commit(t).unwrap();
         assert!(info.writeset.is_empty());
         assert_eq!(db.version(), v);
@@ -722,53 +790,60 @@ mod tests {
 
     #[test]
     fn readers_never_block_or_abort_writers() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let reader = db.begin();
-        db.read(reader, "items", 4).unwrap();
+        db.read(reader, items, RowId(4)).unwrap();
         let writer = db.begin();
-        db.update(writer, "items", 4, vec![Value::text("w"), Value::Int(0)])
-            .unwrap();
+        db.update(
+            writer,
+            items,
+            RowId(4),
+            vec![Value::text("w"), Value::Int(0)],
+        )
+        .unwrap();
         assert!(db.commit(writer).is_ok());
         assert!(db.commit(reader).is_ok());
     }
 
     #[test]
     fn writeset_records_ops_and_base_version() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let base = db.version();
         let t = db.begin();
-        db.update(t, "items", 1, vec![Value::text("u"), Value::Int(5)])
+        db.update(t, items, RowId(1), vec![Value::text("u"), Value::Int(5)])
             .unwrap();
-        db.insert(t, "items", 100, vec![Value::text("new"), Value::Int(1)])
-            .unwrap();
-        db.delete(t, "items", 2).unwrap();
+        db.insert(
+            t,
+            items,
+            RowId(100),
+            vec![Value::text("new"), Value::Int(1)],
+        )
+        .unwrap();
+        db.delete(t, items, RowId(2)).unwrap();
         let info = db.commit(t).unwrap();
         let ws = &info.writeset;
         assert_eq!(ws.base_version, base);
         assert_eq!(ws.update_operations(), 3);
         let ops: Vec<_> = ws.items.iter().map(|i| (i.row, i.op)).collect();
-        assert!(ops.contains(&(1, WriteOp::Update)));
-        assert!(ops.contains(&(100, WriteOp::Insert)));
-        assert!(ops.contains(&(2, WriteOp::Delete)));
+        assert!(ops.contains(&(RowId(1), WriteOp::Update)));
+        assert!(ops.contains(&(RowId(100), WriteOp::Insert)));
+        assert!(ops.contains(&(RowId(2), WriteOp::Delete)));
     }
 
     #[test]
     fn apply_writeset_installs_remote_commit() {
-        let mut primary = seeded();
-        let mut replica = seeded();
+        let (mut primary, items) = seeded();
+        let (mut replica, _) = seeded();
         let t = primary.begin();
         primary
-            .update(t, "items", 6, vec![Value::text("r"), Value::Int(42)])
+            .update(t, items, RowId(6), vec![Value::text("r"), Value::Int(42)])
             .unwrap();
         let info = primary.commit(t).unwrap();
         let v_before = replica.version();
         replica.apply_writeset(&info.writeset).unwrap();
         assert_eq!(replica.version(), v_before + 1);
         let t2 = replica.begin();
-        assert_eq!(
-            replica.read(t2, "items", 6).unwrap().unwrap()[1],
-            Value::Int(42)
-        );
+        assert_eq!(cell(&mut replica, t2, items, 6, 1), Value::Int(42));
         assert_eq!(replica.stats().writesets_applied, 1);
     }
 
@@ -778,37 +853,39 @@ mod tests {
         let ws = WriteSet {
             base_version: 0,
             items: vec![WriteItem {
-                table: "ghost".into(),
-                row: 1,
+                table: TableId(7),
+                row: RowId(1),
                 op: WriteOp::Insert,
                 data: Some(vec![]),
             }],
         };
         assert!(matches!(
             db.apply_writeset(&ws),
-            Err(DbError::NoSuchTable(_))
+            Err(DbError::InvalidTable(TableId(7)))
         ));
     }
 
     #[test]
     fn gsi_begin_at_older_snapshot() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let old_version = db.version();
         let t = db.begin();
-        db.update(t, "items", 0, vec![Value::text("n"), Value::Int(0)])
+        db.update(t, items, RowId(0), vec![Value::text("n"), Value::Int(0)])
             .unwrap();
         db.commit(t).unwrap();
         // A GSI transaction starting on the older snapshot must not see the
         // newer commit.
         let stale = db.begin_at(old_version);
-        assert_eq!(
-            db.read(stale, "items", 0).unwrap().unwrap()[1],
-            Value::Int(100)
-        );
+        assert_eq!(cell(&mut db, stale, items, 0, 1), Value::Int(100));
         // And a write from that stale snapshot conflicts (its conflict
         // window includes the newer commit).
-        db.update(stale, "items", 0, vec![Value::text("s"), Value::Int(1)])
-            .unwrap();
+        db.update(
+            stale,
+            items,
+            RowId(0),
+            vec![Value::text("s"), Value::Int(1)],
+        )
+        .unwrap();
         assert!(db.commit(stale).unwrap_err().is_conflict());
     }
 
@@ -821,50 +898,52 @@ mod tests {
 
     #[test]
     fn insert_duplicate_rejected() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
         let err = db
-            .insert(t, "items", 1, vec![Value::text("dup"), Value::Int(0)])
+            .insert(t, items, RowId(1), vec![Value::text("dup"), Value::Int(0)])
             .unwrap_err();
         assert!(matches!(err, DbError::DuplicateRow { .. }));
     }
 
     #[test]
     fn update_missing_row_rejected() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
         let err = db
-            .update(t, "items", 999, vec![Value::text("x"), Value::Int(0)])
+            .update(t, items, RowId(999), vec![Value::text("x"), Value::Int(0)])
             .unwrap_err();
         assert!(matches!(err, DbError::NoSuchRow { .. }));
     }
 
     #[test]
     fn delete_then_update_in_same_txn_rejected() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
-        db.delete(t, "items", 1).unwrap();
+        db.delete(t, items, RowId(1)).unwrap();
         let err = db
-            .update(t, "items", 1, vec![Value::text("x"), Value::Int(0)])
+            .update(t, items, RowId(1), vec![Value::text("x"), Value::Int(0)])
             .unwrap_err();
         assert!(matches!(err, DbError::NoSuchRow { .. }));
     }
 
     #[test]
     fn arity_mismatch_rejected() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
-        let err = db.insert(t, "items", 50, vec![Value::Int(1)]).unwrap_err();
+        let err = db
+            .insert(t, items, RowId(50), vec![Value::Int(1)])
+            .unwrap_err();
         assert!(matches!(err, DbError::ArityMismatch { .. }));
     }
 
     #[test]
     fn operations_on_finished_txn_rejected() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
         db.commit(t).unwrap();
         assert!(matches!(
-            db.read(t, "items", 1),
+            db.read(t, items, RowId(1)),
             Err(DbError::TxnNotActive(_))
         ));
         assert!(matches!(db.commit(t), Err(DbError::TxnNotActive(_))));
@@ -873,28 +952,30 @@ mod tests {
 
     #[test]
     fn voluntary_abort_discards_writes() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
-        db.update(t, "items", 1, vec![Value::text("gone"), Value::Int(0)])
+        db.update(t, items, RowId(1), vec![Value::text("gone"), Value::Int(0)])
             .unwrap();
         db.abort(t).unwrap();
         let t2 = db.begin();
-        assert_eq!(
-            db.read(t2, "items", 1).unwrap().unwrap()[1],
-            Value::Int(100)
-        );
+        assert_eq!(cell(&mut db, t2, items, 1, 1), Value::Int(100));
         assert_eq!(db.stats().voluntary_aborts, 1);
     }
 
     #[test]
     fn scan_sees_snapshot_with_overlay() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
-        db.delete(t, "items", 0).unwrap();
-        db.insert(t, "items", 200, vec![Value::text("extra"), Value::Int(1)])
-            .unwrap();
-        let rows = db.scan(t, "items").unwrap();
-        let ids: Vec<u64> = rows.iter().map(|(id, _)| *id).collect();
+        db.delete(t, items, RowId(0)).unwrap();
+        db.insert(
+            t,
+            items,
+            RowId(200),
+            vec![Value::text("extra"), Value::Int(1)],
+        )
+        .unwrap();
+        let rows = db.scan(t, items).unwrap();
+        let ids: Vec<u64> = rows.iter().map(|(id, _)| id.raw()).collect();
         assert!(!ids.contains(&0));
         assert!(ids.contains(&200));
         assert_eq!(rows.len(), 10); // 10 seeded - 1 deleted + 1 inserted
@@ -902,10 +983,10 @@ mod tests {
 
     #[test]
     fn vacuum_reclaims_old_versions() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         for i in 0..20 {
             let t = db.begin();
-            db.update(t, "items", 1, vec![Value::text("v"), Value::Int(i)])
+            db.update(t, items, RowId(1), vec![Value::text("v"), Value::Int(i)])
                 .unwrap();
             db.commit(t).unwrap();
         }
@@ -913,38 +994,56 @@ mod tests {
         assert!(removed >= 19, "removed {removed}");
         // Data is still readable.
         let t = db.begin();
-        assert_eq!(db.read(t, "items", 1).unwrap().unwrap()[1], Value::Int(19));
+        assert_eq!(cell(&mut db, t, items, 1, 1), Value::Int(19));
     }
 
     #[test]
     fn vacuum_respects_active_snapshots() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let old_reader = db.begin(); // pins the current snapshot
         for i in 0..5 {
             let t = db.begin();
-            db.update(t, "items", 2, vec![Value::text("v"), Value::Int(i)])
+            db.update(t, items, RowId(2), vec![Value::text("v"), Value::Int(i)])
                 .unwrap();
             db.commit(t).unwrap();
         }
         db.vacuum();
         // The pinned reader must still see its version.
-        assert_eq!(
-            db.read(old_reader, "items", 2).unwrap().unwrap()[1],
-            Value::Int(100)
-        );
+        assert_eq!(cell(&mut db, old_reader, items, 2, 1), Value::Int(100));
+    }
+
+    #[test]
+    fn vacuum_bounds_version_count_over_long_runs() {
+        let (mut db, items) = seeded();
+        for round in 0..50 {
+            for i in 0..10u64 {
+                let t = db.begin();
+                db.update(
+                    t,
+                    items,
+                    RowId(i),
+                    vec![Value::text("v"), Value::Int(round)],
+                )
+                .unwrap();
+                db.commit(t).unwrap();
+            }
+            db.vacuum();
+        }
+        // One live version per row after each vacuum.
+        assert_eq!(db.version_count(), 10);
     }
 
     #[test]
     fn abort_probability_from_stats() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         db.reset_stats(); // discard the seeding transaction
 
         // 1 conflict out of 2 update attempts.
         let t1 = db.begin();
         let t2 = db.begin();
-        db.update(t1, "items", 7, vec![Value::text("a"), Value::Int(1)])
+        db.update(t1, items, RowId(7), vec![Value::text("a"), Value::Int(1)])
             .unwrap();
-        db.update(t2, "items", 7, vec![Value::text("b"), Value::Int(2)])
+        db.update(t2, items, RowId(7), vec![Value::text("b"), Value::Int(2)])
             .unwrap();
         db.commit(t1).unwrap();
         let _ = db.commit(t2);
@@ -953,11 +1052,11 @@ mod tests {
 
     #[test]
     fn writeset_of_matches_commit_writeset() {
-        let mut db = seeded();
+        let (mut db, items) = seeded();
         let t = db.begin();
-        db.update(t, "items", 3, vec![Value::text("x"), Value::Int(9)])
+        db.update(t, items, RowId(3), vec![Value::text("x"), Value::Int(9)])
             .unwrap();
-        db.insert(t, "items", 77, vec![Value::text("n"), Value::Int(1)])
+        db.insert(t, items, RowId(77), vec![Value::text("n"), Value::Int(1)])
             .unwrap();
         let extracted = db.writeset_of(t).unwrap();
         let info = db.commit(t).unwrap();
@@ -966,23 +1065,30 @@ mod tests {
 
     #[test]
     fn writeset_of_requires_active_txn() {
-        let mut db = seeded();
+        let (mut db, _) = seeded();
         let t = db.begin();
         db.commit(t).unwrap();
         assert!(matches!(db.writeset_of(t), Err(DbError::TxnNotActive(_))));
     }
 
     #[test]
-    fn statement_log_captures_lifecycle() {
-        let mut db = seeded();
-        db.log.set_enabled(true);
+    fn statement_log_folds_lifecycle() {
+        let (mut db, items) = seeded();
+        db.set_statement_logging(true);
+        db.set_log_capture(true);
         db.set_time(12.5);
         let t = db.begin();
-        db.read(t, "items", 1).unwrap();
-        db.update(t, "items", 1, vec![Value::text("x"), Value::Int(3)])
+        db.read(t, items, RowId(1)).unwrap();
+        db.update(t, items, RowId(1), vec![Value::text("x"), Value::Int(3)])
             .unwrap();
         db.commit(t).unwrap();
-        let kinds: Vec<_> = db.log.entries().iter().map(|e| e.kind).collect();
+        let totals = db.log().totals();
+        assert_eq!(totals.begins, 1);
+        assert_eq!(totals.selects, 1);
+        assert_eq!(totals.updates, 1);
+        assert_eq!(totals.update_commits, 1);
+        assert_eq!(totals.update_ops_sum, 1);
+        let kinds: Vec<_> = db.log().entries().iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
             vec![
@@ -992,6 +1098,30 @@ mod tests {
                 StatementKind::Commit
             ]
         );
-        assert!(db.log.entries().iter().all(|e| (e.at - 12.5).abs() < 1e-12));
+        assert!(db
+            .log()
+            .entries()
+            .iter()
+            .all(|e| (e.at - 12.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rewriting_same_row_counts_one_row_two_statements() {
+        let (mut db, items) = seeded();
+        db.set_statement_logging(true);
+        let t = db.begin();
+        db.update(t, items, RowId(1), vec![Value::text("a"), Value::Int(1)])
+            .unwrap();
+        db.update(t, items, RowId(1), vec![Value::text("b"), Value::Int(2)])
+            .unwrap();
+        let info = db.commit(t).unwrap();
+        // One row in the writeset, the final image wins.
+        assert_eq!(info.writeset.update_operations(), 1);
+        assert_eq!(
+            info.writeset.items[0].data.as_ref().unwrap()[1],
+            Value::Int(2)
+        );
+        // But the log's U counts both write statements, like PostgreSQL's.
+        assert_eq!(db.log().totals().update_ops_sum, 2);
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::ids::{RowId, TableId};
 use crate::txn::TxnId;
 
 /// Errors returned by [`crate::Database`] operations.
@@ -13,35 +14,38 @@ pub enum DbError {
         /// The aborted transaction.
         txn: TxnId,
         /// Table where the conflict was detected.
-        table: String,
+        table: TableId,
         /// Conflicting row.
-        row: u64,
+        row: RowId,
     },
     /// The transaction id is unknown or no longer active.
     TxnNotActive(TxnId),
-    /// The named table does not exist.
+    /// The named table does not exist (name resolution).
     NoSuchTable(String),
+    /// The table id is out of range for this database (a writeset or
+    /// statement plan compiled against a different schema).
+    InvalidTable(TableId),
     /// A table with this name already exists.
     TableExists(String),
     /// The row targeted by an update/delete is not visible in the
     /// transaction's snapshot.
     NoSuchRow {
         /// Table searched.
-        table: String,
-        /// Missing row id.
-        row: u64,
+        table: TableId,
+        /// Missing row.
+        row: RowId,
     },
-    /// An insert targeted a row id that is already visible in the snapshot.
+    /// An insert targeted a row that is already visible in the snapshot.
     DuplicateRow {
         /// Table.
-        table: String,
-        /// Duplicate row id.
-        row: u64,
+        table: TableId,
+        /// Duplicate row.
+        row: RowId,
     },
     /// Row arity does not match the table's column count.
     ArityMismatch {
         /// Table.
-        table: String,
+        table: TableId,
         /// Supplied cell count.
         got: usize,
         /// Column count of the table.
@@ -54,16 +58,17 @@ impl fmt::Display for DbError {
         match self {
             DbError::WriteWriteConflict { txn, table, row } => write!(
                 f,
-                "write-write conflict: txn {txn:?} lost row {row} of `{table}` to a first committer"
+                "write-write conflict: txn {txn:?} lost row {row} of {table} to a first committer"
             ),
             DbError::TxnNotActive(t) => write!(f, "transaction {t:?} is not active"),
             DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            DbError::InvalidTable(t) => write!(f, "table id {t} is not part of this schema"),
             DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
             DbError::NoSuchRow { table, row } => {
-                write!(f, "row {row} not visible in `{table}`")
+                write!(f, "row {row} not visible in {table}")
             }
             DbError::DuplicateRow { table, row } => {
-                write!(f, "row {row} already exists in `{table}`")
+                write!(f, "row {row} already exists in {table}")
             }
             DbError::ArityMismatch {
                 table,
@@ -71,7 +76,7 @@ impl fmt::Display for DbError {
                 expected,
             } => write!(
                 f,
-                "arity mismatch on `{table}`: got {got} cells, expected {expected}"
+                "arity mismatch on {table}: got {got} cells, expected {expected}"
             ),
         }
     }

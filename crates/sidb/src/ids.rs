@@ -1,0 +1,77 @@
+//! Dense interned identifiers for tables and rows.
+//!
+//! Every layer above the storage engine addresses data through these two
+//! ids instead of strings:
+//!
+//! - [`TableId`] is assigned by [`crate::Database::create_table`] in
+//!   creation order. Replicas that create the same schema in the same
+//!   order (the only supported way to build a replica set) therefore
+//!   agree on every table id, which is what lets writesets and
+//!   certification requests carry ids instead of names.
+//! - [`RowId`] wraps the external row key. Row keys are *not* remapped
+//!   per replica — interning them to dense storage slots happens inside
+//!   each [`crate::Database`] privately, so a `RowId` means the same row
+//!   on every replica regardless of local insertion order.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense table identifier (index into the database's table list).
+///
+/// Assigned by [`crate::Database::create_table`] in creation order;
+/// resolve names once with [`crate::Database::table_id`] and use the id
+/// on every hot-path operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// The id as a container index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A row key, stable across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+impl RowId {
+    /// The raw key value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for RowId {
+    fn from(key: u64) -> Self {
+        RowId(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_transparent() {
+        assert_eq!(TableId(3).index(), 3);
+        assert_eq!(RowId(17).raw(), 17);
+        assert_eq!(RowId::from(9), RowId(9));
+        assert_eq!(format!("{} {}", TableId(1), RowId(2)), "t1 2");
+    }
+}

@@ -1,4 +1,5 @@
-//! An in-memory multi-version storage engine with snapshot isolation.
+//! An in-memory multi-version storage engine with snapshot isolation,
+//! built around interned ids and version-chain arenas.
 //!
 //! This crate plays the role PostgreSQL 8.0.3 played in the paper: a
 //! standalone database engine providing **snapshot isolation (SI)** —
@@ -15,42 +16,62 @@
 //!   concurrently (*first committer wins*); otherwise it aborts.
 //! - Conflict granularity is a row (a tuple in a relation).
 //!
-//! Beyond plain SI the engine provides the facilities the paper's
-//! replication middleware needs:
+//! # Architecture
 //!
-//! - [`writeset::WriteSet`] extraction ("triggers on all tables", paper
-//!   Sections 4.1.1 and 5.1) with byte-size accounting, used for both
-//!   certification and update propagation;
-//! - remote writeset application ([`Database::apply_writeset`]), the slave
-//!   /replica-proxy code path;
-//! - a statement log ([`log`]) equivalent to PostgreSQL's
-//!   `log_statement`/`log_timestamp` facility, consumed by the profiler;
-//! - version garbage collection ([`Database::vacuum`]).
+//! The engine is designed so that the per-statement hot path — the paths
+//! the cluster simulators execute millions of times per sweep — performs
+//! no string hashing and no allocation:
+//!
+//! - **Interning** ([`ids`]): table names resolve once, at schema
+//!   creation, to dense [`TableId`]s; rows are addressed by [`RowId`]
+//!   keys. Replicas creating the same schema in the same order agree on
+//!   every id, so writesets and certification requests carry ids across
+//!   the cluster. Inside each table, row keys intern to dense storage
+//!   slots via a direct-mapped vector with an Fx-hashed sparse overflow
+//!   ([`rowmap`]).
+//! - **Version-chain arenas** ([`table`]): committed row versions live in
+//!   one arena per table, chained newest-first per row; the newest commit
+//!   sequence per row is a flat vector — certification is one array load
+//!   per written row. **Watermark GC** ([`Database::vacuum`]) frees every
+//!   version below the oldest active snapshot into a free list, so
+//!   version counts stay bounded over arbitrarily long captures.
+//! - **Flat writesets** ([`writeset`]): a [`writeset::WriteSet`] is a
+//!   `Vec` of `(TableId, RowId, WriteOp, image)` records, extracted
+//!   without re-walking any table ("triggers on all tables", paper
+//!   Sections 4.1.1 and 5.1), used for both certification and update
+//!   propagation, and applied remotely via [`Database::apply_writeset`]
+//!   (the slave/replica-proxy code path).
+//! - **Streaming statement log** ([`log`]): the PostgreSQL
+//!   `log_statement` equivalent folds counts as statements retire
+//!   ([`log::LogTotals`]) instead of accumulating an entry per statement;
+//!   the Section-4 profiler reads the folded totals.
 //!
 //! # Examples
 //!
 //! ```
-//! use replipred_sidb::{Database, Value};
+//! use replipred_sidb::{Database, RowId, Value};
 //!
 //! let mut db = Database::new();
-//! db.create_table("items", &["name", "stock"]).unwrap();
+//! let items = db.create_table("items", &["name", "stock"]).unwrap();
 //! // Seed a row.
 //! let t0 = db.begin();
-//! db.insert(t0, "items", 1, vec![Value::text("book"), Value::Int(10)]).unwrap();
+//! db.insert(t0, items, RowId(1), vec![Value::text("book"), Value::Int(10)]).unwrap();
 //! db.commit(t0).unwrap();
 //!
 //! // Two concurrent updates of the same row: first committer wins.
 //! let t1 = db.begin();
 //! let t2 = db.begin();
-//! db.update(t1, "items", 1, vec![Value::text("book"), Value::Int(9)]).unwrap();
-//! db.update(t2, "items", 1, vec![Value::text("book"), Value::Int(8)]).unwrap();
+//! db.update(t1, items, RowId(1), vec![Value::text("book"), Value::Int(9)]).unwrap();
+//! db.update(t2, items, RowId(1), vec![Value::text("book"), Value::Int(8)]).unwrap();
 //! assert!(db.commit(t1).is_ok());
 //! assert!(db.commit(t2).is_err()); // write-write conflict under SI
 //! ```
 
 pub mod db;
 pub mod error;
+pub mod ids;
 pub mod log;
+pub mod rowmap;
 pub mod table;
 pub mod txn;
 pub mod value;
@@ -58,7 +79,9 @@ pub mod writeset;
 
 pub use db::{CommitInfo, Database, DbStats};
 pub use error::DbError;
-pub use log::{StatementKind, StatementLog, StatementLogEntry};
+pub use ids::{RowId, TableId};
+pub use log::{LogTotals, StatementKind, StatementLog, StatementLogEntry};
+pub use rowmap::{FxBuildHasher, RowMap};
 pub use txn::{TxnId, TxnStatus};
 pub use value::{Row, Value};
 pub use writeset::{WriteItem, WriteOp, WriteSet};

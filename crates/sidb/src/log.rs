@@ -2,16 +2,22 @@
 //!
 //! Paper, Section 4.1.1: "We take a backup of the database and capture the
 //! transaction workload from the standalone database system using the
-//! database log file. The log must contain the full SQL statements, a
-//! client or session identifier and a start timestamp" — the PostgreSQL
-//! `log_statement`/`log_pid`/`log_connection`/`log_timestamp` facility.
+//! database log file. ... We count the number of read-only and update
+//! transactions in the captured log to determine the fractions Pr and Pw.
+//! We count the number of aborted update transactions to calculate the
+//! abort probability A1."
 //!
-//! Our engine is not SQL-fronted, so the "full statement" is a structured
-//! operation record instead; it carries the same information the profiler
-//! needs (who, when, what kind of operation, which transaction).
+//! The log is a **streaming aggregator**: every statement folds into
+//! [`LogTotals`] as it happens, and transactions fold their commit/abort
+//! outcome (with their write-statement count) as they retire. A 60-second
+//! capture therefore costs a fixed-size struct instead of an
+//! entry-per-statement vector — the profiler reads [`LogTotals`] directly.
+//! Raw entry capture ([`StatementLog::set_capture`]) remains available for
+//! debugging and tests, and is off by default.
 
 use serde::{Deserialize, Serialize};
 
+use crate::ids::TableId;
 use crate::txn::TxnId;
 
 /// The operation recorded in a log line.
@@ -37,7 +43,8 @@ pub enum StatementKind {
     },
 }
 
-/// One log line.
+/// One raw log line (captured only when [`StatementLog::set_capture`] is
+/// on).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatementLogEntry {
     /// Timestamp (seconds, from the clock the embedder installs —
@@ -48,13 +55,62 @@ pub struct StatementLogEntry {
     /// Operation.
     pub kind: StatementKind,
     /// Target table, when applicable.
-    pub table: Option<String>,
+    pub table: Option<TableId>,
 }
 
-/// An in-memory statement log with PostgreSQL-style enable toggle.
+/// Folded statement-log aggregates — everything the Section-4 profiling
+/// pipeline reads from a capture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogTotals {
+    /// BEGIN statements.
+    pub begins: u64,
+    /// SELECT statements.
+    pub selects: u64,
+    /// INSERT statements.
+    pub inserts: u64,
+    /// UPDATE statements.
+    pub updates: u64,
+    /// DELETE statements.
+    pub deletes: u64,
+    /// Committed transactions that issued no write statement.
+    pub read_commits: u64,
+    /// Committed transactions that issued at least one write statement.
+    pub update_commits: u64,
+    /// Write-write certification aborts.
+    pub conflict_aborts: u64,
+    /// Client-initiated rollbacks.
+    pub voluntary_aborts: u64,
+    /// Write statements summed over committed update transactions — the
+    /// numerator of the model parameter `U`.
+    pub update_ops_sum: u64,
+}
+
+impl LogTotals {
+    /// Total statements folded (transaction retirements included).
+    pub fn statements(&self) -> u64 {
+        self.begins
+            + self.selects
+            + self.inserts
+            + self.updates
+            + self.deletes
+            + self.read_commits
+            + self.update_commits
+            + self.conflict_aborts
+            + self.voluntary_aborts
+    }
+
+    /// Committed transactions of either kind.
+    pub fn commits(&self) -> u64 {
+        self.read_commits + self.update_commits
+    }
+}
+
+/// A streaming statement log with PostgreSQL-style enable toggle.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatementLog {
     enabled: bool,
+    capture: bool,
+    totals: LogTotals,
     entries: Vec<StatementLogEntry>,
 }
 
@@ -74,31 +130,106 @@ impl StatementLog {
         self.enabled
     }
 
-    /// Appends an entry if logging is enabled.
-    pub fn record(&mut self, entry: StatementLogEntry) {
-        if self.enabled {
-            self.entries.push(entry);
+    /// Additionally captures raw [`StatementLogEntry`] lines (debugging;
+    /// the profiler needs only [`LogTotals`]).
+    pub fn set_capture(&mut self, on: bool) {
+        self.capture = on;
+    }
+
+    /// The folded aggregates.
+    pub fn totals(&self) -> LogTotals {
+        self.totals
+    }
+
+    /// Folds one non-retiring statement (begin/select/insert/update/
+    /// delete). No-op while disabled.
+    pub fn statement(
+        &mut self,
+        at: f64,
+        session: TxnId,
+        kind: StatementKind,
+        table: Option<TableId>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        match kind {
+            StatementKind::Begin => self.totals.begins += 1,
+            StatementKind::Select => self.totals.selects += 1,
+            StatementKind::Insert => self.totals.inserts += 1,
+            StatementKind::Update => self.totals.updates += 1,
+            StatementKind::Delete => self.totals.deletes += 1,
+            StatementKind::Commit | StatementKind::Abort { .. } => {
+                debug_assert!(false, "retirements fold via commit()/abort()");
+            }
+        }
+        if self.capture {
+            self.entries.push(StatementLogEntry {
+                at,
+                session,
+                kind,
+                table,
+            });
         }
     }
 
-    /// All captured entries, in order.
+    /// Retires a committed transaction, folding its write-statement count
+    /// (`0` marks a read-only commit). No-op while disabled.
+    pub fn commit(&mut self, at: f64, session: TxnId, write_stmts: u64) {
+        if !self.enabled {
+            return;
+        }
+        if write_stmts > 0 {
+            self.totals.update_commits += 1;
+            self.totals.update_ops_sum += write_stmts;
+        } else {
+            self.totals.read_commits += 1;
+        }
+        if self.capture {
+            self.entries.push(StatementLogEntry {
+                at,
+                session,
+                kind: StatementKind::Commit,
+                table: None,
+            });
+        }
+    }
+
+    /// Retires an aborted transaction. No-op while disabled.
+    pub fn abort(&mut self, at: f64, session: TxnId, conflict: bool) {
+        if !self.enabled {
+            return;
+        }
+        if conflict {
+            self.totals.conflict_aborts += 1;
+        } else {
+            self.totals.voluntary_aborts += 1;
+        }
+        if self.capture {
+            self.entries.push(StatementLogEntry {
+                at,
+                session,
+                kind: StatementKind::Abort { conflict },
+                table: None,
+            });
+        }
+    }
+
+    /// Raw captured entries (empty unless capture is on).
     pub fn entries(&self) -> &[StatementLogEntry] {
         &self.entries
     }
 
-    /// Drains and returns the captured entries.
-    pub fn take(&mut self) -> Vec<StatementLogEntry> {
-        std::mem::take(&mut self.entries)
+    /// Discards all folded totals and captured entries (start of a fresh
+    /// measurement window).
+    pub fn reset(&mut self) {
+        self.totals = LogTotals::default();
+        self.entries.clear();
     }
 
-    /// Number of captured entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True when nothing has been captured.
+    /// True when nothing has been folded or captured.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.totals.statements() == 0 && self.entries.is_empty()
     }
 }
 
@@ -106,47 +237,94 @@ impl StatementLog {
 mod tests {
     use super::*;
 
-    fn entry(kind: StatementKind) -> StatementLogEntry {
-        StatementLogEntry {
-            at: 1.0,
-            session: TxnId(1),
-            kind,
-            table: None,
-        }
+    fn txn(n: u64) -> TxnId {
+        TxnId(n)
     }
 
     #[test]
     fn disabled_log_records_nothing() {
         let mut log = StatementLog::new();
-        log.record(entry(StatementKind::Begin));
+        log.statement(1.0, txn(1), StatementKind::Begin, None);
+        log.commit(1.0, txn(1), 0);
         assert!(log.is_empty());
+        assert_eq!(log.totals().statements(), 0);
     }
 
     #[test]
-    fn enabled_log_captures_in_order() {
+    fn statements_fold_into_totals() {
         let mut log = StatementLog::new();
         log.set_enabled(true);
-        log.record(entry(StatementKind::Begin));
-        log.record(entry(StatementKind::Select));
-        log.record(entry(StatementKind::Commit));
-        assert_eq!(log.len(), 3);
-        assert_eq!(log.entries()[1].kind, StatementKind::Select);
+        log.statement(0.0, txn(1), StatementKind::Begin, None);
+        log.statement(0.1, txn(1), StatementKind::Select, Some(TableId(0)));
+        log.statement(0.2, txn(1), StatementKind::Update, Some(TableId(0)));
+        log.statement(0.3, txn(1), StatementKind::Update, Some(TableId(0)));
+        log.commit(0.4, txn(1), 2);
+        let t = log.totals();
+        assert_eq!(t.begins, 1);
+        assert_eq!(t.selects, 1);
+        assert_eq!(t.updates, 2);
+        assert_eq!(t.update_commits, 1);
+        assert_eq!(t.update_ops_sum, 2);
+        assert_eq!(t.read_commits, 0);
+        // Totals only: no entry capture by default.
+        assert!(log.entries().is_empty());
+        assert!(!log.is_empty());
     }
 
     #[test]
-    fn take_drains() {
+    fn commits_classify_by_write_count() {
         let mut log = StatementLog::new();
         log.set_enabled(true);
-        log.record(entry(StatementKind::Begin));
-        let drained = log.take();
-        assert_eq!(drained.len(), 1);
-        assert!(log.is_empty());
+        log.commit(0.0, txn(1), 0);
+        log.commit(0.0, txn(2), 3);
+        let t = log.totals();
+        assert_eq!(t.read_commits, 1);
+        assert_eq!(t.update_commits, 1);
+        assert_eq!(t.update_ops_sum, 3);
+        assert_eq!(t.commits(), 2);
     }
 
     #[test]
-    fn abort_kind_distinguishes_conflicts() {
-        let conflict = StatementKind::Abort { conflict: true };
-        let voluntary = StatementKind::Abort { conflict: false };
-        assert_ne!(conflict, voluntary);
+    fn aborts_distinguish_conflicts() {
+        let mut log = StatementLog::new();
+        log.set_enabled(true);
+        log.abort(0.0, txn(1), true);
+        log.abort(0.0, txn(2), false);
+        assert_eq!(log.totals().conflict_aborts, 1);
+        assert_eq!(log.totals().voluntary_aborts, 1);
+    }
+
+    #[test]
+    fn capture_keeps_raw_entries_in_order() {
+        let mut log = StatementLog::new();
+        log.set_enabled(true);
+        log.set_capture(true);
+        log.statement(1.5, txn(1), StatementKind::Begin, None);
+        log.statement(1.6, txn(1), StatementKind::Select, Some(TableId(2)));
+        log.commit(1.7, txn(1), 0);
+        let kinds: Vec<_> = log.entries().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StatementKind::Begin,
+                StatementKind::Select,
+                StatementKind::Commit
+            ]
+        );
+        assert_eq!(log.entries()[1].table, Some(TableId(2)));
+        assert!((log.entries()[0].at - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_discards_everything() {
+        let mut log = StatementLog::new();
+        log.set_enabled(true);
+        log.set_capture(true);
+        log.statement(0.0, txn(1), StatementKind::Begin, None);
+        log.commit(0.0, txn(1), 1);
+        log.reset();
+        assert!(log.is_empty());
+        assert_eq!(log.totals(), LogTotals::default());
+        assert!(log.entries().is_empty());
     }
 }

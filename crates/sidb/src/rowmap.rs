@@ -1,0 +1,180 @@
+//! Row-keyed lookup structures tuned for the engine's key distributions.
+//!
+//! Workload row keys come in two shapes: *dense* (seeded tables use keys
+//! `0..n`, so a flat vector indexes them in O(1) with no hashing at all)
+//! and *sparse* (per-session private rows draw from a 2^48 keyspace).
+//! [`RowMap`] serves both: keys below [`DENSE_LIMIT`] live in a direct
+//!-mapped vector, everything else in a hash map keyed with [`FxHasher`]
+//! (a multiplicative hash — `u64` keys need no DoS resistance here, and
+//! SipHash would dominate the lookup cost).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Keys below this bound are direct-mapped; the dense vector never grows
+/// beyond it (8 MiB of `u64` slots at the limit).
+pub const DENSE_LIMIT: u64 = 1 << 20;
+
+/// The Firefox/rustc multiplicative hasher, specialized for integer keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A map from row keys to copyable values with a direct-mapped dense
+/// prefix and an Fx-hashed sparse overflow.
+///
+/// A caller-supplied `vacant` sentinel marks empty dense slots, keeping
+/// the dense lane a flat `Vec<V>` (no `Option` tag bytes). The sentinel
+/// must never be inserted as a real value.
+#[derive(Debug, Clone)]
+pub struct RowMap<V> {
+    vacant: V,
+    dense: Vec<V>,
+    sparse: HashMap<u64, V, FxBuildHasher>,
+}
+
+impl<V: Copy + PartialEq> RowMap<V> {
+    /// Creates an empty map whose dense slots read as `vacant`.
+    pub fn new(vacant: V) -> Self {
+        RowMap {
+            vacant,
+            dense: Vec::new(),
+            sparse: HashMap::default(),
+        }
+    }
+
+    /// Looks up `key`, returning `None` for absent keys.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<V> {
+        if key < DENSE_LIMIT {
+            match self.dense.get(key as usize) {
+                Some(&v) if v != self.vacant => Some(v),
+                _ => None,
+            }
+        } else {
+            self.sparse.get(&key).copied()
+        }
+    }
+
+    /// Inserts or overwrites `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when `value` equals the vacant sentinel.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: V) {
+        debug_assert!(value != self.vacant, "sentinel inserted as a value");
+        if key < DENSE_LIMIT {
+            let idx = key as usize;
+            if idx >= self.dense.len() {
+                let grown = (idx + 1)
+                    .max(self.dense.len() * 2)
+                    .min(DENSE_LIMIT as usize);
+                self.dense.resize(grown, self.vacant);
+            }
+            self.dense[idx] = value;
+        } else {
+            self.sparse.insert(key, value);
+        }
+    }
+
+    /// Number of occupied entries (O(dense capacity); diagnostics only).
+    pub fn len(&self) -> usize {
+        self.dense.iter().filter(|&&v| v != self.vacant).count() + self.sparse.len()
+    }
+
+    /// True when no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_sparse_keys_roundtrip() {
+        let mut m = RowMap::new(u32::MAX);
+        m.insert(0, 10);
+        m.insert(999, 11);
+        m.insert(DENSE_LIMIT + 5, 12);
+        m.insert(u64::MAX >> 16, 13);
+        assert_eq!(m.get(0), Some(10));
+        assert_eq!(m.get(999), Some(11));
+        assert_eq!(m.get(DENSE_LIMIT + 5), Some(12));
+        assert_eq!(m.get(u64::MAX >> 16), Some(13));
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.get(DENSE_LIMIT + 6), None);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn overwrite_keeps_single_entry() {
+        let mut m = RowMap::new(0u64);
+        m.insert(7, 1);
+        m.insert(7, 2);
+        assert_eq!(m.get(7), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn empty_map_misses_everything() {
+        let m: RowMap<u32> = RowMap::new(u32::MAX);
+        assert!(m.is_empty());
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.get(DENSE_LIMIT), None);
+    }
+
+    #[test]
+    fn fx_hasher_distributes_u64s() {
+        // Not a statistical test — just confirm distinct keys hash apart.
+        let mut h1 = FxHasher::default();
+        h1.write_u64(1);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(2);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -1,97 +1,198 @@
-//! Versioned tables: per-row version chains.
+//! Versioned tables: interned row slots over a shared version-chain arena.
+//!
+//! Each table interns external row keys ([`crate::RowId`]) into dense
+//! *slots* on first touch. Per slot the table keeps the newest committed
+//! version's index and commit sequence; the versions themselves live in
+//! one arena (`nodes`) as a singly linked chain from newest to oldest,
+//! with freed nodes recycled through a free list. The layout gives the
+//! hot paths exactly what they need:
+//!
+//! - **certification** reads `latest[slot]` — one array load, no chain
+//!   walk;
+//! - **snapshot reads** walk the chain newest-first, which terminates at
+//!   the first visible version (chains stay short because the simulators
+//!   vacuum on an interval);
+//! - **watermark GC** (`Table::vacuum`) frees every node no snapshot at
+//!   or after the watermark can see, returning nodes to the free list
+//!   without moving survivors.
 
-use std::collections::HashMap;
-
+use crate::rowmap::RowMap;
 use crate::value::Row;
 
-/// One committed version of a row. `None` data means the row was deleted
-/// at this version.
+/// Sentinel for "no node" in chain links and slot heads.
+const NO_NODE: u32 = u32::MAX;
+/// Sentinel for "key not interned" in the row index.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One committed version in the arena. `data: None` is a tombstone.
 #[derive(Debug, Clone)]
-pub(crate) struct RowVersion {
-    /// Commit sequence number that produced this version.
-    pub commit_seq: u64,
-    /// Row image; `None` is a tombstone.
-    pub data: Option<Row>,
+struct VersionNode {
+    /// Commit sequence that produced this version.
+    commit_seq: u64,
+    /// Next-older version of the same row, or [`NO_NODE`].
+    prev: u32,
+    /// Row image; `None` is a delete tombstone.
+    data: Option<Row>,
 }
 
-/// Append-only chain of committed versions for one row id, newest last.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct VersionChain {
-    pub versions: Vec<RowVersion>,
-}
-
-impl VersionChain {
-    /// Latest committed version visible at `snapshot` (commit_seq <=
-    /// snapshot), if any.
-    pub fn visible_at(&self, snapshot: u64) -> Option<&RowVersion> {
-        self.versions
-            .iter()
-            .rev()
-            .find(|v| v.commit_seq <= snapshot)
-    }
-
-    /// Commit sequence of the newest version, if any.
-    pub fn latest_seq(&self) -> Option<u64> {
-        self.versions.last().map(|v| v.commit_seq)
-    }
-
-    /// Appends a committed version. Sequences must be non-decreasing —
-    /// the database hands out monotone commit numbers.
-    pub fn push(&mut self, version: RowVersion) {
-        debug_assert!(
-            self.versions
-                .last()
-                .map(|v| v.commit_seq <= version.commit_seq)
-                .unwrap_or(true),
-            "version chain must stay sorted"
-        );
-        self.versions.push(version);
-    }
-
-    /// Drops versions that no snapshot at or after `horizon` can see,
-    /// keeping at least the newest version at or below the horizon.
-    /// Returns the number of versions removed.
-    pub fn vacuum(&mut self, horizon: u64) -> usize {
-        // Find the newest version with commit_seq <= horizon; everything
-        // strictly older than it is unreachable.
-        let keep_from = self
-            .versions
-            .iter()
-            .rposition(|v| v.commit_seq <= horizon)
-            .unwrap_or(0);
-        let removed = keep_from;
-        if removed > 0 {
-            self.versions.drain(..keep_from);
-        }
-        removed
-    }
-}
-
-/// A named table: fixed column list plus row version chains.
+/// A named table: fixed column list, row-key interning, version arena.
 #[derive(Debug, Clone)]
 pub(crate) struct Table {
+    pub name: String,
     pub columns: Vec<String>,
-    pub rows: HashMap<u64, VersionChain>,
+    /// External row key → slot.
+    index: RowMap<u32>,
+    /// Slot → external row key (scan support).
+    keys: Vec<u64>,
+    /// Slot → newest version node, or [`NO_NODE`].
+    heads: Vec<u32>,
+    /// Slot → newest committed sequence (0 before the first commit) —
+    /// the per-table last-committed version vector certification reads.
+    latest: Vec<u64>,
+    /// Version-chain arena.
+    nodes: Vec<VersionNode>,
+    /// Recycled arena indices.
+    free: Vec<u32>,
 }
 
 impl Table {
-    pub fn new(columns: &[&str]) -> Self {
+    pub fn new(name: &str, columns: &[&str]) -> Self {
         Table {
+            name: name.to_string(),
             columns: columns.iter().map(|c| c.to_string()).collect(),
-            rows: HashMap::new(),
+            index: RowMap::new(NO_SLOT),
+            keys: Vec::new(),
+            heads: Vec::new(),
+            latest: Vec::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
         }
     }
 
-    /// Number of rows visible at `snapshot` (excluding tombstoned rows).
+    /// The slot for `key`, if the key was ever written.
+    #[inline]
+    pub fn slot_of(&self, key: u64) -> Option<u32> {
+        self.index.get(key)
+    }
+
+    /// Interns `key`, allocating a fresh empty slot on first touch.
+    pub fn slot_or_intern(&mut self, key: u64) -> u32 {
+        if let Some(slot) = self.index.get(key) {
+            return slot;
+        }
+        let slot = self.keys.len() as u32;
+        self.keys.push(key);
+        self.heads.push(NO_NODE);
+        self.latest.push(0);
+        self.index.insert(key, slot);
+        slot
+    }
+
+    /// Newest committed sequence of the slot (0 when nothing committed).
+    #[inline]
+    pub fn latest_seq(&self, slot: u32) -> u64 {
+        self.latest[slot as usize]
+    }
+
+    /// The newest version at or below `snapshot`, if it carries data
+    /// (i.e. the row is visible and not tombstoned).
+    #[inline]
+    pub fn visible_data(&self, slot: u32, snapshot: u64) -> Option<&Row> {
+        let mut node = self.heads[slot as usize];
+        while node != NO_NODE {
+            let n = &self.nodes[node as usize];
+            if n.commit_seq <= snapshot {
+                return n.data.as_ref();
+            }
+            node = n.prev;
+        }
+        None
+    }
+
+    /// True when the row is visible (with data) at `snapshot`.
+    #[inline]
+    pub fn is_visible(&self, slot: u32, snapshot: u64) -> bool {
+        self.visible_data(slot, snapshot).is_some()
+    }
+
+    /// Installs a committed version for `slot` at `seq`.
+    ///
+    /// Sequences must be non-decreasing per slot — the database hands out
+    /// monotone commit numbers.
+    pub fn install(&mut self, slot: u32, seq: u64, data: Option<Row>) {
+        debug_assert!(
+            self.latest[slot as usize] <= seq,
+            "version chain must stay sorted"
+        );
+        let prev = self.heads[slot as usize];
+        let node = match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx as usize] = VersionNode {
+                    commit_seq: seq,
+                    prev,
+                    data,
+                };
+                idx
+            }
+            None => {
+                self.nodes.push(VersionNode {
+                    commit_seq: seq,
+                    prev,
+                    data,
+                });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.heads[slot as usize] = node;
+        self.latest[slot as usize] = seq;
+    }
+
+    /// Watermark GC: frees every version no snapshot at or after
+    /// `watermark` can see, keeping (per row) the newest version at or
+    /// below the watermark plus everything newer. Returns the number of
+    /// versions freed to the arena's free list.
+    pub fn vacuum(&mut self, watermark: u64) -> usize {
+        let mut freed = 0;
+        for slot in 0..self.heads.len() {
+            let mut node = self.heads[slot];
+            // Find the newest node at or below the watermark; everything
+            // strictly older is unreachable.
+            while node != NO_NODE && self.nodes[node as usize].commit_seq > watermark {
+                node = self.nodes[node as usize].prev;
+            }
+            if node == NO_NODE {
+                continue;
+            }
+            let mut stale = std::mem::replace(&mut self.nodes[node as usize].prev, NO_NODE);
+            while stale != NO_NODE {
+                let next = self.nodes[stale as usize].prev;
+                self.nodes[stale as usize].data = None;
+                self.nodes[stale as usize].prev = NO_NODE;
+                self.free.push(stale);
+                freed += 1;
+                stale = next;
+            }
+        }
+        freed
+    }
+
+    /// Number of live (non-free) versions in the arena.
+    pub fn version_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Every interned `(slot, key)` pair, in interning order.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(slot, &key)| (slot as u32, key))
+    }
+
+    /// Number of rows visible at `snapshot` (excluding tombstones).
     pub fn live_rows_at(&self, snapshot: u64) -> usize {
-        self.rows
-            .values()
-            .filter(|chain| {
-                chain
-                    .visible_at(snapshot)
-                    .map(|v| v.data.is_some())
-                    .unwrap_or(false)
-            })
+        self.entries()
+            .filter(|&(slot, _)| self.is_visible(slot, snapshot))
             .count()
     }
 }
@@ -101,74 +202,96 @@ mod tests {
     use super::*;
     use crate::value::Value;
 
-    fn v(seq: u64, x: i64) -> RowVersion {
-        RowVersion {
-            commit_seq: seq,
-            data: Some(vec![Value::Int(x)]),
+    fn table_with_history() -> (Table, u32) {
+        let mut t = Table::new("t", &["x"]);
+        let slot = t.slot_or_intern(7);
+        for (seq, x) in [(1, 10), (5, 50), (9, 90)] {
+            t.install(slot, seq, Some(vec![Value::Int(x)]));
         }
+        (t, slot)
     }
 
     #[test]
     fn visibility_respects_snapshot() {
-        let mut chain = VersionChain::default();
-        chain.push(v(1, 10));
-        chain.push(v(5, 50));
-        chain.push(v(9, 90));
-        assert!(chain.visible_at(0).is_none());
-        assert_eq!(chain.visible_at(1).unwrap().commit_seq, 1);
-        assert_eq!(chain.visible_at(4).unwrap().commit_seq, 1);
-        assert_eq!(chain.visible_at(5).unwrap().commit_seq, 5);
-        assert_eq!(chain.visible_at(100).unwrap().commit_seq, 9);
+        let (t, slot) = table_with_history();
+        assert!(t.visible_data(slot, 0).is_none());
+        assert_eq!(t.visible_data(slot, 1).unwrap()[0], Value::Int(10));
+        assert_eq!(t.visible_data(slot, 4).unwrap()[0], Value::Int(10));
+        assert_eq!(t.visible_data(slot, 5).unwrap()[0], Value::Int(50));
+        assert_eq!(t.visible_data(slot, 100).unwrap()[0], Value::Int(90));
+        assert_eq!(t.latest_seq(slot), 9);
     }
 
     #[test]
-    fn tombstone_is_visible_as_deleted() {
-        let mut chain = VersionChain::default();
-        chain.push(v(1, 10));
-        chain.push(RowVersion {
-            commit_seq: 3,
-            data: None,
-        });
-        let seen = chain.visible_at(4).unwrap();
-        assert!(seen.data.is_none());
+    fn tombstone_hides_the_row() {
+        let (mut t, slot) = table_with_history();
+        t.install(slot, 11, None);
+        assert!(t.visible_data(slot, 12).is_none());
+        assert!(!t.is_visible(slot, 12));
+        // The pre-delete snapshot still sees data.
+        assert_eq!(t.visible_data(slot, 9).unwrap()[0], Value::Int(90));
     }
 
     #[test]
-    fn vacuum_keeps_horizon_version() {
-        let mut chain = VersionChain::default();
-        for (s, x) in [(1, 1), (3, 3), (7, 7), (9, 9)] {
-            chain.push(v(s, x));
+    fn vacuum_keeps_watermark_version() {
+        let mut t = Table::new("t", &["x"]);
+        let slot = t.slot_or_intern(1);
+        for (seq, x) in [(1, 1), (3, 3), (7, 7), (9, 9)] {
+            t.install(slot, seq, Some(vec![Value::Int(x)]));
         }
-        let removed = chain.vacuum(7);
-        assert_eq!(removed, 2); // versions 1 and 3 dropped
-        assert_eq!(chain.visible_at(8).unwrap().commit_seq, 7);
-        assert_eq!(chain.visible_at(9).unwrap().commit_seq, 9);
+        let freed = t.vacuum(7);
+        assert_eq!(freed, 2); // versions 1 and 3 dropped
+        assert_eq!(t.visible_data(slot, 8).unwrap()[0], Value::Int(7));
+        assert_eq!(t.visible_data(slot, 9).unwrap()[0], Value::Int(9));
+        assert_eq!(t.version_count(), 2);
     }
 
     #[test]
-    fn vacuum_with_low_horizon_keeps_everything() {
-        let mut chain = VersionChain::default();
-        chain.push(v(5, 5));
-        chain.push(v(6, 6));
-        assert_eq!(chain.vacuum(4), 0);
-        assert_eq!(chain.versions.len(), 2);
+    fn vacuum_with_low_watermark_keeps_everything() {
+        let mut t = Table::new("t", &["x"]);
+        let slot = t.slot_or_intern(1);
+        t.install(slot, 5, Some(vec![Value::Int(5)]));
+        t.install(slot, 6, Some(vec![Value::Int(6)]));
+        assert_eq!(t.vacuum(4), 0);
+        assert_eq!(t.version_count(), 2);
+    }
+
+    #[test]
+    fn freed_nodes_are_recycled() {
+        let mut t = Table::new("t", &["x"]);
+        let slot = t.slot_or_intern(1);
+        for seq in 1..=10 {
+            t.install(slot, seq, Some(vec![Value::Int(seq as i64)]));
+        }
+        assert_eq!(t.vacuum(10), 9);
+        let arena_len = t.nodes.len();
+        // New installs reuse freed nodes instead of growing the arena.
+        for seq in 11..=15 {
+            t.install(slot, seq, Some(vec![Value::Int(0)]));
+        }
+        assert_eq!(t.nodes.len(), arena_len);
     }
 
     #[test]
     fn live_row_counting() {
-        let mut t = Table::new(&["x"]);
-        let mut c1 = VersionChain::default();
-        c1.push(v(1, 1));
-        let mut c2 = VersionChain::default();
-        c2.push(v(1, 2));
-        c2.push(RowVersion {
-            commit_seq: 2,
-            data: None,
-        });
-        t.rows.insert(1, c1);
-        t.rows.insert(2, c2);
+        let mut t = Table::new("t", &["x"]);
+        let a = t.slot_or_intern(1);
+        let b = t.slot_or_intern(2);
+        t.install(a, 1, Some(vec![Value::Int(1)]));
+        t.install(b, 1, Some(vec![Value::Int(2)]));
+        t.install(b, 2, None);
         assert_eq!(t.live_rows_at(1), 2);
         assert_eq!(t.live_rows_at(2), 1);
         assert_eq!(t.live_rows_at(0), 0);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = Table::new("t", &["x"]);
+        let a = t.slot_or_intern(42);
+        let b = t.slot_or_intern(42);
+        assert_eq!(a, b);
+        assert_eq!(t.slot_of(42), Some(a));
+        assert_eq!(t.slot_of(43), None);
     }
 }

@@ -1,9 +1,8 @@
 //! Transaction identity and per-transaction state.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
+use crate::ids::{RowId, TableId};
 use crate::value::Row;
 
 /// Opaque transaction identifier, unique within one [`crate::Database`].
@@ -28,38 +27,64 @@ pub enum TxnStatus {
     Aborted,
 }
 
-/// A buffered write: the new row image, or `None` for a delete.
-pub(crate) type PendingWrite = Option<Row>;
+/// One buffered row write of an active transaction.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingWrite {
+    pub table: TableId,
+    pub row: RowId,
+    /// New row image, or `None` for a delete.
+    pub data: Option<Row>,
+    /// Whether the row was visible in the snapshot when first buffered.
+    /// Fixes the writeset op (insert vs update/delete) without any
+    /// commit-time visibility lookup — visibility at a fixed snapshot
+    /// cannot change.
+    pub visible_before: bool,
+}
 
 /// Internal state of an active transaction.
-#[derive(Debug, Clone)]
+///
+/// Buffered writes are a flat vector in first-write order: transactions
+/// write a handful of rows, so a linear scan beats any keyed structure
+/// and the writeset comes out allocation-free at commit.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct TxnState {
     /// Commit sequence number visible to this transaction (its snapshot).
     pub snapshot: u64,
-    /// Buffered writes: table -> row id -> new image. BTreeMap keeps
-    /// writeset extraction deterministic.
-    pub writes: BTreeMap<String, BTreeMap<u64, PendingWrite>>,
-    /// Rows read (for statistics only — SI needs no read validation).
+    /// Buffered writes, deduplicated per `(table, row)`.
+    pub writes: Vec<PendingWrite>,
+    /// Rows read (statistics only — SI needs no read validation).
     pub reads: u64,
+    /// Write *statements* issued (a row rewritten twice counts twice) —
+    /// what the statement log's `U` folds over.
+    pub write_stmts: u64,
 }
 
 impl TxnState {
     pub(crate) fn new(snapshot: u64) -> Self {
         TxnState {
             snapshot,
-            writes: BTreeMap::new(),
-            reads: 0,
+            ..TxnState::default()
         }
+    }
+
+    /// Index of the buffered write for `(table, row)`, if any.
+    #[inline]
+    pub(crate) fn find_write(&self, table: TableId, row: RowId) -> Option<usize> {
+        self.writes
+            .iter()
+            .position(|w| w.table == table && w.row == row)
+    }
+
+    /// The buffered image for `(table, row)`: `Some(&None)` is a
+    /// buffered delete, `None` means the row is untouched.
+    #[inline]
+    pub(crate) fn pending(&self, table: TableId, row: RowId) -> Option<&Option<Row>> {
+        self.find_write(table, row).map(|i| &self.writes[i].data)
     }
 
     /// True when the transaction has buffered no writes (read-only so far).
     pub(crate) fn is_read_only(&self) -> bool {
         self.writes.is_empty()
-    }
-
-    /// Number of row writes buffered.
-    pub(crate) fn write_count(&self) -> usize {
-        self.writes.values().map(BTreeMap::len).sum()
     }
 }
 
@@ -68,41 +93,35 @@ mod tests {
     use super::*;
     use crate::value::Value;
 
+    fn write(table: u32, row: u64, data: Option<Row>) -> PendingWrite {
+        PendingWrite {
+            table: TableId(table),
+            row: RowId(row),
+            data,
+            visible_before: true,
+        }
+    }
+
     #[test]
     fn fresh_txn_is_read_only() {
         let t = TxnState::new(42);
         assert!(t.is_read_only());
-        assert_eq!(t.write_count(), 0);
+        assert!(t.writes.is_empty());
         assert_eq!(t.snapshot, 42);
     }
 
     #[test]
-    fn buffered_writes_counted_per_row() {
+    fn buffered_writes_found_per_row() {
         let mut t = TxnState::new(0);
-        t.writes
-            .entry("a".into())
-            .or_default()
-            .insert(1, Some(vec![Value::Int(1)]));
-        t.writes.entry("a".into()).or_default().insert(2, None);
-        t.writes
-            .entry("b".into())
-            .or_default()
-            .insert(1, Some(vec![Value::Int(2)]));
-        assert_eq!(t.write_count(), 3);
+        t.writes.push(write(0, 1, Some(vec![Value::Int(1)])));
+        t.writes.push(write(0, 2, None));
+        t.writes.push(write(1, 1, Some(vec![Value::Int(2)])));
+        assert_eq!(t.writes.len(), 3);
         assert!(!t.is_read_only());
-    }
-
-    #[test]
-    fn rewriting_same_row_does_not_double_count() {
-        let mut t = TxnState::new(0);
-        t.writes
-            .entry("a".into())
-            .or_default()
-            .insert(1, Some(vec![Value::Int(1)]));
-        t.writes
-            .entry("a".into())
-            .or_default()
-            .insert(1, Some(vec![Value::Int(2)]));
-        assert_eq!(t.write_count(), 1);
+        assert_eq!(t.find_write(TableId(0), RowId(2)), Some(1));
+        assert_eq!(t.find_write(TableId(1), RowId(2)), None);
+        // A buffered delete reads back as Some(&None).
+        assert_eq!(t.pending(TableId(0), RowId(2)), Some(&None));
+        assert_eq!(t.pending(TableId(2), RowId(1)), None);
     }
 }

@@ -5,9 +5,14 @@
 //! Our writesets record, per modified row, the operation and the full new
 //! row image, plus the snapshot version the transaction read from — which
 //! is exactly what the certifier compares against committed writesets.
+//!
+//! Rows are addressed by interned [`TableId`]/[`RowId`] pairs, never by
+//! name: a writeset item is a flat 4-word record, and applying or
+//! certifying one costs an array index instead of a string hash.
 
 use serde::{Deserialize, Serialize};
 
+use crate::ids::{RowId, TableId};
 use crate::value::{row_wire_size, Row};
 
 /// The kind of row modification.
@@ -24,10 +29,10 @@ pub enum WriteOp {
 /// One modified row inside a writeset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WriteItem {
-    /// Table name.
-    pub table: String,
-    /// Row id.
-    pub row: u64,
+    /// Interned table id (identical on every replica of a schema).
+    pub table: TableId,
+    /// Row key.
+    pub row: RowId,
     /// Operation kind.
     pub op: WriteOp,
     /// New row image (`None` for deletes).
@@ -35,10 +40,10 @@ pub struct WriteItem {
 }
 
 impl WriteItem {
-    /// Approximate propagation size in bytes: table name + key + payload.
+    /// Approximate propagation size in bytes: table id + key + op + payload.
     pub fn wire_size(&self) -> usize {
         let payload = self.data.as_ref().map(row_wire_size).unwrap_or(0);
-        self.table.len() + 8 + 1 + payload
+        4 + 8 + 1 + payload
     }
 }
 
@@ -49,7 +54,7 @@ pub struct WriteSet {
     /// The certifier checks conflicts against writesets committed *after*
     /// this version.
     pub base_version: u64,
-    /// Modified rows, in deterministic (table, row) order.
+    /// Modified rows, in first-write order.
     pub items: Vec<WriteItem>,
 }
 
@@ -85,8 +90,8 @@ impl WriteSet {
     }
 
     /// Keys `(table, row)` touched by this writeset.
-    pub fn keys(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.items.iter().map(|i| (i.table.as_str(), i.row))
+    pub fn keys(&self) -> impl Iterator<Item = (TableId, RowId)> + '_ {
+        self.items.iter().map(|i| (i.table, i.row))
     }
 }
 
@@ -95,10 +100,10 @@ mod tests {
     use super::*;
     use crate::value::Value;
 
-    fn item(table: &str, row: u64) -> WriteItem {
+    fn item(table: u32, row: u64) -> WriteItem {
         WriteItem {
-            table: table.into(),
-            row,
+            table: TableId(table),
+            row: RowId(row),
             op: WriteOp::Update,
             data: Some(vec![Value::Int(1)]),
         }
@@ -108,15 +113,15 @@ mod tests {
     fn conflict_requires_common_row() {
         let a = WriteSet {
             base_version: 0,
-            items: vec![item("t", 1), item("t", 2)],
+            items: vec![item(0, 1), item(0, 2)],
         };
         let b = WriteSet {
             base_version: 0,
-            items: vec![item("t", 2)],
+            items: vec![item(0, 2)],
         };
         let c = WriteSet {
             base_version: 0,
-            items: vec![item("t", 3), item("u", 1)],
+            items: vec![item(0, 3), item(1, 1)],
         };
         assert!(a.conflicts_with(&b));
         assert!(b.conflicts_with(&a));
@@ -133,7 +138,7 @@ mod tests {
         };
         let a = WriteSet {
             base_version: 0,
-            items: vec![item("t", 1)],
+            items: vec![item(0, 1)],
         };
         assert!(empty.is_empty());
         assert!(!empty.conflicts_with(&a));
@@ -144,13 +149,13 @@ mod tests {
     fn wire_size_scales_with_payload() {
         let small = WriteSet {
             base_version: 0,
-            items: vec![item("t", 1)],
+            items: vec![item(0, 1)],
         };
         let big = WriteSet {
             base_version: 0,
             items: vec![WriteItem {
-                table: "t".into(),
-                row: 1,
+                table: TableId(0),
+                row: RowId(1),
                 op: WriteOp::Update,
                 data: Some(vec![Value::Bytes(vec![0u8; 200])]),
             }],
@@ -163,21 +168,28 @@ mod tests {
     fn update_operations_counts_rows() {
         let ws = WriteSet {
             base_version: 7,
-            items: vec![item("a", 1), item("a", 2), item("b", 9)],
+            items: vec![item(0, 1), item(0, 2), item(1, 9)],
         };
         assert_eq!(ws.update_operations(), 3);
         let keys: Vec<_> = ws.keys().collect();
-        assert_eq!(keys, vec![("a", 1), ("a", 2), ("b", 9)]);
+        assert_eq!(
+            keys,
+            vec![
+                (TableId(0), RowId(1)),
+                (TableId(0), RowId(2)),
+                (TableId(1), RowId(9))
+            ]
+        );
     }
 
     #[test]
     fn delete_item_has_no_payload_size() {
         let del = WriteItem {
-            table: "t".into(),
-            row: 4,
+            table: TableId(0),
+            row: RowId(4),
             op: WriteOp::Delete,
             data: None,
         };
-        assert_eq!(del.wire_size(), 1 + 8 + 1);
+        assert_eq!(del.wire_size(), 4 + 8 + 1);
     }
 }

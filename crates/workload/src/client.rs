@@ -7,12 +7,14 @@
 //! transaction is aborted, the Java Servlet retries the transaction."
 //!
 //! [`ClientPool`] owns one independent RNG stream per client so that runs
-//! are deterministic and clients are statistically independent.
+//! are deterministic and clients are statistically independent. It runs a
+//! [`CompiledWorkload`]: sampling a transaction touches no strings and
+//! clones nothing but the sampled row-target vectors.
 
 use replipred_sim::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::spec::{TxnTemplate, WorkloadSpec};
+use crate::spec::{CompiledWorkload, TxnTemplate, WorkloadSpec};
 
 /// Identifier of an emulated client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -20,17 +22,17 @@ pub struct ClientId(pub usize);
 
 /// A pool of independent closed-loop clients for one workload.
 pub struct ClientPool {
-    spec: WorkloadSpec,
+    plan: CompiledWorkload,
     streams: Vec<Rng>,
 }
 
 impl ClientPool {
     /// Creates `count` clients with independent RNG streams derived from
-    /// `seed`.
-    pub fn new(spec: WorkloadSpec, count: usize, seed: u64) -> Self {
+    /// `seed`, running the compiled plan.
+    pub fn new(plan: CompiledWorkload, count: usize, seed: u64) -> Self {
         let mut root = Rng::seed_from_u64(seed);
         let streams = (0..count).map(|i| root.fork(i as u64)).collect();
-        ClientPool { spec, streams }
+        ClientPool { plan, streams }
     }
 
     /// Number of clients in the pool.
@@ -45,7 +47,12 @@ impl ClientPool {
 
     /// The workload specification the clients run.
     pub fn spec(&self) -> &WorkloadSpec {
-        &self.spec
+        self.plan.spec()
+    }
+
+    /// The compiled plan the clients run.
+    pub fn plan(&self) -> &CompiledWorkload {
+        &self.plan
     }
 
     /// Samples the next transaction for `client`.
@@ -54,8 +61,7 @@ impl ClientPool {
     ///
     /// Panics on an out-of-range client id.
     pub fn next_transaction(&mut self, client: ClientId) -> TxnTemplate {
-        let spec = self.spec.clone();
-        spec.sample(&mut self.streams[client.0])
+        self.plan.sample(&mut self.streams[client.0])
     }
 
     /// Samples a think-time interval for `client`.
@@ -64,8 +70,7 @@ impl ClientPool {
     ///
     /// Panics on an out-of-range client id.
     pub fn next_think(&mut self, client: ClientId) -> f64 {
-        let mean = self.spec.think_time;
-        self.streams[client.0].exp(mean)
+        self.plan.spec().sample_think(&mut self.streams[client.0])
     }
 
     /// Re-samples the *service demands* of a transaction for a retry,
@@ -73,7 +78,7 @@ impl ClientPool {
     /// the same business operation, but its resource usage is a fresh
     /// sample.
     pub fn resample_demands(&mut self, client: ClientId, template: &TxnTemplate) -> TxnTemplate {
-        let class = &self.spec.classes[template.class];
+        let class = &self.plan.spec().classes[template.class];
         let rng = &mut self.streams[client.0];
         TxnTemplate {
             cpu_demand: rng.exp(class.cpu),
@@ -87,12 +92,19 @@ impl ClientPool {
 mod tests {
     use super::*;
     use crate::tpcw;
+    use replipred_sidb::Database;
+
+    fn plan(spec: WorkloadSpec) -> CompiledWorkload {
+        let mut db = Database::new();
+        spec.create_schema(&mut db).unwrap();
+        spec.compile(&db).unwrap()
+    }
 
     #[test]
     fn pool_is_deterministic() {
-        let spec = tpcw::mix(tpcw::Mix::Shopping);
-        let mut a = ClientPool::new(spec.clone(), 4, 99);
-        let mut b = ClientPool::new(spec, 4, 99);
+        let p = plan(tpcw::mix(tpcw::Mix::Shopping));
+        let mut a = ClientPool::new(p.clone(), 4, 99);
+        let mut b = ClientPool::new(p, 4, 99);
         for i in 0..4 {
             assert_eq!(
                 a.next_transaction(ClientId(i)),
@@ -104,8 +116,7 @@ mod tests {
 
     #[test]
     fn clients_are_independent() {
-        let spec = tpcw::mix(tpcw::Mix::Shopping);
-        let mut pool = ClientPool::new(spec, 2, 7);
+        let mut pool = ClientPool::new(plan(tpcw::mix(tpcw::Mix::Shopping)), 2, 7);
         let t0 = pool.next_think(ClientId(0));
         let t1 = pool.next_think(ClientId(1));
         assert_ne!(t0, t1);
@@ -113,8 +124,7 @@ mod tests {
 
     #[test]
     fn think_times_average_to_spec() {
-        let spec = tpcw::mix(tpcw::Mix::Shopping);
-        let mut pool = ClientPool::new(spec, 1, 5);
+        let mut pool = ClientPool::new(plan(tpcw::mix(tpcw::Mix::Shopping)), 1, 5);
         let n = 20_000;
         let sum: f64 = (0..n).map(|_| pool.next_think(ClientId(0))).sum();
         let mean = sum / n as f64;
@@ -123,8 +133,7 @@ mod tests {
 
     #[test]
     fn retry_keeps_targets_resamples_demands() {
-        let spec = tpcw::mix(tpcw::Mix::Ordering);
-        let mut pool = ClientPool::new(spec, 1, 3);
+        let mut pool = ClientPool::new(plan(tpcw::mix(tpcw::Mix::Ordering)), 1, 3);
         // Find an update transaction.
         let mut t = pool.next_transaction(ClientId(0));
         while !t.is_update {

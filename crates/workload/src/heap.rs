@@ -70,14 +70,18 @@ mod tests {
     fn stressed_spec_adds_heap_write() {
         let base = tpcw::mix(tpcw::Mix::Shopping);
         let stressed = with_heap_stress(&base, 64);
+        let mut db = Database::new();
+        stressed.create_schema(&mut db).unwrap();
+        let plan = stressed.compile(&db).unwrap();
+        let heap = plan.heap_table().expect("stressor compiles the heap table");
         let mut rng = Rng::seed_from_u64(3);
         let mut saw_heap = false;
         for _ in 0..200 {
-            let t = stressed.sample(&mut rng);
+            let t = plan.sample(&mut rng);
             if t.is_update {
-                let heap_writes = t.writes.iter().filter(|(tbl, _)| tbl == HEAP_TABLE).count();
+                let heap_writes = t.writes.iter().filter(|&&(tbl, _)| tbl == heap).count();
                 assert_eq!(heap_writes, 1, "each update hits the heap exactly once");
-                assert!(t.writes.iter().all(|(tbl, r)| tbl != HEAP_TABLE || *r < 64));
+                assert!(t.writes.iter().all(|&(tbl, r)| tbl != heap || r.raw() < 64));
                 saw_heap = true;
             }
         }
@@ -95,9 +99,10 @@ mod tests {
     fn schema_includes_heap_table() {
         let stressed = with_heap_stress(&tpcw::mix(tpcw::Mix::Shopping), 32);
         let mut db = Database::new();
-        stressed.create_schema(&mut db).unwrap();
-        stressed.seed(&mut db, 0.01).unwrap();
-        assert_eq!(db.live_rows(HEAP_TABLE).unwrap(), 32);
+        let plan = stressed.install(&mut db, 0.01).unwrap();
+        let heap = plan.heap_table().unwrap();
+        assert_eq!(db.live_rows(heap).unwrap(), 32);
+        assert_eq!(db.table_name(heap), Some(HEAP_TABLE));
     }
 
     #[test]
@@ -107,21 +112,20 @@ mod tests {
         fn conflicts(heap_rows: u64) -> usize {
             let spec = with_heap_stress(&tpcw::mix(tpcw::Mix::Ordering), heap_rows);
             let mut db = Database::new();
-            spec.create_schema(&mut db).unwrap();
-            spec.seed(&mut db, 0.001).unwrap();
+            let plan = spec.install(&mut db, 0.001).unwrap();
             let mut rng = Rng::seed_from_u64(42);
             let mut conflicts = 0;
             for _ in 0..300 {
                 // Two logically concurrent updates.
                 let (a, b) = (db.begin(), db.begin());
-                let (ta, tb) = (spec.sample(&mut rng), spec.sample(&mut rng));
+                let (ta, tb) = (plan.sample(&mut rng), plan.sample(&mut rng));
                 if !ta.is_update || !tb.is_update {
                     let _ = db.abort(a);
                     let _ = db.abort(b);
                     continue;
                 }
-                spec.execute(&mut db, a, &ta).unwrap();
-                spec.execute(&mut db, b, &tb).unwrap();
+                plan.execute(&mut db, a, &ta).unwrap();
+                plan.execute(&mut db, b, &tb).unwrap();
                 let _ = db.commit(a);
                 if db.commit(b).is_err() {
                     conflicts += 1;

@@ -13,7 +13,11 @@
 //!
 //! - [`spec::WorkloadSpec`] — a declarative description of a transaction
 //!   mix: class probabilities, per-class service demands (from the paper's
-//!   Tables 3 and 5), rows touched, update-set sizes.
+//!   Tables 3 and 5), rows touched, update-set sizes. Specs are
+//!   **compiled** once per run ([`spec::WorkloadSpec::install`]) into a
+//!   [`spec::CompiledWorkload`] whose table references are dense
+//!   [`replipred_sidb::TableId`]s — the sampling/execution hot path does
+//!   zero name resolution.
 //! - [`tpcw`] and [`rubis`] — the two benchmarks with the paper's published
 //!   parameters (Tables 2 and 4) and schema/seed-data generators.
 //! - [`heap`] — the Figure-14 abort stressor: a small heap table that every
@@ -32,11 +36,11 @@
 //!
 //! let spec = tpcw::mix(tpcw::Mix::Shopping);
 //! let mut db = Database::new();
-//! spec.create_schema(&mut db).unwrap();
-//! spec.seed(&mut db, 0.05).unwrap(); // 5% scale for a quick test
+//! // Create the schema, compile names to ids, seed at 5% scale.
+//! let plan = spec.install(&mut db, 0.05).unwrap();
 //!
 //! let mut rng = Rng::seed_from_u64(1);
-//! let txn = spec.sample(&mut rng);
+//! let txn = plan.sample(&mut rng);
 //! assert!(txn.cpu_demand > 0.0);
 //! ```
 
@@ -47,4 +51,4 @@ pub mod spec;
 pub mod tpcw;
 
 pub use client::ClientPool;
-pub use spec::{TxnClass, TxnTemplate, WorkloadSpec};
+pub use spec::{CompiledWorkload, TxnClass, TxnTemplate, WorkloadSpec};

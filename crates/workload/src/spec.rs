@@ -1,6 +1,14 @@
-//! Declarative workload descriptions and transaction sampling.
+//! Declarative workload descriptions, compiled statement plans and
+//! transaction sampling.
+//!
+//! A [`WorkloadSpec`] names tables by string (it is a serializable,
+//! human-editable description). Before a run it is **compiled** against a
+//! database schema into a [`CompiledWorkload`]: every table name resolves
+//! once to a dense [`TableId`], so the per-statement hot path — sampling
+//! a transaction and executing it — performs zero name resolution and
+//! allocates nothing but the row images it writes.
 
-use replipred_sidb::{Database, DbError, TxnId, Value};
+use replipred_sidb::{Database, DbError, RowId, TableId, TxnId, Value};
 use replipred_sim::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -72,7 +80,8 @@ pub struct WorkloadSpec {
 }
 
 /// A sampled transaction, ready to execute against a database and/or a
-/// simulated resource pipeline.
+/// simulated resource pipeline. Row targets are pre-resolved ids — the
+/// execution hot path never sees a table name.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TxnTemplate {
     /// Index into [`WorkloadSpec::classes`].
@@ -83,10 +92,10 @@ pub struct TxnTemplate {
     pub cpu_demand: f64,
     /// Sampled disk demand for this attempt, seconds.
     pub disk_demand: f64,
-    /// Rows to read: `(table, row)`.
-    pub reads: Vec<(String, u64)>,
-    /// Rows to write: `(table, row)`.
-    pub writes: Vec<(String, u64)>,
+    /// Rows to read.
+    pub reads: Vec<(TableId, RowId)>,
+    /// Rows to write.
+    pub writes: Vec<(TableId, RowId)>,
 }
 
 impl WorkloadSpec {
@@ -155,57 +164,14 @@ impl WorkloadSpec {
         matching.iter().map(|c| c.weight * get(c)).sum::<f64>() / w
     }
 
-    /// Samples one transaction.
-    ///
-    /// Update targets are drawn *without replacement* from the updatable
-    /// row space; read targets are drawn from the read tables.
-    pub fn sample(&self, rng: &mut Rng) -> TxnTemplate {
-        let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
-        let class = rng.weighted_index(&weights);
-        let spec = &self.classes[class];
-        let cpu_demand = rng.exp(spec.cpu);
-        let disk_demand = rng.exp(spec.disk);
-        let mut reads = Vec::with_capacity(spec.reads);
-        if !self.read_tables.is_empty() {
-            for _ in 0..spec.reads {
-                let (table, rows) = &self.read_tables[rng.index(self.read_tables.len())];
-                reads.push((table.clone(), rng.below((*rows).max(1))));
-            }
-        }
-        let mut writes = Vec::new();
-        if spec.is_update {
-            // Distinct rows of the update table.
-            while writes.len() < spec.writes.min(self.db_update_size as usize) {
-                let row = rng.below(self.db_update_size);
-                if !writes.iter().any(|(_, r)| *r == row) {
-                    writes.push((self.update_table.clone(), row));
-                }
-            }
-            // Private rows: a 2^48 keyspace makes collisions (and hence
-            // conflicts) negligible, like per-session cart rows.
-            for _ in 0..spec.private_writes {
-                writes.push((PRIVATE_TABLE.to_string(), rng.next_u64() >> 16));
-            }
-            if let Some(h) = self.heap {
-                writes.push((crate::heap::HEAP_TABLE.to_string(), rng.below(h.rows)));
-            }
-        }
-        TxnTemplate {
-            class,
-            is_update: spec.is_update,
-            cpu_demand,
-            disk_demand,
-            reads,
-            writes,
-        }
-    }
-
     /// Samples a think-time interval (exponential, paper Section 6.1).
     pub fn sample_think(&self, rng: &mut Rng) -> f64 {
         rng.exp(self.think_time)
     }
 
-    /// Creates every table this workload touches.
+    /// Creates every table this workload touches. Ids are assigned in a
+    /// fixed order (update table, read tables, private table, heap), so
+    /// every replica of a workload agrees on them.
     ///
     /// # Errors
     ///
@@ -226,6 +192,142 @@ impl WorkloadSpec {
         Ok(())
     }
 
+    /// Compiles this spec against a database whose schema was created by
+    /// [`WorkloadSpec::create_schema`], resolving every table name to its
+    /// id once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchTable`] when the schema is missing a
+    /// table this workload references.
+    pub fn compile(&self, db: &Database) -> Result<CompiledWorkload, DbError> {
+        let resolve = |name: &str| {
+            db.table_id(name)
+                .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+        };
+        let update_table = resolve(&self.update_table)?;
+        let mut read_tables = Vec::with_capacity(self.read_tables.len());
+        for (name, rows) in &self.read_tables {
+            read_tables.push((resolve(name)?, *rows));
+        }
+        let private_table = if self.classes.iter().any(|c| c.private_writes > 0) {
+            Some(resolve(PRIVATE_TABLE)?)
+        } else {
+            None
+        };
+        let heap_table = match self.heap {
+            Some(_) => Some(resolve(crate::heap::HEAP_TABLE)?),
+            None => None,
+        };
+        Ok(CompiledWorkload {
+            class_weights: self.classes.iter().map(|c| c.weight).collect(),
+            update_table,
+            read_tables,
+            private_table,
+            heap_table,
+            spec: self.clone(),
+        })
+    }
+
+    /// One-stop setup for a fresh replica: creates the schema, seeds it
+    /// at `scale`, and returns the compiled plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn install(&self, db: &mut Database, scale: f64) -> Result<CompiledWorkload, DbError> {
+        self.create_schema(db)?;
+        let plan = self.compile(db)?;
+        plan.seed(db, scale)?;
+        Ok(plan)
+    }
+}
+
+/// A [`WorkloadSpec`] with every table reference resolved to a dense
+/// [`TableId`] — the form the simulators and client pools run.
+///
+/// Compilation happens once per run; replicas built from the same spec in
+/// the same schema order share identical plans, which is asserted where
+/// replica sets are constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledWorkload {
+    spec: WorkloadSpec,
+    /// Pre-extracted class weights (avoids rebuilding per sample).
+    class_weights: Vec<f64>,
+    update_table: TableId,
+    read_tables: Vec<(TableId, u64)>,
+    private_table: Option<TableId>,
+    heap_table: Option<TableId>,
+}
+
+impl CompiledWorkload {
+    /// The spec this plan was compiled from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The resolved update-table id.
+    pub fn update_table(&self) -> TableId {
+        self.update_table
+    }
+
+    /// The resolved heap-table id, when the abort stressor is on.
+    pub fn heap_table(&self) -> Option<TableId> {
+        self.heap_table
+    }
+
+    /// The resolved private-table id, when any class writes private rows.
+    pub fn private_table(&self) -> Option<TableId> {
+        self.private_table
+    }
+
+    /// Samples one transaction.
+    ///
+    /// Update targets are drawn *without replacement* from the updatable
+    /// row space; read targets are drawn from the read tables.
+    pub fn sample(&self, rng: &mut Rng) -> TxnTemplate {
+        let spec = &self.spec;
+        let class = rng.weighted_index(&self.class_weights);
+        let c = &spec.classes[class];
+        let cpu_demand = rng.exp(c.cpu);
+        let disk_demand = rng.exp(c.disk);
+        let mut reads = Vec::with_capacity(c.reads);
+        if !self.read_tables.is_empty() {
+            for _ in 0..c.reads {
+                let (table, rows) = self.read_tables[rng.index(self.read_tables.len())];
+                reads.push((table, RowId(rng.below(rows.max(1)))));
+            }
+        }
+        let mut writes = Vec::new();
+        if c.is_update {
+            // Distinct rows of the update table.
+            while writes.len() < c.writes.min(spec.db_update_size as usize) {
+                let row = RowId(rng.below(spec.db_update_size));
+                if !writes.iter().any(|&(_, r)| r == row) {
+                    writes.push((self.update_table, row));
+                }
+            }
+            // Private rows: a 2^48 keyspace makes collisions (and hence
+            // conflicts) negligible, like per-session cart rows.
+            for _ in 0..c.private_writes {
+                let table = self.private_table.expect("compiled with private rows");
+                writes.push((table, RowId(rng.next_u64() >> 16)));
+            }
+            if let Some(h) = spec.heap {
+                let table = self.heap_table.expect("compiled with the heap stressor");
+                writes.push((table, RowId(rng.below(h.rows))));
+            }
+        }
+        TxnTemplate {
+            class,
+            is_update: c.is_update,
+            cpu_demand,
+            disk_demand,
+            reads,
+            writes,
+        }
+    }
+
     /// Seeds the schema. The update table and heap table are seeded
     /// *fully* (conflict behaviour depends on their exact sizes); read
     /// tables are scaled by `scale` (1.0 = benchmark-standard sizes).
@@ -235,21 +337,21 @@ impl WorkloadSpec {
     /// Propagates engine errors.
     pub fn seed(&self, db: &mut Database, scale: f64) -> Result<(), DbError> {
         let txn = db.begin();
-        for row in 0..self.db_update_size {
-            db.insert(txn, &self.update_table.clone(), row, Self::payload(row))?;
+        for row in 0..self.spec.db_update_size {
+            db.insert(txn, self.update_table, RowId(row), payload(row))?;
         }
-        for (table, rows) in self.read_tables.clone() {
+        for &(table, rows) in &self.read_tables {
             if table == self.update_table {
                 continue;
             }
             let n = ((rows as f64 * scale).ceil() as u64).max(1);
             for row in 0..n {
-                db.insert(txn, &table, row, Self::payload(row))?;
+                db.insert(txn, table, RowId(row), payload(row))?;
             }
         }
-        if let Some(h) = self.heap {
+        if let (Some(h), Some(heap)) = (self.spec.heap, self.heap_table) {
             for row in 0..h.rows {
-                db.insert(txn, crate::heap::HEAP_TABLE, row, Self::payload(row))?;
+                db.insert(txn, heap, RowId(row), payload(row))?;
             }
         }
         db.commit(txn).expect("seed transaction cannot conflict");
@@ -269,39 +371,41 @@ impl WorkloadSpec {
         txn: TxnId,
         template: &TxnTemplate,
     ) -> Result<(), DbError> {
-        for (table, row) in &template.reads {
+        for &(table, row) in &template.reads {
             // Reads of rows beyond the scaled seed just return None.
-            let _ = db.read(txn, table, *row)?;
+            let _ = db.read(txn, table, row)?;
         }
-        for (table, row) in &template.writes {
-            let current = db.read(txn, table, *row)?;
-            let next = match current {
-                Some(mut row_data) => {
-                    if let Value::Int(c) = row_data[1] {
-                        row_data[1] = Value::Int(c + 1);
+        for &(table, row) in &template.writes {
+            // Read-modify-write: bump the counter column, or materialize
+            // the row (private/per-session rows are created on first use).
+            let next = match db.read(txn, table, row)? {
+                Some(current) => {
+                    let mut next = current.clone();
+                    if let Value::Int(c) = next[1] {
+                        next[1] = Value::Int(c + 1);
                     }
-                    row_data
+                    next
                 }
-                None => Self::payload(*row),
+                None => payload(row.raw()),
             };
-            match db.update(txn, table, *row, next.clone()) {
+            match db.update(txn, table, row, next) {
                 Ok(()) => {}
-                Err(DbError::NoSuchRow { .. }) => db.insert(txn, table, *row, next)?,
+                Err(DbError::NoSuchRow { .. }) => db.insert(txn, table, row, payload(row.raw()))?,
                 Err(e) => return Err(e),
             }
         }
         Ok(())
     }
+}
 
-    /// Standard row payload: sized so that a `U = 3` writeset is close to
-    /// the paper's ~275-byte average.
-    fn payload(row: u64) -> Vec<Value> {
-        Vec::from([
-            Value::Text(format!("row-{row:08}-{}", "x".repeat(48))),
-            Value::Int(0),
-            Value::Int(row as i64),
-        ])
-    }
+/// Standard row payload: sized so that a `U = 3` writeset is close to
+/// the paper's ~275-byte average.
+fn payload(row: u64) -> Vec<Value> {
+    Vec::from([
+        Value::Text(format!("row-{row:08}-{}", "x".repeat(48))),
+        Value::Int(0),
+        Value::Int(row as i64),
+    ])
 }
 
 #[cfg(test)]
@@ -311,6 +415,12 @@ mod tests {
 
     fn spec() -> WorkloadSpec {
         tpcw::mix(tpcw::Mix::Shopping)
+    }
+
+    fn installed() -> (Database, CompiledWorkload) {
+        let mut db = Database::new();
+        let plan = spec().install(&mut db, 0.01).unwrap();
+        (db, plan)
     }
 
     #[test]
@@ -331,42 +441,41 @@ mod tests {
 
     #[test]
     fn sampling_respects_mix_fractions() {
-        let s = spec();
+        let (_, plan) = installed();
         let mut rng = Rng::seed_from_u64(7);
         let n = 20_000;
-        let updates = (0..n).filter(|_| s.sample(&mut rng).is_update).count();
+        let updates = (0..n).filter(|_| plan.sample(&mut rng).is_update).count();
         let frac = updates as f64 / n as f64;
         assert!((frac - 0.20).abs() < 0.01, "update fraction {frac}");
     }
 
     #[test]
     fn sampled_demands_average_to_means() {
-        let s = spec();
+        let (_, plan) = installed();
         let mut rng = Rng::seed_from_u64(11);
         let mut read_cpu = 0.0;
         let mut reads = 0usize;
         for _ in 0..50_000 {
-            let t = s.sample(&mut rng);
+            let t = plan.sample(&mut rng);
             if !t.is_update {
                 read_cpu += t.cpu_demand;
                 reads += 1;
             }
         }
         let mean = read_cpu / reads as f64;
-        assert!(
-            (mean - s.mean_read_cpu()).abs() / s.mean_read_cpu() < 0.05,
-            "mean {mean}"
-        );
+        let want = plan.spec().mean_read_cpu();
+        assert!((mean - want).abs() / want < 0.05, "mean {mean}");
     }
 
     #[test]
     fn update_targets_are_distinct_and_in_range() {
-        let s = spec();
+        let (_, plan) = installed();
+        let s = plan.spec().clone();
         let mut rng = Rng::seed_from_u64(13);
         for _ in 0..1000 {
-            let t = s.sample(&mut rng);
+            let t = plan.sample(&mut rng);
             if t.is_update {
-                let mut rows: Vec<u64> = t.writes.iter().map(|(_, r)| *r).collect();
+                let mut rows: Vec<u64> = t.writes.iter().map(|(_, r)| r.raw()).collect();
                 rows.sort_unstable();
                 let len = rows.len();
                 rows.dedup();
@@ -374,27 +483,24 @@ mod tests {
                 assert!(t
                     .writes
                     .iter()
-                    .all(|(tbl, r)| tbl != &s.update_table || *r < s.db_update_size));
+                    .all(|&(tbl, r)| tbl != plan.update_table() || r.raw() < s.db_update_size));
             }
         }
     }
 
     #[test]
     fn schema_seed_and_execute_roundtrip() {
-        let s = spec();
-        let mut db = Database::new();
-        s.create_schema(&mut db).unwrap();
-        s.seed(&mut db, 0.01).unwrap();
+        let (mut db, plan) = installed();
         assert_eq!(
-            db.live_rows(&s.update_table).unwrap() as u64,
-            s.db_update_size
+            db.live_rows(plan.update_table()).unwrap() as u64,
+            plan.spec().db_update_size
         );
         let mut rng = Rng::seed_from_u64(17);
         // Execute a handful of sampled transactions serially: all commit.
         for _ in 0..50 {
-            let template = s.sample(&mut rng);
+            let template = plan.sample(&mut rng);
             let txn = db.begin();
-            s.execute(&mut db, txn, &template).unwrap();
+            plan.execute(&mut db, txn, &template).unwrap();
             db.commit(txn).unwrap();
         }
         assert!(db.stats().abort_probability() == 0.0);
@@ -402,25 +508,25 @@ mod tests {
 
     #[test]
     fn executing_update_increments_counter() {
-        let s = spec();
-        let mut db = Database::new();
-        s.create_schema(&mut db).unwrap();
-        s.seed(&mut db, 0.01).unwrap();
+        let (mut db, plan) = installed();
         let template = TxnTemplate {
             class: 0,
             is_update: true,
             cpu_demand: 0.01,
             disk_demand: 0.01,
             reads: vec![],
-            writes: vec![(s.update_table.clone(), 5)],
+            writes: vec![(plan.update_table(), RowId(5))],
         };
         for _ in 0..3 {
             let txn = db.begin();
-            s.execute(&mut db, txn, &template).unwrap();
+            plan.execute(&mut db, txn, &template).unwrap();
             db.commit(txn).unwrap();
         }
         let txn = db.begin();
-        let row = db.read(txn, &s.update_table, 5).unwrap().unwrap();
+        let row = db
+            .read(txn, plan.update_table(), RowId(5))
+            .unwrap()
+            .unwrap();
         assert_eq!(row[1], Value::Int(3));
     }
 
@@ -433,22 +539,32 @@ mod tests {
     }
 
     #[test]
+    fn compile_requires_the_schema() {
+        let db = Database::new();
+        assert!(matches!(spec().compile(&db), Err(DbError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn replicas_compile_to_identical_plans() {
+        let (_, a) = installed();
+        let (_, b) = installed();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn writeset_size_near_paper_value() {
         // Paper: average TPC-W writeset is 275 bytes. Allow a generous
         // band — what matters is the order of magnitude for LAN transfer.
-        let s = spec();
-        let mut db = Database::new();
-        s.create_schema(&mut db).unwrap();
-        s.seed(&mut db, 0.01).unwrap();
+        let (mut db, plan) = installed();
         let mut rng = Rng::seed_from_u64(23);
         let mut sizes = Vec::new();
         while sizes.len() < 100 {
-            let t = s.sample(&mut rng);
+            let t = plan.sample(&mut rng);
             if !t.is_update {
                 continue;
             }
             let txn = db.begin();
-            s.execute(&mut db, txn, &t).unwrap();
+            plan.execute(&mut db, txn, &t).unwrap();
             let info = db.commit(txn).unwrap();
             sizes.push(info.writeset.wire_size());
         }

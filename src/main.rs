@@ -41,7 +41,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   replipred predict  --workload <w> [--design <d>] [--replicas N] [--clients C] [--json]
   replipred sweep    --workload <w> [--design <d>] [--replicas N] [--clients C] [--simulate]
-                     [--seed S] [--seeds K] [--jobs J] [--json]
+                     [--profile-live] [--seed S] [--seeds K] [--jobs J] [--json]
   replipred simulate --workload <w> [--design <d>] [--replicas N] [--seed S] [--seeds K]
                      [--jobs J] [--json]
   replipred plan     --workload <w> --tps X [--max-response-ms R] [--max-abort-pct A]
@@ -53,7 +53,9 @@ workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-biddin
            or @profile.json (predict/sweep/plan only)
 --jobs J:  worker threads for simulation cells (default: all cores; the
            report is identical for every J)
---seeds K: seed replications per simulated point, aggregated to mean +- CI";
+--seeds K: seed replications per simulated point, aggregated to mean +- CI
+--profile-live (sweep): measure the profile via the Section-4 standalone
+           profiling pipeline instead of the published tables";
 
 /// Parses `--flag value` pairs after the subcommand, rejecting repeated
 /// flags and flag names standing in for values (`--replicas --seed`).
@@ -305,7 +307,18 @@ fn predict(args: &[String]) -> Result<(), String> {
 
 fn sweep(args: &[String]) -> Result<(), String> {
     let designs = parse_designs(args, &Design::ALL)?;
-    let mut scenario = configure(workload_scenario(args)?, args, 8)?.designs(designs);
+    let base = if has_flag(args, "--profile-live") {
+        // Measure the profile on the standalone simulation (the paper's
+        // Section-4 pipeline) instead of using the published tables —
+        // exercises workload → sidb → profiler end to end.
+        let w = flag(args, "--workload")?.ok_or("missing --workload")?;
+        let spec = workload_spec(&w)
+            .ok_or_else(|| format!("--profile-live needs a published workload name, got `{w}`"))?;
+        Scenario::from_spec(spec)
+    } else {
+        workload_scenario(args)?
+    };
+    let mut scenario = configure(base, args, 8)?.designs(designs);
     if parse_count(args, "--seeds")?.is_some() && !has_flag(args, "--simulate") {
         return Err(
             "--seeds requires --simulate (prediction is deterministic, so seed \

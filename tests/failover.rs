@@ -4,22 +4,24 @@
 
 use replipred::repl::certifier::Certification;
 use replipred::repl::replicated_certifier::ReplicatedCertifier;
-use replipred::sidb::{Database, Value};
+use replipred::sidb::{Database, RowId, TableId, Value};
 
-fn fresh_replica() -> Database {
+fn fresh_replica() -> (Database, TableId) {
     let mut db = Database::new();
-    db.create_table("t", &["v"]).unwrap();
+    let table = db.create_table("t", &["v"]).unwrap();
     let s = db.begin();
     for i in 0..50u64 {
-        db.insert(s, "t", i, vec![Value::Int(0)]).unwrap();
+        db.insert(s, table, RowId(i), vec![Value::Int(0)]).unwrap();
     }
     db.commit(s).unwrap();
-    db
+    (db, table)
 }
 
 #[test]
 fn updates_survive_leader_failover_mid_stream() {
-    let mut replicas = [fresh_replica(), fresh_replica()];
+    let (r0, table) = fresh_replica();
+    let (r1, _) = fresh_replica();
+    let mut replicas = [r0, r1];
     let offset = replicas[0].version();
     let mut cert = ReplicatedCertifier::new(3);
     let mut committed_rows = Vec::new();
@@ -35,10 +37,10 @@ fn updates_survive_leader_failover_mid_stream() {
             cert.kill(victim);
         }
         let origin = (step % 2) as usize;
-        let row = step % 50;
+        let row = RowId(step % 50);
         let db = &mut replicas[origin];
         let txn = db.begin();
-        db.update(txn, "t", row, vec![Value::Int(step as i64)])
+        db.update(txn, table, row, vec![Value::Int(step as i64)])
             .unwrap();
         let mut ws = db.writeset_of(txn).unwrap();
         db.abort(txn).unwrap();
@@ -55,14 +57,15 @@ fn updates_survive_leader_failover_mid_stream() {
     }
     assert!(committed_rows.len() >= 55, "most serialized updates commit");
     // Both replicas agree and reflect exactly the committed history.
-    let mut expected: std::collections::HashMap<u64, i64> = (0..50).map(|r| (r, 0)).collect();
+    let mut expected: std::collections::HashMap<RowId, i64> =
+        (0..50).map(|r| (RowId(r), 0)).collect();
     for (row, v) in committed_rows {
         expected.insert(row, v);
     }
     for db in replicas.iter_mut() {
         let t = db.begin();
         for (&row, &v) in &expected {
-            let got = db.read(t, "t", row).unwrap().unwrap();
+            let got = db.read(t, table, row).unwrap().unwrap();
             assert_eq!(got[0], Value::Int(v), "row {row}");
         }
         db.commit(t).unwrap();
@@ -72,10 +75,11 @@ fn updates_survive_leader_failover_mid_stream() {
 #[test]
 fn no_quorum_blocks_rather_than_diverges() {
     let mut cert = ReplicatedCertifier::new(3);
-    let mut db = fresh_replica();
+    let (mut db, table) = fresh_replica();
     let offset = db.version();
     let txn = db.begin();
-    db.update(txn, "t", 1, vec![Value::Int(1)]).unwrap();
+    db.update(txn, table, RowId(1), vec![Value::Int(1)])
+        .unwrap();
     let mut ws = db.writeset_of(txn).unwrap();
     db.abort(txn).unwrap();
     ws.base_version -= offset;

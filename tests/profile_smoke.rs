@@ -143,6 +143,60 @@ fn cli_sweep_design_all_emits_valid_scenario_report() {
 }
 
 #[test]
+fn cli_sweep_profile_live_runs_the_profiling_pipeline() {
+    // --profile-live measures the profile through the Section-4 pipeline
+    // (workload → sidb statement log → profiler) before predicting.
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "sweep",
+            "--workload",
+            "tpcw-shopping",
+            "--profile-live",
+            "--design",
+            "mm",
+            "--replicas",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(
+        output.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let report: ScenarioReport =
+        serde_json::from_str(&stdout).expect("sweep --json emits a ScenarioReport");
+    assert_eq!(report.workload, "tpcw-shopping");
+    let curve = report.designs[0]
+        .predicted
+        .as_ref()
+        .expect("profiled sweep predicts");
+    assert!(curve.points.iter().all(|p| p.throughput_tps > 0.0));
+}
+
+#[test]
+fn cli_sweep_profile_live_rejects_profile_files() {
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "sweep",
+            "--workload",
+            "@profile.json",
+            "--profile-live",
+            "--json",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--profile-live needs a published workload name"),
+        "unexpected error: {stderr}"
+    );
+}
+
+#[test]
 fn cli_predict_design_all_prints_every_design() {
     let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
         .args([

@@ -4,7 +4,27 @@
 use proptest::prelude::*;
 use replipred::model::{AbortModel, MultiMasterModel, SystemConfig, WorkloadProfile};
 use replipred::mva::{approx, bounds, exact, ClosedNetwork};
-use replipred::sidb::{Database, Value};
+use replipred::sidb::{Database, RowId, TableId, Value};
+
+/// A fresh database with one table `t` seeded with `rows` integer rows.
+fn seeded_db(rows: u64) -> (Database, TableId) {
+    let mut db = Database::new();
+    let table = db.create_table("t", &["v"]).unwrap();
+    let seed = db.begin();
+    for i in 0..rows {
+        db.insert(seed, table, RowId(i), vec![Value::Int(0)])
+            .unwrap();
+    }
+    db.commit(seed).unwrap();
+    (db, table)
+}
+
+fn int_cell(db: &mut Database, txn: replipred::sidb::TxnId, table: TableId, row: u64) -> i64 {
+    match db.read(txn, table, RowId(row)).unwrap().unwrap()[0] {
+        Value::Int(v) => v,
+        _ => unreachable!("seeded cells are ints"),
+    }
+}
 
 fn arb_network() -> impl Strategy<Value = ClosedNetwork> {
     (
@@ -118,18 +138,12 @@ proptest! {
     /// a batch of single-row updates.
     #[test]
     fn si_first_committer_wins(rows in proptest::collection::vec(0u64..20, 2..12)) {
-        let mut db = Database::new();
-        db.create_table("t", &["v"]).unwrap();
-        let seed = db.begin();
-        for i in 0..20u64 {
-            db.insert(seed, "t", i, vec![Value::Int(0)]).unwrap();
-        }
-        db.commit(seed).unwrap();
+        let (mut db, table) = seeded_db(20);
         // Begin all transactions concurrently (same snapshot), each
         // updating its assigned row; commit in order.
         let txns: Vec<_> = rows.iter().map(|_| db.begin()).collect();
         for (txn, &row) in txns.iter().zip(&rows) {
-            db.update(*txn, "t", row, vec![Value::Int(1)]).unwrap();
+            db.update(*txn, table, RowId(row), vec![Value::Int(1)]).unwrap();
         }
         let mut winners: std::collections::HashMap<u64, usize> = Default::default();
         for (i, (txn, &row)) in txns.iter().zip(&rows).enumerate() {
@@ -148,35 +162,110 @@ proptest! {
         }
     }
 
+    /// SI engine: a reader's snapshot is immune to any sequence of
+    /// concurrent committed updates, and a fresh transaction sees exactly
+    /// the last committed value per row.
+    #[test]
+    fn si_snapshot_stability_across_concurrent_commits(
+        updates in proptest::collection::vec((0u64..10, -50i64..50), 1..30),
+    ) {
+        let (mut db, table) = seeded_db(10);
+        let reader = db.begin();
+        let before: Vec<i64> = (0..10).map(|r| int_cell(&mut db, reader, table, r)).collect();
+        let mut last: std::collections::HashMap<u64, i64> = Default::default();
+        for &(row, val) in &updates {
+            let w = db.begin();
+            db.update(w, table, RowId(row), vec![Value::Int(val)]).unwrap();
+            db.commit(w).unwrap();
+            last.insert(row, val);
+            // The long-running reader still sees its snapshot, unchanged.
+            for r in 0..10 {
+                prop_assert_eq!(int_cell(&mut db, reader, table, r), before[r as usize]);
+            }
+        }
+        db.commit(reader).unwrap();
+        // A fresh snapshot sees exactly the newest committed value per row.
+        let fresh = db.begin();
+        for r in 0..10u64 {
+            let want = last.get(&r).copied().unwrap_or(0);
+            prop_assert_eq!(int_cell(&mut db, fresh, table, r), want);
+        }
+    }
+
     /// Writeset application is deterministic: applying the same stream to
     /// two replicas yields identical versions.
     #[test]
     fn writeset_application_deterministic(updates in proptest::collection::vec((0u64..50, -100i64..100), 1..40)) {
-        let build = || {
-            let mut db = Database::new();
-            db.create_table("t", &["v"]).unwrap();
-            let s = db.begin();
-            for i in 0..50u64 {
-                db.insert(s, "t", i, vec![Value::Int(0)]).unwrap();
-            }
-            db.commit(s).unwrap();
-            db
-        };
-        let mut primary = build();
-        let mut replica_a = build();
-        let mut replica_b = build();
+        let (mut primary, table) = seeded_db(50);
+        let (mut replica_a, _) = seeded_db(50);
+        let (mut replica_b, _) = seeded_db(50);
         for &(row, val) in &updates {
             let t = primary.begin();
-            primary.update(t, "t", row, vec![Value::Int(val)]).unwrap();
+            primary.update(t, table, RowId(row), vec![Value::Int(val)]).unwrap();
             let info = primary.commit(t).unwrap();
             replica_a.apply_writeset(&info.writeset).unwrap();
             replica_b.apply_writeset(&info.writeset).unwrap();
         }
         let scan = |db: &mut Database| {
             let t = db.begin();
-            db.scan(t, "t").unwrap()
+            db.scan(t, table).unwrap()
         };
         prop_assert_eq!(scan(&mut replica_a), scan(&mut replica_b));
         prop_assert_eq!(replica_a.version(), replica_b.version());
+    }
+
+    /// Re-applying a certified writeset is idempotent in visible state:
+    /// a replica that (erroneously or during recovery replay) applies
+    /// every writeset twice exposes exactly the same rows as one that
+    /// applied the stream once.
+    #[test]
+    fn writeset_apply_idempotent_in_visible_state(
+        updates in proptest::collection::vec((0u64..30, -100i64..100), 1..30),
+    ) {
+        let (mut primary, table) = seeded_db(30);
+        let (mut once, _) = seeded_db(30);
+        let (mut twice, _) = seeded_db(30);
+        for &(row, val) in &updates {
+            let t = primary.begin();
+            primary.update(t, table, RowId(row), vec![Value::Int(val)]).unwrap();
+            let info = primary.commit(t).unwrap();
+            once.apply_writeset(&info.writeset).unwrap();
+            twice.apply_writeset(&info.writeset).unwrap();
+            twice.apply_writeset(&info.writeset).unwrap();
+        }
+        let scan = |db: &mut Database| {
+            let t = db.begin();
+            db.scan(t, table).unwrap()
+        };
+        prop_assert_eq!(scan(&mut once), scan(&mut twice));
+    }
+
+    /// Writesets over pairwise-disjoint rows commute: applying them in
+    /// certification order or fully reversed yields the same visible
+    /// state. (Overlapping writesets do NOT commute — which is exactly
+    /// why the simulators retire them in strict certification order.)
+    #[test]
+    fn disjoint_writesets_commute(vals in proptest::collection::vec(-100i64..100, 2..20)) {
+        let (mut primary, table) = seeded_db(20);
+        // One writeset per distinct row: disjoint by construction.
+        let mut writesets = Vec::new();
+        for (row, &val) in vals.iter().enumerate() {
+            let t = primary.begin();
+            primary.update(t, table, RowId(row as u64), vec![Value::Int(val)]).unwrap();
+            writesets.push(primary.commit(t).unwrap().writeset);
+        }
+        let (mut forward, _) = seeded_db(20);
+        let (mut reversed, _) = seeded_db(20);
+        for ws in &writesets {
+            forward.apply_writeset(ws).unwrap();
+        }
+        for ws in writesets.iter().rev() {
+            reversed.apply_writeset(ws).unwrap();
+        }
+        let scan = |db: &mut Database| {
+            let t = db.begin();
+            db.scan(t, table).unwrap()
+        };
+        prop_assert_eq!(scan(&mut forward), scan(&mut reversed));
     }
 }

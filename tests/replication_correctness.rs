@@ -2,17 +2,25 @@
 //! snapshot-isolation invariants across certified replicas.
 
 use replipred::repl::certifier::{Certification, Certifier};
-use replipred::sidb::{Database, Value};
+use replipred::sidb::{Database, RowId, TableId, Value};
 
-fn fresh_replica() -> Database {
+fn fresh_replica() -> (Database, TableId) {
     let mut db = Database::new();
-    db.create_table("acct", &["balance"]).unwrap();
+    let acct = db.create_table("acct", &["balance"]).unwrap();
     let t = db.begin();
     for i in 0..100u64 {
-        db.insert(t, "acct", i, vec![Value::Int(1000)]).unwrap();
+        db.insert(t, acct, RowId(i), vec![Value::Int(1000)])
+            .unwrap();
     }
     db.commit(t).unwrap();
-    db
+    (db, acct)
+}
+
+fn balance(db: &mut Database, txn: replipred::sidb::TxnId, acct: TableId, row: u64) -> i64 {
+    match db.read(txn, acct, RowId(row)).unwrap().unwrap()[0] {
+        Value::Int(b) => b,
+        _ => unreachable!("balance is an int"),
+    }
 }
 
 /// Runs an update on `origin`, certifies it, and applies the certified
@@ -20,6 +28,7 @@ fn fresh_replica() -> Database {
 fn certified_update(
     replicas: &mut [Database],
     certifier: &mut Certifier,
+    acct: TableId,
     origin: usize,
     row: u64,
     delta: i64,
@@ -27,7 +36,7 @@ fn certified_update(
 ) -> bool {
     let db = &mut replicas[origin];
     let txn = db.begin();
-    let bal = match db.read(txn, "acct", row).unwrap() {
+    let bal = match db.read(txn, acct, RowId(row)).unwrap() {
         Some(r) => match r[0] {
             Value::Int(b) => b,
             _ => unreachable!("balance is an int"),
@@ -37,7 +46,7 @@ fn certified_update(
             return false;
         }
     };
-    db.update(txn, "acct", row, vec![Value::Int(bal + delta)])
+    db.update(txn, acct, RowId(row), vec![Value::Int(bal + delta)])
         .unwrap();
     let mut ws = db.writeset_of(txn).unwrap();
     db.abort(txn).unwrap();
@@ -55,21 +64,24 @@ fn certified_update(
 
 #[test]
 fn replicas_converge_to_identical_state() {
-    let mut replicas = vec![fresh_replica(), fresh_replica(), fresh_replica()];
+    let (r0, acct) = fresh_replica();
+    let (r1, _) = fresh_replica();
+    let (r2, _) = fresh_replica();
+    let mut replicas = vec![r0, r1, r2];
     let offset = replicas[0].version();
     let mut certifier = Certifier::new();
     // A deterministic interleaving of updates from all three replicas.
     for step in 0..300u64 {
         let origin = (step % 3) as usize;
         let row = (step * 17) % 100;
-        certified_update(&mut replicas, &mut certifier, origin, row, 1, offset);
+        certified_update(&mut replicas, &mut certifier, acct, origin, row, 1, offset);
     }
     // All replicas expose identical committed state.
-    let scans: Vec<Vec<(u64, Vec<Value>)>> = replicas
+    let scans: Vec<Vec<(RowId, Vec<Value>)>> = replicas
         .iter_mut()
         .map(|db| {
             let t = db.begin();
-            let rows = db.scan(t, "acct").unwrap();
+            let rows = db.scan(t, acct).unwrap();
             db.commit(t).unwrap();
             rows
         })
@@ -84,7 +96,9 @@ fn replicas_converge_to_identical_state() {
 fn no_lost_updates_under_certified_concurrency() {
     // Two replicas race increments on the same row from the same snapshot;
     // exactly one certifies. Total balance must equal seeded + commits.
-    let mut replicas = [fresh_replica(), fresh_replica()];
+    let (r0, acct) = fresh_replica();
+    let (r1, _) = fresh_replica();
+    let mut replicas = [r0, r1];
     let offset = replicas[0].version();
     let mut certifier = Certifier::new();
     let mut commits = 0i64;
@@ -95,11 +109,8 @@ fn no_lost_updates_under_certified_concurrency() {
         let mut pending = Vec::new();
         for db in replicas.iter_mut() {
             let txn = db.begin();
-            let bal = match db.read(txn, "acct", row).unwrap().unwrap()[0] {
-                Value::Int(b) => b,
-                _ => unreachable!(),
-            };
-            db.update(txn, "acct", row, vec![Value::Int(bal + 1)])
+            let bal = balance(db, txn, acct, row);
+            db.update(txn, acct, RowId(row), vec![Value::Int(bal + 1)])
                 .unwrap();
             let mut ws = db.writeset_of(txn).unwrap();
             db.abort(txn).unwrap();
@@ -124,7 +135,7 @@ fn no_lost_updates_under_certified_concurrency() {
     let db = &mut replicas[0];
     let t = db.begin();
     let total: i64 = db
-        .scan(t, "acct")
+        .scan(t, acct)
         .unwrap()
         .iter()
         .map(|(_, r)| match r[0] {
@@ -137,7 +148,9 @@ fn no_lost_updates_under_certified_concurrency() {
 
 #[test]
 fn stale_replica_catches_up_in_order() {
-    let mut replicas = [fresh_replica(), fresh_replica()];
+    let (r0, acct) = fresh_replica();
+    let (r1, _) = fresh_replica();
+    let mut replicas = [r0, r1];
     let offset = replicas[0].version();
     let mut certifier = Certifier::new();
     // Apply updates only through replica 0 for a while, leaving replica 1
@@ -146,7 +159,7 @@ fn stale_replica_catches_up_in_order() {
     for step in 0..20u64 {
         let db = &mut replicas[0];
         let txn = db.begin();
-        db.update(txn, "acct", step % 5, vec![Value::Int(step as i64)])
+        db.update(txn, acct, RowId(step % 5), vec![Value::Int(step as i64)])
             .unwrap();
         let mut ws = db.writeset_of(txn).unwrap();
         db.abort(txn).unwrap();
@@ -170,43 +183,36 @@ fn stale_replica_catches_up_in_order() {
     let expected = {
         let db = &mut replicas[0];
         let t = db.begin();
-        db.scan(t, "acct").unwrap()
+        db.scan(t, acct).unwrap()
     };
     let got = {
         let db = &mut replicas[1];
         let t = db.begin();
-        db.scan(t, "acct").unwrap()
+        db.scan(t, acct).unwrap()
     };
     assert_eq!(expected, got);
 }
 
 #[test]
 fn read_only_transactions_see_consistent_snapshots_during_replication() {
-    let mut replicas = vec![fresh_replica(), fresh_replica()];
+    let (r0, acct) = fresh_replica();
+    let (r1, _) = fresh_replica();
+    let mut replicas = vec![r0, r1];
     let offset = replicas[0].version();
     let mut certifier = Certifier::new();
     // Open a long-running reader on replica 1.
     let reader = replicas[1].begin();
-    let before: i64 = match replicas[1].read(reader, "acct", 0).unwrap().unwrap()[0] {
-        Value::Int(b) => b,
-        _ => unreachable!(),
-    };
+    let before = balance(&mut replicas[1], reader, acct, 0);
     // Meanwhile, writes flow through replication.
     for _ in 0..5 {
-        certified_update(&mut replicas, &mut certifier, 0, 0, 100, offset);
+        certified_update(&mut replicas, &mut certifier, acct, 0, 0, 100, offset);
     }
     // The reader's snapshot is unaffected (snapshot stability under GSI).
-    let after: i64 = match replicas[1].read(reader, "acct", 0).unwrap().unwrap()[0] {
-        Value::Int(b) => b,
-        _ => unreachable!(),
-    };
+    let after = balance(&mut replicas[1], reader, acct, 0);
     assert_eq!(before, after);
     replicas[1].commit(reader).unwrap();
     // A fresh reader sees all five increments.
     let fresh = replicas[1].begin();
-    let latest: i64 = match replicas[1].read(fresh, "acct", 0).unwrap().unwrap()[0] {
-        Value::Int(b) => b,
-        _ => unreachable!(),
-    };
+    let latest = balance(&mut replicas[1], fresh, acct, 0);
     assert_eq!(latest, before + 500);
 }

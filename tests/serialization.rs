@@ -4,7 +4,7 @@
 
 use replipred::model::{MultiMasterModel, SystemConfig, WorkloadProfile};
 use replipred::repl::{SimConfig, StandaloneSim};
-use replipred::sidb::{Value, WriteItem, WriteOp, WriteSet};
+use replipred::sidb::{RowId, TableId, Value, WriteItem, WriteOp, WriteSet};
 use replipred::workload::tpcw;
 
 #[test]
@@ -62,14 +62,14 @@ fn writeset_roundtrip() {
         base_version: 42,
         items: vec![
             WriteItem {
-                table: "items".into(),
-                row: 7,
+                table: TableId(3),
+                row: RowId(7),
                 op: WriteOp::Update,
                 data: Some(vec![Value::text("x"), Value::Int(1), Value::Float(0.5)]),
             },
             WriteItem {
-                table: "items".into(),
-                row: 9,
+                table: TableId(3),
+                row: RowId(9),
                 op: WriteOp::Delete,
                 data: None,
             },
