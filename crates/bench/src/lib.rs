@@ -175,6 +175,20 @@ pub fn profile_workload(spec: &WorkloadSpec) -> WorkloadProfile {
     Profiler::new(spec.clone()).seed(seed()).profile().profile
 }
 
+/// Resolves a workload *name* through the facade registry: one of the
+/// five published mixes or a `synth:` description — so experiment bins
+/// (and `REPLIPRED_WORKLOAD`-style knobs) can run [`compare`] over any
+/// point of the synthetic family.
+///
+/// # Panics
+///
+/// Panics with the registry's error message for unknown names or
+/// malformed `synth:` descriptions (experiment bins fail loudly).
+pub fn named_workload(name: &str) -> WorkloadSpec {
+    replipred::scenario::parse_workload(name)
+        .unwrap_or_else(|e| panic!("cannot resolve workload `{name}`: {e}"))
+}
+
 /// Runs one model-vs-simulation comparison across the replica sweep,
 /// through the shared [`Scenario`] driver: the profile is measured on the
 /// standalone simulation, then the design's predictor and simulator run
@@ -301,5 +315,30 @@ mod tests {
         let s = replica_sweep();
         assert!(s.contains(&1));
         assert!(s.contains(&16));
+    }
+
+    #[test]
+    fn named_workload_resolves_published_and_synth() {
+        assert_eq!(named_workload("tpcw-ordering").name, "tpcw-ordering");
+        let synth = named_workload("synth:ycsb-b");
+        assert_eq!(synth.name, "synth:ycsb-b");
+        assert!((synth.pw() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resolve workload")]
+    fn named_workload_rejects_unknown_names() {
+        named_workload("tpcw-nope");
+    }
+
+    #[test]
+    fn compare_runs_over_a_synthetic_workload() {
+        // The full model-vs-simulation comparison pipeline accepts any
+        // point of the synthetic family, not just the published mixes.
+        let spec = named_workload("synth:ycsb-b");
+        let points = compare(&spec, Design::MultiMaster, &[1]);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].measured_throughput() > 0.0);
+        assert!(points[0].predicted.throughput_tps > 0.0);
     }
 }

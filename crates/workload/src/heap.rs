@@ -27,7 +27,10 @@ pub fn with_heap_stress(spec: &WorkloadSpec, heap_rows: u64) -> WorkloadSpec {
     assert!(heap_rows > 0, "heap table needs at least one row");
     let mut out = spec.clone();
     out.name = format!("{}+heap{}", spec.name, heap_rows);
-    out.heap = Some(HeapStress { rows: heap_rows });
+    out.heap = Some(HeapStress {
+        rows: heap_rows,
+        writes: 1,
+    });
     out
 }
 

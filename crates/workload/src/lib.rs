@@ -23,6 +23,10 @@
 //! - [`heap`] — the Figure-14 abort stressor: a small heap table that every
 //!   update transaction additionally writes, dialing the standalone abort
 //!   probability `A1` up in a controlled way.
+//! - [`synth`] — the synthetic workload family: [`synth::SynthSpec`] builds
+//!   valid specs from continuous knobs (update fraction, demand ranges,
+//!   transaction length, hotspot skew, think time, table count/scale), with
+//!   named presets spanning the corners of the space.
 //! - [`client`] — closed-loop emulated-browser sampling (exponential think
 //!   times, transaction templates), shared by the standalone profiler and
 //!   the cluster simulators.
@@ -43,12 +47,31 @@
 //! let txn = plan.sample(&mut rng);
 //! assert!(txn.cpu_demand > 0.0);
 //! ```
+//!
+//! Synthetic workloads build the same way from continuous knobs:
+//!
+//! ```
+//! use replipred_sidb::Database;
+//! use replipred_workload::synth::SynthSpec;
+//!
+//! let spec = SynthSpec::preset("write-heavy")
+//!     .unwrap()
+//!     .clients(20)
+//!     .build()
+//!     .unwrap();
+//! assert!((spec.pw() - 0.60).abs() < 1e-9);
+//! let mut db = Database::new();
+//! let plan = spec.install(&mut db, 0.05).unwrap();
+//! assert!(plan.spec().mean_update_ops() > 0.0);
+//! ```
 
 pub mod client;
 pub mod heap;
 pub mod rubis;
 pub mod spec;
+pub mod synth;
 pub mod tpcw;
 
 pub use client::ClientPool;
 pub use spec::{CompiledWorkload, TxnClass, TxnTemplate, WorkloadSpec};
+pub use synth::SynthSpec;

@@ -46,11 +46,22 @@ pub struct TxnClass {
 /// Table that holds private (per-session) rows: carts, order lines, bids.
 pub const PRIVATE_TABLE: &str = "session_data";
 
-/// Optional Figure-14 abort stressor configuration (see [`crate::heap`]).
+/// Hot-table stressor configuration: every update transaction writes
+/// `writes` uniformly random rows of a small, fully replicated `heap`
+/// table ([`crate::heap::HEAP_TABLE`]).
+///
+/// With `writes = 1` this is exactly the paper's Figure-14 abort
+/// stressor; the synthetic workload family ([`crate::synth`]) generalizes
+/// it into a *hotspot-skew* knob by steering a fraction of each update
+/// transaction's shared writes into the hot table instead of the large
+/// uniform update table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HeapStress {
     /// Number of rows in the heap table; smaller → more conflicts.
     pub rows: u64,
+    /// Hot-table writes per update transaction (distinct rows, capped at
+    /// `rows`). The Figure-14 stressor uses 1.
+    pub writes: usize,
 }
 
 /// A complete benchmark workload: mix, demands, schema and sampling rules.
@@ -116,7 +127,7 @@ impl WorkloadSpec {
     }
 
     /// Mean `U`: update operations per update transaction (weighted over
-    /// update classes; includes the heap-stress row when configured).
+    /// update classes; includes the hot-table writes when configured).
     pub fn mean_update_ops(&self) -> f64 {
         let updates: Vec<&TxnClass> = self.classes.iter().filter(|c| c.is_update).collect();
         let w: f64 = updates.iter().map(|c| c.weight).sum();
@@ -128,7 +139,9 @@ impl WorkloadSpec {
             .map(|c| c.weight * (c.writes + c.private_writes) as f64)
             .sum::<f64>()
             / w;
-        base + if self.heap.is_some() { 1.0 } else { 0.0 }
+        base + self
+            .heap
+            .map_or(0.0, |h| h.writes.min(h.rows as usize) as f64)
     }
 
     /// Mean CPU demand of read-only transactions (`rc_cpu`).
@@ -315,7 +328,15 @@ impl CompiledWorkload {
             }
             if let Some(h) = spec.heap {
                 let table = self.heap_table.expect("compiled with the heap stressor");
-                writes.push((table, RowId(rng.below(h.rows))));
+                // Distinct hot rows (capped at the table size).
+                let start = writes.len();
+                let want = h.writes.min(h.rows as usize);
+                while writes.len() - start < want {
+                    let row = RowId(rng.below(h.rows));
+                    if !writes[start..].iter().any(|&(_, r)| r == row) {
+                        writes.push((table, row));
+                    }
+                }
             }
         }
         TxnTemplate {
@@ -534,8 +555,19 @@ mod tests {
     fn mean_update_ops_counts_heap_extra() {
         let mut s = spec();
         let base = s.mean_update_ops();
-        s.heap = Some(HeapStress { rows: 100 });
+        s.heap = Some(HeapStress {
+            rows: 100,
+            writes: 1,
+        });
         assert!((s.mean_update_ops() - (base + 1.0)).abs() < 1e-12);
+        s.heap = Some(HeapStress {
+            rows: 100,
+            writes: 3,
+        });
+        assert!((s.mean_update_ops() - (base + 3.0)).abs() < 1e-12);
+        // Writes are capped at the table size.
+        s.heap = Some(HeapStress { rows: 2, writes: 5 });
+        assert!((s.mean_update_ops() - (base + 2.0)).abs() < 1e-12);
     }
 
     #[test]

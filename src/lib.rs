@@ -23,7 +23,13 @@
 //!   Figure-3 load-balancing algorithm.
 //! - [`scenario`] — the shared experiment driver: declare *workload ×
 //!   design set × replica range × seed* once and get a serializable
-//!   [`scenario::ScenarioReport`] back.
+//!   [`scenario::ScenarioReport`] back. Its workload registry accepts the
+//!   five published mixes and the synthetic family
+//!   (`synth:<preset>` / `synth:k=v,...`, see
+//!   [`workload::synth`]).
+//! - [`validate`] — the prediction-vs-simulation error grid behind
+//!   `replipred validate`: sweep workloads × designs × replica points and
+//!   fold the relative errors into per-design mean/max summaries.
 //!
 //! # Quickstart
 //!
@@ -59,6 +65,7 @@
 //! assert_eq!(report.designs.len(), 3);
 //! ```
 pub mod scenario;
+pub mod validate;
 
 pub use replipred_core as model;
 pub use replipred_mva as mva;

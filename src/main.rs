@@ -4,6 +4,7 @@
 //! replipred predict  --workload tpcw-shopping --design mm --replicas 16
 //! replipred sweep    --workload tpcw-shopping --design all --replicas 8 --json
 //! replipred simulate --workload tpcw-shopping --design sm --replicas 8
+//! replipred validate --workload all --replicas 4 --jobs 8
 //! replipred plan     --workload tpcw-ordering --tps 250 --max-response-ms 400
 //! replipred profile  --workload rubis-bidding --seed 7
 //! ```
@@ -11,19 +12,24 @@
 //! Every experiment subcommand is a thin front end over
 //! [`replipred::scenario::Scenario`]: designs are addressed through the
 //! registry (`--design standalone|mm|sm|all`), and `--json` emits the
-//! scenario's serialized report.
+//! scenario's serialized report. `validate` drives the
+//! [`replipred::validate::ValidationGrid`] — the prediction-vs-simulation
+//! error grid over workloads × designs × replica points.
 //!
 //! `--workload` accepts the five published profiles
-//! (`tpcw-{browsing,shopping,ordering}`, `rubis-{browsing,bidding}`) or
-//! `@path/to/profile.json` (a serialized `WorkloadProfile`, as produced by
-//! `profile --json`; prediction only).
+//! (`tpcw-{browsing,shopping,ordering}`, `rubis-{browsing,bidding}`), a
+//! synthetic-family description (`synth:<preset>` or `synth:k=v,...`, see
+//! [`replipred::workload::synth`]) or `@path/to/profile.json` (a
+//! serialized `WorkloadProfile`, as produced by `profile --json`;
+//! prediction only).
 
 use std::process::ExitCode;
 
 use replipred::model::planner::{plan_designs, Plan, Slo};
 use replipred::model::{Design, SystemConfig, WorkloadProfile};
 use replipred::profiler::Profiler;
-use replipred::scenario::{workload_spec, ReplicationSummary, Scenario, ScenarioReport};
+use replipred::scenario::{parse_workload, ReplicationSummary, Scenario, ScenarioReport};
+use replipred::validate::{ValidationGrid, ValidationReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,18 +50,26 @@ const USAGE: &str = "usage:
                      [--profile-live] [--seed S] [--seeds K] [--jobs J] [--json]
   replipred simulate --workload <w> [--design <d>] [--replicas N] [--seed S] [--seeds K]
                      [--jobs J] [--json]
+  replipred validate [--workload <w,...>|all] [--design <d>] [--replicas N] [--seed S]
+                     [--seeds K] [--jobs J] [--json]
   replipred plan     --workload <w> --tps X [--max-response-ms R] [--max-abort-pct A]
-                     [--design <d>] [--clients C] [--json]
+                     [--design <d>] [--clients C] [--seed S] [--json]
   replipred profile  --workload <w> [--seed S] [--json]
 
 designs:   standalone mm sm, a comma list of those, or all
-workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-bidding
+workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-bidding,
+           a synthetic description synth:<preset> or synth:k=v,... (presets:
+           read-only write-heavy long-txn hot-spot ycsb-a ycsb-b; knobs e.g.
+           synth:pw=0.4,reads=8,hot=0.5,hot-rows=256),
            or @profile.json (predict/sweep/plan only)
 --jobs J:  worker threads for simulation cells (default: all cores; the
            report is identical for every J)
 --seeds K: seed replications per simulated point, aggregated to mean +- CI
 --profile-live (sweep): measure the profile via the Section-4 standalone
-           profiling pipeline instead of the published tables";
+           profiling pipeline instead of the published tables
+validate:  run the prediction-vs-simulation error grid; --workload takes a
+           comma list or `all` (5 published mixes + 4 synth presets),
+           --replicas N sweeps the doubling points 1,2,4,..,N";
 
 /// Parses `--flag value` pairs after the subcommand, rejecting repeated
 /// flags and flag names standing in for values (`--replicas --seed`).
@@ -142,27 +156,36 @@ fn read_profile_file(path: &str) -> Result<WorkloadProfile, String> {
     Ok(profile)
 }
 
-/// Builds the scenario for `--workload`: a published name or `@file`.
+/// Builds the scenario for `--workload`: a registered name (published or
+/// `synth:`) or `@file`.
 fn workload_scenario(args: &[String]) -> Result<Scenario, String> {
     let w = flag(args, "--workload")?.ok_or("missing --workload")?;
     match w.strip_prefix('@') {
         Some(path) => Ok(Scenario::from_profile(read_profile_file(path)?)),
-        None => Scenario::published(&w).map_err(|e| e.to_string()),
+        None => Scenario::workload(&w).map_err(|e| e.to_string()),
     }
 }
 
-/// The profile alone (for `plan`, which drives the planner directly).
+/// The profile alone (for `plan`, which drives the planner directly):
+/// `@file`, a published profile, or a `synth:` description measured live
+/// through the Section-4 pipeline (seeded by `--seed`, default 2009).
 fn load_profile(args: &[String]) -> Result<WorkloadProfile, String> {
     let w = flag(args, "--workload")?.ok_or("missing --workload")?;
     match w.strip_prefix('@') {
         Some(path) => read_profile_file(path),
-        None => replipred::scenario::published_profile(&w)
-            .ok_or_else(|| format!("unknown workload `{w}`")),
+        None => {
+            if let Some(profile) = replipred::scenario::published_profile(&w) {
+                return Ok(profile);
+            }
+            let spec = parse_workload(&w).map_err(|e| e.to_string())?;
+            let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
+            Ok(Profiler::new(spec).seed(seed).profile().profile)
+        }
     }
 }
 
 fn default_clients(profile: &WorkloadProfile) -> usize {
-    workload_spec(&profile.name)
+    parse_workload(&profile.name)
         .map(|s| s.clients_per_replica)
         .unwrap_or(50)
 }
@@ -174,6 +197,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "predict" => predict(rest),
         "sweep" => sweep(rest),
         "simulate" => simulate(rest),
+        "validate" => validate_cmd(rest),
         "plan" => plan_cmd(rest),
         "profile" => profile_cmd(rest),
         "--help" | "-h" | "help" => {
@@ -312,8 +336,9 @@ fn sweep(args: &[String]) -> Result<(), String> {
         // Section-4 pipeline) instead of using the published tables —
         // exercises workload → sidb → profiler end to end.
         let w = flag(args, "--workload")?.ok_or("missing --workload")?;
-        let spec = workload_spec(&w)
-            .ok_or_else(|| format!("--profile-live needs a published workload name, got `{w}`"))?;
+        let spec = parse_workload(&w).map_err(|e| {
+            format!("--profile-live needs a published or synth: workload name: {e}")
+        })?;
         Scenario::from_spec(spec)
     } else {
         workload_scenario(args)?
@@ -374,6 +399,139 @@ fn simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Splits `--workload` for `validate`: commas separate workloads, except
+/// that `k=v` tokens continue the preceding `synth:` description (the
+/// synth knob grammar itself uses commas —
+/// `synth:hot-spot,hot-rows=64,tpcw-shopping` is two workloads).
+fn split_workloads(value: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for token in value.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match out.last_mut() {
+            // A bare `k=v` token continues the previous synth description;
+            // a token with its own `synth:` prefix always starts a new
+            // workload, even when its first knob carries an `=`.
+            Some(last)
+                if token.contains('=')
+                    && !token.starts_with("synth:")
+                    && last.starts_with("synth:") =>
+            {
+                last.push(',');
+                last.push_str(token);
+            }
+            _ => out.push(token.to_string()),
+        }
+    }
+    out
+}
+
+/// The doubling replica points `1, 2, 4, ..` up to and including `max`.
+fn doubling_points(max: usize) -> Vec<usize> {
+    let mut points = Vec::new();
+    let mut n = 1;
+    while n < max {
+        points.push(n);
+        n *= 2;
+    }
+    points.push(max);
+    points
+}
+
+fn validate_cmd(args: &[String]) -> Result<(), String> {
+    let mut grid = ValidationGrid::new().designs(parse_designs(args, &Design::ALL)?);
+    match flag(args, "--workload")? {
+        None => {}
+        Some(v) if v == "all" => {}
+        Some(v) => {
+            let workloads = split_workloads(&v);
+            if workloads.is_empty() {
+                return Err("--workload lists no workloads".into());
+            }
+            grid = grid.workloads(workloads);
+        }
+    }
+    if let Some(max) = parse_count(args, "--replicas")? {
+        grid = grid.replicas(doubling_points(max));
+    }
+    if let Some(seed) = parse_flag(args, "--seed")? {
+        grid = grid.seed(seed);
+    }
+    if let Some(seeds) = parse_count(args, "--seeds")? {
+        grid = grid.seeds(seeds);
+    }
+    let jobs = parse_count(args, "--jobs")?.unwrap_or_else(replipred_sim::pool::default_jobs);
+    grid = grid.jobs(jobs);
+    let report = grid.run().map_err(|e| e.to_string())?;
+    if has_flag(args, "--json") {
+        print_json(&report);
+        return Ok(());
+    }
+    print_validation(&report);
+    Ok(())
+}
+
+fn print_validation(report: &ValidationReport) {
+    println!(
+        "# validate: prediction vs simulation (seed {}, {} seed replication{})",
+        report.seed,
+        report.seeds,
+        if report.seeds == 1 { "" } else { "s" }
+    );
+    for w in &report.workloads {
+        println!("\n# {} (C = {})", w.workload, w.clients_per_replica);
+        println!(
+            "{:>10} {:>3} {:>11} {:>11} {:>7} {:>11} {:>11} {:>7} {:>8} {:>8} {:>7}",
+            "design",
+            "N",
+            "sim tps",
+            "model tps",
+            "err%",
+            "sim ms",
+            "model ms",
+            "err%",
+            "sim ab%",
+            "model%",
+            "err%"
+        );
+        for c in &w.cells {
+            println!(
+                "{:>10} {:>3} {:>11.1} {:>11.1} {:>6.1}% {:>11.1} {:>11.1} {:>6.1}% {:>8.3} {:>8.3} {:>6.1}%",
+                c.design.key(),
+                c.replicas,
+                c.measured_throughput_tps,
+                c.predicted_throughput_tps,
+                100.0 * c.throughput_error,
+                c.measured_response_time * 1e3,
+                c.predicted_response_time * 1e3,
+                100.0 * c.response_error,
+                c.measured_abort_rate * 1e2,
+                c.predicted_abort_rate * 1e2,
+                100.0 * c.abort_error,
+            );
+        }
+    }
+    println!(
+        "\n# per-design error summary (mean / max over each design's cells; {} workloads)",
+        report.workloads.len()
+    );
+    println!(
+        "{:>10} {:>6} {:>16} {:>16} {:>16}",
+        "design", "cells", "tput err", "resp err", "abort err"
+    );
+    for s in &report.summaries {
+        println!(
+            "{:>10} {:>6} {:>7.1}%/{:>6.1}% {:>7.1}%/{:>6.1}% {:>7.1}%/{:>6.1}%",
+            s.design.key(),
+            s.cells,
+            100.0 * s.mean_throughput_error,
+            100.0 * s.max_throughput_error,
+            100.0 * s.mean_response_error,
+            100.0 * s.max_response_error,
+            100.0 * s.mean_abort_error,
+            100.0 * s.max_abort_error,
+        );
+    }
+}
+
 fn plan_cmd(args: &[String]) -> Result<(), String> {
     let profile = load_profile(args)?;
     let designs = parse_designs(args, &[Design::MultiMaster, Design::SingleMaster])?;
@@ -418,7 +576,7 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
 
 fn profile_cmd(args: &[String]) -> Result<(), String> {
     let w = flag(args, "--workload")?.ok_or("missing --workload")?;
-    let spec = workload_spec(&w).ok_or_else(|| format!("unknown workload `{w}`"))?;
+    let spec = parse_workload(&w).map_err(|e| e.to_string())?;
     let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
     let outcome = Profiler::new(spec).seed(seed).profile();
     if has_flag(args, "--json") {
@@ -447,4 +605,44 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
     println!("L(1)            {:.1} ms", p.l1 * 1e3);
     println!("U               {:.2}", p.update_ops);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_splitting_keeps_synth_descriptions_whole() {
+        assert_eq!(
+            split_workloads("tpcw-shopping,rubis-bidding"),
+            vec!["tpcw-shopping", "rubis-bidding"]
+        );
+        assert_eq!(
+            split_workloads("synth:hot-spot,hot-rows=64,tpcw-shopping"),
+            vec!["synth:hot-spot,hot-rows=64", "tpcw-shopping"]
+        );
+        assert_eq!(
+            split_workloads("synth:pw=0.4,writes=3,synth:read-only"),
+            vec!["synth:pw=0.4,writes=3", "synth:read-only"]
+        );
+        // A second synth description starts a new workload even when its
+        // first knob carries an `=`.
+        assert_eq!(
+            split_workloads("synth:hot-spot,synth:pw=0.4,writes=3"),
+            vec!["synth:hot-spot", "synth:pw=0.4,writes=3"]
+        );
+        // A k=v token with no preceding synth: description stands alone
+        // (and fails workload resolution with a clear error later).
+        assert_eq!(split_workloads("reads=3"), vec!["reads=3"]);
+        assert!(split_workloads(" , ,").is_empty());
+    }
+
+    #[test]
+    fn doubling_points_cover_one_to_max() {
+        assert_eq!(doubling_points(1), vec![1]);
+        assert_eq!(doubling_points(2), vec![1, 2]);
+        assert_eq!(doubling_points(4), vec![1, 2, 4]);
+        assert_eq!(doubling_points(6), vec![1, 2, 4, 6]);
+        assert_eq!(doubling_points(16), vec![1, 2, 4, 8, 16]);
+    }
 }

@@ -49,6 +49,7 @@ use replipred_sim::pool::map_parallel;
 use replipred_sim::rng::derive_stream_seed;
 use replipred_sim::stats::BatchMeans;
 use replipred_workload::spec::WorkloadSpec;
+use replipred_workload::synth::{self, SynthError};
 use replipred_workload::{rubis, tpcw};
 
 /// The workload names the paper publishes profiles for (Tables 2-5).
@@ -86,11 +87,33 @@ pub fn workload_spec(name: &str) -> Option<WorkloadSpec> {
     }
 }
 
+/// The workload registry: resolves any workload *name* the tools accept —
+/// one of the [`PUBLISHED_WORKLOADS`], or a synthetic-family description
+/// `synth:<preset>` / `synth:k=v,...` / `synth:<preset>,k=v,...` (see
+/// [`replipred_workload::synth`] for the knob grammar).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::UnknownWorkload`] for unregistered names and
+/// [`ScenarioError::Synth`] for malformed `synth:` descriptions.
+pub fn parse_workload(name: &str) -> Result<WorkloadSpec, ScenarioError> {
+    if let Some(spec) = workload_spec(name) {
+        return Ok(spec);
+    }
+    match name.strip_prefix("synth:") {
+        Some(payload) => synth::parse(payload).map_err(ScenarioError::Synth),
+        None => Err(ScenarioError::UnknownWorkload(name.to_string())),
+    }
+}
+
 /// What can go wrong while building or running a scenario.
 #[derive(Debug)]
 pub enum ScenarioError {
-    /// The workload name is not one of [`PUBLISHED_WORKLOADS`].
+    /// The workload name is not one of [`PUBLISHED_WORKLOADS`] (and not a
+    /// `synth:` description).
     UnknownWorkload(String),
+    /// A `synth:` workload description failed to parse or build.
+    Synth(SynthError),
     /// Simulation was requested but the scenario only has an analytical
     /// profile (no mechanistic workload to simulate).
     SimulationUnavailable(String),
@@ -111,8 +134,9 @@ impl std::fmt::Display for ScenarioError {
                     }
                     f.write_str(name)?;
                 }
-                f.write_str(")")
+                f.write_str("; synthetic: synth:<preset> or synth:k=v,...)")
             }
+            ScenarioError::Synth(e) => write!(f, "{e}"),
             ScenarioError::SimulationUnavailable(w) => write!(
                 f,
                 "workload `{w}` has only an analytical profile; simulation needs \
@@ -197,11 +221,36 @@ impl Scenario {
         }
     }
 
+    /// A scenario over any registered workload *name*: one of the
+    /// [`PUBLISHED_WORKLOADS`] (predictors use the published profile) or a
+    /// `synth:` description (the profile is measured by the Section-4
+    /// pipeline at run time, as in [`Scenario::from_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`parse_workload`]'s errors.
+    pub fn workload(name: &str) -> Result<Self, ScenarioError> {
+        if published_profile(name).is_some() {
+            Scenario::published(name)
+        } else {
+            Ok(Scenario::from_spec(parse_workload(name)?))
+        }
+    }
+
     /// A scenario over an explicit profile (e.g. loaded from
     /// `profile --json` output). Prediction only: there is no mechanistic
     /// workload to simulate.
     pub fn from_profile(profile: WorkloadProfile) -> Self {
         Scenario::new(Source::Profile(profile))
+    }
+
+    /// A scenario over an explicit profile *and* its mechanistic
+    /// workload: predictors use the given profile, simulators run the
+    /// spec. For callers that already measured the profile (the validate
+    /// grid profiles each workload once, then runs several sub-grids) —
+    /// [`Scenario::from_spec`] would re-profile on every run.
+    pub fn from_parts(profile: WorkloadProfile, spec: WorkloadSpec) -> Self {
+        Scenario::new(Source::Published { profile, spec })
     }
 
     /// A scenario over a mechanistic workload spec. At run time the
@@ -334,23 +383,37 @@ impl Scenario {
         if self.simulate && spec.is_none() {
             return Err(ScenarioError::SimulationUnavailable(profile.name.clone()));
         }
-        // Client-count fallback order: explicit override, the scenario's
-        // own spec, the published spec matching the profile's name (so an
-        // `@profile.json` of a published workload predicts at the same C
-        // as the named workload), then 50.
+        // Reference spec for deployment parameters: the scenario's own
+        // spec, else whatever the registry resolves under the profile's
+        // name — so an `@profile.json` of a published *or* synthetic
+        // workload predicts at the same C and think time as the named
+        // workload. Unresolvable names fall back to C = 50, Z = 1.0 s.
+        let reference = match &spec {
+            Some(s) => Some(s.clone()),
+            None => parse_workload(&profile.name).ok(),
+        };
         let clients = self
             .clients
-            .or_else(|| spec.as_ref().map(|s| s.clients_per_replica))
-            .or_else(|| workload_spec(&profile.name).map(|s| s.clients_per_replica))
+            .or_else(|| reference.as_ref().map(|s| s.clients_per_replica))
             .unwrap_or(50);
-        let config = self
-            .system
-            .clone()
-            .unwrap_or_else(|| SystemConfig::lan_cluster(clients));
-        // Model and simulation must describe the same system: the resolved
-        // per-replica client count drives both sides.
+        // Model and simulation must describe the same system: the default
+        // configuration adopts the workload's think time (the published
+        // mixes all use the paper's 1.0 s, but synthetic workloads roam),
+        // and the resolved per-replica client count drives both sides.
+        let config = self.system.clone().unwrap_or_else(|| {
+            let mut c = SystemConfig::lan_cluster(clients);
+            if let Some(s) = reference.as_ref() {
+                c.think_time = s.think_time;
+            }
+            c
+        });
+        // The resolved config is authoritative for the deployment
+        // parameters the simulation shares with the model: an explicit
+        // [`Scenario::system`] override re-times the simulated clients
+        // too, never just the predictor's closed network.
         let spec = spec.map(|mut s| {
             s.clients_per_replica = config.clients_per_replica;
+            s.think_time = config.think_time;
             s
         });
 
@@ -537,6 +600,103 @@ mod tests {
             Scenario::published("tpcw-nope"),
             Err(ScenarioError::UnknownWorkload(_))
         ));
+    }
+
+    #[test]
+    fn workload_registry_resolves_synth_names() {
+        let spec = parse_workload("synth:write-heavy").unwrap();
+        assert_eq!(spec.name, "synth:write-heavy");
+        assert!((spec.pw() - 0.60).abs() < 1e-9);
+        assert!(matches!(
+            parse_workload("synth:no-such-preset"),
+            Err(ScenarioError::Synth(_))
+        ));
+        assert!(matches!(
+            parse_workload("nope"),
+            Err(ScenarioError::UnknownWorkload(_))
+        ));
+        assert_eq!(
+            parse_workload("tpcw-shopping").unwrap().name,
+            "tpcw-shopping"
+        );
+    }
+
+    #[test]
+    fn workload_constructor_routes_published_and_synth_sources() {
+        // Published names keep the published profile (no profiling run is
+        // needed for prediction-only scenarios).
+        let report = Scenario::workload("rubis-browsing")
+            .unwrap()
+            .designs(vec![Design::MultiMaster])
+            .replicas([1])
+            .run()
+            .unwrap();
+        assert_eq!(report.workload, "rubis-browsing");
+        // Synth names profile live: the report carries the synth name and
+        // a measurable curve.
+        let report = Scenario::workload("synth:ycsb-b")
+            .unwrap()
+            .designs(vec![Design::MultiMaster])
+            .replicas([1, 2])
+            .run()
+            .unwrap();
+        assert_eq!(report.workload, "synth:ycsb-b");
+        let curve = report.designs[0].predicted.as_ref().unwrap();
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points[0].throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn explicit_system_override_retimes_the_simulation_too() {
+        // `.system()` must describe both sides: the simulated clients
+        // adopt the override's think time, not the spec's default.
+        let base = Scenario::published("tpcw-shopping")
+            .unwrap()
+            .designs(vec![Design::MultiMaster])
+            .replicas([1])
+            .seed(3)
+            .simulate(true)
+            .sim_config(SimConfig {
+                warmup: 2.0,
+                duration: 8.0,
+                ..SimConfig::quick(0, 0)
+            });
+        let system = |think: f64| SystemConfig {
+            think_time: think,
+            ..SystemConfig::lan_cluster(40)
+        };
+        let short = base.clone().system(system(0.5)).run().unwrap();
+        let long = base.system(system(3.0)).run().unwrap();
+        let s = short.designs[0].measured[0].throughput_tps;
+        let l = long.designs[0].measured[0].throughput_tps;
+        assert!(
+            s > 1.5 * l,
+            "tripling think time must cut simulated throughput: {s} vs {l}"
+        );
+    }
+
+    #[test]
+    fn profile_file_of_a_synth_workload_adopts_its_deployment_parameters() {
+        // An `@profile.json` whose name is a synth description predicts
+        // at the synth point's client count (and think time), exactly
+        // like a published-profile file does for published names.
+        let mut profile = WorkloadProfile::tpcw_shopping();
+        profile.name = "synth:ycsb-b,clients=20".to_string();
+        let report = Scenario::from_profile(profile)
+            .designs(vec![Design::MultiMaster])
+            .replicas([1])
+            .run()
+            .unwrap();
+        assert_eq!(report.clients_per_replica, 20);
+        // Unresolvable names keep the C = 50 fallback.
+        let mut profile = WorkloadProfile::tpcw_shopping();
+        profile.name = "my-custom-profile".to_string();
+        let report = Scenario::from_profile(profile)
+            .designs(vec![Design::MultiMaster])
+            .replicas([1])
+            .run()
+            .unwrap();
+        assert_eq!(report.clients_per_replica, 50);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use replipred::model::{
     Design, MultiMasterModel, SingleMasterModel, StandaloneModel, SystemConfig, WorkloadProfile,
 };
 use replipred::scenario::{workload_spec, ScenarioReport};
+use replipred::validate::ValidationReport;
 
 /// All five profiles the paper publishes (Tables 2-5).
 fn published() -> [WorkloadProfile; 5] {
@@ -191,9 +192,105 @@ fn cli_sweep_profile_live_rejects_profile_files() {
     assert!(!output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
-        stderr.contains("--profile-live needs a published workload name"),
+        stderr.contains("--profile-live needs a published or synth: workload name"),
         "unexpected error: {stderr}"
     );
+}
+
+#[test]
+fn cli_validate_emits_the_error_grid_json() {
+    // The CI smoke path in miniature: one synthetic workload, the
+    // replicated designs, the n=1 point.
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "validate",
+            "--workload",
+            "synth:write-heavy",
+            "--design",
+            "mm,sm",
+            "--replicas",
+            "1",
+            "--jobs",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(
+        output.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let report: ValidationReport =
+        serde_json::from_str(&stdout).expect("validate --json emits a ValidationReport");
+    assert_eq!(report.workloads.len(), 1);
+    assert_eq!(report.workloads[0].workload, "synth:write-heavy");
+    assert_eq!(report.workloads[0].cells.len(), 2, "mm + sm at n=1");
+    assert_eq!(report.summaries.len(), 2);
+    for s in &report.summaries {
+        assert!(s.mean_throughput_error.is_finite());
+        assert!(s.max_abort_error.is_finite());
+    }
+}
+
+#[test]
+fn cli_validate_rejects_malformed_synth_descriptions() {
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args(["validate", "--workload", "synth:no-such-preset"])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown synth preset"), "stderr: {stderr}");
+}
+
+#[test]
+fn cli_plan_accepts_synth_workloads() {
+    // `plan` profiles synth descriptions live before planning, so the
+    // README's "every tool that takes --workload" claim holds for it too.
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args(["plan", "--workload", "synth:write-heavy", "--tps", "40"])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(
+        output.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("replicas ->"),
+        "expected plan lines, got: {stdout}"
+    );
+}
+
+#[test]
+fn cli_predict_accepts_synth_workloads() {
+    // `synth:` names flow through every scenario-backed subcommand; for
+    // `predict` the profile is measured live before the curve prints.
+    let output = Command::new(env!("CARGO_BIN_EXE_replipred"))
+        .args([
+            "predict",
+            "--workload",
+            "synth:ycsb-b,clients=20",
+            "--design",
+            "mm",
+            "--replicas",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn replipred binary");
+    assert!(
+        output.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let report: ScenarioReport = serde_json::from_str(&stdout).expect("valid report");
+    assert_eq!(report.workload, "synth:ycsb-b,clients=20");
+    assert_eq!(report.clients_per_replica, 20);
 }
 
 #[test]

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use replipred::model::{AbortModel, MultiMasterModel, SystemConfig, WorkloadProfile};
 use replipred::mva::{approx, bounds, exact, ClosedNetwork};
 use replipred::sidb::{Database, RowId, TableId, Value};
+use replipred::workload::synth::SynthSpec;
 
 /// A fresh database with one table `t` seeded with `rows` integer rows.
 fn seeded_db(rows: u64) -> (Database, TableId) {
@@ -42,6 +43,65 @@ fn arb_network() -> impl Strategy<Value = ClosedNetwork> {
                 .build()
                 .expect("generated demands are valid")
         })
+}
+
+/// An arbitrary point of the synthetic workload family, drawn from the
+/// *valid* knob domain (the build-time rejections have their own
+/// deterministic tests in `replipred-workload`).
+fn arb_synth() -> impl Strategy<Value = SynthSpec> {
+    (
+        (
+            0.0f64..1.0, // update fraction
+            1usize..6,   // read classes
+            1usize..4,   // update classes
+            0.001f64..0.05,
+            0.0f64..0.05, // read demand lo, width
+            0.0f64..0.8,  // ws cost fraction
+        ),
+        (
+            0usize..20,   // reads per txn
+            1usize..6,    // shared writes per txn
+            0usize..4,    // private writes
+            0.0f64..1.0,  // hotspot skew
+            1u64..512,    // hot rows
+            0.05f64..3.0, // think time
+        ),
+        (
+            1usize..100, // clients per replica
+            1usize..4,   // read tables
+            1u64..2000,  // rows per read table
+            1u64..2000,  // updatable rows
+            0.001f64..0.05,
+            0.0f64..0.05, // write demand lo, width
+        ),
+    )
+        .prop_map(
+            |(
+                (pw, read_classes, update_classes, rlo, rwidth, ws),
+                (reads, writes, private, hot, hot_rows, think),
+                (clients, tables, rows, update_rows, wlo, wwidth),
+            )| {
+                SynthSpec::new()
+                    .update_fraction(pw)
+                    .read_classes(read_classes)
+                    .update_classes(update_classes)
+                    .read_cpu(rlo, rlo + rwidth)
+                    .read_disk(rlo / 2.0, rlo / 2.0 + rwidth)
+                    .write_cpu(wlo, wlo + wwidth)
+                    .write_disk(wlo / 2.0, wlo / 2.0 + wwidth)
+                    .ws_fraction(ws)
+                    .reads_per_txn(reads)
+                    .writes_per_txn(writes)
+                    .private_writes(private)
+                    .hot_skew(hot)
+                    .hot_rows(hot_rows)
+                    .think_time(think)
+                    .clients(clients)
+                    .tables(tables)
+                    .rows_per_table(rows)
+                    .update_rows(update_rows)
+            },
+        )
 }
 
 proptest! {
@@ -267,5 +327,69 @@ proptest! {
             db.scan(t, table).unwrap()
         };
         prop_assert_eq!(scan(&mut forward), scan(&mut reversed));
+    }
+
+    /// Synthetic workload family: every point of the valid knob domain
+    /// builds a spec whose class weights form a probability distribution,
+    /// whose `pr() + pw()` identity holds and matches the update-fraction
+    /// knob, and which installs (schema + seed + compile) against a fresh
+    /// database.
+    #[test]
+    fn synth_specs_build_install_and_normalize(synth in arb_synth()) {
+        let spec = match synth.build() {
+            Ok(spec) => spec,
+            Err(e) => return Err(TestCaseError::fail(format!("valid domain rejected: {e}"))),
+        };
+        let total: f64 = spec.classes.iter().map(|c| c.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        prop_assert!(spec.classes.iter().all(|c| c.weight > 0.0));
+        prop_assert!((spec.pr() + spec.pw() - 1.0).abs() < 1e-9);
+        if spec.pw() > 0.0 {
+            prop_assert!(spec.mean_update_ops() >= 1.0 - 1e-9, "U = {}", spec.mean_update_ops());
+        }
+        let mut db = Database::new();
+        let plan = spec.install(&mut db, 1.0);
+        prop_assert!(plan.is_ok(), "install failed: {:?}", plan.err());
+    }
+
+    /// Synthetic family sampling: every template a generated spec yields
+    /// targets only tables that exist and rows inside their seeded (or
+    /// designated) spaces, and executes + commits cleanly when run
+    /// serially.
+    #[test]
+    fn synth_samples_target_existing_tables_and_rows(synth in arb_synth(), seed in 0u64..1 << 32) {
+        let spec = synth.build().expect("valid domain builds");
+        let mut db = Database::new();
+        let plan = spec.install(&mut db, 1.0).expect("installs");
+        let mut rng = replipred::sim::Rng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let template = plan.sample(&mut rng);
+            for &(table, row) in &template.reads {
+                let live = db.live_rows(table);
+                prop_assert!(live.is_ok(), "read targets unknown table {table:?}");
+                prop_assert!(
+                    (row.raw() as usize) < live.unwrap(),
+                    "read row {} beyond seeded table", row.raw()
+                );
+            }
+            for &(table, row) in &template.writes {
+                if table == plan.update_table() {
+                    prop_assert!(row.raw() < spec.db_update_size);
+                } else if Some(table) == plan.heap_table() {
+                    prop_assert!(row.raw() < spec.heap.unwrap().rows);
+                } else {
+                    // Private rows materialize on first write; the table
+                    // itself must exist.
+                    prop_assert_eq!(Some(table), plan.private_table());
+                    prop_assert!(db.live_rows(table).is_ok());
+                }
+            }
+            // Serial execution can never conflict: each sampled template
+            // must execute and commit against the installed schema.
+            let txn = db.begin();
+            let run = plan.execute(&mut db, txn, &template);
+            prop_assert!(run.is_ok(), "execute failed: {:?}", run.err());
+            prop_assert!(db.commit(txn).is_ok());
+        }
     }
 }

@@ -1,0 +1,101 @@
+//! The `validate` error grid as a regression surface: determinism across
+//! worker counts, and the paper's headline accuracy claim — standalone
+//! profiling predicts replicated throughput within the Section-6 error
+//! band — asserted as a hard bound on the grid's per-design summaries.
+
+use replipred::model::Design;
+use replipred::repl::SimConfig;
+use replipred::validate::ValidationGrid;
+
+/// Short windows for the determinism checks (they compare runs against
+/// each other, so window length only affects wall-clock time).
+fn quick_windows() -> SimConfig {
+    SimConfig {
+        warmup: 2.0,
+        duration: 8.0,
+        ..SimConfig::quick(0, 0)
+    }
+}
+
+#[test]
+fn validation_grid_is_identical_for_every_job_count() {
+    // A published mix and a synthetic corner exercise both workload
+    // sources (published profile + live profiling) through the grid.
+    let grid = ValidationGrid::new()
+        .workloads(vec!["tpcw-shopping".into(), "synth:hot-spot".into()])
+        .replicas([1, 2])
+        .sim_config(quick_windows());
+    let serial = grid.clone().jobs(1).run().expect("serial grid");
+    let parallel = grid.jobs(6).run().expect("parallel grid");
+    assert_eq!(
+        serde_json::to_string(&serial).expect("serialize serial"),
+        serde_json::to_string(&parallel).expect("serialize parallel"),
+        "jobs=6 grid diverged from jobs=1"
+    );
+}
+
+#[test]
+fn published_mix_throughput_error_stays_in_the_paper_band() {
+    // The acceptance bar for every future modelling/simulator PR: on a
+    // published mix, the MM and SM predictors driven purely by standalone
+    // profiling stay within 20% mean throughput error of the mechanistic
+    // simulation (the paper's Figures 6-13 show <15% on real hardware;
+    // 20% leaves room for the short 60 s measurement window used here).
+    let report = ValidationGrid::new()
+        .workloads(vec!["tpcw-shopping".into()])
+        .replicas([1, 4])
+        .run()
+        .expect("grid over a published mix");
+    for design in [Design::MultiMaster, Design::SingleMaster] {
+        let s = report.summary(design).expect("design summarized");
+        assert_eq!(s.cells, 2);
+        assert!(
+            s.mean_throughput_error < 0.20,
+            "{design}: mean throughput error {:.1}% exceeds the 20% band",
+            100.0 * s.mean_throughput_error
+        );
+        assert!(
+            s.mean_throughput_error.is_finite() && s.max_throughput_error.is_finite(),
+            "{design}: errors must serialize as finite JSON numbers"
+        );
+    }
+    // The standalone anchor is the tightest comparison of all: the same
+    // one-node system measured two ways, differing only in model error.
+    let standalone = report.summary(Design::Standalone).expect("anchor cell");
+    assert_eq!(standalone.cells, 1);
+    assert!(
+        standalone.mean_throughput_error < 0.10,
+        "standalone anchor error {:.1}% exceeds 10%",
+        100.0 * standalone.mean_throughput_error
+    );
+}
+
+#[test]
+fn synthetic_corners_validate_end_to_end() {
+    // Two corners of the synthetic family run through the same grid the
+    // CLI exposes. Loose 35% bounds: the corners are chosen to stress the
+    // models (write-heavy saturates replicas with writeset application),
+    // and the quick windows trade variance for test time; what must hold
+    // is that the predictions stay in the simulation's ballpark rather
+    // than match the published-mix 20% band.
+    let report = ValidationGrid::new()
+        .workloads(vec!["synth:read-only".into(), "synth:write-heavy".into()])
+        .designs(vec![Design::MultiMaster, Design::SingleMaster])
+        .replicas([1, 2])
+        .sim_config(SimConfig {
+            warmup: 5.0,
+            duration: 30.0,
+            ..SimConfig::quick(0, 0)
+        })
+        .run()
+        .expect("grid over synthetic corners");
+    for design in [Design::MultiMaster, Design::SingleMaster] {
+        let s = report.summary(design).expect("design summarized");
+        assert_eq!(s.cells, 4, "{design}: 2 workloads x 2 points");
+        assert!(
+            s.mean_throughput_error < 0.35,
+            "{design}: mean throughput error {:.1}% out of ballpark",
+            100.0 * s.mean_throughput_error
+        );
+    }
+}
