@@ -21,6 +21,10 @@
 //!   [`Design`] registry (`design.predictor(profile, config)`).
 //! - [`planner`] — capacity planning built on the predictors (the paper's
 //!   stated application), comparing arbitrary design sets.
+//! - [`schedule`] — time-phased scenario schedules (replica crashes,
+//!   certifier outages, client-population ramps) consumed by the
+//!   simulators in `replipred-repl`; the paper models steady state only,
+//!   this is the repo's transient/fault-injection extension.
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@ pub mod planner;
 pub mod predictor;
 pub mod profile;
 pub mod report;
+pub mod schedule;
 pub mod sm;
 pub mod standalone;
 
@@ -62,5 +67,6 @@ pub use mm::MultiMasterModel;
 pub use predictor::Predictor;
 pub use profile::{ResourceDemands, WorkloadProfile};
 pub use report::{Design, Prediction, ScalabilityCurve};
+pub use schedule::{Phase, Schedule, ScheduleEvent, TimedEvent};
 pub use sm::SingleMasterModel;
 pub use standalone::StandaloneModel;

@@ -54,6 +54,20 @@ impl Certifier {
         Certifier::default()
     }
 
+    /// Creates an empty certifier **anchored at** global version
+    /// `version`: the next certified writeset commits at `version + 1`.
+    ///
+    /// This is the first-class alignment between a certifier and replicas
+    /// whose databases already carry seeded history — writesets certify
+    /// with their local `base_version` as-is, with no caller-side
+    /// rebasing arithmetic.
+    pub fn new_at(version: u64) -> Self {
+        Certifier {
+            truncated: version,
+            ..Certifier::default()
+        }
+    }
+
     /// Latest global version.
     pub fn version(&self) -> u64 {
         self.truncated + self.log.len() as u64
@@ -245,6 +259,19 @@ mod tests {
         }
         c.truncate_applied(2);
         let _ = c.writesets_between(0, 4);
+    }
+
+    #[test]
+    fn anchored_certifier_uses_absolute_versions() {
+        // Replicas seeded to version 50 talk to the certifier in their
+        // own version space — no offset arithmetic anywhere.
+        let mut c = Certifier::new_at(50);
+        assert_eq!(c.version(), 50);
+        assert_eq!(c.certify(&ws(50, &[1])), Certification::Commit(51));
+        // A snapshot from before the anchor still conflicts correctly.
+        assert_eq!(c.certify(&ws(50, &[1])), Certification::Abort);
+        assert_eq!(c.certify(&ws(51, &[1])), Certification::Commit(52));
+        assert_eq!(c.writesets_between(50, 52).len(), 2);
     }
 
     #[test]

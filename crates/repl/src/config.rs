@@ -1,5 +1,6 @@
 //! Simulation run configuration.
 
+use replipred_core::Schedule;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one simulated cluster run.
@@ -32,6 +33,12 @@ pub struct SimConfig {
     /// policies"); without it, a saturated node accumulates hundreds of
     /// open snapshots and the conflict window diverges.
     pub mpl: usize,
+    /// Time-phased schedule: fault injections, elasticity ramps, and
+    /// transient-report windowing. The default (empty) schedule leaves
+    /// the run a pure steady-state experiment with byte-identical
+    /// reports to a schedule-free build.
+    #[serde(default)]
+    pub schedule: Schedule,
 }
 
 impl SimConfig {
@@ -47,6 +54,7 @@ impl SimConfig {
             seed_scale: 0.01,
             vacuum_interval: 10.0,
             mpl: 32,
+            schedule: Schedule::default(),
         }
     }
 

@@ -30,6 +30,12 @@
 //!   `N = 1` anchor of every measured curve).
 //! - [`mm`] — the multi-master cluster simulation.
 //! - [`sm`] — the single-master cluster simulation.
+//! - [`transient`] — windowed time-series collection and the
+//!   [`transient::TransientReport`] produced by time-phased runs (see
+//!   [`replipred_core::Schedule`]): all three simulators apply replica
+//!   crashes/rejoins, certifier outages, and client-population ramps
+//!   mid-run and report recovery time, SLO-violation windows, and peak
+//!   abort rate next to the steady-state numbers.
 //!
 //! # Examples
 //!
@@ -51,6 +57,7 @@ pub mod mm;
 pub mod replicated_certifier;
 pub mod sm;
 pub mod standalone;
+pub mod transient;
 
 pub use certifier::Certifier;
 pub use config::SimConfig;
@@ -58,6 +65,7 @@ pub use design::{DesignSpec, Simulator, SimulatorRegistry};
 pub use metrics::RunReport;
 pub use mm::MultiMasterSim;
 pub use replicated_certifier::ReplicatedCertifier;
-pub use replipred_core::Design;
+pub use replipred_core::{Design, Phase, Schedule, ScheduleEvent};
 pub use sm::SingleMasterSim;
 pub use standalone::StandaloneSim;
+pub use transient::{TransientCollector, TransientReport};

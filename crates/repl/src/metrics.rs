@@ -3,6 +3,8 @@
 use replipred_sim::stats::Tally;
 use serde::{Deserialize, Serialize};
 
+use crate::transient::TransientReport;
+
 /// Measurement state accumulated during a run (reset at end of warm-up).
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -88,6 +90,11 @@ pub struct RunReport {
     pub max_utilization: f64,
     /// Name of the most-utilized resource (e.g. `"replica3-cpu"`).
     pub bottleneck: String,
+    /// Transient (windowed) metrics, present only for time-phased runs;
+    /// omitted from serialized output otherwise so steady-state reports
+    /// stay byte-identical to pre-schedule builds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub transient: Option<TransientReport>,
 }
 
 impl RunReport {
@@ -146,6 +153,7 @@ impl RunReport {
             mean_disk_utilization: mean_disk,
             max_utilization: max_u,
             bottleneck,
+            transient: None,
         }
     }
 }

@@ -16,9 +16,19 @@
 //!   replicas it costs the sampled `ws` CPU/disk demands — exactly the
 //!   `(N−1)·Pw·ws` term of the analytical model.
 //! - Aborted updates are retried by the client against a fresh snapshot.
+//!
+//! Time-phased schedules ([`SimConfig::schedule`]) inject faults and
+//! load swings mid-run: a crashed replica stops serving and its
+//! in-flight work fails over to the survivors; a rejoining replica
+//! replays the writesets it missed (a deterministic state-transfer lag)
+//! before taking load; a certifier outage queues certification requests
+//! until restart; client-population ramps park or wake closed-loop
+//! clients. A disabled schedule leaves the run byte-identical to a
+//! schedule-free build.
 
 use std::collections::{BTreeMap, VecDeque};
 
+use replipred_core::ScheduleEvent;
 use replipred_sidb::{Database, TxnId, WriteSet};
 use replipred_sim::engine::{Engine, Event};
 use replipred_sim::resource::{Fcfs, Ps, ServiceToken};
@@ -29,15 +39,32 @@ use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
 use crate::certifier::{Certification, Certifier};
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, RunReport};
+use crate::transient::TransientCollector;
 
 /// Retry backstop (the paper's RTEs retry indefinitely).
 const MAX_RETRIES: u32 = 1000;
+
+/// Replica liveness for fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplicaState {
+    /// Serving transactions and applying propagated writesets.
+    Up,
+    /// Crashed: serves nothing, receives nothing.
+    Down,
+    /// Rejoined and replaying missed writesets; takes no load yet.
+    CatchingUp,
+}
 
 /// One database replica with its hardware.
 struct Replica {
     db: Database,
     cpu: Ps<World, Ev>,
     disk: Fcfs<World, Ev>,
+    state: ReplicaState,
+    /// Incremented at every crash. In-flight work stamped with an older
+    /// epoch is stale — it must not complete even if the replica has
+    /// already rejoined by the time its event fires.
+    epoch: u64,
     /// Transactions currently resident (load-balancer signal).
     inflight: usize,
     /// Next global version to retire into the local database. Writesets
@@ -61,9 +88,6 @@ struct World {
     pool: ClientPool,
     metrics: Metrics,
     measuring: bool,
-    /// Database version produced by seeding; subtracted so that writeset
-    /// base versions line up with the certifier's global numbering.
-    base_offset: u64,
     /// Demand sampler for writeset applications.
     rng: Rng,
     retries_exhausted: u64,
@@ -74,6 +98,18 @@ struct World {
     vacuum_interval: f64,
     /// End of the simulated horizon (no vacuums past it).
     end_time: f64,
+    /// False during an injected certifier outage.
+    certifier_up: bool,
+    /// Certification requests stalled by an outage, drained in FIFO
+    /// order at restart (their stall time shows up as response time).
+    cert_stalled: VecDeque<CertRequest>,
+    /// Transactions with no live replica to run on, drained on rejoin.
+    stranded: VecDeque<(ClientId, TxnTemplate, f64)>,
+    /// The configured base client population (ramp factors are relative
+    /// to this).
+    base_clients: usize,
+    /// Windowed transient metrics; `None` unless a schedule is active.
+    transient: Option<TransientCollector>,
 }
 
 /// One in-flight transaction attempt moving through the CPU→disk phases
@@ -85,6 +121,8 @@ struct Attempt {
     template: TxnTemplate,
     started: f64,
     attempt: u32,
+    /// The replica crash epoch the attempt started under.
+    epoch: u64,
 }
 
 /// An update whose writeset has reached the certification service.
@@ -95,6 +133,8 @@ struct CertRequest {
     writeset: WriteSet,
     started: f64,
     attempt: u32,
+    /// The origin replica's crash epoch at execution time.
+    epoch: u64,
 }
 
 /// A certified writeset consuming its `ws` demands on a remote replica.
@@ -127,6 +167,10 @@ enum Ev {
     Warmup,
     /// Periodic version GC on every replica.
     Vacuum,
+    /// An injected schedule event (crash, rejoin, outage, ramp).
+    Inject(ScheduleEvent),
+    /// A rejoining replica finished one round of writeset replay.
+    CatchupDone(usize),
     /// Internal PS completion for `replicas[i].cpu`.
     CpuFired(usize),
     /// Internal FCFS completion for `replicas[i].disk`.
@@ -143,6 +187,11 @@ impl Event<World> for Ev {
             Ev::Dispatch(client) => dispatch(engine, client),
             Ev::CpuDone(attempt) => {
                 let replica = attempt.replica;
+                let r = &engine.world().replicas[replica];
+                if r.state != ReplicaState::Up || r.epoch != attempt.epoch {
+                    abandon_attempt(engine, attempt);
+                    return;
+                }
                 let disk_demand = attempt.template.disk_demand;
                 Fcfs::submit_event(
                     engine,
@@ -152,10 +201,22 @@ impl Event<World> for Ev {
                     move |t| Ev::DiskFired(replica, t),
                 );
             }
-            Ev::DiskDone(a) => complete_attempt(engine, a),
+            Ev::DiskDone(a) => {
+                let r = &engine.world().replicas[a.replica];
+                if r.state != ReplicaState::Up || r.epoch != a.epoch {
+                    abandon_attempt(engine, a);
+                    return;
+                }
+                complete_attempt(engine, a);
+            }
             Ev::Certify(request) => certify(engine, request),
             Ev::WsCpuDone(ws) => {
                 let replica = ws.replica;
+                if engine.world().replicas[replica].state != ReplicaState::Up {
+                    // The crashed/rejoining target recovers this writeset
+                    // from the certifier log instead.
+                    return;
+                }
                 let ws_disk = ws.ws_disk;
                 Fcfs::submit_event(
                     engine,
@@ -166,6 +227,9 @@ impl Event<World> for Ev {
                 );
             }
             Ev::WsDiskDone(ws) => {
+                if engine.world().replicas[ws.replica].state != ReplicaState::Up {
+                    return;
+                }
                 {
                     let bytes = ws.writeset.wire_size() as u64;
                     let w = engine.world_mut();
@@ -198,6 +262,8 @@ impl Event<World> for Ev {
                     engine.schedule_event_in(interval, Ev::Vacuum);
                 }
             }
+            Ev::Inject(ev) => inject(engine, ev),
+            Ev::CatchupDone(replica) => catchup_step(engine, replica),
             Ev::CpuFired(replica) => Ps::on_fired(
                 engine,
                 move |w: &mut World| &mut w.replicas[replica].cpu,
@@ -259,21 +325,31 @@ impl MultiMasterSim {
                 db,
                 cpu: Ps::new(1.0),
                 disk: Fcfs::new(1),
+                state: ReplicaState::Up,
+                epoch: 0,
                 inflight: 0,
-                apply_next: 1,
+                apply_next: base_offset + 1,
                 apply_ready: BTreeMap::new(),
                 executing: 0,
                 admission: VecDeque::new(),
             });
         }
         let plan = plan.expect("at least one replica");
+        let schedule = self.cfg.schedule.clone();
+        // Ramps never invent clients mid-run: the pool is sized for the
+        // largest requested population up front, extra streams parked.
+        let capacity = (schedule.max_clients_factor() * clients as f64).ceil() as usize;
+        let transient = schedule
+            .enabled()
+            .then(|| TransientCollector::new(&schedule, self.cfg.warmup, self.cfg.end_time()));
         let world = World {
             replicas,
-            certifier: Certifier::new(),
-            pool: ClientPool::new(plan, clients, self.cfg.seed),
+            // Anchor the certifier at the seeded database version:
+            // writesets certify with their local base_version as-is.
+            certifier: Certifier::new_at(base_offset),
+            pool: ClientPool::with_capacity(plan, clients, capacity, self.cfg.seed),
             metrics: Metrics::default(),
             measuring: false,
-            base_offset,
             rng: Rng::seed_from_u64(self.cfg.seed ^ 0xD15C_0FFE),
             retries_exhausted: 0,
             lb_delay: self.cfg.lb_delay,
@@ -281,6 +357,11 @@ impl MultiMasterSim {
             mpl: self.cfg.mpl.max(1),
             vacuum_interval: self.cfg.vacuum_interval,
             end_time: self.cfg.end_time(),
+            certifier_up: true,
+            cert_stalled: VecDeque::new(),
+            stranded: VecDeque::new(),
+            base_clients: clients,
+            transient,
         };
         let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {
@@ -289,6 +370,9 @@ impl MultiMasterSim {
         engine.schedule_event_at(SimTime::from_secs(self.cfg.warmup), Ev::Warmup);
         if self.cfg.vacuum_interval > 0.0 {
             engine.schedule_event_in(self.cfg.vacuum_interval, Ev::Vacuum);
+        }
+        for te in schedule.sorted_events() {
+            engine.schedule_event_at(SimTime::from_secs(te.at), Ev::Inject(te.event));
         }
         let end = SimTime::from_secs(self.cfg.end_time());
         engine.run_until(end);
@@ -306,14 +390,16 @@ impl MultiMasterSim {
                 )
             })
             .collect();
-        RunReport::from_metrics(
+        let mut report = RunReport::from_metrics(
             &self.spec.name,
             n,
             clients,
             self.cfg.duration,
             &w.metrics,
             &utils,
-        )
+        );
+        report.transient = w.transient.map(TransientCollector::finalize);
+        report
     }
 }
 
@@ -322,24 +408,65 @@ fn client_cycle(engine: &mut Engine<World, Ev>, client: ClientId) {
     engine.schedule_event_in(think, Ev::Think(client));
 }
 
+/// Least-loaded live replica, if any.
+fn pick_up_replica(w: &World) -> Option<usize> {
+    w.replicas
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.state == ReplicaState::Up)
+        .min_by_key(|(_, r)| r.inflight)
+        .map(|(i, _)| i)
+}
+
 /// Load balancer (after the LAN delay): forward to the least loaded
 /// replica.
 fn dispatch(engine: &mut Engine<World, Ev>, client: ClientId) {
+    // Population ramps: surplus clients go dormant between transactions.
+    if engine.world_mut().pool.park_if_surplus(client) {
+        return;
+    }
     let (template, replica) = {
         let w = engine.world_mut();
         let template = w.pool.next_transaction(client);
-        let replica = w
-            .replicas
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| r.inflight)
-            .map(|(i, _)| i)
-            .expect("at least one replica");
-        w.replicas[replica].inflight += 1;
-        (template, replica)
+        (template, pick_up_replica(w))
     };
     let started = engine.now().as_secs();
-    admit(engine, client, replica, template, started);
+    match replica {
+        Some(replica) => {
+            engine.world_mut().replicas[replica].inflight += 1;
+            admit(engine, client, replica, template, started);
+        }
+        // Every replica is down: hold the transaction until one rejoins.
+        None => engine
+            .world_mut()
+            .stranded
+            .push_back((client, template, started)),
+    }
+}
+
+/// Re-routes a transaction whose replica crashed to a live one (or
+/// strands it when none is live). The attempt restarts from admission;
+/// the original dispatch timestamp is kept so the disruption shows up
+/// in its response time.
+fn failover(engine: &mut Engine<World, Ev>, client: ClientId, template: TxnTemplate, started: f64) {
+    match pick_up_replica(engine.world()) {
+        Some(replica) => {
+            engine.world_mut().replicas[replica].inflight += 1;
+            admit(engine, client, replica, template, started);
+        }
+        None => engine
+            .world_mut()
+            .stranded
+            .push_back((client, template, started)),
+    }
+}
+
+/// Drops an in-flight attempt whose replica died mid-execution and fails
+/// its client over. The dead replica's open snapshot is aborted so a
+/// later rejoin does not pin old versions.
+fn abandon_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
+    let _ = engine.world_mut().replicas[a.replica].db.abort(a.txn);
+    failover(engine, a.client, a.template, a.started);
 }
 
 /// Admission control (connection pool): at most `mpl` transactions execute
@@ -398,11 +525,11 @@ fn start_attempt(
     // GSI: the snapshot is the replica's latest *local* version at
     // execution start; the conflict window spans execution plus
     // certification.
-    let txn = {
+    let (txn, epoch) = {
         let now = engine.now().as_secs();
         let w = engine.world_mut();
         w.replicas[replica].db.set_time(now);
-        w.replicas[replica].db.begin()
+        (w.replicas[replica].db.begin(), w.replicas[replica].epoch)
     };
     let cpu_demand = template.cpu_demand;
     let attempt = Attempt {
@@ -412,6 +539,7 @@ fn start_attempt(
         template,
         started,
         attempt,
+        epoch,
     };
     Ps::submit_event(
         engine,
@@ -431,6 +559,7 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
         template,
         started,
         attempt,
+        epoch,
     } = a;
     if !template.is_update {
         // Read-only: commit locally, no certification (GSI guarantee).
@@ -450,20 +579,18 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
     // Update: execute locally, extract the writeset, certify remotely.
     let writeset = {
         let w = engine.world_mut();
-        let offset = w.base_offset;
         let db = &mut w.replicas[replica].db;
         db.set_time(now);
         w.pool
             .plan()
             .execute(db, txn, &template)
             .expect("workload references seeded tables");
-        let mut ws = db.writeset_of(txn).expect("transaction is active");
+        let ws = db.writeset_of(txn).expect("transaction is active");
         // Local effects are installed through the certified writeset in
-        // global order; discard the local buffer.
+        // global order; discard the local buffer. The certifier is
+        // anchored at the seeded version, so the local base_version is
+        // already in the global numbering.
         db.abort(txn).expect("transaction is active");
-        // Align local version numbering with the certifier's global
-        // numbering (local = seed commit + applied writesets).
-        ws.base_version = ws.base_version.saturating_sub(offset);
         ws
     };
     let cert_delay = engine.world().certifier_delay;
@@ -476,13 +603,30 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
             writeset,
             started,
             attempt,
+            epoch,
         }),
     );
 }
 
 /// Resolves a certification round trip: commit propagates the writeset to
 /// every replica, abort retries the client's transaction.
+///
+/// Fault handling: a request whose origin replica died while the round
+/// trip was in flight is dropped and its client fails over (the origin's
+/// local execution state is gone); during a certifier outage requests
+/// queue and are re-certified in order at restart.
 fn certify(engine: &mut Engine<World, Ev>, request: CertRequest) {
+    {
+        let r = &engine.world().replicas[request.replica];
+        if r.state != ReplicaState::Up || r.epoch != request.epoch {
+            failover(engine, request.client, request.template, request.started);
+            return;
+        }
+    }
+    if !engine.world().certifier_up {
+        engine.world_mut().cert_stalled.push_back(request);
+        return;
+    }
     let CertRequest {
         client,
         replica,
@@ -490,29 +634,36 @@ fn certify(engine: &mut Engine<World, Ev>, request: CertRequest) {
         writeset,
         started,
         attempt,
+        epoch: _,
     } = request;
     let verdict = engine.world_mut().certifier.certify(&writeset);
     match verdict {
         Certification::Commit(version) => {
-            // Propagate to every replica. The origin pays nothing (its
-            // execution already did the work) and retires immediately
-            // when the prefix allows; remote replicas first consume the
-            // sampled ws demands, then retire in order.
+            // Propagate to every live replica. The origin pays nothing
+            // (its execution already did the work) and retires
+            // immediately when the prefix allows; remote replicas first
+            // consume the sampled ws demands, then retire in order.
+            // Crashed or catching-up replicas are skipped — they recover
+            // the writeset from the certifier log when they rejoin.
             let n = engine.world().replicas.len();
             for r in 0..n {
                 if r == replica {
                     mark_ready(engine, r, version, writeset.clone());
-                } else {
+                } else if engine.world().replicas[r].state == ReplicaState::Up {
                     propagate(engine, r, version, writeset.clone());
                 }
             }
             respond(engine, client, replica, started, true);
         }
         Certification::Abort => {
+            let now = engine.now().as_secs();
             {
                 let w = engine.world_mut();
                 if w.measuring {
                     w.metrics.conflict_aborts += 1;
+                    if let Some(tc) = &mut w.transient {
+                        tc.abort(now);
+                    }
                 }
             }
             if attempt < MAX_RETRIES {
@@ -548,6 +699,9 @@ fn respond(
                 w.metrics.read_response.record(now - started);
             }
             w.metrics.response.record(now - started);
+            if let Some(tc) = &mut w.transient {
+                tc.commit(now, now - started, update);
+            }
         }
     }
     client_cycle(engine, client);
@@ -580,11 +734,21 @@ fn propagate(engine: &mut Engine<World, Ev>, replica: usize, version: u64, write
 
 /// Retires ready writesets into the replica database in strict global
 /// order, so the local version always equals a prefix of the certifier log.
+///
+/// Versions below `apply_next` are stale duplicates (a rejoined replica
+/// already replayed them from the certifier log) and are discarded.
 fn mark_ready(engine: &mut Engine<World, Ev>, replica: usize, version: u64, writeset: WriteSet) {
     let w = engine.world_mut();
     let r = &mut w.replicas[replica];
+    if version < r.apply_next {
+        return;
+    }
     r.apply_ready.insert(version, writeset);
     while let Some(entry) = r.apply_ready.first_entry() {
+        if *entry.key() < r.apply_next {
+            entry.remove();
+            continue;
+        }
         if *entry.key() != r.apply_next {
             break;
         }
@@ -595,9 +759,159 @@ fn mark_ready(engine: &mut Engine<World, Ev>, replica: usize, version: u64, writ
     }
 }
 
+// ---------------------------------------------------------------------
+// Schedule injection: crash / rejoin / certifier outage / ramps.
+// ---------------------------------------------------------------------
+
+/// Applies one injected schedule event and echoes it into the transient
+/// report. Events that cannot apply (unknown replica index — legal when
+/// one schedule drives a sweep over several cluster sizes — or a state
+/// they would not change) are acknowledged as ignored.
+fn inject(engine: &mut Engine<World, Ev>, ev: ScheduleEvent) {
+    let now = engine.now().as_secs();
+    let n = engine.world().replicas.len();
+    let applied = match ev {
+        ScheduleEvent::ReplicaCrash(i) => {
+            if i < n && engine.world().replicas[i].state == ReplicaState::Up {
+                crash_replica(engine, i);
+                true
+            } else {
+                false
+            }
+        }
+        ScheduleEvent::ReplicaJoin(i) => {
+            if i < n && engine.world().replicas[i].state == ReplicaState::Down {
+                engine.world_mut().replicas[i].state = ReplicaState::CatchingUp;
+                catchup_step(engine, i);
+                true
+            } else {
+                false
+            }
+        }
+        ScheduleEvent::CertifierDown => {
+            let w = engine.world_mut();
+            let was_up = w.certifier_up;
+            w.certifier_up = false;
+            was_up
+        }
+        ScheduleEvent::CertifierUp => {
+            let w = engine.world_mut();
+            let was_down = !w.certifier_up;
+            w.certifier_up = true;
+            if was_down {
+                // Re-certify the stalled requests in arrival order; their
+                // queueing time is part of their response time.
+                while let Some(req) = {
+                    let w = engine.world_mut();
+                    if w.certifier_up {
+                        w.cert_stalled.pop_front()
+                    } else {
+                        None
+                    }
+                } {
+                    certify(engine, req);
+                }
+            }
+            was_down
+        }
+        ScheduleEvent::Clients(factor) => {
+            set_population(engine, factor);
+            true
+        }
+    };
+    let description = if applied {
+        ev.to_string()
+    } else {
+        format!("{ev} (ignored)")
+    };
+    if let Some(tc) = &mut engine.world_mut().transient {
+        tc.event(now, description);
+    }
+}
+
+/// Crashes a replica: it stops serving, queued arrivals fail over to the
+/// survivors, and pending writeset applications are dropped (they will
+/// be recovered from the certifier log on rejoin). In-flight attempts
+/// are intercepted as their events fire.
+fn crash_replica(engine: &mut Engine<World, Ev>, i: usize) {
+    let waiting = {
+        let w = engine.world_mut();
+        let r = &mut w.replicas[i];
+        r.state = ReplicaState::Down;
+        r.epoch += 1;
+        r.executing = 0;
+        r.inflight = 0;
+        r.apply_ready.clear();
+        std::mem::take(&mut r.admission)
+    };
+    for (client, template, started) in waiting {
+        failover(engine, client, template, started);
+    }
+}
+
+/// One round of rejoin catch-up: replay every writeset the replica
+/// missed, pay the state-transfer lag (missed count × mean ws demands —
+/// deterministic, no RNG draws), then re-check. When no new writesets
+/// accumulated during the lag the replica is caught up and takes load.
+fn catchup_step(engine: &mut Engine<World, Ev>, i: usize) {
+    let lag = {
+        let w = engine.world_mut();
+        if w.replicas[i].state != ReplicaState::CatchingUp {
+            return;
+        }
+        let applied = w.replicas[i].apply_next - 1;
+        let target = w.certifier.version();
+        if applied >= target {
+            w.replicas[i].state = ReplicaState::Up;
+            None
+        } else {
+            let missed: Vec<WriteSet> = w.certifier.writesets_between(applied, target).to_vec();
+            let (ws_cpu, ws_disk) = {
+                let spec = w.pool.spec();
+                (spec.ws_cpu, spec.ws_disk)
+            };
+            let r = &mut w.replicas[i];
+            for ws in &missed {
+                r.db.apply_writeset(ws)
+                    .expect("writeset references seeded tables");
+            }
+            r.apply_next = target + 1;
+            Some(missed.len() as f64 * (ws_cpu + ws_disk))
+        }
+    };
+    match lag {
+        Some(lag) => {
+            engine.schedule_event_in(lag.max(f64::MIN_POSITIVE), Ev::CatchupDone(i));
+        }
+        None => drain_stranded(engine),
+    }
+}
+
+/// Restarts transactions that stranded while no replica was live.
+fn drain_stranded(engine: &mut Engine<World, Ev>) {
+    while let Some((client, template, started)) = engine.world_mut().stranded.pop_front() {
+        failover(engine, client, template, started);
+    }
+}
+
+/// Applies a client-population ramp: the target moves to
+/// `factor × base`, parked clients below it restart their closed loop,
+/// surplus clients park at their next dispatch.
+fn set_population(engine: &mut Engine<World, Ev>, factor: f64) {
+    let woken = {
+        let w = engine.world_mut();
+        let target = (factor * w.base_clients as f64).round() as usize;
+        w.pool.set_active_target(target)
+    };
+    for client in woken {
+        client_cycle(engine, client);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use replipred_core::Schedule;
     use replipred_workload::{heap, rubis, tpcw};
 
     fn quick(n: usize, seed: u64) -> SimConfig {
@@ -709,5 +1023,116 @@ mod tests {
         let b = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 11)).run();
         assert_eq!(a.throughput_tps, b.throughput_tps);
         assert_eq!(a.conflict_aborts, b.conflict_aborts);
+    }
+
+    #[test]
+    fn eventless_schedule_only_adds_transient_windows() {
+        // Turning on windowed collection without any events must not
+        // perturb the run: the steady-state numbers stay bit-identical.
+        let plain = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 30)).run();
+        let cfg = SimConfig {
+            schedule: Schedule::new().window(5.0),
+            ..quick(2, 30)
+        };
+        let mut windowed = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        let transient = windowed
+            .transient
+            .take()
+            .expect("windowing enables transient");
+        assert_eq!(plain, windowed);
+        assert!(!transient.windows.is_empty());
+        assert!(transient.recovery_time.is_none(), "no fault, no recovery");
+        let window_commits: u64 = transient.windows.iter().map(|w| w.commits).sum();
+        assert_eq!(window_commits, plain.read_commits + plain.update_commits);
+    }
+
+    #[test]
+    fn crash_and_rejoin_reports_recovery() {
+        let cfg = SimConfig {
+            schedule: Schedule::new().crash(20.0, 1).join(30.0, 1).window(2.0),
+            ..quick(2, 31)
+        };
+        let a = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg.clone()).run();
+        let t = a.transient.as_ref().expect("schedule enables transient");
+        let echoed: Vec<&str> = t.events.iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(echoed, ["crash replica 1", "rejoin replica 1"]);
+        assert!(a.update_commits > 0, "survivor keeps committing updates");
+        assert!(
+            t.recovery_time.is_some(),
+            "throughput should recover after the rejoin"
+        );
+        let b = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        assert_eq!(a, b, "phased runs must stay deterministic");
+    }
+
+    #[test]
+    fn certifier_outage_stalls_then_releases_updates() {
+        let cfg = SimConfig {
+            schedule: Schedule::new()
+                .certifier_down(20.0)
+                .certifier_up(28.0)
+                .window(2.0),
+            ..quick(2, 32)
+        };
+        let report = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Ordering), cfg).run();
+        let t = report.transient.as_ref().expect("transient present");
+        assert_eq!(t.events.len(), 2);
+        // Updates stall during the outage but the backlog drains: commits
+        // still happen overall and the run terminates.
+        assert!(report.update_commits > 0);
+        let outage_updates: u64 = t
+            .windows
+            .iter()
+            .filter(|w| w.start >= 20.0 && w.end <= 28.0)
+            .map(|w| w.update_commits)
+            .sum();
+        let before_updates: u64 = t
+            .windows
+            .iter()
+            .filter(|w| w.end <= 20.0)
+            .map(|w| w.update_commits)
+            .sum();
+        assert!(
+            outage_updates < before_updates,
+            "outage windows ({outage_updates}) should commit fewer updates \
+             than the pre-fault windows ({before_updates})"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_raises_load_then_subsides() {
+        let base = MultiMasterSim::new(rubis::mix(rubis::Mix::Bidding), quick(2, 33)).run();
+        let cfg = SimConfig {
+            schedule: Schedule::new().flash_crowd(15.0, 2.0, 20.0).window(5.0),
+            ..quick(2, 33)
+        };
+        let surged = MultiMasterSim::new(rubis::mix(rubis::Mix::Bidding), cfg).run();
+        let t = surged.transient.as_ref().expect("transient present");
+        assert_eq!(t.events.len(), 2, "ramp up and ramp down are echoed");
+        assert!(
+            surged.throughput_tps > base.throughput_tps,
+            "doubling clients for half the window should lift throughput: \
+             base={} surged={}",
+            base.throughput_tps,
+            surged.throughput_tps
+        );
+    }
+
+    #[test]
+    fn all_replicas_down_strands_no_work() {
+        // Crash the only replica and bring it back: every in-flight and
+        // newly arriving transaction strands, then drains at rejoin. The
+        // accounting must balance (no lost clients, run keeps going).
+        let cfg = SimConfig {
+            schedule: Schedule::new().crash(15.0, 0).join(25.0, 0).window(5.0),
+            ..quick(1, 34)
+        };
+        let report = MultiMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        let t = report.transient.as_ref().expect("transient present");
+        assert!(report.throughput_tps > 0.0, "work resumes after rejoin");
+        assert!(
+            t.slo_violation_secs > 0.0,
+            "a full blackout must register as SLO violation time"
+        );
     }
 }

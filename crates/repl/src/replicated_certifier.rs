@@ -68,11 +68,23 @@ impl ReplicatedCertifier {
     ///
     /// Panics if `members` is zero.
     pub fn new(members: usize) -> Self {
+        Self::new_at(members, 0)
+    }
+
+    /// Creates a service whose members are all anchored at global
+    /// `version` (see [`Certifier::new_at`]): the natural constructor
+    /// when the replicas' databases already carry seeded history, so
+    /// writesets certify with their local `base_version` unmodified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero.
+    pub fn new_at(members: usize, version: u64) -> Self {
         assert!(members > 0, "need at least one certifier member");
         ReplicatedCertifier {
             members: (0..members)
                 .map(|_| Member {
-                    state: Certifier::new(),
+                    state: Certifier::new_at(version),
                     applied: 0,
                     alive: true,
                 })
@@ -261,6 +273,17 @@ mod tests {
         rc.restart(0);
         assert!(rc.has_quorum());
         assert!(rc.certify(&ws(0, 9)).is_ok());
+    }
+
+    #[test]
+    fn anchored_service_speaks_absolute_versions() {
+        let mut rc = ReplicatedCertifier::new_at(3, 100);
+        assert_eq!(rc.version(), 100);
+        assert_eq!(rc.certify(&ws(100, 1)).unwrap(), Certification::Commit(101));
+        assert_eq!(rc.certify(&ws(100, 1)).unwrap(), Certification::Abort);
+        // Failover preserves the anchored history.
+        rc.kill(rc.leader());
+        assert_eq!(rc.certify(&ws(101, 2)).unwrap(), Certification::Commit(102));
     }
 
     #[test]

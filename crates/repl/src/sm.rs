@@ -16,6 +16,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use replipred_core::ScheduleEvent;
 use replipred_sidb::{Database, TxnId, WriteSet};
 use replipred_sim::engine::{Engine, Event};
 use replipred_sim::resource::{Fcfs, Ps, ServiceToken};
@@ -25,17 +26,36 @@ use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
 
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, RunReport};
+use crate::transient::TransientCollector;
 
 /// Retry backstop.
 const MAX_RETRIES: u32 = 1000;
+
+/// Node liveness for fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// Serving transactions and applying relayed writesets.
+    Up,
+    /// Crashed: serves nothing, receives nothing.
+    Down,
+    /// Rejoined and replaying missed writesets; takes no load yet.
+    CatchingUp,
+}
 
 /// One node (master or slave) with its hardware.
 struct Node {
     db: Database,
     cpu: Ps<World, Ev>,
     disk: Fcfs<World, Ev>,
+    state: NodeState,
+    /// Incremented at every crash. In-flight work stamped with an older
+    /// epoch is stale — it must not complete even if the node has
+    /// already rejoined by the time its event fires.
+    epoch: u64,
     inflight: usize,
     /// Next writeset sequence number to retire into the local database.
+    /// Maintained for slaves; fixed up from `ws_seq` when a master
+    /// crashes (its database holds everything it committed).
     apply_next: u64,
     /// Writesets whose resource phase finished, awaiting in-order retire.
     apply_ready: BTreeMap<u64, WriteSet>,
@@ -46,8 +66,13 @@ struct Node {
 }
 
 struct World {
-    /// `nodes[0]` is the master; the rest are slaves.
+    /// `nodes[master]` executes updates; the rest are slaves.
     nodes: Vec<Node>,
+    /// Index of the current master (0 until a failover promotes a slave).
+    master: usize,
+    /// Slave under promotion: updates queue until it has applied the
+    /// full writeset log, then it becomes the master.
+    promoting: Option<usize>,
     /// Clients and their compiled statement plan (`pool.plan()`).
     pool: ClientPool,
     metrics: Metrics,
@@ -57,11 +82,24 @@ struct World {
     lb_delay: f64,
     /// Master commit counter used to sequence slave-side application.
     ws_seq: u64,
+    /// Every writeset ever committed, in sequence order (`seq s` lives at
+    /// index `s - 1`): the durable log a rejoining slave replays.
+    ws_log: Vec<WriteSet>,
     mpl: usize,
     /// Vacuum interval, seconds (0 disables).
     vacuum_interval: f64,
     /// End of the simulated horizon (no vacuums past it).
     end_time: f64,
+    /// Updates waiting for a live master (crash or promotion in
+    /// progress), drained in FIFO order once one exists.
+    pending_updates: VecDeque<(ClientId, TxnTemplate, f64)>,
+    /// Read-only transactions with no live node to run on.
+    stranded: VecDeque<(ClientId, TxnTemplate, f64)>,
+    /// The configured base client population (ramp factors are relative
+    /// to this).
+    base_clients: usize,
+    /// Windowed transient metrics; `None` unless a schedule is active.
+    transient: Option<TransientCollector>,
 }
 
 /// One in-flight transaction attempt moving through the CPU→disk phases
@@ -73,6 +111,8 @@ struct Attempt {
     template: TxnTemplate,
     started: f64,
     attempt: u32,
+    /// The node crash epoch the attempt started under.
+    epoch: u64,
 }
 
 /// A committed writeset consuming its `ws` demands on a slave.
@@ -104,6 +144,10 @@ enum Ev {
     Warmup,
     /// Periodic version GC on every node.
     Vacuum,
+    /// An injected schedule event (crash, rejoin, ramp).
+    Inject(ScheduleEvent),
+    /// A rejoining node finished one round of writeset replay.
+    CatchupDone(usize),
     /// Internal PS completion for `nodes[i].cpu`.
     CpuFired(usize),
     /// Internal FCFS completion for `nodes[i].disk`.
@@ -120,6 +164,13 @@ impl Event<World> for Ev {
             Ev::Dispatch(client) => dispatch(engine, client),
             Ev::CpuDone(attempt) => {
                 let node = attempt.node;
+                {
+                    let s = &engine.world().nodes[node];
+                    if s.state != NodeState::Up || s.epoch != attempt.epoch {
+                        abandon_attempt(engine, attempt);
+                        return;
+                    }
+                }
                 let disk_demand = attempt.template.disk_demand;
                 Fcfs::submit_event(
                     engine,
@@ -129,9 +180,21 @@ impl Event<World> for Ev {
                     move |t| Ev::DiskFired(node, t),
                 );
             }
-            Ev::DiskDone(a) => complete_attempt(engine, a),
+            Ev::DiskDone(a) => {
+                let s = &engine.world().nodes[a.node];
+                if s.state != NodeState::Up || s.epoch != a.epoch {
+                    abandon_attempt(engine, a);
+                    return;
+                }
+                complete_attempt(engine, a);
+            }
             Ev::WsCpuDone(ws) => {
                 let node = ws.node;
+                if engine.world().nodes[node].state != NodeState::Up {
+                    // The crashed/rejoining slave recovers this writeset
+                    // from the durable log instead.
+                    return;
+                }
                 let ws_disk = ws.ws_disk;
                 Fcfs::submit_event(
                     engine,
@@ -142,6 +205,9 @@ impl Event<World> for Ev {
                 );
             }
             Ev::WsDiskDone(ws) => {
+                if engine.world().nodes[ws.node].state != NodeState::Up {
+                    return;
+                }
                 {
                     let bytes = ws.writeset.wire_size() as u64;
                     let w = engine.world_mut();
@@ -174,6 +240,8 @@ impl Event<World> for Ev {
                     engine.schedule_event_in(interval, Ev::Vacuum);
                 }
             }
+            Ev::Inject(ev) => inject(engine, ev),
+            Ev::CatchupDone(node) => catchup_step(engine, node),
             Ev::CpuFired(node) => Ps::on_fired(
                 engine,
                 move |w: &mut World| &mut w.nodes[node].cpu,
@@ -233,6 +301,8 @@ impl SingleMasterSim {
                 db,
                 cpu: Ps::new(1.0),
                 disk: Fcfs::new(1),
+                state: NodeState::Up,
+                epoch: 0,
                 inflight: 0,
                 apply_next: 1,
                 apply_ready: BTreeMap::new(),
@@ -241,18 +311,32 @@ impl SingleMasterSim {
             });
         }
         let plan = plan.expect("at least the master");
+        let schedule = self.cfg.schedule.clone();
+        // Ramps never invent clients mid-run: the pool is sized for the
+        // largest requested population up front, extra streams parked.
+        let capacity = (schedule.max_clients_factor() * clients as f64).ceil() as usize;
+        let transient = schedule
+            .enabled()
+            .then(|| TransientCollector::new(&schedule, self.cfg.warmup, self.cfg.end_time()));
         let world = World {
             nodes,
-            pool: ClientPool::new(plan, clients, self.cfg.seed),
+            master: 0,
+            promoting: None,
+            pool: ClientPool::with_capacity(plan, clients, capacity, self.cfg.seed),
             metrics: Metrics::default(),
             measuring: false,
             rng: Rng::seed_from_u64(self.cfg.seed ^ 0x5A5A_1234),
             retries_exhausted: 0,
             lb_delay: self.cfg.lb_delay,
             ws_seq: 0,
+            ws_log: Vec::new(),
             mpl: self.cfg.mpl.max(1),
             vacuum_interval: self.cfg.vacuum_interval,
             end_time: self.cfg.end_time(),
+            pending_updates: VecDeque::new(),
+            stranded: VecDeque::new(),
+            base_clients: clients,
+            transient,
         };
         let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {
@@ -261,6 +345,9 @@ impl SingleMasterSim {
         engine.schedule_event_at(SimTime::from_secs(self.cfg.warmup), Ev::Warmup);
         if self.cfg.vacuum_interval > 0.0 {
             engine.schedule_event_in(self.cfg.vacuum_interval, Ev::Vacuum);
+        }
+        for te in schedule.sorted_events() {
+            engine.schedule_event_at(SimTime::from_secs(te.at), Ev::Inject(te.event));
         }
         let end = SimTime::from_secs(self.cfg.end_time());
         engine.run_until(end);
@@ -271,7 +358,7 @@ impl SingleMasterSim {
             .iter()
             .enumerate()
             .map(|(i, node)| {
-                let name = if i == 0 {
+                let name = if i == w.master {
                     "master".to_string()
                 } else {
                     format!("slave{i}")
@@ -283,14 +370,16 @@ impl SingleMasterSim {
                 )
             })
             .collect();
-        RunReport::from_metrics(
+        let mut report = RunReport::from_metrics(
             &self.spec.name,
             n,
             clients,
             self.cfg.duration,
             &w.metrics,
             &utils,
-        )
+        );
+        report.transient = w.transient.map(TransientCollector::finalize);
+        report
     }
 }
 
@@ -299,27 +388,83 @@ fn client_cycle(engine: &mut Engine<World, Ev>, client: ClientId) {
     engine.schedule_event_in(think, Ev::Think(client));
 }
 
+/// Least-loaded live node, if any.
+fn pick_up_node(w: &World) -> Option<usize> {
+    w.nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.state == NodeState::Up)
+        .min_by_key(|(_, n)| n.inflight)
+        .map(|(i, _)| i)
+}
+
 /// Load balancer (after the LAN delay): updates to the master; reads to
 /// the least loaded node.
 fn dispatch(engine: &mut Engine<World, Ev>, client: ClientId) {
-    let (template, node) = {
-        let w = engine.world_mut();
-        let template = w.pool.next_transaction(client);
-        let node = if template.is_update {
-            0
-        } else {
-            w.nodes
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, n)| n.inflight)
-                .map(|(i, _)| i)
-                .expect("at least the master")
-        };
-        w.nodes[node].inflight += 1;
-        (template, node)
-    };
+    // Population ramps: surplus clients go dormant between transactions.
+    if engine.world_mut().pool.park_if_surplus(client) {
+        return;
+    }
+    let template = engine.world_mut().pool.next_transaction(client);
     let started = engine.now().as_secs();
-    admit(engine, client, node, template, started);
+    if template.is_update {
+        route_update(engine, client, template, started);
+    } else {
+        route_read(engine, client, template, started);
+    }
+}
+
+/// Routes an update to the master, or queues it while the master is dead
+/// or a slave promotion is still replaying the log.
+fn route_update(
+    engine: &mut Engine<World, Ev>,
+    client: ClientId,
+    template: TxnTemplate,
+    started: f64,
+) {
+    let master = {
+        let w = engine.world_mut();
+        if w.promoting.is_some() || w.nodes[w.master].state != NodeState::Up {
+            w.pending_updates.push_back((client, template, started));
+            return;
+        }
+        w.nodes[w.master].inflight += 1;
+        w.master
+    };
+    admit(engine, client, master, template, started);
+}
+
+/// Routes a read-only transaction to the least loaded live node, or
+/// strands it until one rejoins.
+fn route_read(
+    engine: &mut Engine<World, Ev>,
+    client: ClientId,
+    template: TxnTemplate,
+    started: f64,
+) {
+    match pick_up_node(engine.world()) {
+        Some(node) => {
+            engine.world_mut().nodes[node].inflight += 1;
+            admit(engine, client, node, template, started);
+        }
+        None => engine
+            .world_mut()
+            .stranded
+            .push_back((client, template, started)),
+    }
+}
+
+/// Drops an in-flight attempt whose node died mid-execution and re-routes
+/// its client (updates wait for a master, reads fail over). The dead
+/// node's open snapshot is aborted so a later rejoin does not pin old
+/// versions.
+fn abandon_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
+    let _ = engine.world_mut().nodes[a.node].db.abort(a.txn);
+    if a.template.is_update {
+        route_update(engine, a.client, a.template, a.started);
+    } else {
+        route_read(engine, a.client, a.template, a.started);
+    }
 }
 
 /// Admission control (connection pool): at most `mpl` transactions execute
@@ -376,11 +521,11 @@ fn start_attempt(
 ) {
     // The snapshot is taken at execution start; on the master the
     // conflict window therefore spans the update's whole execution.
-    let txn = {
+    let (txn, epoch) = {
         let now = engine.now().as_secs();
         let w = engine.world_mut();
         w.nodes[node].db.set_time(now);
-        w.nodes[node].db.begin()
+        (w.nodes[node].db.begin(), w.nodes[node].epoch)
     };
     let cpu_demand = template.cpu_demand;
     let attempt = Attempt {
@@ -390,6 +535,7 @@ fn start_attempt(
         template,
         started,
         attempt,
+        epoch,
     };
     Ps::submit_event(
         engine,
@@ -409,6 +555,7 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
         template,
         started,
         attempt,
+        epoch: _,
     } = a;
     if !template.is_update {
         let w = engine.world_mut();
@@ -425,10 +572,14 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
         return;
     }
     // Update at the master: local SI certification, then propagation.
-    debug_assert_eq!(node, 0, "updates only execute on the master");
+    debug_assert_eq!(
+        node,
+        engine.world().master,
+        "updates only execute on the master"
+    );
     let outcome = {
         let w = engine.world_mut();
-        let db = &mut w.nodes[0].db;
+        let db = &mut w.nodes[node].db;
         db.set_time(now);
         w.pool
             .plan()
@@ -438,32 +589,40 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
     };
     match outcome {
         Ok(writeset) => {
-            // Relay the writeset to every slave; slaves consume resources
-            // concurrently but retire strictly in master commit order.
+            // Relay the writeset to every live slave; slaves consume
+            // resources concurrently but retire strictly in master commit
+            // order. Crashed or catching-up slaves recover it from the
+            // durable log on rejoin.
             let seq = {
                 let w = engine.world_mut();
                 w.ws_seq += 1;
+                w.ws_log.push(writeset.clone());
                 w.ws_seq
             };
             let n = engine.world().nodes.len();
-            for s in 1..n {
-                propagate(engine, s, seq, writeset.clone());
+            for s in 0..n {
+                if s != node && engine.world().nodes[s].state == NodeState::Up {
+                    propagate(engine, s, seq, writeset.clone());
+                }
             }
-            respond(engine, client, 0, started, true);
+            respond(engine, client, node, started, true);
         }
         Err(e) if e.is_conflict() => {
             {
                 let w = engine.world_mut();
                 if w.measuring {
                     w.metrics.conflict_aborts += 1;
+                    if let Some(tc) = &mut w.transient {
+                        tc.abort(now);
+                    }
                 }
             }
             if attempt < MAX_RETRIES {
                 let retry = engine.world_mut().pool.resample_demands(client, &template);
-                start_attempt(engine, client, 0, retry, started, attempt + 1);
+                start_attempt(engine, client, node, retry, started, attempt + 1);
             } else {
                 engine.world_mut().retries_exhausted += 1;
-                respond(engine, client, 0, started, true);
+                respond(engine, client, node, started, true);
             }
         }
         Err(e) => panic!("unexpected engine error: {e}"),
@@ -491,6 +650,9 @@ fn respond(
                 w.metrics.read_response.record(now - started);
             }
             w.metrics.response.record(now - started);
+            if let Some(tc) = &mut w.transient {
+                tc.commit(now, now - started, update);
+            }
         }
     }
     client_cycle(engine, client);
@@ -522,24 +684,258 @@ fn propagate(engine: &mut Engine<World, Ev>, node: usize, seq: u64, writeset: Wr
 }
 
 /// Retires ready writesets into the slave database in master commit order.
+///
+/// Sequences below `apply_next` are stale duplicates (a rejoined slave
+/// already replayed them from the log) and are discarded. When the slave
+/// is a pending promotion candidate and has caught up with the full log,
+/// the promotion completes here.
 fn mark_ready(engine: &mut Engine<World, Ev>, node: usize, seq: u64, writeset: WriteSet) {
-    let w = engine.world_mut();
-    let s = &mut w.nodes[node];
-    s.apply_ready.insert(seq, writeset);
-    while let Some(entry) = s.apply_ready.first_entry() {
-        if *entry.key() != s.apply_next {
-            break;
+    {
+        let w = engine.world_mut();
+        let s = &mut w.nodes[node];
+        if seq < s.apply_next {
+            return;
         }
-        let ws = entry.remove();
-        s.db.apply_writeset(&ws)
-            .expect("writeset references seeded tables");
-        s.apply_next += 1;
+        s.apply_ready.insert(seq, writeset);
+        while let Some(entry) = s.apply_ready.first_entry() {
+            if *entry.key() < s.apply_next {
+                entry.remove();
+                continue;
+            }
+            if *entry.key() != s.apply_next {
+                break;
+            }
+            let ws = entry.remove();
+            s.db.apply_writeset(&ws)
+                .expect("writeset references seeded tables");
+            s.apply_next += 1;
+        }
+    }
+    try_complete_promotion(engine);
+}
+
+// ---------------------------------------------------------------------
+// Schedule injection: crash / failover / rejoin / ramps.
+// ---------------------------------------------------------------------
+
+/// Applies one injected schedule event and echoes it into the transient
+/// report. Events that cannot apply (unknown node index — legal when one
+/// schedule drives a sweep over several cluster sizes — a state they
+/// would not change, or certifier events, which have no meaning in the
+/// single-master design) are acknowledged as ignored.
+fn inject(engine: &mut Engine<World, Ev>, ev: ScheduleEvent) {
+    let now = engine.now().as_secs();
+    let n = engine.world().nodes.len();
+    let applied = match ev {
+        ScheduleEvent::ReplicaCrash(i) => {
+            if i < n && engine.world().nodes[i].state == NodeState::Up {
+                crash_node(engine, i);
+                true
+            } else {
+                false
+            }
+        }
+        ScheduleEvent::ReplicaJoin(i) => {
+            if i < n && engine.world().nodes[i].state == NodeState::Down {
+                engine.world_mut().nodes[i].state = NodeState::CatchingUp;
+                catchup_step(engine, i);
+                true
+            } else {
+                false
+            }
+        }
+        // No certifier in the single-master design.
+        ScheduleEvent::CertifierDown | ScheduleEvent::CertifierUp => false,
+        ScheduleEvent::Clients(factor) => {
+            set_population(engine, factor);
+            true
+        }
+    };
+    if let Some(tc) = &mut engine.world_mut().transient {
+        let description = if applied {
+            ev.to_string()
+        } else {
+            format!("{ev} (ignored)")
+        };
+        tc.event(now, description);
+    }
+}
+
+/// Kills a node: waiting arrivals re-route, its apply queue is dropped
+/// (recovered from the durable log on rejoin), and — when it was the
+/// master or the pending promotion candidate — a new master is elected.
+/// In-flight attempts are intercepted as their events fire.
+fn crash_node(engine: &mut Engine<World, Ev>, i: usize) {
+    let waiting = {
+        let w = engine.world_mut();
+        let was_master = w.master == i;
+        let s = &mut w.nodes[i];
+        s.state = NodeState::Down;
+        s.epoch += 1;
+        s.executing = 0;
+        s.inflight = 0;
+        s.apply_ready.clear();
+        if was_master {
+            // The master's database holds everything it committed; record
+            // its log position so a later rejoin replays only what it
+            // missed.
+            s.apply_next = w.ws_seq + 1;
+        }
+        std::mem::take(&mut s.admission)
+    };
+    for (client, template, started) in waiting {
+        if template.is_update {
+            route_update(engine, client, template, started);
+        } else {
+            route_read(engine, client, template, started);
+        }
+    }
+    let needs_election = {
+        let w = engine.world();
+        w.nodes[w.master].state != NodeState::Up || w.promoting == Some(i)
+    };
+    if needs_election {
+        elect(engine);
+    }
+}
+
+/// Picks the most caught-up live node as the promotion candidate (ties
+/// break toward the lowest index). With no live node the cluster waits:
+/// updates queue until a rejoin completes and triggers a new election.
+fn elect(engine: &mut Engine<World, Ev>) {
+    let candidate = {
+        let w = engine.world_mut();
+        let mut best: Option<(usize, u64)> = None;
+        for (i, s) in w.nodes.iter().enumerate() {
+            if s.state != NodeState::Up {
+                continue;
+            }
+            if best.map_or(true, |(_, apply)| s.apply_next > apply) {
+                best = Some((i, s.apply_next));
+            }
+        }
+        w.promoting = best.map(|(i, _)| i);
+        best.map(|(i, _)| i)
+    };
+    if candidate.is_some() {
+        try_complete_promotion(engine);
+    }
+}
+
+/// Completes a pending promotion once the candidate has applied the full
+/// writeset log, then releases the queued updates to the new master.
+fn try_complete_promotion(engine: &mut Engine<World, Ev>) {
+    let promoted = {
+        let w = engine.world_mut();
+        match w.promoting {
+            Some(c) if w.nodes[c].apply_next == w.ws_seq + 1 => {
+                w.master = c;
+                w.promoting = None;
+                true
+            }
+            _ => false,
+        }
+    };
+    if promoted {
+        drain_pending_updates(engine);
+    }
+}
+
+/// Re-routes the updates that queued while no master was available.
+fn drain_pending_updates(engine: &mut Engine<World, Ev>) {
+    while let Some((client, template, started)) = {
+        let w = engine.world_mut();
+        if w.promoting.is_none() && w.nodes[w.master].state == NodeState::Up {
+            w.pending_updates.pop_front()
+        } else {
+            None
+        }
+    } {
+        route_update(engine, client, template, started);
+    }
+}
+
+/// One round of rejoin catch-up: replay every writeset the node missed
+/// from the durable log, pay the state-transfer lag (missed count × mean
+/// ws demands — deterministic, no RNG draws), then re-check. When no new
+/// writesets accumulated during the lag the node is caught up and takes
+/// load; if the cluster is masterless it stands for election.
+fn catchup_step(engine: &mut Engine<World, Ev>, i: usize) {
+    let lag = {
+        let w = engine.world_mut();
+        if w.nodes[i].state != NodeState::CatchingUp {
+            return;
+        }
+        let applied = w.nodes[i].apply_next - 1;
+        let target = w.ws_seq;
+        if applied >= target {
+            w.nodes[i].state = NodeState::Up;
+            None
+        } else {
+            let missed = w.ws_log[applied as usize..target as usize].to_vec();
+            let (ws_cpu, ws_disk) = {
+                let spec = w.pool.spec();
+                (spec.ws_cpu, spec.ws_disk)
+            };
+            let s = &mut w.nodes[i];
+            for ws in &missed {
+                s.db.apply_writeset(ws)
+                    .expect("writeset references seeded tables");
+            }
+            s.apply_next = target + 1;
+            Some(missed.len() as f64 * (ws_cpu + ws_disk))
+        }
+    };
+    match lag {
+        Some(lag) => {
+            engine.schedule_event_in(lag.max(f64::MIN_POSITIVE), Ev::CatchupDone(i));
+        }
+        None => {
+            let masterless = {
+                let w = engine.world();
+                w.promoting.is_none() && w.nodes[w.master].state != NodeState::Up
+            };
+            if masterless {
+                elect(engine);
+            }
+            try_complete_promotion(engine);
+            drain_stranded(engine);
+        }
+    }
+}
+
+/// Restarts read-only transactions that stranded while no node was live.
+fn drain_stranded(engine: &mut Engine<World, Ev>) {
+    while let Some((client, template, started)) = {
+        let w = engine.world_mut();
+        if pick_up_node(w).is_some() {
+            w.stranded.pop_front()
+        } else {
+            None
+        }
+    } {
+        route_read(engine, client, template, started);
+    }
+}
+
+/// Applies a client-population ramp: the target moves to
+/// `factor × base`, parked clients below it restart their closed loop,
+/// surplus clients park at their next dispatch.
+fn set_population(engine: &mut Engine<World, Ev>, factor: f64) {
+    let woken = {
+        let w = engine.world_mut();
+        let target = (factor * w.base_clients as f64).round() as usize;
+        w.pool.set_active_target(target)
+    };
+    for client in woken {
+        client_cycle(engine, client);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use replipred_core::Schedule;
     use replipred_workload::{rubis, tpcw};
 
     fn quick(n: usize, seed: u64) -> SimConfig {
@@ -649,6 +1045,82 @@ mod tests {
             "serial {} vs wide {}",
             serial.throughput_tps,
             wide.throughput_tps
+        );
+    }
+
+    #[test]
+    fn eventless_schedule_only_adds_transient_windows() {
+        // Windowed collection without events must not perturb the run.
+        let plain = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(2, 40)).run();
+        let cfg = SimConfig {
+            schedule: Schedule::new().window(5.0),
+            ..quick(2, 40)
+        };
+        let mut windowed = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        let transient = windowed
+            .transient
+            .take()
+            .expect("windowing enables transient");
+        assert_eq!(plain, windowed);
+        assert!(!transient.windows.is_empty());
+    }
+
+    #[test]
+    fn master_crash_promotes_a_slave() {
+        // Kill the master mid-run: a slave is promoted once it has the
+        // full writeset log, queued updates drain to it, and update
+        // commits keep flowing for the rest of the run.
+        let cfg = SimConfig {
+            schedule: Schedule::new().crash(20.0, 0).window(2.0),
+            ..quick(3, 41)
+        };
+        let a = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg.clone()).run();
+        let t = a.transient.as_ref().expect("transient present");
+        assert_eq!(t.events[0].event, "crash replica 0");
+        assert!(a.update_commits > 0, "promoted slave serves updates");
+        let tail_updates: u64 = t
+            .windows
+            .iter()
+            .filter(|w| w.start >= 25.0)
+            .map(|w| w.update_commits)
+            .sum();
+        assert!(
+            tail_updates > 0,
+            "updates must keep committing after the failover"
+        );
+        let b = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        assert_eq!(a, b, "failover runs must stay deterministic");
+    }
+
+    #[test]
+    fn crashed_master_rejoins_as_slave() {
+        let cfg = SimConfig {
+            schedule: Schedule::new().crash(18.0, 0).join(28.0, 0).window(2.0),
+            ..quick(2, 42)
+        };
+        let report = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        let t = report.transient.as_ref().expect("transient present");
+        let echoed: Vec<&str> = t.events.iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(echoed, ["crash replica 0", "rejoin replica 0"]);
+        assert!(report.update_commits > 0);
+        assert!(report.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn certifier_events_are_ignored_in_single_master() {
+        let cfg = SimConfig {
+            schedule: Schedule::new()
+                .certifier_down(20.0)
+                .certifier_up(25.0)
+                .window(5.0),
+            ..quick(2, 43)
+        };
+        let report = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        let t = report.transient.as_ref().expect("transient present");
+        let echoed: Vec<&str> = t.events.iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(
+            echoed,
+            ["certifier down (ignored)", "certifier up (ignored)"]
         );
     }
 

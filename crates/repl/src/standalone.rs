@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use replipred_core::ScheduleEvent;
 use replipred_sidb::{Database, TxnId};
 use replipred_sim::engine::{Engine, Event};
 use replipred_sim::resource::{Fcfs, Ps, ServiceToken};
@@ -20,6 +21,7 @@ use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
 
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, RunReport};
+use crate::transient::TransientCollector;
 
 /// Abandon a transaction after this many certification-failure retries
 /// (a liveness backstop; the paper's RTEs retry indefinitely).
@@ -74,6 +76,11 @@ struct World {
     vacuum_interval: f64,
     /// End of the simulated horizon (no vacuums past it).
     end_time: f64,
+    /// The configured base client population (ramp factors are relative
+    /// to this).
+    base_clients: usize,
+    /// Windowed transient metrics; `None` unless a schedule is active.
+    transient: Option<TransientCollector>,
 }
 
 /// One in-flight transaction attempt moving through the CPU→disk phases.
@@ -97,6 +104,9 @@ enum Ev {
     Warmup,
     /// Periodic version GC.
     Vacuum,
+    /// An injected schedule event (only population ramps apply to a
+    /// single node; cluster events are acknowledged as ignored).
+    Inject(ScheduleEvent),
     /// Internal PS completion (see [`Ps::on_fired`]).
     CpuFired,
     /// Internal FCFS completion (see [`Fcfs::on_fired`]).
@@ -142,6 +152,7 @@ impl Event<World> for Ev {
                     engine.schedule_event_in(interval, Ev::Vacuum);
                 }
             }
+            Ev::Inject(ev) => inject(engine, ev),
             Ev::CpuFired => Ps::on_fired(engine, cpu_lens, || Ev::CpuFired),
             Ev::DiskFired(token) => Fcfs::on_fired(engine, disk_lens, token, Ev::DiskFired),
         }
@@ -201,7 +212,14 @@ impl StandaloneSim {
         if self.log_statements {
             db.set_statement_logging(true);
         }
-        let pool = ClientPool::new(plan, clients, self.cfg.seed);
+        let schedule = self.cfg.schedule.clone();
+        // Ramps never invent clients mid-run: the pool is sized for the
+        // largest requested population up front, extra streams parked.
+        let capacity = (schedule.max_clients_factor() * clients as f64).ceil() as usize;
+        let transient = schedule
+            .enabled()
+            .then(|| TransientCollector::new(&schedule, self.cfg.warmup, self.cfg.end_time()));
+        let pool = ClientPool::with_capacity(plan, clients, capacity, self.cfg.seed);
         let world = World {
             db,
             cpu: Ps::new(1.0),
@@ -216,6 +234,8 @@ impl StandaloneSim {
             admission: VecDeque::new(),
             vacuum_interval: self.cfg.vacuum_interval,
             end_time: self.cfg.end_time(),
+            base_clients: clients,
+            transient,
         };
         let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {
@@ -226,6 +246,9 @@ impl StandaloneSim {
         if self.cfg.vacuum_interval > 0.0 {
             engine.schedule_event_in(self.cfg.vacuum_interval, Ev::Vacuum);
         }
+        for te in schedule.sorted_events() {
+            engine.schedule_event_at(SimTime::from_secs(te.at), Ev::Inject(te.event));
+        }
         let end = SimTime::from_secs(self.cfg.end_time());
         engine.run_until(end);
         let end_s = end.as_secs();
@@ -235,7 +258,7 @@ impl StandaloneSim {
             w.cpu.stats.busy.mean_at(end_s),
             w.disk.stats.busy.mean_at(end_s),
         )];
-        let report = RunReport::from_metrics(
+        let mut report = RunReport::from_metrics(
             &self.spec.name,
             1,
             clients,
@@ -243,6 +266,7 @@ impl StandaloneSim {
             &w.metrics,
             &utils,
         );
+        report.transient = w.transient.map(TransientCollector::finalize);
         StandaloneOutcome { report, db: w.db }
     }
 
@@ -258,6 +282,10 @@ fn client_cycle(engine: &mut Engine<World, Ev>, client: ClientId) {
 }
 
 fn dispatch(engine: &mut Engine<World, Ev>, client: ClientId) {
+    // Population ramps: surplus clients go dormant between transactions.
+    if engine.world_mut().pool.park_if_surplus(client) {
+        return;
+    }
     let template = {
         let w = engine.world_mut();
         let mut t = w.pool.next_transaction(client);
@@ -375,12 +403,18 @@ fn complete_attempt(
                         w.metrics.read_response.record(now - started);
                     }
                     w.metrics.response.record(now - started);
+                    if let Some(tc) = &mut w.transient {
+                        tc.commit(now, now - started, template.is_update);
+                    }
                 }
                 true
             }
             Err(e) if e.is_conflict() => {
                 if w.measuring {
                     w.metrics.conflict_aborts += 1;
+                    if let Some(tc) = &mut w.transient {
+                        tc.abort(now);
+                    }
                 }
                 false
             }
@@ -397,6 +431,50 @@ fn complete_attempt(
     } else {
         engine.world_mut().retries_exhausted += 1;
         release(engine);
+        client_cycle(engine, client);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule injection: a single node only honors population ramps.
+// ---------------------------------------------------------------------
+
+/// Applies one injected schedule event and echoes it into the transient
+/// report. Cluster events (crash/rejoin/certifier) have no meaning on
+/// one node and are acknowledged as ignored — a shared schedule can
+/// drive a standalone baseline next to the cluster designs.
+fn inject(engine: &mut Engine<World, Ev>, ev: ScheduleEvent) {
+    let now = engine.now().as_secs();
+    let applied = match ev {
+        ScheduleEvent::Clients(factor) => {
+            set_population(engine, factor);
+            true
+        }
+        ScheduleEvent::ReplicaCrash(_)
+        | ScheduleEvent::ReplicaJoin(_)
+        | ScheduleEvent::CertifierDown
+        | ScheduleEvent::CertifierUp => false,
+    };
+    if let Some(tc) = &mut engine.world_mut().transient {
+        let description = if applied {
+            ev.to_string()
+        } else {
+            format!("{ev} (ignored)")
+        };
+        tc.event(now, description);
+    }
+}
+
+/// Applies a client-population ramp: the target moves to
+/// `factor × base`, parked clients below it restart their closed loop,
+/// surplus clients park at their next dispatch.
+fn set_population(engine: &mut Engine<World, Ev>, factor: f64) {
+    let woken = {
+        let w = engine.world_mut();
+        let target = (factor * w.base_clients as f64).round() as usize;
+        w.pool.set_active_target(target)
+    };
+    for client in woken {
         client_cycle(engine, client);
     }
 }
@@ -499,6 +577,48 @@ mod tests {
         // also be tiny (same DbUpdateSize, similar rates).
         let report = StandaloneSim::new(tpcw::mix(tpcw::Mix::Ordering), quick_cfg(13)).run();
         assert!(report.abort_rate < 0.01, "A1 = {}", report.abort_rate);
+    }
+
+    #[test]
+    fn eventless_schedule_only_adds_transient_windows() {
+        // Windowed collection without events must not perturb the run.
+        let plain = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), quick_cfg(30)).run();
+        let cfg = SimConfig {
+            schedule: replipred_core::Schedule::new().window(5.0),
+            ..quick_cfg(30)
+        };
+        let mut windowed = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        let transient = windowed
+            .transient
+            .take()
+            .expect("windowing enables transient");
+        assert_eq!(plain, windowed);
+        assert!(!transient.windows.is_empty());
+    }
+
+    #[test]
+    fn ramps_apply_and_cluster_events_are_ignored() {
+        let base = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), quick_cfg(31)).run();
+        let cfg = SimConfig {
+            schedule: replipred_core::Schedule::new()
+                .crash(15.0, 0)
+                .flash_crowd(20.0, 2.0, 20.0)
+                .window(5.0),
+            ..quick_cfg(31)
+        };
+        let surged = StandaloneSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run();
+        let t = surged.transient.as_ref().expect("transient present");
+        let echoed: Vec<&str> = t.events.iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(
+            echoed,
+            ["crash replica 0 (ignored)", "clients x2", "clients x1"]
+        );
+        assert!(
+            surged.throughput_tps > base.throughput_tps,
+            "doubled population must lift throughput: base={} surged={}",
+            base.throughput_tps,
+            surged.throughput_tps
+        );
     }
 
     #[test]

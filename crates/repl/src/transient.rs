@@ -1,0 +1,441 @@
+//! Transient (time-series) measurement for time-phased runs.
+//!
+//! The steady-state [`RunReport`](crate::metrics::RunReport) averages a
+//! whole measurement window; when a [`Schedule`] injects faults or load
+//! swings mid-run, that average hides exactly what matters. The
+//! [`TransientCollector`] bins commits and aborts into fixed-width time
+//! windows and summarises them per named phase, then derives the
+//! headline robustness metrics:
+//!
+//! - **recovery time** — from the first injected event until windowed
+//!   throughput is back within the schedule's recovery fraction of the
+//!   pre-event baseline;
+//! - **SLO-violation window** — total simulated time in windows whose
+//!   mean response time exceeds the SLO threshold (a post-event window
+//!   with *zero* commits counts as violating: a blackout is not an SLA
+//!   success);
+//! - **peak abort rate** — the worst per-window certification abort
+//!   fraction (abort storms around failover are invisible in the
+//!   full-window average).
+//!
+//! Collection is purely observational: a run with a disabled schedule
+//! creates no collector and is byte-identical to a schedule-free build.
+
+use replipred_core::{Phase, Schedule};
+use replipred_sim::stats::Windowed;
+use serde::{Deserialize, Serialize};
+
+/// Per-window slice of the transient time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Window start, absolute simulation seconds.
+    pub start: f64,
+    /// Window end, absolute simulation seconds.
+    pub end: f64,
+    /// Transactions committed in the window.
+    pub commits: u64,
+    /// Update transactions committed in the window.
+    pub update_commits: u64,
+    /// Certification aborts in the window.
+    pub aborts: u64,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// Mean response time of commits in the window, seconds.
+    pub response_time: f64,
+    /// `aborts / (update_commits + aborts)` within the window.
+    pub abort_rate: f64,
+}
+
+/// Aggregate metrics for one named phase of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase name (from the schedule, or derived from the event that
+    /// starts it).
+    pub name: String,
+    /// Phase start, absolute simulation seconds.
+    pub start: f64,
+    /// Phase end, absolute simulation seconds.
+    pub end: f64,
+    /// Transactions committed during the phase.
+    pub commits: u64,
+    /// Committed transactions per second over the phase.
+    pub throughput_tps: f64,
+    /// Mean response time over the phase, seconds.
+    pub response_time: f64,
+    /// Update abort fraction over the phase.
+    pub abort_rate: f64,
+}
+
+/// An event the simulator actually applied (or acknowledged), echoed
+/// into the report for plotting and auditing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedEvent {
+    /// Absolute simulation time the event fired.
+    pub at: f64,
+    /// Human-readable description (e.g. `"crash replica 1"`).
+    pub event: String,
+}
+
+/// The transient section of a run report: windowed time series, phase
+/// summaries, and headline recovery/SLO/abort metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientReport {
+    /// Window width, seconds.
+    pub window: f64,
+    /// Time series over the measurement interval.
+    pub windows: Vec<WindowStats>,
+    /// Per-phase aggregates.
+    pub phases: Vec<PhaseStats>,
+    /// Events applied during the run, in firing order.
+    pub events: Vec<AppliedEvent>,
+    /// Mean windowed throughput before the first event (or over the
+    /// whole run when the schedule injects none), transactions/second.
+    pub baseline_tps: f64,
+    /// Seconds from the first injected event until windowed throughput
+    /// recovered to the schedule's recovery fraction of
+    /// [`baseline_tps`](TransientReport::baseline_tps); `None` when
+    /// nothing was injected or throughput never recovered in-window.
+    pub recovery_time: Option<f64>,
+    /// SLO response-time threshold used, seconds.
+    pub slo_response: f64,
+    /// Total time in SLO-violating windows, seconds.
+    pub slo_violation_secs: f64,
+    /// Worst per-window update abort fraction.
+    pub peak_abort_rate: f64,
+}
+
+/// Streaming collector the simulators feed while a schedule is active.
+#[derive(Debug)]
+pub struct TransientCollector {
+    start: f64,
+    end: f64,
+    slo_response: f64,
+    recovery_fraction: f64,
+    /// All commits; the carried value is the response time.
+    commits: Windowed,
+    /// Update commits (count only).
+    updates: Windowed,
+    /// Certification aborts (count only).
+    aborts: Windowed,
+    events: Vec<AppliedEvent>,
+    /// Phase boundaries, sorted, first at `start`.
+    phases: Vec<Phase>,
+    /// Per-phase (commits, response sum, update commits, aborts).
+    phase_acc: Vec<(u64, f64, u64, u64)>,
+}
+
+impl TransientCollector {
+    /// Creates a collector for the measurement interval `[warmup, end]`
+    /// using the schedule's window/SLO/recovery settings.
+    pub fn new(schedule: &Schedule, warmup: f64, end: f64) -> Self {
+        let window = schedule.effective_window();
+        let phases = phase_list(schedule, warmup, end);
+        let phase_acc = vec![(0, 0.0, 0, 0); phases.len()];
+        TransientCollector {
+            start: warmup,
+            end,
+            slo_response: schedule.effective_slo(),
+            recovery_fraction: schedule.effective_recovery(),
+            commits: Windowed::new(warmup, window),
+            updates: Windowed::new(warmup, window),
+            aborts: Windowed::new(warmup, window),
+            events: Vec::new(),
+            phases,
+            phase_acc,
+        }
+    }
+
+    fn phase_index(&self, t: f64) -> usize {
+        self.phases.iter().rposition(|p| p.start <= t).unwrap_or(0)
+    }
+
+    /// Records a committed transaction at `t` with the given response
+    /// time.
+    pub fn commit(&mut self, t: f64, response: f64, is_update: bool) {
+        self.commits.record(t, response);
+        if is_update {
+            self.updates.record(t, 0.0);
+        }
+        if t >= self.start {
+            let i = self.phase_index(t);
+            let acc = &mut self.phase_acc[i];
+            acc.0 += 1;
+            acc.1 += response;
+            if is_update {
+                acc.2 += 1;
+            }
+        }
+    }
+
+    /// Records a certification abort at `t`.
+    pub fn abort(&mut self, t: f64) {
+        self.aborts.record(t, 0.0);
+        if t >= self.start {
+            let i = self.phase_index(t);
+            self.phase_acc[i].3 += 1;
+        }
+    }
+
+    /// Echoes an applied (or acknowledged-but-ignored) event.
+    pub fn event(&mut self, t: f64, description: String) {
+        self.events.push(AppliedEvent {
+            at: t,
+            event: description,
+        });
+    }
+
+    /// Closes the collector and derives the report.
+    pub fn finalize(mut self) -> TransientReport {
+        self.commits.cover(self.end);
+        self.updates.cover(self.end);
+        self.aborts.cover(self.end);
+        let n = self.commits.len();
+        let mut windows = Vec::with_capacity(n);
+        for i in 0..n {
+            let (start, end) = self.commits.bounds(i);
+            let commits = self.commits.count(i);
+            let update_commits = self.updates.count(i);
+            let aborts = self.aborts.count(i);
+            let attempts = update_commits + aborts;
+            windows.push(WindowStats {
+                start,
+                end,
+                commits,
+                update_commits,
+                aborts,
+                throughput_tps: self.commits.rate(i),
+                response_time: self.commits.mean(i),
+                abort_rate: if attempts == 0 {
+                    0.0
+                } else {
+                    aborts as f64 / attempts as f64
+                },
+            });
+        }
+
+        // First injected event inside the measurement interval anchors
+        // the baseline/recovery computation.
+        let first_event = self.events.iter().map(|e| e.at).find(|&t| t >= self.start);
+        let pre: Vec<&WindowStats> = match first_event {
+            Some(t) => windows.iter().filter(|w| w.end <= t).collect(),
+            None => windows.iter().collect(),
+        };
+        let baseline_pool: Vec<&WindowStats> = if pre.is_empty() {
+            windows.iter().collect()
+        } else {
+            pre
+        };
+        let baseline_tps = if baseline_pool.is_empty() {
+            0.0
+        } else {
+            baseline_pool.iter().map(|w| w.throughput_tps).sum::<f64>() / baseline_pool.len() as f64
+        };
+
+        let recovery_time = first_event.and_then(|t| {
+            windows
+                .iter()
+                .filter(|w| w.start >= t)
+                .find(|w| w.throughput_tps >= self.recovery_fraction * baseline_tps)
+                .map(|w| w.end - t)
+        });
+
+        let slo_violation_secs = windows
+            .iter()
+            .filter(|w| {
+                let blackout = w.commits == 0 && first_event.is_some_and(|t| w.end > t);
+                blackout || (w.commits > 0 && w.response_time > self.slo_response)
+            })
+            .map(|w| w.end - w.start)
+            .sum();
+
+        let peak_abort_rate = windows.iter().map(|w| w.abort_rate).fold(0.0, f64::max);
+
+        let mut phases = Vec::with_capacity(self.phases.len());
+        for (i, p) in self.phases.iter().enumerate() {
+            let end = self
+                .phases
+                .get(i + 1)
+                .map(|next| next.start)
+                .unwrap_or(self.end);
+            let (commits, resp_sum, update_commits, aborts) = self.phase_acc[i];
+            let span = (end - p.start).max(f64::MIN_POSITIVE);
+            let attempts = update_commits + aborts;
+            phases.push(PhaseStats {
+                name: p.name.clone(),
+                start: p.start,
+                end,
+                commits,
+                throughput_tps: commits as f64 / span,
+                response_time: if commits == 0 {
+                    0.0
+                } else {
+                    resp_sum / commits as f64
+                },
+                abort_rate: if attempts == 0 {
+                    0.0
+                } else {
+                    aborts as f64 / attempts as f64
+                },
+            });
+        }
+
+        TransientReport {
+            window: self.commits.window(),
+            windows,
+            phases,
+            events: self.events,
+            baseline_tps,
+            recovery_time,
+            slo_response: self.slo_response,
+            slo_violation_secs,
+            peak_abort_rate,
+        }
+    }
+}
+
+/// Phase boundaries for the measurement interval: the schedule's named
+/// phases when given, otherwise phases derived from the injected events
+/// (one boundary per distinct event time, named after its events). The
+/// first phase always starts at `start`.
+fn phase_list(schedule: &Schedule, start: f64, end: f64) -> Vec<Phase> {
+    let mut phases: Vec<Phase> = if schedule.phases.is_empty() {
+        let mut out: Vec<Phase> = Vec::new();
+        for te in schedule.sorted_events() {
+            if te.at <= start || te.at >= end {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.start == te.at => {
+                    last.name = format!("{} + {}", last.name, te.event);
+                }
+                _ => out.push(Phase {
+                    name: te.event.to_string(),
+                    start: te.at,
+                }),
+            }
+        }
+        out
+    } else {
+        let mut named: Vec<Phase> = schedule
+            .phases
+            .iter()
+            .filter(|p| p.start < end)
+            .cloned()
+            .collect();
+        named.sort_by(|a, b| a.start.total_cmp(&b.start));
+        named
+    };
+    if phases.first().map_or(true, |p| p.start > start) {
+        phases.insert(
+            0,
+            Phase {
+                name: "steady".to_owned(),
+                start,
+            },
+        );
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash_schedule() -> Schedule {
+        Schedule::new()
+            .crash(20.0, 1)
+            .join(40.0, 1)
+            .window(10.0)
+            .slo(0.5)
+    }
+
+    #[test]
+    fn windows_and_phases_bin_commits() {
+        let mut tc = TransientCollector::new(&crash_schedule(), 10.0, 50.0);
+        tc.event(20.0, "crash replica 1".into());
+        tc.event(40.0, "rejoin replica 1".into());
+        // 2 commits before the crash, 1 slow one after, 2 after rejoin.
+        tc.commit(12.0, 0.1, false);
+        tc.commit(15.0, 0.1, true);
+        tc.commit(25.0, 0.9, true);
+        tc.abort(26.0);
+        tc.commit(42.0, 0.1, false);
+        tc.commit(44.0, 0.1, false);
+        let r = tc.finalize();
+        assert_eq!(r.windows.len(), 4);
+        assert_eq!(r.windows[0].commits, 2);
+        assert_eq!(r.windows[1].commits, 1);
+        assert!((r.windows[1].abort_rate - 0.5).abs() < 1e-12);
+        assert_eq!(r.phases.len(), 3, "steady / crashed / rejoined");
+        assert_eq!(r.phases[0].name, "steady");
+        assert_eq!(r.phases[1].start, 20.0);
+        assert_eq!(r.phases[1].commits, 1);
+        assert_eq!(r.events.len(), 2);
+        assert!((r.peak_abort_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_and_slo_metrics() {
+        let mut tc = TransientCollector::new(&crash_schedule(), 10.0, 50.0);
+        tc.event(20.0, "crash replica 1".into());
+        // Baseline window [10,20): 4 commits -> 0.4 tps.
+        for t in [11.0, 13.0, 15.0, 17.0] {
+            tc.commit(t, 0.1, false);
+        }
+        // Window [20,30): degraded, slow responses (SLO violation).
+        tc.commit(25.0, 0.9, false);
+        // Window [30,40): still degraded (1 commit = 0.1 tps < 0.9*0.4).
+        tc.commit(35.0, 0.4, false);
+        // Window [40,50): recovered (4 commits again).
+        for t in [41.0, 43.0, 45.0, 47.0] {
+            tc.commit(t, 0.1, false);
+        }
+        let r = tc.finalize();
+        assert!((r.baseline_tps - 0.4).abs() < 1e-12);
+        // Recovered in window [40,50): 50 - 20 = 30 s after the crash.
+        assert_eq!(r.recovery_time, Some(30.0));
+        // Only window [20,30) violates the 0.5 s SLO.
+        assert!((r.slo_violation_secs - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackout_windows_count_as_slo_violations() {
+        let mut tc = TransientCollector::new(&crash_schedule(), 10.0, 50.0);
+        tc.event(20.0, "crash replica 1".into());
+        tc.commit(12.0, 0.1, false);
+        // Nothing commits after the crash: windows [20,30), [30,40),
+        // [40,50) are blackout violations; [10,20) is fine.
+        let r = tc.finalize();
+        assert_eq!(r.windows.len(), 4);
+        assert!((r.slo_violation_secs - 30.0).abs() < 1e-12);
+        assert_eq!(r.recovery_time, None, "never recovered");
+    }
+
+    #[test]
+    fn no_events_means_no_recovery_metric() {
+        let mut tc = TransientCollector::new(&Schedule::new().window(10.0), 10.0, 30.0);
+        tc.commit(12.0, 0.1, false);
+        tc.commit(22.0, 0.1, true);
+        let r = tc.finalize();
+        assert_eq!(r.recovery_time, None);
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].name, "steady");
+        assert!((r.baseline_tps - 0.1).abs() < 1e-12);
+        assert_eq!(r.slo_violation_secs, 0.0);
+    }
+
+    #[test]
+    fn named_phases_override_derived_ones() {
+        let s = Schedule::new()
+            .crash(20.0, 0)
+            .phase("before", 10.0)
+            .phase("after", 20.0)
+            .window(10.0);
+        let tc = TransientCollector::new(&s, 10.0, 40.0);
+        let r = tc.finalize();
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "before");
+        assert_eq!(r.phases[1].name, "after");
+        assert_eq!(r.phases[1].end, 40.0);
+    }
+}

@@ -329,6 +329,121 @@ impl BatchMeans {
     }
 }
 
+/// Fixed-width time-windowed event accumulator: per-window event counts
+/// and value sums for transient (time-series) reporting.
+///
+/// Unlike [`BatchMeans`] — which batches by *sample count* for
+/// steady-state confidence intervals — `Windowed` batches by *simulation
+/// time*, so a fault injected at `t` lands in a known window and empty
+/// windows (e.g. during an outage) stay visible as zeros.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Windowed {
+    start: f64,
+    window: f64,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+}
+
+impl Windowed {
+    /// Creates an accumulator with windows `[start + k·window,
+    /// start + (k+1)·window)`. Panics if `window` is not positive.
+    pub fn new(start: f64, window: f64) -> Self {
+        assert!(window > 0.0, "window width must be positive");
+        Windowed {
+            start,
+            window,
+            counts: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    fn index_of(&self, t: f64) -> Option<usize> {
+        if t < self.start {
+            return None;
+        }
+        Some(((t - self.start) / self.window) as usize)
+    }
+
+    /// Records one event at time `t` carrying value `x` (use `0.0` when
+    /// only the count matters). Events before `start` are ignored;
+    /// intervening empty windows are materialised as zeros.
+    pub fn record(&mut self, t: f64, x: f64) {
+        let Some(i) = self.index_of(t) else { return };
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+            self.sums.resize(i + 1, 0.0);
+        }
+        self.counts[i] += 1;
+        self.sums[i] += x;
+    }
+
+    /// Extends the window list (with zeros) so it covers time `t`; call
+    /// with the end of the measurement interval so trailing idle windows
+    /// are reported rather than truncated.
+    pub fn cover(&mut self, t: f64) {
+        if let Some(i) = self.index_of(t.max(self.start)) {
+            // `t` exactly on a boundary closes the previous window
+            // rather than opening an empty new one.
+            let n = if (t - self.start) % self.window == 0.0 && i > 0 {
+                i
+            } else {
+                i + 1
+            };
+            if n > self.counts.len() {
+                self.counts.resize(n, 0);
+                self.sums.resize(n, 0.0);
+            }
+        }
+    }
+
+    /// Number of materialised windows.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no window has been materialised.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Window width in seconds.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// `[start, end)` bounds of window `i`.
+    pub fn bounds(&self, i: usize) -> (f64, f64) {
+        (
+            self.start + i as f64 * self.window,
+            self.start + (i + 1) as f64 * self.window,
+        )
+    }
+
+    /// Event count in window `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Value sum in window `i`.
+    pub fn sum(&self, i: usize) -> f64 {
+        self.sums[i]
+    }
+
+    /// Mean value per event in window `i` (0 when the window is empty).
+    pub fn mean(&self, i: usize) -> f64 {
+        if self.counts[i] == 0 {
+            0.0
+        } else {
+            self.sums[i] / self.counts[i] as f64
+        }
+    }
+
+    /// Events per second in window `i`.
+    pub fn rate(&self, i: usize) -> f64 {
+        self.counts[i] as f64 / self.window
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +578,35 @@ mod tests {
         assert_eq!(bm.batches(), 1);
         assert!(bm.ci95_half_width().is_none());
         assert_eq!(bm.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn windowed_bins_by_time_and_fills_gaps() {
+        let mut w = Windowed::new(10.0, 5.0);
+        w.record(9.9, 100.0); // before start: ignored
+        w.record(10.0, 1.0);
+        w.record(14.9, 3.0);
+        w.record(27.0, 8.0); // skips windows 1 and 2 partially
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.count(0), 2);
+        assert_eq!(w.sum(0), 4.0);
+        assert_eq!(w.mean(0), 2.0);
+        assert_eq!(w.rate(0), 0.4);
+        assert_eq!(w.count(1), 0);
+        assert_eq!(w.mean(1), 0.0);
+        assert_eq!(w.count(3), 1);
+        assert_eq!(w.bounds(3), (25.0, 30.0));
+    }
+
+    #[test]
+    fn windowed_cover_extends_without_counting() {
+        let mut w = Windowed::new(0.0, 2.0);
+        w.record(1.0, 1.0);
+        w.cover(10.0); // exact boundary: closes window [8, 10)
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.count(4), 0);
+        w.cover(10.5); // inside window 5: materialises it
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.counts.iter().sum::<u64>(), 1);
     }
 }

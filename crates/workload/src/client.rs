@@ -21,21 +21,53 @@ use crate::spec::{CompiledWorkload, TxnTemplate, WorkloadSpec};
 pub struct ClientId(pub usize);
 
 /// A pool of independent closed-loop clients for one workload.
+///
+/// The pool supports *elastic populations* for time-phased scenarios:
+/// it is created with a fixed `capacity` of RNG streams (so determinism
+/// never depends on when clients come and go), of which only the first
+/// [`active_target`](ClientPool::active_target) are meant to be cycling
+/// at any moment. Ramps move the target; surplus clients park lazily at
+/// their next dispatch ([`park_if_surplus`](ClientPool::park_if_surplus))
+/// and parked clients below a raised target are woken by
+/// [`set_active_target`](ClientPool::set_active_target).
 pub struct ClientPool {
     plan: CompiledWorkload,
     streams: Vec<Rng>,
+    active_target: usize,
+    parked: Vec<bool>,
 }
 
 impl ClientPool {
     /// Creates `count` clients with independent RNG streams derived from
     /// `seed`, running the compiled plan.
     pub fn new(plan: CompiledWorkload, count: usize, seed: u64) -> Self {
-        let mut root = Rng::seed_from_u64(seed);
-        let streams = (0..count).map(|i| root.fork(i as u64)).collect();
-        ClientPool { plan, streams }
+        Self::with_capacity(plan, count, count, seed)
     }
 
-    /// Number of clients in the pool.
+    /// Creates a pool with `capacity` client streams of which the first
+    /// `active` start live; the rest start parked, available to
+    /// population ramps. The first `active` streams are identical to
+    /// those of `ClientPool::new(plan, active, seed)`, so a run that
+    /// never ramps is unaffected by the extra capacity.
+    pub fn with_capacity(
+        plan: CompiledWorkload,
+        active: usize,
+        capacity: usize,
+        seed: u64,
+    ) -> Self {
+        let capacity = capacity.max(active);
+        let mut root = Rng::seed_from_u64(seed);
+        let streams = (0..capacity).map(|i| root.fork(i as u64)).collect();
+        let parked = (0..capacity).map(|i| i >= active).collect();
+        ClientPool {
+            plan,
+            streams,
+            active_target: active,
+            parked,
+        }
+    }
+
+    /// Number of client streams in the pool (the capacity).
     pub fn len(&self) -> usize {
         self.streams.len()
     }
@@ -43,6 +75,40 @@ impl ClientPool {
     /// True when the pool has no clients.
     pub fn is_empty(&self) -> bool {
         self.streams.is_empty()
+    }
+
+    /// The population the pool is currently aiming for.
+    pub fn active_target(&self) -> usize {
+        self.active_target
+    }
+
+    /// Moves the population target to `target` (clamped to `1..=len()`)
+    /// and returns the parked clients below it, which the caller must
+    /// restart (they have no pending events). Clients at or above a
+    /// lowered target keep running until they park themselves via
+    /// [`park_if_surplus`](ClientPool::park_if_surplus).
+    pub fn set_active_target(&mut self, target: usize) -> Vec<ClientId> {
+        self.active_target = target.clamp(1, self.streams.len().max(1));
+        let mut woken = Vec::new();
+        for id in 0..self.active_target {
+            if self.parked[id] {
+                self.parked[id] = false;
+                woken.push(ClientId(id));
+            }
+        }
+        woken
+    }
+
+    /// Parks `client` if it is surplus to the current target, returning
+    /// true when it parked (the caller drops it from the closed loop; a
+    /// later target raise revives it).
+    pub fn park_if_surplus(&mut self, client: ClientId) -> bool {
+        if client.0 >= self.active_target {
+            self.parked[client.0] = true;
+            true
+        } else {
+            false
+        }
     }
 
     /// The workload specification the clients run.
@@ -129,6 +195,41 @@ mod tests {
         let sum: f64 = (0..n).map(|_| pool.next_think(ClientId(0))).sum();
         let mean = sum / n as f64;
         assert!((mean - 1.0).abs() < 0.03, "mean think {mean}");
+    }
+
+    #[test]
+    fn spare_capacity_leaves_live_streams_untouched() {
+        let p = plan(tpcw::mix(tpcw::Mix::Shopping));
+        let mut plain = ClientPool::new(p.clone(), 3, 42);
+        let mut wide = ClientPool::with_capacity(p, 3, 9, 42);
+        assert_eq!(wide.len(), 9);
+        assert_eq!(wide.active_target(), 3);
+        for i in 0..3 {
+            assert_eq!(
+                plain.next_transaction(ClientId(i)),
+                wide.next_transaction(ClientId(i))
+            );
+        }
+    }
+
+    #[test]
+    fn ramps_wake_and_park_clients() {
+        let mut pool = ClientPool::with_capacity(plan(tpcw::mix(tpcw::Mix::Shopping)), 2, 6, 1);
+        // Raise: clients 2..5 wake exactly once.
+        let woken = pool.set_active_target(5);
+        assert_eq!(woken, vec![ClientId(2), ClientId(3), ClientId(4)]);
+        assert!(pool.set_active_target(5).is_empty(), "no double wake");
+        // Lower: surplus clients park lazily at their next dispatch.
+        pool.set_active_target(2);
+        assert!(pool.park_if_surplus(ClientId(4)));
+        assert!(!pool.park_if_surplus(ClientId(1)));
+        // Raise again: only the actually-parked client revives.
+        assert_eq!(pool.set_active_target(5), vec![ClientId(4)]);
+        // Target clamps to capacity and to at least one client.
+        pool.set_active_target(100);
+        assert_eq!(pool.active_target(), 6);
+        pool.set_active_target(0);
+        assert_eq!(pool.active_target(), 1);
     }
 
     #[test]

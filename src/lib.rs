@@ -14,7 +14,9 @@
 //! - [`workload`] — TPC-W and RUBiS transaction mixes and closed-loop
 //!   emulated clients.
 //! - [`repl`] — mechanistic simulators of multi-master (certifier based) and
-//!   single-master (master/slave) replicated databases.
+//!   single-master (master/slave) replicated databases, with time-phased
+//!   [`model::Schedule`]s (crashes, rejoins, certifier outages, client
+//!   ramps) and windowed [`repl::TransientReport`]s.
 //! - [`profiler`] — the standalone profiling pipeline that measures
 //!   `Pr, Pw, A1, rc, wc, ws, L(1)` exactly as the paper's Section 4
 //!   prescribes.
@@ -66,6 +68,9 @@
 //! ```
 pub mod scenario;
 pub mod validate;
+
+pub use scenario::{Scenario, ScenarioReport};
+pub use validate::{ValidationGrid, ValidationReport};
 
 pub use replipred_core as model;
 pub use replipred_mva as mva;

@@ -4,6 +4,7 @@
 //! replipred predict  --workload tpcw-shopping --design mm --replicas 16
 //! replipred sweep    --workload tpcw-shopping --design all --replicas 8 --json
 //! replipred simulate --workload tpcw-shopping --design sm --replicas 8
+//! replipred phases   --workload rubis-bidding --schedule "crash@30=1,join@60=1"
 //! replipred validate --workload all --replicas 4 --jobs 8
 //! replipred plan     --workload tpcw-ordering --tps 250 --max-response-ms 400
 //! replipred profile  --workload rubis-bidding --seed 7
@@ -12,7 +13,10 @@
 //! Every experiment subcommand is a thin front end over
 //! [`replipred::scenario::Scenario`]: designs are addressed through the
 //! registry (`--design standalone|mm|sm|all`), and `--json` emits the
-//! scenario's serialized report. `validate` drives the
+//! scenario's serialized report. The flags shared by every subcommand
+//! (`--replicas`, `--clients`, `--seed`, `--seeds`, `--jobs`, `--json`,
+//! `--design`, `--schedule`, `--phase-window`) are parsed once into
+//! [`RunOpts`] and applied uniformly. `validate` drives the
 //! [`replipred::validate::ValidationGrid`] — the prediction-vs-simulation
 //! error grid over workloads × designs × replica points.
 //!
@@ -22,14 +26,21 @@
 //! [`replipred::workload::synth`]) or `@path/to/profile.json` (a
 //! serialized `WorkloadProfile`, as produced by `profile --json`;
 //! prediction only).
+//!
+//! `--schedule` attaches a time-phased [`Schedule`] to simulated runs —
+//! replica crashes and rejoins, certifier outages, client-population
+//! ramps — and the resulting reports carry a windowed
+//! [`TransientReport`]; `phases` is the dedicated front end for such
+//! runs.
 
 use std::process::ExitCode;
 
 use replipred::model::planner::{plan_designs, Plan, Slo};
 use replipred::model::{Design, SystemConfig, WorkloadProfile};
 use replipred::profiler::Profiler;
+use replipred::repl::{Schedule, TransientReport};
 use replipred::scenario::{parse_workload, ReplicationSummary, Scenario, ScenarioReport};
-use replipred::validate::{ValidationGrid, ValidationReport};
+use replipred::validate::{doubling_points, split_workloads, ValidationGrid, ValidationReport};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,9 +58,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   replipred predict  --workload <w> [--design <d>] [--replicas N] [--clients C] [--json]
   replipred sweep    --workload <w> [--design <d>] [--replicas N] [--clients C] [--simulate]
-                     [--profile-live] [--seed S] [--seeds K] [--jobs J] [--json]
+                     [--profile-live] [--seed S] [--seeds K] [--jobs J] [--schedule <s>] [--json]
   replipred simulate --workload <w> [--design <d>] [--replicas N] [--seed S] [--seeds K]
-                     [--jobs J] [--json]
+                     [--jobs J] [--schedule <s>] [--json]
+  replipred phases   [--workload <w>] [--design <d>] [--replicas N] [--schedule <s>]
+                     [--phase-window W] [--seed S] [--seeds K] [--jobs J] [--json]
   replipred validate [--workload <w,...>|all] [--design <d>] [--replicas N] [--seed S]
                      [--seeds K] [--jobs J] [--json]
   replipred plan     --workload <w> --tps X [--max-response-ms R] [--max-abort-pct A]
@@ -65,8 +78,18 @@ workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-biddin
 --jobs J:  worker threads for simulation cells (default: all cores; the
            report is identical for every J)
 --seeds K: seed replications per simulated point, aggregated to mean +- CI
+--schedule s: comma list of time-phased events `name@time[=arg]` applied to
+           simulated runs: crash@T=i join@T=i cert-down@T cert-up@T
+           clients@T=factor flash-crowd@T=FACTORxDURATION phase@T=name, plus
+           window=W slo=SECONDS recovery=FRACTION settings, e.g.
+           \"crash@30=1,flash-crowd@45=2x15,join@60=1,window=5\"
+--phase-window W: transient window width in seconds (enables transient
+           reporting even with an event-free schedule)
 --profile-live (sweep): measure the profile via the Section-4 standalone
            profiling pipeline instead of the published tables
+phases:    simulate one time-phased scenario and print its windowed
+           transient report; defaults to rubis-bidding x mm x 4 replicas
+           under a crash + flash-crowd + rejoin demo schedule
 validate:  run the prediction-vs-simulation error grid; --workload takes a
            comma list or `all` (5 published mixes + 4 synth presets),
            --replicas N sweeps the doubling points 1,2,4,..,N";
@@ -110,27 +133,17 @@ fn parse_count(args: &[String], name: &str) -> Result<Option<usize>, String> {
     }
 }
 
-/// Applies `--jobs` (default: one worker per core) and `--seeds`
-/// (default 1) to a scenario.
-fn configure_parallelism(mut scenario: Scenario, args: &[String]) -> Result<Scenario, String> {
-    let jobs = parse_count(args, "--jobs")?.unwrap_or_else(replipred_sim::pool::default_jobs);
-    scenario = scenario.jobs(jobs);
-    if let Some(seeds) = parse_count(args, "--seeds")? {
-        scenario = scenario.seeds(seeds);
-    }
-    Ok(scenario)
-}
-
 /// True when the boolean flag is present (it takes no value).
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-/// `--design`: one key, a comma list, or `all`; `default` when absent.
-fn parse_designs(args: &[String], default: &[Design]) -> Result<Vec<Design>, String> {
+/// `--design`: one key, a comma list, or `all`; `None` when absent (each
+/// subcommand supplies its own default set).
+fn parse_designs(args: &[String]) -> Result<Option<Vec<Design>>, String> {
     match flag(args, "--design")? {
-        None => Ok(default.to_vec()),
-        Some(v) if v == "all" => Ok(Design::ALL.to_vec()),
+        None => Ok(None),
+        Some(v) if v == "all" => Ok(Some(Design::ALL.to_vec())),
         Some(v) => {
             let mut designs = Vec::new();
             for k in v.split(',') {
@@ -142,8 +155,82 @@ fn parse_designs(args: &[String], default: &[Design]) -> Result<Vec<Design>, Str
                 }
                 designs.push(d);
             }
-            Ok(designs)
+            Ok(Some(designs))
         }
+    }
+}
+
+/// The flags every experiment subcommand shares, parsed once per
+/// invocation and applied uniformly: the design set, replica point(s),
+/// client population, seeding, parallelism, output format, and the
+/// optional time-phased [`Schedule`].
+struct RunOpts {
+    designs: Option<Vec<Design>>,
+    replicas: Option<usize>,
+    clients: Option<usize>,
+    seed: Option<u64>,
+    seeds: Option<usize>,
+    jobs: usize,
+    json: bool,
+    schedule: Option<Schedule>,
+}
+
+impl RunOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut schedule = match flag(args, "--schedule")? {
+            None => None,
+            Some(v) => Some(Schedule::parse(&v).map_err(|e| e.to_string())?),
+        };
+        if let Some(w) = parse_flag::<f64>(args, "--phase-window")? {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(format!("--phase-window must be positive (got {w})"));
+            }
+            schedule = Some(schedule.unwrap_or_default().window(w));
+        }
+        Ok(RunOpts {
+            designs: parse_designs(args)?,
+            replicas: parse_count(args, "--replicas")?,
+            clients: parse_flag(args, "--clients")?,
+            seed: parse_flag(args, "--seed")?,
+            seeds: parse_count(args, "--seeds")?,
+            jobs: parse_count(args, "--jobs")?.unwrap_or_else(replipred_sim::pool::default_jobs),
+            json: has_flag(args, "--json"),
+            schedule,
+        })
+    }
+
+    /// The design set, or `default` when `--design` was absent.
+    fn designs(&self, default: &[Design]) -> Vec<Design> {
+        self.designs.clone().unwrap_or_else(|| default.to_vec())
+    }
+
+    /// Applies the shared options with `--replicas` as the `1..=N` curve
+    /// (the predict/sweep shape).
+    fn curve(&self, scenario: Scenario, default_replicas: usize) -> Scenario {
+        self.common(scenario.replicas(1..=self.replicas.unwrap_or(default_replicas)))
+    }
+
+    /// Applies the shared options with `--replicas` as a single point
+    /// (the simulate/phases shape).
+    fn point(&self, scenario: Scenario, default_replicas: usize) -> Scenario {
+        self.common(scenario.replicas([self.replicas.unwrap_or(default_replicas)]))
+    }
+
+    fn common(&self, mut scenario: Scenario) -> Scenario {
+        if let Some(clients) = self.clients {
+            scenario = scenario.clients(clients);
+        }
+        if let Some(seed) = self.seed {
+            scenario = scenario.seed(seed);
+        }
+        if let Some(seeds) = self.seeds {
+            scenario = scenario.seeds(seeds);
+        }
+        scenario = scenario.jobs(self.jobs);
+        if let Some(schedule) = &self.schedule {
+            scenario = scenario.schedule(schedule.clone());
+        }
+        scenario
     }
 }
 
@@ -169,7 +256,7 @@ fn workload_scenario(args: &[String]) -> Result<Scenario, String> {
 /// The profile alone (for `plan`, which drives the planner directly):
 /// `@file`, a published profile, or a `synth:` description measured live
 /// through the Section-4 pipeline (seeded by `--seed`, default 2009).
-fn load_profile(args: &[String]) -> Result<WorkloadProfile, String> {
+fn load_profile(args: &[String], opts: &RunOpts) -> Result<WorkloadProfile, String> {
     let w = flag(args, "--workload")?.ok_or("missing --workload")?;
     match w.strip_prefix('@') {
         Some(path) => read_profile_file(path),
@@ -178,8 +265,10 @@ fn load_profile(args: &[String]) -> Result<WorkloadProfile, String> {
                 return Ok(profile);
             }
             let spec = parse_workload(&w).map_err(|e| e.to_string())?;
-            let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
-            Ok(Profiler::new(spec).seed(seed).profile().profile)
+            Ok(Profiler::new(spec)
+                .seed(opts.seed.unwrap_or(2009))
+                .profile()
+                .profile)
         }
     }
 }
@@ -193,37 +282,21 @@ fn default_clients(profile: &WorkloadProfile) -> usize {
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?.as_str();
     let rest = &args[1..];
+    if matches!(cmd, "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let opts = RunOpts::parse(rest)?;
     match cmd {
-        "predict" => predict(rest),
-        "sweep" => sweep(rest),
-        "simulate" => simulate(rest),
-        "validate" => validate_cmd(rest),
-        "plan" => plan_cmd(rest),
-        "profile" => profile_cmd(rest),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
+        "predict" => predict(rest, &opts),
+        "sweep" => sweep(rest, &opts),
+        "simulate" => simulate(rest, &opts),
+        "phases" => phases(rest, &opts),
+        "validate" => validate_cmd(rest, &opts),
+        "plan" => plan_cmd(rest, &opts),
+        "profile" => profile_cmd(rest, &opts),
         other => Err(format!("unknown subcommand `{other}`")),
     }
-}
-
-/// Applies the shared scenario flags (`--replicas` as a 1..=N curve,
-/// `--clients`, `--seed`).
-fn configure(
-    mut scenario: Scenario,
-    args: &[String],
-    default_replicas: usize,
-) -> Result<Scenario, String> {
-    let max = parse_count(args, "--replicas")?.unwrap_or(default_replicas);
-    scenario = scenario.replicas(1..=max);
-    if let Some(clients) = parse_flag(args, "--clients")? {
-        scenario = scenario.clients(clients);
-    }
-    if let Some(seed) = parse_flag(args, "--seed")? {
-        scenario = scenario.seed(seed);
-    }
-    Ok(scenario)
 }
 
 fn print_json<T: serde::Serialize>(value: &T) {
@@ -298,6 +371,11 @@ fn emit(report: &ScenarioReport, json: bool) {
                 &d.replicated,
             );
         }
+        for r in &d.measured {
+            if let Some(t) = &r.transient {
+                print_transient(format!("design {} N={} transient", d.design, r.replicas), t);
+            }
+        }
     }
 }
 
@@ -321,16 +399,68 @@ fn print_ci_table(title: String, rows: &[ReplicationSummary]) {
     }
 }
 
-fn predict(args: &[String]) -> Result<(), String> {
-    let designs = parse_designs(args, &[Design::MultiMaster])?;
-    let scenario = configure(workload_scenario(args)?, args, 16)?.designs(designs);
+/// Prints one run's transient section: the windowed time series, the
+/// per-phase aggregates, the applied events, and the headline
+/// recovery/SLO/abort metrics.
+fn print_transient(title: String, t: &TransientReport) {
+    println!("# {title} ({:.0} s windows)", t.window);
+    println!(
+        "{:>7} {:>7} {:>12} {:>12} {:>10}",
+        "from", "to", "tput (tps)", "resp (ms)", "abort %"
+    );
+    for w in &t.windows {
+        println!(
+            "{:>7.0} {:>7.0} {:>12.1} {:>12.1} {:>10.3}",
+            w.start,
+            w.end,
+            w.throughput_tps,
+            w.response_time * 1e3,
+            w.abort_rate * 1e2
+        );
+    }
+    if !t.phases.is_empty() {
+        println!("# phases");
+        for p in &t.phases {
+            println!(
+                "{:>20} [{:>5.0} s, {:>5.0} s) {:>10.1} tps {:>9.1} ms {:>8.3}%",
+                p.name,
+                p.start,
+                p.end,
+                p.throughput_tps,
+                p.response_time * 1e3,
+                p.abort_rate * 1e2
+            );
+        }
+    }
+    for e in &t.events {
+        println!("event @ {:>6.1} s   {}", e.at, e.event);
+    }
+    println!(
+        "baseline        {:.1} tps (pre-event windows)",
+        t.baseline_tps
+    );
+    match t.recovery_time {
+        Some(r) => println!("recovery        {r:.1} s after the first event"),
+        None => println!("recovery        - (no event, or not recovered in-run)"),
+    }
+    println!(
+        "slo violation   {:.1} s above {:.0} ms",
+        t.slo_violation_secs,
+        t.slo_response * 1e3
+    );
+    println!("peak abort      {:.3}%", t.peak_abort_rate * 1e2);
+}
+
+fn predict(args: &[String], opts: &RunOpts) -> Result<(), String> {
+    let scenario = opts
+        .curve(workload_scenario(args)?, 16)
+        .designs(opts.designs(&[Design::MultiMaster]));
     let report = scenario.run().map_err(|e| e.to_string())?;
-    emit(&report, has_flag(args, "--json"));
+    emit(&report, opts.json);
     Ok(())
 }
 
-fn sweep(args: &[String]) -> Result<(), String> {
-    let designs = parse_designs(args, &Design::ALL)?;
+fn sweep(args: &[String], opts: &RunOpts) -> Result<(), String> {
     let base = if has_flag(args, "--profile-live") {
         // Measure the profile on the standalone simulation (the paper's
         // Section-4 pipeline) instead of using the published tables —
@@ -343,37 +473,30 @@ fn sweep(args: &[String]) -> Result<(), String> {
     } else {
         workload_scenario(args)?
     };
-    let mut scenario = configure(base, args, 8)?.designs(designs);
-    if parse_count(args, "--seeds")?.is_some() && !has_flag(args, "--simulate") {
+    if opts.seeds.is_some() && !has_flag(args, "--simulate") {
         return Err(
             "--seeds requires --simulate (prediction is deterministic, so seed \
              replication only applies to simulated runs)"
                 .into(),
         );
     }
-    scenario = configure_parallelism(scenario, args)?;
+    let mut scenario = opts.curve(base, 8).designs(opts.designs(&Design::ALL));
     if has_flag(args, "--simulate") {
         scenario = scenario.simulate(true);
     }
     let report = scenario.run().map_err(|e| e.to_string())?;
-    emit(&report, has_flag(args, "--json"));
+    emit(&report, opts.json);
     Ok(())
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
-    let designs = parse_designs(args, &[Design::MultiMaster])?;
-    let replicas = parse_count(args, "--replicas")?.unwrap_or(4);
-    let mut scenario = workload_scenario(args)?
-        .designs(designs)
-        .replicas([replicas])
+fn simulate(args: &[String], opts: &RunOpts) -> Result<(), String> {
+    let scenario = opts
+        .point(workload_scenario(args)?, 4)
+        .designs(opts.designs(&[Design::MultiMaster]))
         .predict(false)
         .simulate(true);
-    scenario = configure_parallelism(scenario, args)?;
-    if let Some(seed) = parse_flag(args, "--seed")? {
-        scenario = scenario.seed(seed);
-    }
     let report = scenario.run().map_err(|e| e.to_string())?;
-    if has_flag(args, "--json") {
+    if opts.json {
         print_json(&report);
         return Ok(());
     }
@@ -394,50 +517,63 @@ fn simulate(args: &[String]) -> Result<(), String> {
                 "writesets       {} applied, {:.0} B mean",
                 r.writesets_applied, r.mean_writeset_bytes
             );
+            if let Some(t) = &r.transient {
+                print_transient("transient".to_string(), t);
+            }
         }
     }
     Ok(())
 }
 
-/// Splits `--workload` for `validate`: commas separate workloads, except
-/// that `k=v` tokens continue the preceding `synth:` description (the
-/// synth knob grammar itself uses commas —
-/// `synth:hot-spot,hot-rows=64,tpcw-shopping` is two workloads).
-fn split_workloads(value: &str) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
-    for token in value.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-        match out.last_mut() {
-            // A bare `k=v` token continues the previous synth description;
-            // a token with its own `synth:` prefix always starts a new
-            // workload, even when its first knob carries an `=`.
-            Some(last)
-                if token.contains('=')
-                    && !token.starts_with("synth:")
-                    && last.starts_with("synth:") =>
-            {
-                last.push(',');
-                last.push_str(token);
+/// The demo schedule `phases` runs when `--schedule` is absent: crash a
+/// replica mid-run, pile on a flash crowd while degraded, rejoin the
+/// replica, and report 5-second windows.
+fn default_phases_schedule() -> Schedule {
+    Schedule::new()
+        .crash(30.0, 1)
+        .flash_crowd(45.0, 2.0, 15.0)
+        .join(60.0, 1)
+        .window(5.0)
+}
+
+fn phases(args: &[String], opts: &RunOpts) -> Result<(), String> {
+    let base = match flag(args, "--workload")? {
+        Some(_) => workload_scenario(args)?,
+        None => Scenario::workload("rubis-bidding").map_err(|e| e.to_string())?,
+    };
+    let mut scenario = opts
+        .point(base, 4)
+        .designs(opts.designs(&[Design::MultiMaster]))
+        .predict(false)
+        .simulate(true);
+    if opts.schedule.is_none() {
+        scenario = scenario.schedule(default_phases_schedule());
+    }
+    let report = scenario.run().map_err(|e| e.to_string())?;
+    if opts.json {
+        print_json(&report);
+        return Ok(());
+    }
+    for d in &report.designs {
+        for r in &d.measured {
+            println!("design          {}", d.design);
+            println!("workload        {}", r.workload);
+            println!("replicas        {} ({} clients)", r.replicas, r.clients);
+            println!(
+                "throughput      {:.1} tps (whole-run mean)",
+                r.throughput_tps
+            );
+            match &r.transient {
+                Some(t) => print_transient("transient".to_string(), t),
+                None => println!("(schedule disabled: no transient section)"),
             }
-            _ => out.push(token.to_string()),
         }
     }
-    out
+    Ok(())
 }
 
-/// The doubling replica points `1, 2, 4, ..` up to and including `max`.
-fn doubling_points(max: usize) -> Vec<usize> {
-    let mut points = Vec::new();
-    let mut n = 1;
-    while n < max {
-        points.push(n);
-        n *= 2;
-    }
-    points.push(max);
-    points
-}
-
-fn validate_cmd(args: &[String]) -> Result<(), String> {
-    let mut grid = ValidationGrid::new().designs(parse_designs(args, &Design::ALL)?);
+fn validate_cmd(args: &[String], opts: &RunOpts) -> Result<(), String> {
+    let mut grid = ValidationGrid::new().designs(opts.designs(&Design::ALL));
     match flag(args, "--workload")? {
         None => {}
         Some(v) if v == "all" => {}
@@ -449,19 +585,18 @@ fn validate_cmd(args: &[String]) -> Result<(), String> {
             grid = grid.workloads(workloads);
         }
     }
-    if let Some(max) = parse_count(args, "--replicas")? {
+    if let Some(max) = opts.replicas {
         grid = grid.replicas(doubling_points(max));
     }
-    if let Some(seed) = parse_flag(args, "--seed")? {
+    if let Some(seed) = opts.seed {
         grid = grid.seed(seed);
     }
-    if let Some(seeds) = parse_count(args, "--seeds")? {
+    if let Some(seeds) = opts.seeds {
         grid = grid.seeds(seeds);
     }
-    let jobs = parse_count(args, "--jobs")?.unwrap_or_else(replipred_sim::pool::default_jobs);
-    grid = grid.jobs(jobs);
+    grid = grid.jobs(opts.jobs);
     let report = grid.run().map_err(|e| e.to_string())?;
-    if has_flag(args, "--json") {
+    if opts.json {
         print_json(&report);
         return Ok(());
     }
@@ -532,14 +667,13 @@ fn print_validation(report: &ValidationReport) {
     }
 }
 
-fn plan_cmd(args: &[String]) -> Result<(), String> {
-    let profile = load_profile(args)?;
-    let designs = parse_designs(args, &[Design::MultiMaster, Design::SingleMaster])?;
+fn plan_cmd(args: &[String], opts: &RunOpts) -> Result<(), String> {
+    let profile = load_profile(args, opts)?;
+    let designs = opts.designs(&[Design::MultiMaster, Design::SingleMaster]);
     let tps: f64 = parse_flag(args, "--tps")?.ok_or("missing --tps")?;
     let max_resp_ms: Option<f64> = parse_flag(args, "--max-response-ms")?;
     let max_abort_pct: Option<f64> = parse_flag(args, "--max-abort-pct")?;
-    let clients: usize =
-        parse_flag(args, "--clients")?.unwrap_or_else(|| default_clients(&profile));
+    let clients: usize = opts.clients.unwrap_or_else(|| default_clients(&profile));
     let slo = Slo {
         min_throughput_tps: tps,
         max_response_time: max_resp_ms.map(|r| r / 1e3),
@@ -553,7 +687,7 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
         16,
     )
     .map_err(|e| e.to_string())?;
-    if has_flag(args, "--json") {
+    if opts.json {
         print_json(&plans);
         return Ok(());
     }
@@ -574,12 +708,13 @@ fn plan_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn profile_cmd(args: &[String]) -> Result<(), String> {
+fn profile_cmd(args: &[String], opts: &RunOpts) -> Result<(), String> {
     let w = flag(args, "--workload")?.ok_or("missing --workload")?;
     let spec = parse_workload(&w).map_err(|e| e.to_string())?;
-    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(2009);
-    let outcome = Profiler::new(spec).seed(seed).profile();
-    if has_flag(args, "--json") {
+    let outcome = Profiler::new(spec)
+        .seed(opts.seed.unwrap_or(2009))
+        .profile();
+    if opts.json {
         print_json(&outcome.profile);
         return Ok(());
     }
@@ -612,37 +747,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn workload_splitting_keeps_synth_descriptions_whole() {
-        assert_eq!(
-            split_workloads("tpcw-shopping,rubis-bidding"),
-            vec!["tpcw-shopping", "rubis-bidding"]
-        );
-        assert_eq!(
-            split_workloads("synth:hot-spot,hot-rows=64,tpcw-shopping"),
-            vec!["synth:hot-spot,hot-rows=64", "tpcw-shopping"]
-        );
-        assert_eq!(
-            split_workloads("synth:pw=0.4,writes=3,synth:read-only"),
-            vec!["synth:pw=0.4,writes=3", "synth:read-only"]
-        );
-        // A second synth description starts a new workload even when its
-        // first knob carries an `=`.
-        assert_eq!(
-            split_workloads("synth:hot-spot,synth:pw=0.4,writes=3"),
-            vec!["synth:hot-spot", "synth:pw=0.4,writes=3"]
-        );
-        // A k=v token with no preceding synth: description stands alone
-        // (and fails workload resolution with a clear error later).
-        assert_eq!(split_workloads("reads=3"), vec!["reads=3"]);
-        assert!(split_workloads(" , ,").is_empty());
+    fn run_opts_parse_rejects_bad_values() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(RunOpts::parse(&args(&["--jobs", "0"])).is_err());
+        assert!(RunOpts::parse(&args(&["--phase-window", "0"])).is_err());
+        assert!(RunOpts::parse(&args(&["--phase-window", "-2"])).is_err());
+        assert!(RunOpts::parse(&args(&["--schedule", "bogus@x"])).is_err());
+        assert!(RunOpts::parse(&args(&["--design", "mm,mm"])).is_err());
+        let opts = RunOpts::parse(&args(&[
+            "--schedule",
+            "crash@30=1,join@60=1,window=5",
+            "--replicas",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.replicas, Some(4));
+        assert!(opts.schedule.as_ref().is_some_and(Schedule::enabled));
     }
 
     #[test]
-    fn doubling_points_cover_one_to_max() {
-        assert_eq!(doubling_points(1), vec![1]);
-        assert_eq!(doubling_points(2), vec![1, 2]);
-        assert_eq!(doubling_points(4), vec![1, 2, 4]);
-        assert_eq!(doubling_points(6), vec![1, 2, 4, 6]);
-        assert_eq!(doubling_points(16), vec![1, 2, 4, 8, 16]);
+    fn phase_window_alone_enables_a_schedule() {
+        let args: Vec<String> = vec!["--phase-window".into(), "2.5".into()];
+        let opts = RunOpts::parse(&args).unwrap();
+        let schedule = opts.schedule.expect("window implies a schedule");
+        assert!(schedule.enabled());
+        assert_eq!(schedule.effective_window(), 2.5);
     }
 }

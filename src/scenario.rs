@@ -44,7 +44,7 @@ use serde::{Deserialize, Serialize};
 use replipred_core::report::{Design, ScalabilityCurve};
 use replipred_core::{ModelError, SystemConfig, WorkloadProfile};
 use replipred_profiler::Profiler;
-use replipred_repl::{RunReport, SimConfig, SimulatorRegistry};
+use replipred_repl::{RunReport, Schedule, SimConfig, SimulatorRegistry};
 use replipred_sim::pool::map_parallel;
 use replipred_sim::rng::derive_stream_seed;
 use replipred_sim::stats::BatchMeans;
@@ -188,6 +188,7 @@ pub struct Scenario {
     simulate: bool,
     system: Option<SystemConfig>,
     sim_template: Option<SimConfig>,
+    schedule: Option<Schedule>,
 }
 
 impl Scenario {
@@ -204,6 +205,7 @@ impl Scenario {
             simulate: false,
             system: None,
             sim_template: None,
+            schedule: None,
         }
     }
 
@@ -341,6 +343,27 @@ impl Scenario {
         self
     }
 
+    /// A time-phased [`Schedule`] applied to every simulated cell:
+    /// replica crashes and rejoins, certifier outages, client-population
+    /// ramps, and phase markers, all at absolute simulation times.
+    /// Reports of scheduled runs carry a
+    /// [`replipred_repl::TransientReport`] in
+    /// [`RunReport::transient`] (windowed throughput/response/abort,
+    /// recovery time, SLO-violation window). An empty schedule leaves
+    /// every run byte-identical to an unscheduled one.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the transient metrics window (seconds) on the scenario's
+    /// schedule, creating an empty schedule if none was set — windowed
+    /// collection without any injected events.
+    pub fn phase_window(mut self, window: f64) -> Self {
+        self.schedule = Some(self.schedule.unwrap_or_default().window(window));
+        self
+    }
+
     /// The seed of replication `rep`: the base seed for `rep == 0`, a
     /// deterministically derived stream seed otherwise.
     fn replication_seed(&self, rep: usize) -> u64 {
@@ -450,7 +473,7 @@ impl Scenario {
         let outputs = map_parallel(self.jobs, cells, |cell| {
             let spec = spec_ref.as_ref().expect("checked above");
             let seed = self.replication_seed(cell.rep);
-            let cfg = SimConfig {
+            let mut cfg = SimConfig {
                 replicas: cell.n,
                 seed,
                 ..self
@@ -458,6 +481,9 @@ impl Scenario {
                     .clone()
                     .unwrap_or_else(|| SimConfig::quick(cell.n, seed))
             };
+            if let Some(schedule) = &self.schedule {
+                cfg.schedule = schedule.clone();
+            }
             cell.design.simulator(spec.clone(), cfg).run()
         });
 

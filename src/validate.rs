@@ -44,6 +44,7 @@ use replipred_core::report::Design;
 use replipred_profiler::Profiler;
 use replipred_repl::SimConfig;
 use replipred_sim::pool::map_parallel;
+use replipred_workload::WorkloadSpec;
 
 use crate::scenario::{parse_workload, Scenario, ScenarioError, PUBLISHED_WORKLOADS};
 
@@ -77,6 +78,7 @@ pub fn default_workloads() -> Vec<String> {
 #[derive(Debug, Clone)]
 pub struct ValidationGrid {
     workloads: Vec<String>,
+    specs: Option<Vec<WorkloadSpec>>,
     designs: Vec<Design>,
     replicas: Vec<usize>,
     seed: u64,
@@ -97,6 +99,7 @@ impl ValidationGrid {
     pub fn new() -> Self {
         ValidationGrid {
             workloads: default_workloads(),
+            specs: None,
             designs: Design::ALL.to_vec(),
             replicas: vec![1, 2, 4],
             seed: 2009,
@@ -109,6 +112,16 @@ impl ValidationGrid {
     /// The workload names to validate (published or `synth:`).
     pub fn workloads(mut self, workloads: Vec<String>) -> Self {
         self.workloads = workloads;
+        self.specs = None;
+        self
+    }
+
+    /// Typed workload specs to validate, bypassing name parsing — the
+    /// programmatic mirror of [`ValidationGrid::workloads`] (like
+    /// [`Scenario::from_spec`] next to [`Scenario::workload`]). Replaces
+    /// any previously set name list.
+    pub fn specs(mut self, specs: Vec<WorkloadSpec>) -> Self {
+        self.specs = Some(specs);
         self
     }
 
@@ -171,9 +184,6 @@ impl ValidationGrid {
     /// workloads, designs or replica points, and propagates workload
     /// parse and model errors.
     pub fn run(&self) -> Result<ValidationReport, ScenarioError> {
-        if self.workloads.is_empty() {
-            return Err(ScenarioError::EmptyScenario("workloads"));
-        }
         if self.designs.is_empty() {
             return Err(ScenarioError::EmptyScenario("designs"));
         }
@@ -191,11 +201,21 @@ impl ValidationGrid {
             .collect();
         let standalone_anchor =
             self.designs.contains(&Design::Standalone) && self.replicas.contains(&1);
-        // Parse every workload name up front: registry errors surface in
-        // input order before any profiling or simulation time is spent.
-        let mut specs = Vec::with_capacity(self.workloads.len());
-        for name in &self.workloads {
-            specs.push(parse_workload(name)?);
+        // Resolve the workload set up front — typed specs as given, or
+        // every name parsed eagerly so registry errors surface in input
+        // order before any profiling or simulation time is spent.
+        let specs = match &self.specs {
+            Some(specs) => specs.clone(),
+            None => {
+                let mut parsed = Vec::with_capacity(self.workloads.len());
+                for name in &self.workloads {
+                    parsed.push(parse_workload(name)?);
+                }
+                parsed
+            }
+        };
+        if specs.is_empty() {
+            return Err(ScenarioError::EmptyScenario("workloads"));
         }
         // Workloads are independent (profiling included), so the grid
         // fans them out over the worker budget; each workload's own
@@ -225,7 +245,7 @@ impl ValidationGrid {
     /// same measurement, and fold the cells in the caller's design order.
     fn run_workload(
         &self,
-        spec: replipred_workload::WorkloadSpec,
+        spec: WorkloadSpec,
         replicated: &[Design],
         standalone_anchor: bool,
         jobs: usize,
@@ -292,6 +312,45 @@ impl ValidationGrid {
             cells,
         })
     }
+}
+
+/// Splits a comma-separated workload list: commas separate workloads,
+/// except that `k=v` tokens continue the preceding `synth:` description
+/// (the synth knob grammar itself uses commas —
+/// `synth:hot-spot,hot-rows=64,tpcw-shopping` is two workloads). This is
+/// the grammar behind `replipred validate --workload`.
+pub fn split_workloads(value: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for token in value.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match out.last_mut() {
+            // A bare `k=v` token continues the previous synth description;
+            // a token with its own `synth:` prefix always starts a new
+            // workload, even when its first knob carries an `=`.
+            Some(last)
+                if token.contains('=')
+                    && !token.starts_with("synth:")
+                    && last.starts_with("synth:") =>
+            {
+                last.push(',');
+                last.push_str(token);
+            }
+            _ => out.push(token.to_string()),
+        }
+    }
+    out
+}
+
+/// The doubling replica points `1, 2, 4, ..` up to and including `max` —
+/// how `replipred validate --replicas N` picks its grid points.
+pub fn doubling_points(max: usize) -> Vec<usize> {
+    let mut points = Vec::new();
+    let mut n = 1;
+    while n < max {
+        points.push(n);
+        n *= 2;
+    }
+    points.push(max);
+    points
 }
 
 /// `|predicted - measured| / max(measured, floor)` — always finite.
@@ -452,6 +511,56 @@ mod tests {
             ValidationGrid::new().replicas([]).run(),
             Err(ScenarioError::EmptyScenario("replica points"))
         ));
+    }
+
+    #[test]
+    fn typed_specs_replace_the_name_list() {
+        let spec = parse_workload("synth:ycsb-b").unwrap();
+        let grid = ValidationGrid::new().specs(vec![spec]);
+        assert!(matches!(
+            grid.clone().specs(vec![]).run(),
+            Err(ScenarioError::EmptyScenario("workloads"))
+        ));
+        // Setting names again drops the typed specs.
+        assert!(matches!(
+            grid.workloads(vec![]).run(),
+            Err(ScenarioError::EmptyScenario("workloads"))
+        ));
+    }
+
+    #[test]
+    fn workload_splitting_keeps_synth_descriptions_whole() {
+        assert_eq!(
+            split_workloads("tpcw-shopping,rubis-bidding"),
+            vec!["tpcw-shopping", "rubis-bidding"]
+        );
+        assert_eq!(
+            split_workloads("synth:hot-spot,hot-rows=64,tpcw-shopping"),
+            vec!["synth:hot-spot,hot-rows=64", "tpcw-shopping"]
+        );
+        assert_eq!(
+            split_workloads("synth:pw=0.4,writes=3,synth:read-only"),
+            vec!["synth:pw=0.4,writes=3", "synth:read-only"]
+        );
+        // A second synth description starts a new workload even when its
+        // first knob carries an `=`.
+        assert_eq!(
+            split_workloads("synth:hot-spot,synth:pw=0.4,writes=3"),
+            vec!["synth:hot-spot", "synth:pw=0.4,writes=3"]
+        );
+        // A k=v token with no preceding synth: description stands alone
+        // (and fails workload resolution with a clear error later).
+        assert_eq!(split_workloads("reads=3"), vec!["reads=3"]);
+        assert!(split_workloads(" , ,").is_empty());
+    }
+
+    #[test]
+    fn doubling_points_cover_one_to_max() {
+        assert_eq!(doubling_points(1), vec![1]);
+        assert_eq!(doubling_points(2), vec![1, 2]);
+        assert_eq!(doubling_points(4), vec![1, 2, 4]);
+        assert_eq!(doubling_points(6), vec![1, 2, 4, 6]);
+        assert_eq!(doubling_points(16), vec![1, 2, 4, 8, 16]);
     }
 
     #[test]

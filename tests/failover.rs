@@ -22,8 +22,9 @@ fn updates_survive_leader_failover_mid_stream() {
     let (r0, table) = fresh_replica();
     let (r1, _) = fresh_replica();
     let mut replicas = [r0, r1];
-    let offset = replicas[0].version();
-    let mut cert = ReplicatedCertifier::new(3);
+    // Anchor the certifier at the replicas' seeded version: writesets
+    // certify with their local base_version as-is, no rebasing.
+    let mut cert = ReplicatedCertifier::new_at(3, replicas[0].version());
     let mut committed_rows = Vec::new();
     for step in 0..60u64 {
         // Fail the leader a third of the way in, and a backup later.
@@ -42,9 +43,8 @@ fn updates_survive_leader_failover_mid_stream() {
         let txn = db.begin();
         db.update(txn, table, row, vec![Value::Int(step as i64)])
             .unwrap();
-        let mut ws = db.writeset_of(txn).unwrap();
+        let ws = db.writeset_of(txn).unwrap();
         db.abort(txn).unwrap();
-        ws.base_version -= offset;
         match cert.certify(&ws).expect("quorum maintained throughout") {
             Certification::Commit(_) => {
                 for r in replicas.iter_mut() {
@@ -74,20 +74,19 @@ fn updates_survive_leader_failover_mid_stream() {
 
 #[test]
 fn no_quorum_blocks_rather_than_diverges() {
-    let mut cert = ReplicatedCertifier::new(3);
     let (mut db, table) = fresh_replica();
-    let offset = db.version();
+    let anchor = db.version();
+    let mut cert = ReplicatedCertifier::new_at(3, anchor);
     let txn = db.begin();
     db.update(txn, table, RowId(1), vec![Value::Int(1)])
         .unwrap();
-    let mut ws = db.writeset_of(txn).unwrap();
+    let ws = db.writeset_of(txn).unwrap();
     db.abort(txn).unwrap();
-    ws.base_version -= offset;
     cert.kill(0);
     cert.kill(1);
     // The service refuses rather than risking a split decision.
     assert!(cert.certify(&ws).is_err());
     // After recovery it serves again, with no lost state.
     cert.restart(0);
-    assert!(matches!(cert.certify(&ws), Ok(Certification::Commit(1))));
+    assert!(matches!(cert.certify(&ws), Ok(Certification::Commit(v)) if v == anchor + 1));
 }

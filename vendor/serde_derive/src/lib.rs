@@ -5,7 +5,8 @@
 //! written against the bare `proc_macro` API — no `syn`, no `quote`.
 //! It parses the subset of item shapes the workspace actually uses:
 //!
-//! - structs with named fields (optionally `#[serde(default)]` per field)
+//! - structs with named fields (optionally `#[serde(default)]` and/or
+//!   `#[serde(skip_serializing_if = "path")]` per field)
 //! - tuple structs (newtype structs serialize transparently)
 //! - enums with unit, newtype/tuple, and struct variants
 //!   (externally tagged, matching real serde's default representation)
@@ -19,6 +20,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     default: bool,
+    /// Path from `#[serde(skip_serializing_if = "...")]`; when the
+    /// predicate returns true for the field value the entry is omitted
+    /// from the serialized map.
+    skip_if: Option<String>,
+}
+
+/// Per-field serde attributes recognised by this vendored derive.
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -76,17 +88,17 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Consumes `#[...]` attribute groups; returns true if any of them
-    /// was `#[serde(default)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut has_default = false;
+    /// Consumes `#[...]` attribute groups, accumulating any recognised
+    /// `#[serde(...)]` field attributes.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             self.next();
             if let Some(TokenTree::Group(g)) = self.next() {
-                has_default |= attr_is_serde_default(g.stream());
+                collect_serde_attrs(g.stream(), &mut attrs);
             }
         }
-        has_default
+        attrs
     }
 
     /// Consumes `pub`, `pub(crate)`, `pub(super)`, ... if present.
@@ -126,18 +138,41 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_default(stream: TokenStream) -> bool {
+fn collect_serde_attrs(stream: TokenStream, attrs: &mut FieldAttrs) {
     let mut iter = stream.into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return,
     }
-    match iter.next() {
-        Some(TokenTree::Group(g)) => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "default")),
-        _ => false,
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        return;
+    };
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => attrs.default = true,
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                // Expect `= "some::path"`.
+                let eq = matches!(tokens.get(i + 1),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                let lit = tokens.get(i + 2).and_then(|t| match t {
+                    TokenTree::Literal(l) => Some(l.to_string()),
+                    _ => None,
+                });
+                match (eq, lit) {
+                    (true, Some(l)) if l.len() >= 2 && l.starts_with('"') && l.ends_with('"') => {
+                        attrs.skip_if = Some(l[1..l.len() - 1].to_owned());
+                        i += 2;
+                    }
+                    _ => panic!(
+                        "serde_derive: expected `skip_serializing_if = \"path\"` in serde attribute"
+                    ),
+                }
+            }
+            _ => {}
+        }
+        i += 1;
     }
 }
 
@@ -173,7 +208,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut cursor = Cursor::new(stream);
     let mut fields = Vec::new();
     loop {
-        let default = cursor.skip_attrs();
+        let attrs = cursor.skip_attrs();
         if cursor.at_end() {
             break;
         }
@@ -184,7 +219,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
         }
         cursor.skip_type();
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
     }
     fields
 }
@@ -270,11 +309,18 @@ fn ser_named_fields(receiver: &str, fields: &[Field]) -> String {
          ::std::vec::Vec::new();",
     );
     for f in fields {
-        out.push_str(&format!(
+        let push = format!(
             "__entries.push((::std::string::String::from(\"{name}\"), \
              ::serde::Serialize::to_value(&{receiver}{name})));",
             name = f.name,
-        ));
+        );
+        match &f.skip_if {
+            Some(path) => out.push_str(&format!(
+                "if !{path}(&{receiver}{name}) {{ {push} }}",
+                name = f.name,
+            )),
+            None => out.push_str(&push),
+        }
     }
     out.push_str("::serde::Value::Map(__entries) }");
     out
