@@ -1,0 +1,228 @@
+//! `replilint:allow` suppression comments.
+//!
+//! Grammar (inside any line or block comment):
+//!
+//! ```text
+//! // replilint:allow(D2) -- FxHasher is seed-free and deterministic
+//! // replilint:allow(D1,D3) -- profiling harness measures real time
+//! // replilint:allow-file(D6) -- presentation helpers for the bench bins
+//! ```
+//!
+//! A line-scoped `allow` suppresses the listed rules on the comment's own
+//! line (trailing-comment form) and on the *next* line that carries code
+//! (comment-above form). `allow-file` suppresses the listed rules for the
+//! whole file. The `-- <reason>` is mandatory: a suppression without a
+//! justification, an empty rule list, or an unknown rule id is itself
+//! reported as rule `A0`, so stale or sloppy allows cannot accumulate
+//! silently. Suppressions must live in plain `//`/`/* */` comments;
+//! doc comments (`///`, `//!`) are documentation and never parsed as
+//! directives.
+
+use crate::lexer::{Comment, Token};
+
+/// Rule id and name for malformed suppression comments.
+pub const BAD_ALLOW_ID: &str = "A0";
+pub const BAD_ALLOW_NAME: &str = "bad-allow";
+
+/// One parsed suppression.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rules: Vec<String>,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (block comments may span lines).
+    pub end_line: u32,
+    /// `allow-file` form: applies to the whole file.
+    pub file_scope: bool,
+}
+
+/// A malformed suppression: span plus what is wrong with it.
+#[derive(Debug, Clone)]
+pub struct Malformed {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+const MARKER: &str = "replilint:";
+
+/// Doc comments are documentation, not directives: prose *about* the
+/// allow grammar (like this crate's own rustdoc) must not parse as a
+/// suppression. Only plain `//` and `/* */` comments can carry allows.
+fn is_doc_comment(text: &str) -> bool {
+    let t = text.trim_start();
+    t.starts_with("///") || t.starts_with("//!") || t.starts_with("/**") || t.starts_with("/*!")
+}
+
+/// Parses every suppression comment; unknown-rule/missing-reason forms
+/// come back in the second vec.
+pub fn parse(comments: &[Comment], known_rules: &[&str]) -> (Vec<Allow>, Vec<Malformed>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        if is_doc_comment(&c.text) {
+            continue;
+        }
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        match parse_one(&c.text[pos + MARKER.len()..], known_rules) {
+            Ok((rules, file_scope)) => allows.push(Allow {
+                rules,
+                line: c.line,
+                end_line: c.end_line,
+                file_scope,
+            }),
+            Err(message) => bad.push(Malformed {
+                line: c.line,
+                col: c.col,
+                message,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses the text after `replilint:`; returns (rules, file_scope).
+fn parse_one(rest: &str, known_rules: &[&str]) -> Result<(Vec<String>, bool), String> {
+    let (rest, file_scope) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (r, true)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (r, false)
+    } else {
+        return Err(
+            "expected `allow(<rules>) -- <reason>` or `allow-file(...)` after `replilint:`".into(),
+        );
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `replilint:allow`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule list in `replilint:allow(`".into());
+    };
+    let mut rules = Vec::new();
+    for id in rest[..close].split(',') {
+        let id = id.trim();
+        if id.is_empty() {
+            return Err("empty rule id in `replilint:allow(...)`".into());
+        }
+        if !known_rules.contains(&id) {
+            return Err(format!("unknown rule id `{id}` in `replilint:allow(...)`"));
+        }
+        rules.push(id.to_string());
+    }
+    if rules.is_empty() {
+        return Err("empty rule list in `replilint:allow(...)`".into());
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        return Err("missing `-- <reason>` after `replilint:allow(...)`".into());
+    };
+    if reason.trim().is_empty() {
+        return Err("empty reason after `replilint:allow(...) --`".into());
+    }
+    Ok((rules, file_scope))
+}
+
+/// Whether a diagnostic of `rule` at `line` is suppressed.
+///
+/// `tokens` supplies the code-line geometry for the comment-above form.
+pub fn suppressed(allows: &[Allow], tokens: &[Token], rule: &str, line: u32) -> bool {
+    allows.iter().any(|a| {
+        if !a.rules.iter().any(|r| r == rule) {
+            return false;
+        }
+        if a.file_scope {
+            return true;
+        }
+        line == a.line || Some(line) == next_code_line(tokens, a.end_line)
+    })
+}
+
+/// The first line after `after` that carries a code token.
+fn next_code_line(tokens: &[Token], after: u32) -> Option<u32> {
+    tokens.iter().map(|t| t.line).filter(|&l| l > after).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const KNOWN: &[&str] = &["D1", "D2", "D6"];
+
+    #[test]
+    fn trailing_allow_suppresses_its_own_line() {
+        let lexed = lex("let m = HashMap::new(); // replilint:allow(D2) -- test scaffold\n");
+        let (allows, bad) = parse(&lexed.comments, KNOWN);
+        assert!(bad.is_empty());
+        assert!(suppressed(&allows, &lexed.tokens, "D2", 1));
+        assert!(!suppressed(&allows, &lexed.tokens, "D1", 1));
+    }
+
+    #[test]
+    fn comment_above_suppresses_next_code_line() {
+        let src = "// replilint:allow(D2) -- deterministic hasher\n\nuse std::collections::HashMap;\nuse other::Thing;\n";
+        let lexed = lex(src);
+        let (allows, bad) = parse(&lexed.comments, KNOWN);
+        assert!(bad.is_empty());
+        assert!(suppressed(&allows, &lexed.tokens, "D2", 3));
+        assert!(!suppressed(&allows, &lexed.tokens, "D2", 4));
+    }
+
+    #[test]
+    fn file_scope_suppresses_everywhere() {
+        let lexed = lex("// replilint:allow-file(D6) -- presentation module\nfn f() {}\n");
+        let (allows, _) = parse(&lexed.comments, KNOWN);
+        assert!(suppressed(&allows, &lexed.tokens, "D6", 999));
+    }
+
+    #[test]
+    fn multiple_rules_share_one_comment() {
+        let lexed = lex("// replilint:allow(D1, D2) -- both justified here\nx();\n");
+        let (allows, bad) = parse(&lexed.comments, KNOWN);
+        assert!(bad.is_empty());
+        assert!(suppressed(&allows, &lexed.tokens, "D1", 2));
+        assert!(suppressed(&allows, &lexed.tokens, "D2", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let lexed = lex("// replilint:allow(D1)\nx();\n");
+        let (allows, bad) = parse(&lexed.comments, KNOWN);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"), "{}", bad[0].message);
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let lexed = lex("// replilint:allow(D9) -- no such rule\n");
+        let (allows, bad) = parse(&lexed.comments, KNOWN);
+        assert!(allows.is_empty());
+        assert!(bad[0].message.contains("unknown rule id `D9`"));
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let lexed = lex("// replilint:allow(D1) --   \n");
+        let (_, bad) = parse(&lexed.comments, KNOWN);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let lexed = lex("// normal comment mentioning allow(D1)\n");
+        let (allows, bad) = parse(&lexed.comments, KNOWN);
+        assert!(allows.is_empty() && bad.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_directives() {
+        let src = "/// Suppress with `replilint:allow(D1)`.\n//! e.g. replilint:allow(D2) -- reason\nfn f() {}\n";
+        let lexed = lex(src);
+        let (allows, bad) = parse(&lexed.comments, KNOWN);
+        assert!(allows.is_empty() && bad.is_empty());
+    }
+}

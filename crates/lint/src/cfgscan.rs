@@ -1,0 +1,200 @@
+//! Tracking `#[cfg(test)]` regions in the token stream.
+//!
+//! The determinism rules (D1–D3, D6) exempt test code: a unit test may
+//! read the wall clock or build a throwaway `HashMap` without harming
+//! the simulation's byte-determinism contract. Rather than parse items
+//! properly, we locate every test-gating attribute and record the line
+//! range of the item it covers (attribute line through the closing brace
+//! of the item's body, or its terminating semicolon). Rules then ask
+//! [`in_ranges`] before firing.
+//!
+//! Recognized gates: `#[cfg(test)]` (and any `cfg(…)` whose argument
+//! mentions `test`, e.g. `#[cfg(any(test, fuzzing))]`), `#[test]`, and
+//! the inner-attribute form `#![cfg(test)]` which gates the rest of the
+//! file.
+
+use crate::lexer::Token;
+
+/// Inclusive 1-based line ranges that are test-gated.
+pub type LineRanges = Vec<(u32, u32)>;
+
+/// True when `line` falls inside any recorded range.
+pub fn in_ranges(ranges: &LineRanges, line: u32) -> bool {
+    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+/// Scans the code tokens of one file and returns the test-gated ranges.
+pub fn test_line_ranges(tokens: &[Token]) -> LineRanges {
+    let mut ranges = LineRanges::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let close = match matching_bracket(tokens, j) {
+            Some(c) => c,
+            None => break, // unterminated attribute; nothing more to gate
+        };
+        if attr_gates_test(&tokens[j + 1..close]) {
+            if inner {
+                // `#![cfg(test)]` gates everything that follows.
+                ranges.push((tokens[i].line, u32::MAX));
+                return ranges;
+            }
+            // Skip any further outer attributes stacked on the item.
+            let mut k = close + 1;
+            while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+                match matching_bracket(tokens, k + 1) {
+                    Some(c) => k = c + 1,
+                    None => break,
+                }
+            }
+            let end_line = item_end_line(tokens, k);
+            ranges.push((tokens[i].line, end_line));
+        }
+        i = close + 1;
+    }
+    ranges
+}
+
+/// Whether the attribute token slice (the tokens between `[` and `]`)
+/// gates compilation on `test`.
+fn attr_gates_test(attr: &[Token]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("test") => attr.len() == 1,
+        Some(t) if t.is_ident("cfg") => attr.iter().skip(1).any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`, honoring nesting.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The last line of the item starting at token `start`: the close of its
+/// first brace-delimited body, or the first statement-level `;` when the
+/// item has no body (`mod tests;`, `use …;`).
+fn item_end_line(tokens: &[Token], start: usize) -> u32 {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(start) {
+        match t.kind {
+            crate::lexer::TokenKind::Punct('(') => paren += 1,
+            crate::lexer::TokenKind::Punct(')') => paren -= 1,
+            crate::lexer::TokenKind::Punct('[') => bracket += 1,
+            crate::lexer::TokenKind::Punct(']') => bracket -= 1,
+            crate::lexer::TokenKind::Punct(';') if paren == 0 && bracket == 0 => {
+                return t.line;
+            }
+            crate::lexer::TokenKind::Punct('{') => {
+                let mut depth = 0i32;
+                for t2 in &tokens[k..] {
+                    if t2.is_punct('{') {
+                        depth += 1;
+                    } else if t2.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return t2.line;
+                        }
+                    }
+                }
+                // Unterminated body: gate to end of file.
+                return u32::MAX;
+            }
+            _ => {}
+        }
+    }
+    tokens.last().map(|t| t.line).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ranges(src: &str) -> LineRanges {
+        test_line_ranges(&lex(src).tokens)
+    }
+
+    #[test]
+    fn cfg_test_module_is_gated() {
+        let src = "pub fn live() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let r = ranges(src);
+        assert_eq!(r, vec![(3, 6)]);
+        assert!(!in_ranges(&r, 1));
+        assert!(in_ranges(&r, 5));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_gated() {
+        let src = "#[test]\nfn check() {\n    body();\n}\nfn live() {}\n";
+        let r = ranges(src);
+        assert_eq!(r, vec![(1, 4)]);
+        assert!(!in_ranges(&r, 5));
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_gated() {
+        let r = ranges("#[cfg(any(test, feature = \"slow\"))]\nfn helper() {}\n");
+        assert_eq!(r, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn unrelated_attributes_are_not_gated() {
+        assert!(
+            ranges("#[derive(Debug)]\nstruct S;\n#[cfg(feature = \"x\")]\nfn f() {}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn stacked_attributes_extend_to_item_body() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() {\n    x();\n}\n";
+        assert_eq!(ranges(src), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn out_of_line_test_mod_gates_the_declaration() {
+        assert_eq!(
+            ranges("#[cfg(test)]\nmod tests;\nfn live() {}\n"),
+            vec![(1, 2)]
+        );
+    }
+
+    #[test]
+    fn inner_attribute_gates_rest_of_file() {
+        let r = ranges("#![cfg(test)]\nfn anything() {}\n");
+        assert!(in_ranges(&r, 1_000));
+    }
+
+    #[test]
+    fn attr_expression_in_fn_args_does_not_end_item_early() {
+        // The `;` inside the parenthesized default expression must not
+        // terminate the gated item.
+        let src = "#[cfg(test)]\nfn f(x: fn() -> u32) -> u32 {\n    x()\n}\nfn live() {}\n";
+        let r = ranges(src);
+        assert_eq!(r, vec![(1, 4)]);
+        assert!(!in_ranges(&r, 5));
+    }
+}

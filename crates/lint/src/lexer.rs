@@ -1,0 +1,448 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The analyzer does not need a parse tree — every rule in the registry
+//! matches short token sequences (`Instant :: now`, `HashMap`, `.
+//! partial_cmp ( … ) . unwrap`) — so this lexer produces exactly what the
+//! rules consume: a flat stream of code tokens with 1-based line/column
+//! spans, plus the comments (which carry `replilint:allow` suppressions
+//! and `// SAFETY:` justifications). What matters for soundness is that
+//! *string literals, char literals, and comments can never leak into the
+//! code-token stream*: a `"HashMap"` inside a format string or a doc
+//! example must not fire a rule.
+//!
+//! The lexer understands: line and (nested) block comments, string
+//! literals with escapes, raw strings `r#"…"#`, byte strings and byte
+//! chars, char literals vs. lifetimes, numeric literals (including
+//! `1.0e-3` and range-adjacent `0..n`), raw identifiers `r#type`, and
+//! single-character punctuation (multi-char operators like `::` appear
+//! as consecutive punct tokens, which the rules match pairwise).
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `fn`, …).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// String/char/numeric literal (content never inspected by rules).
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so `'static` is not an
+    /// identifier).
+    Lifetime,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token text; for [`TokenKind::Punct`] the single character.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), with the line span it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// Last source line the comment touches (equals `line` for `//`).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`, splitting code tokens from comments.
+///
+/// The lexer is total: any input produces *some* token stream (an
+/// unterminated string simply runs to end of file). Rules therefore
+/// degrade gracefully on malformed files instead of crashing the gate.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one char, keeping line/col in sync.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string_literal();
+            } else if c == '\'' {
+                self.quote();
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                let (line, col) = (self.line, self.col);
+                self.bump();
+                self.push_token(TokenKind::Punct(c), c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            col,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let end_line = self.line;
+        self.out.comments.push(Comment {
+            text,
+            line,
+            col,
+            end_line,
+        });
+    }
+
+    /// A `"…"` string with `\` escapes; multi-line allowed.
+    fn string_literal(&mut self) {
+        let (line, col) = (self.line, self.col);
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump(); // escaped char (incl. \" and \\)
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Literal, String::from("\"…\""), line, col);
+    }
+
+    /// A raw string `r##"…"##` whose `#` count is `hashes`; the caller has
+    /// consumed the prefix identifier but not the hashes/quote.
+    fn raw_string_literal(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push_token(TokenKind::Literal, String::from("r\"…\""), line, col);
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char literal.
+    fn quote(&mut self) {
+        let (line, col) = (self.line, self.col);
+        // Lifetime: 'ident not closed by a quote ('a' is a char literal).
+        if let Some(c1) = self.peek(1) {
+            if is_ident_start(c1) {
+                // Find where the ident run ends; a closing quote right
+                // after a single char means a char literal like 'x'.
+                let mut k = 1;
+                while self.peek(k).map(is_ident_continue).unwrap_or(false) {
+                    k += 1;
+                }
+                if self.peek(k) != Some('\'') {
+                    let mut text = String::new();
+                    self.bump(); // the quote
+                    while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+                        text.push(self.bump().unwrap());
+                    }
+                    self.push_token(TokenKind::Lifetime, text, line, col);
+                    return;
+                }
+            }
+        }
+        // Char literal.
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Literal, String::from("'…'"), line, col);
+    }
+
+    /// An identifier, or a string/char literal behind a prefix (`r"…"`,
+    /// `b"…"`, `br#"…"#`, `b'x'`, `r#raw_ident`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let (line, col) = (self.line, self.col);
+        // Raw identifier r#type: skip the marker, lex the ident.
+        if self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && self.peek(2).map(is_ident_start).unwrap_or(false)
+        {
+            self.bump();
+            self.bump();
+            let mut text = String::new();
+            while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+                text.push(self.bump().unwrap());
+            }
+            self.push_token(TokenKind::Ident, text, line, col);
+            return;
+        }
+        let mut text = String::new();
+        while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+            text.push(self.bump().unwrap());
+        }
+        let next = self.peek(0);
+        match (text.as_str(), next) {
+            ("r" | "br" | "b", Some('"')) | ("r" | "br", Some('#')) => {
+                self.raw_string_or_plain(&text, line, col);
+            }
+            ("b", Some('\'')) => {
+                // Byte char b'x'.
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        self.bump();
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push_token(TokenKind::Literal, String::from("b'…'"), line, col);
+            }
+            _ => self.push_token(TokenKind::Ident, text, line, col),
+        }
+    }
+
+    fn raw_string_or_plain(&mut self, prefix: &str, line: u32, col: u32) {
+        if prefix == "b" {
+            // b"…" — plain string body with escapes.
+            self.string_literal();
+            return;
+        }
+        self.raw_string_literal(line, col);
+    }
+
+    /// Numeric literal: integers, floats with exponents, all bases,
+    /// suffixes — without eating the `..` of a range expression.
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+            text.push(self.bump().unwrap());
+        }
+        // Fractional part (but `0..n` keeps its dots as punctuation).
+        if self.peek(0) == Some('.') && self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            text.push(self.bump().unwrap());
+            while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+                text.push(self.bump().unwrap());
+            }
+        }
+        // Signed exponent: `1e-3`, `2.5E+7`.
+        if text.ends_with(['e', 'E'])
+            && matches!(self.peek(0), Some('+') | Some('-'))
+            && self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+        {
+            text.push(self.bump().unwrap());
+            while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+                text.push(self.bump().unwrap());
+            }
+        }
+        self.push_token(TokenKind::Literal, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_emit_code_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in a block /* nested */ comment */
+            let s = "HashMap::new()";
+            let r = r#"SystemTime::now()"#;
+            let c = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"SystemTime".to_string()), "{ids:?}");
+        assert_eq!(ids, vec!["let", "s", "let", "r", "let", "c"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("fn main() {\n    foo();\n}\n");
+        let foo = lexed.tokens.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (2, 5));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'static str { 'q' ; x }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'…'"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let lexed = lex("for i in 0..10 { let x = 1.5e-3; t.0; }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3); // the `..` pair and the tuple access
+        assert!(lexed.tokens.iter().any(|t| t.text == "1.5e-3"));
+    }
+
+    #[test]
+    fn comments_carry_spans() {
+        let lexed = lex("let a = 1; // trailing note\n/* two\nlines */ let b = 2;\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].text, "// trailing note");
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn unterminated_string_is_total() {
+        let lexed = lex("let s = \"never closed");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+}

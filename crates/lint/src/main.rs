@@ -1,0 +1,139 @@
+//! `replilint` — CLI entry point.
+//!
+//! ```text
+//! replilint check [--root <dir>] [--json]   # exit 0 clean, 1 findings, 2 usage/io error
+//! replilint rules                           # print the rule registry
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+replilint — workspace determinism & sim-purity analyzer
+
+USAGE:
+    replilint [check] [--root <dir>] [--json]
+    replilint rules
+
+SUBCOMMANDS:
+    check    scan the workspace (default); exit 1 when diagnostics are found
+    rules    list every rule id, name, and rationale
+
+OPTIONS:
+    --root <dir>   workspace root to scan (default: nearest ancestor with a
+                   [workspace] Cargo.toml, else the current directory)
+    --json         emit the report as JSON instead of per-line diagnostics";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("replilint: error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut subcommand: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory argument")?;
+                if dir.starts_with("--") {
+                    return Err(format!("--root requires a directory argument, got `{dir}`"));
+                }
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            s if s.starts_with('-') => return Err(format!("unknown flag `{s}`")),
+            s if subcommand.is_none() => subcommand = Some(s.to_string()),
+            s => return Err(format!("unexpected argument `{s}`")),
+        }
+    }
+    match subcommand.as_deref().unwrap_or("check") {
+        "check" => check(root, json),
+        "rules" => {
+            print_rules();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn check(root: Option<PathBuf>, json: bool) -> Result<ExitCode, String> {
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root(),
+    };
+    let report = replipred_lint::check_workspace(&root)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    if json {
+        let rendered = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serializing report: {e}"))?;
+        println!("{rendered}");
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        if report.clean {
+            println!(
+                "replilint: clean ({} files, {} rules)",
+                report.files_scanned,
+                replipred_lint::registry().len()
+            );
+        } else {
+            println!(
+                "replilint: {} diagnostic(s) in {} files",
+                report.diagnostics.len(),
+                report.files_scanned
+            );
+        }
+    }
+    Ok(if report.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn print_rules() {
+    println!("replilint rules (suppress with `// replilint:allow(<id>) -- <reason>`):");
+    println!();
+    for rule in replipred_lint::registry() {
+        println!("  {}  {:<18} {}", rule.id(), rule.name(), rule.rationale());
+    }
+    println!();
+    println!(
+        "  A0  {:<18} malformed/unknown/unjustified replilint:allow comment",
+        replipred_lint::allow::BAD_ALLOW_NAME
+    );
+}
+
+/// The nearest ancestor directory (starting at cwd) whose `Cargo.toml`
+/// declares a `[workspace]`; falls back to the current directory.
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd,
+        }
+    }
+}

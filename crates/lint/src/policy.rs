@@ -1,0 +1,102 @@
+//! Path-based scoping: which rules look at which files.
+//!
+//! The determinism contract protects the crates that execute between a
+//! seed and a report: `core`, `sim`, `repl`, `sidb`, and `workload`
+//! (see [`PROTECTED_CRATES`]). Presentation surfaces — the CLI
+//! `src/main.rs`, experiment bins, benches, examples, and `tests/`
+//! directories — are classified here so rules like D6 (print
+//! discipline) can exempt them by construction rather than by
+//! suppression comment.
+
+/// Crates whose `src/` must stay deterministic: no wall clock, no
+/// randomized-order collections, no ad-hoc RNG seeding.
+pub const PROTECTED_CRATES: &[&str] = &["core", "sim", "repl", "sidb", "workload"];
+
+/// What the walker/classifier knows about one file before lexing it.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// `crates/<name>/…` → `name`; root `src`/`tests`/`examples` → `None`.
+    pub crate_name: Option<String>,
+    /// Inside the `src/` of one of [`PROTECTED_CRATES`].
+    pub in_protected_src: bool,
+    /// A `src/main.rs` (workspace root or any crate).
+    pub is_main: bool,
+    /// Under a `src/bin/` directory (experiment/utility binaries).
+    pub is_bin_target: bool,
+    /// Under a `tests/` directory (integration tests).
+    pub is_tests: bool,
+    /// Under a `benches/` directory.
+    pub is_benches: bool,
+    /// Under an `examples/` directory.
+    pub is_examples: bool,
+}
+
+impl FileInfo {
+    /// Classifies a workspace-relative path (`/`-separated).
+    pub fn classify(rel_path: &str) -> FileInfo {
+        let components: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = match components.as_slice() {
+            ["crates", name, ..] => Some((*name).to_string()),
+            _ => None,
+        };
+        let in_protected_src = match components.as_slice() {
+            ["crates", name, "src", ..] => PROTECTED_CRATES.contains(name),
+            _ => false,
+        };
+        let has = |dir: &str| components.contains(&dir);
+        FileInfo {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            in_protected_src,
+            is_main: rel_path.ends_with("src/main.rs"),
+            is_bin_target: components.windows(2).any(|w| w == ["src", "bin"]),
+            is_tests: has("tests"),
+            is_benches: has("benches"),
+            is_examples: has("examples"),
+        }
+    }
+
+    /// Whether printing to stdout/stderr is part of this file's job
+    /// (CLI entry points, experiment bins, benches, examples, tests).
+    pub fn print_allowed(&self) -> bool {
+        self.is_main || self.is_bin_target || self.is_tests || self.is_benches || self.is_examples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protected_src_is_detected() {
+        assert!(FileInfo::classify("crates/sim/src/engine.rs").in_protected_src);
+        assert!(FileInfo::classify("crates/sidb/src/db.rs").in_protected_src);
+        assert!(!FileInfo::classify("crates/bench/src/lib.rs").in_protected_src);
+        assert!(!FileInfo::classify("crates/sim/tests/it.rs").in_protected_src);
+        assert!(!FileInfo::classify("src/scenario.rs").in_protected_src);
+    }
+
+    #[test]
+    fn print_surfaces_are_exempt() {
+        assert!(FileInfo::classify("src/main.rs").print_allowed());
+        assert!(FileInfo::classify("crates/bench/src/bin/fig6.rs").print_allowed());
+        assert!(FileInfo::classify("crates/bench/benches/hotpath.rs").print_allowed());
+        assert!(FileInfo::classify("tests/golden_report.rs").print_allowed());
+        assert!(FileInfo::classify("examples/quickstart.rs").print_allowed());
+        assert!(!FileInfo::classify("crates/bench/src/lib.rs").print_allowed());
+        assert!(!FileInfo::classify("crates/repl/src/mm.rs").print_allowed());
+    }
+
+    #[test]
+    fn crate_names_resolve() {
+        assert_eq!(
+            FileInfo::classify("crates/workload/src/synth.rs")
+                .crate_name
+                .as_deref(),
+            Some("workload")
+        );
+        assert_eq!(FileInfo::classify("src/lib.rs").crate_name, None);
+    }
+}

@@ -1,0 +1,153 @@
+//! D4–D6: repo-wide hygiene rules.
+//!
+//! Unlike D1–D3 these are not scoped to the protected crates: an
+//! undocumented `unsafe` block or a float `partial_cmp().unwrap()` is a
+//! defect wherever it appears, and print discipline is enforced by path
+//! class (presentation surfaces are exempt by construction, see
+//! [`crate::policy::FileInfo::print_allowed`]).
+
+use super::{ident_at, matching_paren, punct_at, FileContext, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::policy::FileInfo;
+
+/// D4: every `unsafe` block or impl carries a `// SAFETY:` comment
+/// within the three preceding lines (or trailing on the same line)
+/// stating the invariant that makes it sound.
+pub struct SafetyComment;
+
+/// How far above the `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: u32 = 3;
+
+impl Rule for SafetyComment {
+    fn id(&self) -> &'static str {
+        "D4"
+    }
+
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "Every `unsafe` block/impl is preceded by a `// SAFETY:` comment stating the invariant that makes it sound."
+    }
+
+    fn applies(&self, _info: &FileInfo) -> bool {
+        true
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for t in ctx.tokens {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let justified = ctx.comments.iter().any(|c| {
+                if !c.text.contains("SAFETY:") {
+                    return false;
+                }
+                // Same line (leading or trailing) or within the window above.
+                c.line == t.line || (c.end_line <= t.line && t.line - c.end_line <= SAFETY_WINDOW)
+            });
+            if !justified {
+                out.push(self.diag(
+                    ctx,
+                    t,
+                    "`unsafe` without a `// SAFETY:` comment; document the invariant that makes this sound".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// D5: `partial_cmp(..).unwrap()` on floats panics on NaN and hides the
+/// total order the sort actually needs; `f64::total_cmp` is both total
+/// and deterministic.
+pub struct FloatCmpUnwrap;
+
+impl Rule for FloatCmpUnwrap {
+    fn id(&self) -> &'static str {
+        "D5"
+    }
+
+    fn name(&self) -> &'static str {
+        "float-cmp-unwrap"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "`partial_cmp(..).unwrap()/expect()` is flagged in favor of `total_cmp`: total over NaN, and one deterministic order for every sort."
+    }
+
+    fn applies(&self, _info: &FileInfo) -> bool {
+        true
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens;
+        for i in 0..toks.len() {
+            if !ident_at(toks, i, "partial_cmp") {
+                continue;
+            }
+            // Method call position only: `.partial_cmp(...)`.
+            if i == 0 || !punct_at(toks, i - 1, '.') || !punct_at(toks, i + 1, '(') {
+                continue;
+            }
+            let Some(close) = matching_paren(toks, i + 1) else {
+                continue;
+            };
+            if punct_at(toks, close + 1, '.')
+                && (ident_at(toks, close + 2, "unwrap") || ident_at(toks, close + 2, "expect"))
+            {
+                out.push(self.diag(
+                    ctx,
+                    &toks[i],
+                    "`.partial_cmp(..).unwrap()` panics on NaN; use `total_cmp` for a total, deterministic float order"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// D6: stdout/stderr belong to the CLI (`src/main.rs`), experiment
+/// bins, benches, examples, and tests. A `println!` in library code
+/// interleaves nondeterministically with real output under `--jobs`.
+pub struct PrintDiscipline;
+
+impl Rule for PrintDiscipline {
+    fn id(&self) -> &'static str {
+        "D6"
+    }
+
+    fn name(&self) -> &'static str {
+        "print-discipline"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "No println!/eprintln! outside src/main.rs, bin targets, benches, examples, and tests: library code returns data, the CLI renders it."
+    }
+
+    fn applies(&self, info: &FileInfo) -> bool {
+        !info.print_allowed()
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident || (t.text != "println" && t.text != "eprintln") {
+                continue;
+            }
+            if !punct_at(toks, i + 1, '!') || ctx.in_test(t.line) {
+                continue;
+            }
+            out.push(self.diag(
+                ctx,
+                t,
+                format!(
+                    "`{}!` in library code; return data and let the CLI/bin render it",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Workspace file discovery.
+//!
+//! Walks the tree rooted at the workspace, collecting every `.rs` file
+//! except: `vendor/` (third-party stand-ins we do not hold to the
+//! repo's contract), `target/` (build output), VCS/tool directories,
+//! and any `fixtures/` directory (lint fixtures *deliberately* contain
+//! violations). Entries are visited in sorted order so the diagnostic
+//! stream — and therefore the `--json` report — is byte-deterministic.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "vendor",
+    "target",
+    ".git",
+    ".github",
+    "fixtures",
+    "node_modules",
+];
+
+/// Collects `(absolute, workspace-relative)` paths of every `.rs` file
+/// under `root`, sorted by relative path.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    descend(root, String::new(), &mut files)?;
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(files)
+}
+
+fn descend(dir: &Path, rel: String, files: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let child_rel = if rel.is_empty() {
+            name.to_string()
+        } else {
+            format!("{rel}/{name}")
+        };
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(&path, child_rel, files)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            files.push((path, child_rel));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_crate_but_not_fixtures_or_vendor() {
+        // The lint crate's own sources are reachable from the workspace
+        // root two levels up from this crate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_rs_files(&root).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(_, r)| r.as_str()).collect();
+        assert!(rels.contains(&"crates/lint/src/walk.rs"));
+        assert!(rels.contains(&"crates/sidb/src/db.rs"));
+        assert!(
+            !rels.iter().any(|r| r.starts_with("vendor/")),
+            "vendor leaked"
+        );
+        assert!(
+            !rels.iter().any(|r| r.starts_with("target/")),
+            "target leaked"
+        );
+        assert!(
+            !rels.iter().any(|r| r.contains("/fixtures/")),
+            "fixtures leaked"
+        );
+        // Sorted ⇒ deterministic report order.
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted);
+    }
+}

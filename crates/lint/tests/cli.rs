@@ -1,0 +1,102 @@
+//! End-to-end tests of the `replilint` binary: the exact gate CI runs.
+//!
+//! Each test builds a throwaway mini-workspace under the target tmp dir,
+//! seeds it with a violation, and drives the compiled binary via
+//! `CARGO_BIN_EXE_replilint`, asserting on exit codes and output — the
+//! same observable surface the CI step depends on.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A fresh scratch workspace root, unique per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("replilint-cli")
+        .join(tag);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    fs::create_dir_all(dir.join("crates/sim/src")).expect("mkdir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    dir
+}
+
+fn replilint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_replilint"))
+        .args(args)
+        .output()
+        .expect("spawn replilint")
+}
+
+const SEEDED_VIOLATION: &str = "\
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+";
+
+#[test]
+fn seeded_violation_fails_the_gate() {
+    let ws = scratch("violation");
+    fs::write(ws.join("crates/sim/src/bad.rs"), SEEDED_VIOLATION).unwrap();
+    let out = replilint(&["check", "--root", ws.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "gate must fail on a violation");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("crates/sim/src/bad.rs:2:16: D1 [wall-clock]"),
+        "diagnostic with span missing from:\n{stdout}"
+    );
+    assert!(stdout.contains("1 diagnostic(s)"), "{stdout}");
+}
+
+#[test]
+fn allow_comment_passes_the_gate() {
+    let ws = scratch("allowed");
+    let allowed = SEEDED_VIOLATION.replace(
+        "std::time::Instant::now()",
+        "std::time::Instant::now() // replilint:allow(D1) -- fixture: justified wall-clock read",
+    );
+    fs::write(ws.join("crates/sim/src/bad.rs"), allowed).unwrap();
+    let out = replilint(&["check", "--root", ws.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "allowed violation must pass");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("replilint: clean"), "{stdout}");
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let ws = scratch("json");
+    fs::write(ws.join("crates/sim/src/bad.rs"), SEEDED_VIOLATION).unwrap();
+    let out = replilint(&["check", "--root", ws.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The vendored serde_json has no dynamic Value type, so assert on
+    // the serialized fields directly.
+    for needle in [
+        "\"clean\": false",
+        "\"files_scanned\": 1",
+        "\"rule\": \"D1\"",
+        "\"name\": \"wall-clock\"",
+        "\"path\": \"crates/sim/src/bad.rs\"",
+        "\"line\": 2",
+        "\"col\": 16",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn rules_subcommand_lists_the_registry() {
+    let out = replilint(&["rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for id in ["D1", "D2", "D3", "D4", "D5", "D6", "A0"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = replilint(&["check", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

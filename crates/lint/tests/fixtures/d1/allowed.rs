@@ -1,0 +1,4 @@
+pub fn startup_stamp() -> std::time::Instant {
+    // replilint:allow(D1) -- startup banner timestamp, never enters a report
+    std::time::Instant::now()
+}

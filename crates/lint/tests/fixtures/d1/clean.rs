@@ -1,0 +1,11 @@
+pub fn stamp(clock: f64) -> f64 {
+    clock + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,4 @@
+// replilint:allow(D2) -- the caller supplies a seed-free BuildHasher
+use std::collections::HashMap;
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}

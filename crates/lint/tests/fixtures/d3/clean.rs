@@ -1,0 +1,6 @@
+pub fn rngs(base_seed: u64) -> u64 {
+    let stream_seed = derive_stream_seed(base_seed, 7);
+    let rng = Rng::seed_from_u64(stream_seed);
+    drop(rng);
+    stream_seed
+}

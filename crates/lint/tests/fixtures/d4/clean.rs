@@ -1,0 +1,4 @@
+pub fn read_first(xs: &[u64]) -> u64 {
+    // SAFETY: the caller guarantees xs is non-empty.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,4 @@
+pub fn sort(xs: &mut [f64]) {
+    // replilint:allow(D5) -- inputs are validated NaN-free by the parser
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,3 @@
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,5 @@
+// replilint:allow-file(D6) -- presentation helpers; stdout is the output format
+pub fn render(x: u64) {
+    println!("x = {x}");
+    eprintln!("warn: {x}");
+}

@@ -1,0 +1,3 @@
+pub fn render(x: u64) -> String {
+    format!("x = {x}")
+}

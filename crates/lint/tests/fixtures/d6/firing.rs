@@ -1,0 +1,4 @@
+pub fn render(x: u64) {
+    println!("x = {x}");
+    eprintln!("warn: {x}");
+}

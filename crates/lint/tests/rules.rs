@@ -1,0 +1,170 @@
+//! Fixture-driven rule tests.
+//!
+//! Every rule gets three fixtures under `tests/fixtures/d*/`: one that
+//! fires (asserted by exact `(rule, line, col)` spans), one that is
+//! clean, and one where a `replilint:allow` comment suppresses the hit.
+//! Fixtures are analyzed via [`replipred_lint::analyze_source`] with a
+//! pretend workspace path, which is what decides rule scope; the same
+//! directory is on the walker's skip list so the real workspace scan
+//! never sees these deliberately-violating sources.
+
+use replipred_lint::analyze_source;
+
+/// A protected-crate library path: D1–D3 apply here.
+const SIM: &str = "crates/sim/src/fixture.rs";
+/// An unprotected library path: only the workspace-wide rules apply.
+const LIB: &str = "crates/mva/src/fixture.rs";
+
+fn spans(path: &str, source: &str) -> Vec<(String, u32, u32)> {
+    analyze_source(path, source)
+        .into_iter()
+        .map(|d| (d.rule, d.line, d.col))
+        .collect()
+}
+
+fn owned(expected: &[(&str, u32, u32)]) -> Vec<(String, u32, u32)> {
+    expected
+        .iter()
+        .map(|&(r, l, c)| (r.to_string(), l, c))
+        .collect()
+}
+
+// ---- D1: wall-clock ----
+
+#[test]
+fn d1_fires_on_wall_clock_reads() {
+    let got = spans(SIM, include_str!("fixtures/d1/firing.rs"));
+    assert_eq!(got, owned(&[("D1", 4, 13), ("D1", 5, 13)]));
+}
+
+#[test]
+fn d1_clean_source_and_test_code_pass() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d1/clean.rs")), vec![]);
+}
+
+#[test]
+fn d1_allow_comment_suppresses() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d1/allowed.rs")), vec![]);
+}
+
+#[test]
+fn d1_does_not_apply_outside_protected_crates() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d1/firing.rs")), vec![]);
+}
+
+// ---- D2: hash-collections ----
+
+#[test]
+fn d2_fires_on_every_hashmap_mention() {
+    let got = spans(SIM, include_str!("fixtures/d2/firing.rs"));
+    assert_eq!(got, owned(&[("D2", 1, 23), ("D2", 3, 19), ("D2", 4, 5)]));
+}
+
+#[test]
+fn d2_btree_is_clean() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d2/clean.rs")), vec![]);
+}
+
+#[test]
+fn d2_allow_comment_suppresses() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d2/allowed.rs")), vec![]);
+}
+
+#[test]
+fn d2_suppression_is_load_bearing() {
+    // The same source minus its allow comment must fire: the clean
+    // verdict above comes from the suppression, not from a scope hole.
+    let stripped: String = include_str!("fixtures/d2/allowed.rs")
+        .lines()
+        .filter(|l| !l.contains("replilint:allow"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let got = spans(SIM, &stripped);
+    assert_eq!(got, owned(&[("D2", 1, 23)]));
+}
+
+// ---- D3: rng-discipline ----
+
+#[test]
+fn d3_fires_on_entropy_and_underived_seeds() {
+    let got = spans(SIM, include_str!("fixtures/d3/firing.rs"));
+    assert_eq!(got, owned(&[("D3", 2, 13), ("D3", 3, 18)]));
+}
+
+#[test]
+fn d3_seed_derivation_is_clean() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d3/clean.rs")), vec![]);
+}
+
+#[test]
+fn d3_allow_comment_suppresses() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d3/allowed.rs")), vec![]);
+}
+
+// ---- D4: safety-comment (workspace-wide) ----
+
+#[test]
+fn d4_fires_on_undocumented_unsafe() {
+    let got = spans(LIB, include_str!("fixtures/d4/firing.rs"));
+    assert_eq!(got, owned(&[("D4", 2, 5)]));
+}
+
+#[test]
+fn d4_safety_comment_is_clean() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d4/clean.rs")), vec![]);
+}
+
+#[test]
+fn d4_allow_comment_suppresses() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d4/allowed.rs")), vec![]);
+}
+
+// ---- D5: float-cmp-unwrap (workspace-wide) ----
+
+#[test]
+fn d5_fires_on_partial_cmp_unwrap() {
+    let got = spans(LIB, include_str!("fixtures/d5/firing.rs"));
+    assert_eq!(got, owned(&[("D5", 2, 25)]));
+}
+
+#[test]
+fn d5_total_cmp_is_clean() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d5/clean.rs")), vec![]);
+}
+
+#[test]
+fn d5_allow_comment_suppresses() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d5/allowed.rs")), vec![]);
+}
+
+// ---- D6: print-discipline (path-class scoped) ----
+
+#[test]
+fn d6_fires_in_library_code() {
+    let got = spans(LIB, include_str!("fixtures/d6/firing.rs"));
+    assert_eq!(got, owned(&[("D6", 2, 5), ("D6", 3, 5)]));
+}
+
+#[test]
+fn d6_clean_library_returns_data() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d6/clean.rs")), vec![]);
+}
+
+#[test]
+fn d6_allow_file_suppresses_the_module() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d6/allowed.rs")), vec![]);
+}
+
+#[test]
+fn d6_exempts_presentation_path_classes() {
+    let src = include_str!("fixtures/d6/firing.rs");
+    for path in [
+        "src/main.rs",
+        "crates/bench/src/bin/fig6.rs",
+        "crates/core/benches/solver.rs",
+        "crates/core/tests/golden.rs",
+        "crates/core/examples/demo.rs",
+    ] {
+        assert_eq!(spans(path, src), vec![], "{path} should be exempt");
+    }
+}

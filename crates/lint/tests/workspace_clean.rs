@@ -1,0 +1,26 @@
+//! The analyzer must run clean on the workspace that ships it — the
+//! same invariant CI enforces with `replilint check`. A failure here
+//! names the offending diagnostics directly in the assert message.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = replipred_lint::check_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.clean,
+        "replilint found violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
