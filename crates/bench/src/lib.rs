@@ -226,6 +226,8 @@ pub fn compare(spec: &WorkloadSpec, design: Design, sweep: &[usize]) -> Vec<Comp
         .collect()
 }
 
+// replilint:allow-file(D6) -- the print_* helpers below ARE the figure renderers shared by every bench bin; stdout is their output format
+
 /// Prints a throughput figure (paper Figures 6, 8, 10, 12): one series per
 /// workload, measured and predicted columns.
 pub fn print_throughput_figure(title: &str, series: &[(String, Vec<ComparisonPoint>)]) {

@@ -6,14 +6,14 @@
 //! and at most one integer-hash lookup — no string hashing, no
 //! per-statement allocation beyond the row images the caller hands in.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::DbError;
 use crate::ids::{RowId, TableId};
 use crate::log::{StatementKind, StatementLog};
-use crate::rowmap::FxBuildHasher;
+use crate::rowmap::FxHashMap;
 use crate::table::Table;
 use crate::txn::{PendingWrite, TxnId, TxnState};
 use crate::value::Row;
@@ -76,8 +76,11 @@ pub struct CommitInfo {
 #[derive(Debug, Default)]
 pub struct Database {
     tables: Vec<Table>,
-    names: HashMap<String, TableId>,
-    active: HashMap<TxnId, TxnState, FxBuildHasher>,
+    /// Name → id resolution happens once per schema/plan, so ordered
+    /// lookup is fine — and a `BTreeMap` keeps any future iteration
+    /// deterministic by construction.
+    names: BTreeMap<String, TableId>,
+    active: FxHashMap<TxnId, TxnState>,
     /// Refcounts of active snapshots; the first key is the GC watermark.
     snapshots: BTreeMap<u64, usize>,
     next_txn: u64,
@@ -533,7 +536,14 @@ impl Database {
     /// lists.
     pub fn vacuum(&mut self) -> usize {
         let watermark = self.watermark();
-        self.tables.iter_mut().map(|t| t.vacuum(watermark)).sum()
+        let freed = self.tables.iter_mut().map(|t| t.vacuum(watermark)).sum();
+        // Vacuum is the one operation that rewrites chain links in place,
+        // so debug builds re-verify the arena invariants right after it.
+        #[cfg(debug_assertions)]
+        for t in &self.tables {
+            t.assert_invariants();
+        }
+        freed
     }
 
     /// Live (non-reclaimed) row versions across all tables — the quantity

@@ -81,7 +81,7 @@ pub use db::{CommitInfo, Database, DbStats};
 pub use error::DbError;
 pub use ids::{RowId, TableId};
 pub use log::{LogTotals, StatementKind, StatementLog, StatementLogEntry};
-pub use rowmap::{FxBuildHasher, RowMap};
+pub use rowmap::{FxBuildHasher, FxHashMap, RowMap};
 pub use txn::{TxnId, TxnStatus};
 pub use value::{Row, Value};
 pub use writeset::{WriteItem, WriteOp, WriteSet};

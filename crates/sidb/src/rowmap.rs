@@ -8,7 +8,11 @@
 //! (a multiplicative hash — `u64` keys need no DoS resistance here, and
 //! SipHash would dominate the lookup cost).
 
-use std::collections::HashMap;
+// The one sanctioned import of std's HashMap in the deterministic
+// crates: it exists solely to define the Fx-hashed alias below, which
+// replaces the entropy-seeded default hasher with a fixed one.
+#[allow(clippy::disallowed_types)]
+use std::collections::HashMap; // replilint:allow(D2) -- imported once to define the deterministic FxHashMap alias
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Keys below this bound are direct-mapped; the dense vector never grows
@@ -62,6 +66,15 @@ impl Hasher for FxHasher {
 /// `BuildHasher` for [`FxHasher`]-keyed maps.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// A `HashMap` with the seed-free [`FxHasher`]: hashing — and therefore
+/// iteration order — is a pure function of the inserted keys and the
+/// map's capacity history, never of process entropy. This is the type
+/// deterministic crates use where keyed O(1) lookup matters and
+/// iteration either never happens or tolerates the (reproducible)
+/// hash order.
+#[allow(clippy::disallowed_types)]
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>; // replilint:allow(D2) -- FxHasher is seed-free: this alias IS the deterministic replacement
+
 /// A map from row keys to copyable values with a direct-mapped dense
 /// prefix and an Fx-hashed sparse overflow.
 ///
@@ -72,7 +85,7 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 pub struct RowMap<V> {
     vacant: V,
     dense: Vec<V>,
-    sparse: HashMap<u64, V, FxBuildHasher>,
+    sparse: FxHashMap<u64, V>,
 }
 
 impl<V: Copy + PartialEq> RowMap<V> {
@@ -81,7 +94,7 @@ impl<V: Copy + PartialEq> RowMap<V> {
         RowMap {
             vacant,
             dense: Vec::new(),
-            sparse: HashMap::default(),
+            sparse: FxHashMap::default(),
         }
     }
 

@@ -181,6 +181,74 @@ impl Table {
         self.nodes.len() - self.free.len()
     }
 
+    /// Checks the arena's structural invariants, panicking on violation:
+    ///
+    /// - the slot-indexed arrays agree on the slot count;
+    /// - every chain is strictly newest-first (commit sequences strictly
+    ///   decrease along `prev` links);
+    /// - `latest[slot]` equals the head node's commit sequence — the
+    ///   version vector certification reads must describe the chain it
+    ///   summarizes, including after [`Table::vacuum`] rewrites links;
+    /// - chains reach exactly the non-free nodes (no leaks, no sharing).
+    ///
+    /// O(versions); intended for `debug_assertions` call sites and tests.
+    #[cfg_attr(not(any(test, debug_assertions)), allow(dead_code))]
+    pub fn assert_invariants(&self) {
+        assert_eq!(
+            self.keys.len(),
+            self.heads.len(),
+            "{}: keys/heads",
+            self.name
+        );
+        assert_eq!(
+            self.keys.len(),
+            self.latest.len(),
+            "{}: keys/latest",
+            self.name
+        );
+        let mut reachable = 0usize;
+        for slot in 0..self.heads.len() {
+            let head = self.heads[slot];
+            if head == NO_NODE {
+                assert_eq!(
+                    self.latest[slot], 0,
+                    "{}: slot {slot} has no versions but latest != 0",
+                    self.name
+                );
+                continue;
+            }
+            assert_eq!(
+                self.nodes[head as usize].commit_seq, self.latest[slot],
+                "{}: slot {slot}: latest[] disagrees with head version",
+                self.name
+            );
+            let mut node = head;
+            let mut newer_seq = u64::MAX;
+            while node != NO_NODE {
+                reachable += 1;
+                assert!(
+                    reachable <= self.nodes.len(),
+                    "{}: slot {slot}: version chain cycles",
+                    self.name
+                );
+                let n = &self.nodes[node as usize];
+                assert!(
+                    n.commit_seq < newer_seq || newer_seq == u64::MAX,
+                    "{}: slot {slot}: chain not strictly newest-first",
+                    self.name
+                );
+                newer_seq = n.commit_seq;
+                node = n.prev;
+            }
+        }
+        assert_eq!(
+            reachable,
+            self.version_count(),
+            "{}: reachable versions != live arena nodes (leak or cross-link)",
+            self.name
+        );
+    }
+
     /// Every interned `(slot, key)` pair, in interning order.
     pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.keys
@@ -283,6 +351,46 @@ mod tests {
         assert_eq!(t.live_rows_at(1), 2);
         assert_eq!(t.live_rows_at(2), 1);
         assert_eq!(t.live_rows_at(0), 0);
+    }
+
+    #[test]
+    fn invariants_hold_through_installs_and_vacuum() {
+        let mut t = Table::new("t", &["x"]);
+        for key in 0..4 {
+            let slot = t.slot_or_intern(key);
+            for seq in 1..=10 {
+                t.install(slot, seq, Some(vec![Value::Int(seq as i64)]));
+                t.assert_invariants();
+            }
+        }
+        let untouched = t.slot_or_intern(99); // interned, never written
+        t.assert_invariants();
+        t.vacuum(6);
+        t.assert_invariants();
+        t.vacuum(10);
+        t.assert_invariants();
+        // Recycled nodes must re-link correctly too.
+        t.install(untouched, 11, Some(vec![Value::Int(0)]));
+        t.install(0, 12, None);
+        t.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "latest[] disagrees")]
+    fn corrupted_version_vector_is_caught() {
+        let (mut t, slot) = table_with_history();
+        t.latest[slot as usize] += 1; // simulate a missed latest[] update
+        t.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "reachable versions != live arena nodes")]
+    fn leaked_arena_node_is_caught() {
+        let (mut t, slot) = table_with_history();
+        // Detach the chain's tail without freeing it: a GC bug shape.
+        let head = t.heads[slot as usize];
+        t.nodes[head as usize].prev = NO_NODE;
+        t.assert_invariants();
     }
 
     #[test]

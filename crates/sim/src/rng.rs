@@ -60,7 +60,7 @@ impl Rng {
     /// of the same parent (e.g. one stream per client index).
     pub fn fork(&mut self, label: u64) -> Rng {
         let mixed = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        Rng::seed_from_u64(mixed)
+        Rng::seed_from_u64(mixed) // replilint:allow(D3) -- fork derives its seed from the parent stream, not entropy
     }
 
     /// Next raw 64-bit value (xoshiro256++).
