@@ -4,6 +4,9 @@
 use replipred_mva::{approx, exact, multiclass, network::CenterKind, ClosedNetwork};
 use std::time::Instant;
 
+// This ablation times the two solvers in real wall-clock time on
+// purpose — the timings are its output, not simulation state.
+#[allow(clippy::disallowed_methods)]
 fn main() {
     let net = ClosedNetwork::builder()
         .queueing("cpu", 0.0414)

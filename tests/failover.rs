@@ -57,7 +57,7 @@ fn updates_survive_leader_failover_mid_stream() {
     }
     assert!(committed_rows.len() >= 55, "most serialized updates commit");
     // Both replicas agree and reflect exactly the committed history.
-    let mut expected: std::collections::HashMap<RowId, i64> =
+    let mut expected: std::collections::BTreeMap<RowId, i64> =
         (0..50).map(|r| (RowId(r), 0)).collect();
     for (row, v) in committed_rows {
         expected.insert(row, v);

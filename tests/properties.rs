@@ -205,7 +205,7 @@ proptest! {
         for (txn, &row) in txns.iter().zip(&rows) {
             db.update(*txn, table, RowId(row), vec![Value::Int(1)]).unwrap();
         }
-        let mut winners: std::collections::HashMap<u64, usize> = Default::default();
+        let mut winners: std::collections::BTreeMap<u64, usize> = Default::default();
         for (i, (txn, &row)) in txns.iter().zip(&rows).enumerate() {
             match db.commit(*txn) {
                 Ok(_) => {
@@ -232,7 +232,7 @@ proptest! {
         let (mut db, table) = seeded_db(10);
         let reader = db.begin();
         let before: Vec<i64> = (0..10).map(|r| int_cell(&mut db, reader, table, r)).collect();
-        let mut last: std::collections::HashMap<u64, i64> = Default::default();
+        let mut last: std::collections::BTreeMap<u64, i64> = Default::default();
         for &(row, val) in &updates {
             let w = db.begin();
             db.update(w, table, RowId(row), vec![Value::Int(val)]).unwrap();
