@@ -1,0 +1,114 @@
+//! Criterion benchmarks for the sidb durability path: group-commit WAL
+//! encoding, torn-tail-safe scanning, and full recovery (checkpoint
+//! restore + redo replay). These are the costs behind the simulators'
+//! fsync surcharge and the `recover` CLI's cold-start time, so they are
+//! worth tracking alongside the storage hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use replipred_sidb::{scan, Database, RowId, TableId, Value, WalRecord, WalWriter};
+use std::hint::black_box;
+
+const ROWS: u64 = 4_096;
+const COMMITS: u64 = 1_024;
+
+fn seeded() -> (Database, TableId) {
+    let mut db = Database::new();
+    let items = db
+        .create_table("items", &["payload", "counter", "version"])
+        .unwrap();
+    let t = db.begin();
+    for row in 0..ROWS {
+        db.insert(
+            t,
+            items,
+            RowId(row),
+            vec![
+                Value::Text(format!("row-{row:08}-{}", "x".repeat(48))),
+                Value::Int(0),
+                Value::Int(row as i64),
+            ],
+        )
+        .unwrap();
+    }
+    db.commit(t).unwrap();
+    (db, items)
+}
+
+/// Runs `COMMITS` three-row update transactions against a seeded
+/// database, returning the commit records in order.
+fn committed_records(db: &mut Database, items: TableId) -> Vec<WalRecord> {
+    let mut records = Vec::with_capacity(COMMITS as usize);
+    for k in 0..COMMITS {
+        let t = db.begin();
+        for i in 0..3u64 {
+            let row = RowId((k * 3 + i * 97) % ROWS);
+            let mut next = db.read(t, items, row).unwrap().unwrap().clone();
+            if let Value::Int(n) = next[1] {
+                next[1] = Value::Int(n + 1);
+            }
+            db.update(t, items, row, next).unwrap();
+        }
+        let info = db.commit(t).unwrap();
+        records.push(WalRecord::Commit {
+            seq: info.commit_seq,
+            writeset: info.writeset,
+        });
+    }
+    records
+}
+
+/// Group-commit encoding: append `COMMITS` records in batches of 8 and
+/// seal the tail, measuring the full frame+crc32 cost per log build.
+fn bench_wal_append(c: &mut Criterion) {
+    let (mut db, items) = seeded();
+    let records = committed_records(&mut db, items);
+    c.bench_function("wal_append_group_commit", |b| {
+        b.iter(|| {
+            let mut wal = WalWriter::new(8);
+            for rec in &records {
+                wal.append(rec);
+            }
+            black_box(wal.into_bytes().len())
+        });
+    });
+}
+
+/// Scanning a well-formed log: frame walk, crc verification, and record
+/// decode for every commit — the redo half of every recovery.
+fn bench_wal_scan(c: &mut Criterion) {
+    let (mut db, items) = seeded();
+    let records = committed_records(&mut db, items);
+    let mut wal = WalWriter::new(8);
+    for rec in &records {
+        wal.append(rec);
+    }
+    let bytes = wal.into_bytes();
+    c.bench_function("wal_scan", |b| {
+        b.iter(|| {
+            let s = scan(black_box(&bytes));
+            black_box((s.records.len(), s.valid_len, s.truncated))
+        });
+    });
+}
+
+/// Cold-start recovery: restore the checkpoint image and replay the
+/// whole redo log, reconstructing the database a crashed node lost.
+fn bench_recovery(c: &mut Criterion) {
+    let (mut db, items) = seeded();
+    let cp = db.checkpoint();
+    let records = committed_records(&mut db, items);
+    let mut wal = WalWriter::new(8);
+    for rec in &records {
+        wal.append(rec);
+    }
+    let bytes = wal.into_bytes();
+    c.bench_function("wal_recovery", |b| {
+        b.iter(|| {
+            let (recovered, report) = Database::recover(&cp, &bytes, cp.seq);
+            black_box((recovered.version(), report.replayed))
+        });
+    });
+}
+
+criterion_group!(benches, bench_wal_append, bench_wal_scan, bench_recovery);
+criterion_main!(benches);

@@ -26,6 +26,7 @@ fn main() {
         l1: profiled.l1,
         update_ops: spec.mean_update_ops(),
         db_update_size: spec.db_update_size as f64,
+        log_disk: 0.0,
     };
     truth
         .estimate_l1(spec.clients_per_replica, 1.0)

@@ -16,6 +16,7 @@
 //! | D4 | safety-comment   | whole workspace               | every `unsafe` carries `// SAFETY:` |
 //! | D5 | float-cmp-unwrap | whole workspace               | `partial_cmp().unwrap()` → `total_cmp` |
 //! | D6 | print-discipline | libraries (not bins/tests/…)  | no `println!`/`eprintln!` in library code |
+//! | D7 | file-io          | protected crates' `src/`      | no `std::fs`/`File`/`OpenOptions` — durability is byte-buffer based; real I/O is the CLI's job |
 //!
 //! Protected crates: `core`, `sim`, `repl`, `sidb`, `workload`
 //! ([`policy::PROTECTED_CRATES`]).
@@ -132,7 +133,7 @@ mod tests {
     fn rule_ids_are_unique_and_stable() {
         let reg = registry();
         let ids: Vec<&str> = reg.iter().map(|r| r.id()).collect();
-        assert_eq!(ids, vec!["D1", "D2", "D3", "D4", "D5", "D6"]);
+        assert_eq!(ids, vec!["D1", "D2", "D3", "D4", "D5", "D6", "D7"]);
         let names: Vec<&str> = reg.iter().map(|r| r.name()).collect();
         assert_eq!(
             names,
@@ -142,7 +143,8 @@ mod tests {
                 "rng-discipline",
                 "safety-comment",
                 "float-cmp-unwrap",
-                "print-discipline"
+                "print-discipline",
+                "file-io"
             ]
         );
     }

@@ -1,4 +1,4 @@
-//! D1–D3: the determinism rules.
+//! D1–D3 and D7: the determinism rules.
 //!
 //! These enforce the repo's load-bearing contract — reports are
 //! byte-identical across `--jobs`, `--seeds`, and replica counts — at
@@ -171,6 +171,72 @@ impl Rule for RngDiscipline {
                     ctx,
                     t,
                     "seed_from_u64 argument is not derived from a configured seed; route it through derive_stream_seed or a `…seed…` binding".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// D7: no real file I/O. Durable state inside the simulators is modeled
+/// as in-memory bytes (`WalWriter` frames, `Checkpoint` images) so runs
+/// stay hermetic and byte-identical; anything that actually touches the
+/// filesystem couples a run to host state and belongs in the CLI layer
+/// (`src/main.rs`), which is outside the protected set.
+pub struct FileIo;
+
+impl Rule for FileIo {
+    fn id(&self) -> &'static str {
+        "D7"
+    }
+
+    fn name(&self) -> &'static str {
+        "file-io"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "No std::fs / File::open / OpenOptions in deterministic crates: durability is modeled as in-memory bytes (WalWriter, Checkpoint); real file persistence lives in the CLI layer."
+    }
+
+    fn applies(&self, info: &FileInfo) -> bool {
+        info.in_protected_src
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident || ctx.in_test(t.line) {
+                continue;
+            }
+            // `std::fs` — imports and fully-qualified paths alike.
+            if t.text == "fs" && i >= 3 && ident_at(toks, i - 3, "std") && path_sep_at(toks, i - 2)
+            {
+                out.push(self.diag(
+                    ctx,
+                    t,
+                    "`std::fs` in a deterministic crate; model durable state as in-memory bytes (WalWriter/Checkpoint) and leave file persistence to the CLI".to_string(),
+                ));
+                continue;
+            }
+            if t.text == "OpenOptions" {
+                out.push(self.diag(
+                    ctx,
+                    t,
+                    "`OpenOptions` opens real files; deterministic crates keep durable state in memory — file persistence belongs to the CLI".to_string(),
+                ));
+                continue;
+            }
+            if t.text == "File"
+                && path_sep_at(toks, i + 1)
+                && (ident_at(toks, i + 3, "open")
+                    || ident_at(toks, i + 3, "create")
+                    || ident_at(toks, i + 3, "create_new")
+                    || ident_at(toks, i + 3, "options"))
+            {
+                out.push(self.diag(
+                    ctx,
+                    t,
+                    "`File` constructor opens real files; deterministic crates keep durable state in memory — file persistence belongs to the CLI".to_string(),
                 ));
             }
         }

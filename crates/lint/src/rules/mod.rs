@@ -68,6 +68,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(style::SafetyComment),
         Box::new(style::FloatCmpUnwrap),
         Box::new(style::PrintDiscipline),
+        Box::new(determinism::FileIo),
     ]
 }
 

@@ -1,0 +1,6 @@
+// replilint:allow(D7) -- documented escape hatch for an mmap experiment
+use std::fs;
+
+pub fn probe() -> bool {
+    fs::metadata("Cargo.toml").is_ok()
+}

@@ -1,0 +1,13 @@
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_touch_files() {
+        let _ = std::fs::metadata("Cargo.toml");
+    }
+}

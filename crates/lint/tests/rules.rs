@@ -155,6 +155,29 @@ fn d6_allow_file_suppresses_the_module() {
     assert_eq!(spans(LIB, include_str!("fixtures/d6/allowed.rs")), vec![]);
 }
 
+// ---- D7: file-io (protected crates) ----
+
+#[test]
+fn d7_fires_on_file_io() {
+    let got = spans(SIM, include_str!("fixtures/d7/firing.rs"));
+    assert_eq!(got, owned(&[("D7", 1, 10), ("D7", 4, 17), ("D7", 6, 13)]));
+}
+
+#[test]
+fn d7_pure_codecs_and_test_code_pass() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d7/clean.rs")), vec![]);
+}
+
+#[test]
+fn d7_allow_comment_suppresses() {
+    assert_eq!(spans(SIM, include_str!("fixtures/d7/allowed.rs")), vec![]);
+}
+
+#[test]
+fn d7_does_not_apply_outside_protected_crates() {
+    assert_eq!(spans(LIB, include_str!("fixtures/d7/firing.rs")), vec![]);
+}
+
 #[test]
 fn d6_exempts_presentation_path_classes() {
     let src = include_str!("fixtures/d6/firing.rs");

@@ -56,6 +56,15 @@ impl Profiler {
         self
     }
 
+    /// Profiles with redo-log durability enabled on the standalone
+    /// system. The measured demands then include the group-commit disk
+    /// share inside `wc`, and the assembled profile reports the amortized
+    /// per-commit term explicitly as [`WorkloadProfile::log_disk`].
+    pub fn durability(mut self, durability: replipred_repl::DurabilityConfig) -> Self {
+        self.cfg.durability = durability;
+        self
+    }
+
     /// Runs the full pipeline:
     ///
     /// 1. capture the statement log under the full mix (→ `Pr`, `Pw`,
@@ -127,6 +136,7 @@ impl Profiler {
             l1: l1.max(1e-6),
             update_ops: log_summary.mean_update_ops,
             db_update_size: self.spec.db_update_size as f64,
+            log_disk: self.cfg.durability.log_disk_demand(),
         };
         // Normalize tiny counting noise so Pr + Pw == 1 exactly.
         let mut profile = profile;
@@ -199,6 +209,32 @@ mod tests {
         assert!(p8.throughput_tps > 4.0 * p1.throughput_tps);
         let sm = replipred_core::SingleMasterModel::new(outcome.profile, config);
         assert!(sm.predict(8).unwrap().throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn durable_profiling_surfaces_the_log_disk_term() {
+        use replipred_repl::DurabilityConfig;
+        let spec = tpcw::mix(tpcw::Mix::Shopping);
+        let plain = Profiler::new(spec.clone()).seed(4).profile();
+        assert_eq!(plain.profile.log_disk, 0.0);
+        let durability = DurabilityConfig {
+            enabled: true,
+            group_commit: 4,
+            fsync_disk: 0.004,
+            log_retention: 0,
+        };
+        let durable = Profiler::new(spec).seed(4).durability(durability).profile();
+        // fsync_disk / group_commit, reported verbatim.
+        assert!((durable.profile.log_disk - 0.001).abs() < 1e-12);
+        // The surcharge also lands in the measured update disk demand:
+        // group commit is real work, not an annotation.
+        assert!(
+            durable.profile.disk.write > plain.profile.disk.write + 0.0005,
+            "durable wc_disk {} vs plain {}",
+            durable.profile.disk.write,
+            plain.profile.disk.write
+        );
+        durable.profile.validate().unwrap();
     }
 
     #[test]

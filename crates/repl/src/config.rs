@@ -3,6 +3,68 @@
 use replipred_core::Schedule;
 use serde::{Deserialize, Serialize};
 
+/// Durability knobs: the crc-framed redo log and checkpoint cadence of
+/// each replica's `sidb` engine.
+///
+/// Default **off** — a durability-free run is byte-identical to builds
+/// that predate the WAL. When enabled, every update commit pays an
+/// amortized group-commit disk term
+/// ([`DurabilityConfig::log_disk_demand`]) and crashed replicas rejoin
+/// by recovering from their checkpoint + log instead of receiving a full
+/// state transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Master switch: log commits and recover replicas from durable state.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Commits per WAL frame (one simulated fsync per frame). Larger
+    /// groups amortize the fsync further but lose more on a crash.
+    #[serde(default = "default_group_commit")]
+    pub group_commit: usize,
+    /// Disk demand of one fsync, seconds. The per-commit surcharge is
+    /// `fsync_disk / group_commit`.
+    #[serde(default = "default_fsync_disk")]
+    pub fsync_disk: f64,
+    /// Writesets retained in the in-memory relay log past the slowest
+    /// replica (0 = unbounded). Rejoiners whose applied index predates
+    /// the truncation point fall back to a checkpoint state transfer.
+    #[serde(default)]
+    pub log_retention: u64,
+}
+
+fn default_group_commit() -> usize {
+    8
+}
+
+fn default_fsync_disk() -> f64 {
+    0.002
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            enabled: false,
+            group_commit: default_group_commit(),
+            fsync_disk: default_fsync_disk(),
+            log_retention: 0,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// The amortized per-update-commit disk demand of the redo log:
+    /// `fsync_disk / group_commit` when enabled, zero otherwise. This is
+    /// the fsync-style disk term the profiler surfaces beyond the
+    /// paper's CPU/disk split.
+    pub fn log_disk_demand(&self) -> f64 {
+        if self.enabled {
+            self.fsync_disk / self.group_commit.max(1) as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Parameters of one simulated cluster run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -39,6 +101,10 @@ pub struct SimConfig {
     /// reports to a schedule-free build.
     #[serde(default)]
     pub schedule: Schedule,
+    /// Redo-log durability (WAL + checkpoints). Default off; see
+    /// [`DurabilityConfig`].
+    #[serde(default)]
+    pub durability: DurabilityConfig,
 }
 
 impl SimConfig {
@@ -55,6 +121,7 @@ impl SimConfig {
             vacuum_interval: 10.0,
             mpl: 32,
             schedule: Schedule::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -86,5 +153,32 @@ mod tests {
         let q = SimConfig::quick(2, 1);
         assert_eq!(q.end_time(), 80.0);
         assert_eq!(q.certifier_delay, 0.012);
+    }
+
+    #[test]
+    fn durability_defaults_off_with_zero_disk_term() {
+        let d = DurabilityConfig::default();
+        assert!(!d.enabled);
+        assert_eq!(d.log_disk_demand(), 0.0);
+        let on = DurabilityConfig {
+            enabled: true,
+            group_commit: 8,
+            fsync_disk: 0.002,
+            log_retention: 0,
+        };
+        assert!((on.log_disk_demand() - 0.00025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configs_without_durability_keys_deserialize() {
+        // Pre-durability configs (and goldens) must keep loading.
+        let json = serde_json::to_string(&SimConfig::quick(2, 1)).unwrap();
+        // Splice the `"durability":{...}` member out textually — the
+        // object is flat, so the first `}` after the key closes it.
+        let start = json.find(",\"durability\":{").expect("durability key");
+        let end = start + json[start..].find('}').expect("closing brace") + 1;
+        let trimmed = format!("{}{}", &json[..start], &json[end..]);
+        let cfg: SimConfig = serde_json::from_str(&trimmed).unwrap();
+        assert_eq!(cfg.durability, DurabilityConfig::default());
     }
 }

@@ -30,6 +30,10 @@
 //!   `N = 1` anchor of every measured curve).
 //! - [`mm`] — the multi-master cluster simulation.
 //! - [`sm`] — the single-master cluster simulation.
+//! - [`durable`] — per-replica durability (checkpoint + redo log +
+//!   recovery) and [`wslog`] — the bounded, truncatable relay log; both
+//!   back the crash/rejoin paths when
+//!   [`config::DurabilityConfig`] is enabled.
 //! - [`transient`] — windowed time-series collection and the
 //!   [`transient::TransientReport`] produced by time-phased runs (see
 //!   [`replipred_core::Schedule`]): all three simulators apply replica
@@ -52,16 +56,19 @@
 pub mod certifier;
 pub mod config;
 pub mod design;
+pub mod durable;
 pub mod metrics;
 pub mod mm;
 pub mod replicated_certifier;
 pub mod sm;
 pub mod standalone;
 pub mod transient;
+pub mod wslog;
 
 pub use certifier::Certifier;
-pub use config::SimConfig;
+pub use config::{DurabilityConfig, SimConfig};
 pub use design::{DesignSpec, Simulator, SimulatorRegistry};
+pub use durable::NodeDurability;
 pub use metrics::RunReport;
 pub use mm::MultiMasterSim;
 pub use replicated_certifier::ReplicatedCertifier;
@@ -69,3 +76,4 @@ pub use replipred_core::{Design, Phase, Schedule, ScheduleEvent};
 pub use sm::SingleMasterSim;
 pub use standalone::StandaloneSim;
 pub use transient::{TransientCollector, TransientReport};
+pub use wslog::WsLog;

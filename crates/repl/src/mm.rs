@@ -110,6 +110,9 @@ struct World {
     base_clients: usize,
     /// Windowed transient metrics; `None` unless a schedule is active.
     transient: Option<TransientCollector>,
+    /// Amortized group-commit disk surcharge per logged commit
+    /// (`DurabilityConfig::log_disk_demand`; 0 with durability off).
+    log_disk: f64,
 }
 
 /// One in-flight transaction attempt moving through the CPU→disk phases
@@ -192,7 +195,15 @@ impl Event<World> for Ev {
                     abandon_attempt(engine, attempt);
                     return;
                 }
-                let disk_demand = attempt.template.disk_demand;
+                // Update attempts pay the redo-log group-commit share on
+                // top of their sampled disk demand (zero with durability
+                // off — the surcharge never touches the RNG stream).
+                let log_disk = if attempt.template.is_update {
+                    engine.world().log_disk
+                } else {
+                    0.0
+                };
+                let disk_demand = attempt.template.disk_demand + log_disk;
                 Fcfs::submit_event(
                     engine,
                     move |w: &mut World| &mut w.replicas[replica].disk,
@@ -217,7 +228,10 @@ impl Event<World> for Ev {
                     // from the certifier log instead.
                     return;
                 }
-                let ws_disk = ws.ws_disk;
+                // Applying a certified writeset logs it too: same
+                // group-commit surcharge, added after the sampled demand
+                // so the draw order is unchanged.
+                let ws_disk = ws.ws_disk + engine.world().log_disk;
                 Fcfs::submit_event(
                     engine,
                     move |w: &mut World| &mut w.replicas[replica].disk,
@@ -362,6 +376,7 @@ impl MultiMasterSim {
             stranded: VecDeque::new(),
             base_clients: clients,
             transient,
+            log_disk: self.cfg.durability.log_disk_demand(),
         };
         let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {

@@ -25,11 +25,20 @@ use replipred_workload::client::{ClientId, ClientPool};
 use replipred_workload::spec::{TxnTemplate, WorkloadSpec};
 
 use crate::config::SimConfig;
+use crate::durable::NodeDurability;
 use crate::metrics::{Metrics, RunReport};
 use crate::transient::TransientCollector;
+use crate::wslog::WsLog;
 
 /// Retry backstop.
 const MAX_RETRIES: u32 = 1000;
+
+/// Per-row cost of a checkpoint state transfer, as a fraction of one
+/// writeset's mean CPU+disk demand. Shipping and installing a checkpoint
+/// row is cheaper than replaying a full writeset (no certification, no
+/// per-commit framing), but scales with the database size instead of the
+/// missed-commit count.
+const STATE_TRANSFER_ROW_COST: f64 = 0.25;
 
 /// Node liveness for fault injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +72,9 @@ struct Node {
     executing: usize,
     /// Arrivals waiting for an admission slot (connection pool).
     admission: VecDeque<(ClientId, TxnTemplate, f64)>,
+    /// Checkpoint + redo log when durability is enabled. A crash freezes
+    /// it; rejoin rebuilds `db` from it instead of trusting memory.
+    durable: Option<NodeDurability>,
 }
 
 struct World {
@@ -82,9 +94,18 @@ struct World {
     lb_delay: f64,
     /// Master commit counter used to sequence slave-side application.
     ws_seq: u64,
-    /// Every writeset ever committed, in sequence order (`seq s` lives at
-    /// index `s - 1`): the durable log a rejoining slave replays.
-    ws_log: Vec<WriteSet>,
+    /// Committed writesets awaiting replay by lagging replicas. Vacuum
+    /// truncates entries below the minimum index any replica (Up or
+    /// Down) can still need, so the log stays bounded under steady load.
+    ws_log: WsLog,
+    /// Amortized group-commit disk surcharge per logged commit
+    /// (`DurabilityConfig::log_disk_demand`; 0 when durability is off).
+    log_disk: f64,
+    /// Hard relay-log retention cap (0 = unbounded); rejoiners that fall
+    /// behind it take a checkpoint state transfer.
+    log_retention: u64,
+    /// Checkpoint state transfers performed (fallback rejoin path).
+    state_transfers: u64,
     mpl: usize,
     /// Vacuum interval, seconds (0 disables).
     vacuum_interval: f64,
@@ -171,7 +192,15 @@ impl Event<World> for Ev {
                         return;
                     }
                 }
-                let disk_demand = attempt.template.disk_demand;
+                // Update attempts carry the amortized group-commit fsync
+                // on top of their own disk demand (0 when durability is
+                // off; reads never pay it).
+                let log_disk = if attempt.template.is_update {
+                    engine.world().log_disk
+                } else {
+                    0.0
+                };
+                let disk_demand = attempt.template.disk_demand + log_disk;
                 Fcfs::submit_event(
                     engine,
                     move |w: &mut World| &mut w.nodes[node].disk,
@@ -232,8 +261,12 @@ impl Event<World> for Ev {
             Ev::Vacuum => {
                 let w = engine.world_mut();
                 for node in &mut w.nodes {
+                    if node.state == NodeState::Down {
+                        continue; // a dead node's state is frozen as-is
+                    }
                     node.db.vacuum();
                 }
+                checkpoint_and_truncate(w);
                 let interval = w.vacuum_interval;
                 let next = engine.now().as_secs() + interval;
                 if next < engine.world().end_time {
@@ -280,6 +313,13 @@ impl SingleMasterSim {
     ///
     /// Panics if `cfg.replicas` is zero.
     pub fn run(self) -> RunReport {
+        self.run_probed().0
+    }
+
+    /// [`SingleMasterSim::run`] plus internal state probes the
+    /// boundedness and recovery tests assert on (not part of the report,
+    /// so steady-state goldens stay byte-identical).
+    fn run_probed(self) -> (RunReport, SmProbe) {
         assert!(self.cfg.replicas > 0, "need at least the master");
         let n = self.cfg.replicas;
         let clients = n * self.spec.clients_per_replica;
@@ -297,6 +337,14 @@ impl SingleMasterSim {
                 debug_assert!(*prev == p, "node plans diverged");
             }
             plan = Some(p);
+            // The initial checkpoint images the freshly seeded database
+            // (relay sequence 0): a node crashing before the first vacuum
+            // recovers from it plus its redo log.
+            let durable = self
+                .cfg
+                .durability
+                .enabled
+                .then(|| NodeDurability::new(&db, 0, self.cfg.durability.group_commit.max(1)));
             nodes.push(Node {
                 db,
                 cpu: Ps::new(1.0),
@@ -308,6 +356,7 @@ impl SingleMasterSim {
                 apply_ready: BTreeMap::new(),
                 executing: 0,
                 admission: VecDeque::new(),
+                durable,
             });
         }
         let plan = plan.expect("at least the master");
@@ -329,7 +378,10 @@ impl SingleMasterSim {
             retries_exhausted: 0,
             lb_delay: self.cfg.lb_delay,
             ws_seq: 0,
-            ws_log: Vec::new(),
+            ws_log: WsLog::new(),
+            log_disk: self.cfg.durability.log_disk_demand(),
+            log_retention: self.cfg.durability.log_retention,
+            state_transfers: 0,
             mpl: self.cfg.mpl.max(1),
             vacuum_interval: self.cfg.vacuum_interval,
             end_time: self.cfg.end_time(),
@@ -379,8 +431,29 @@ impl SingleMasterSim {
             &utils,
         );
         report.transient = w.transient.map(TransientCollector::finalize);
-        report
+        let probe = SmProbe {
+            ws_log_len: w.ws_log.len(),
+            ws_log_peak: w.ws_log.peak_len(),
+            ws_seq: w.ws_seq,
+            state_transfers: w.state_transfers,
+        };
+        (report, probe)
     }
+}
+
+/// Internal counters exposed by [`SingleMasterSim::run_probed`] for the
+/// log-boundedness and recovery tests.
+#[allow(dead_code)] // read by tests; the public entry point drops it
+struct SmProbe {
+    /// Relay-log entries retained at the end of the run.
+    ws_log_len: usize,
+    /// High-water mark of retained relay-log entries.
+    ws_log_peak: usize,
+    /// Total writesets ever committed.
+    ws_seq: u64,
+    /// Checkpoint state transfers taken by rejoiners that outran the
+    /// relay log.
+    state_transfers: u64,
 }
 
 fn client_cycle(engine: &mut Engine<World, Ev>, client: ClientId) {
@@ -585,10 +658,10 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
             .plan()
             .execute(db, txn, &template)
             .expect("workload references seeded tables");
-        db.commit(txn).map(|info| info.writeset)
+        db.commit(txn).map(|info| (info.commit_seq, info.writeset))
     };
     match outcome {
-        Ok(writeset) => {
+        Ok((local_version, writeset)) => {
             // Relay the writeset to every live slave; slaves consume
             // resources concurrently but retire strictly in master commit
             // order. Crashed or catching-up slaves recover it from the
@@ -596,7 +669,11 @@ fn complete_attempt(engine: &mut Engine<World, Ev>, a: Attempt) {
             let seq = {
                 let w = engine.world_mut();
                 w.ws_seq += 1;
-                w.ws_log.push(writeset.clone());
+                let pushed = w.ws_log.push(writeset.clone());
+                debug_assert_eq!(pushed, w.ws_seq, "relay log out of step");
+                if let Some(d) = w.nodes[node].durable.as_mut() {
+                    d.log(w.ws_seq, local_version, &writeset);
+                }
                 w.ws_seq
             };
             let n = engine.world().nodes.len();
@@ -667,7 +744,10 @@ fn propagate(engine: &mut Engine<World, Ev>, node: usize, seq: u64, writeset: Wr
             let spec = w.pool.spec();
             (spec.ws_cpu, spec.ws_disk)
         };
-        (w.rng.exp(mean_cpu), w.rng.exp(mean_disk))
+        // The log surcharge rides on top of the sampled demand, after
+        // both draws, so enabling durability never shifts the RNG stream.
+        let drawn = (w.rng.exp(mean_cpu), w.rng.exp(mean_disk));
+        (drawn.0, drawn.1 + w.log_disk)
     };
     Ps::submit_event(
         engine,
@@ -706,12 +786,55 @@ fn mark_ready(engine: &mut Engine<World, Ev>, node: usize, seq: u64, writeset: W
                 break;
             }
             let ws = entry.remove();
-            s.db.apply_writeset(&ws)
-                .expect("writeset references seeded tables");
+            let version =
+                s.db.apply_writeset(&ws)
+                    .expect("writeset references seeded tables");
+            if let Some(d) = s.durable.as_mut() {
+                d.log(s.apply_next, version, &ws);
+            }
             s.apply_next += 1;
         }
     }
     try_complete_promotion(engine);
+}
+
+/// Vacuum-cadence durability work: re-checkpoint every live node (its
+/// redo log restarts from the fresh image) and truncate the relay log
+/// below the minimum sequence any replica can still need. With
+/// durability on that floor is each node's durable horizon; without it,
+/// a node's next unapplied sequence. Either way the log stays bounded
+/// under steady load while never dropping an entry a rejoiner (even a
+/// currently-Down one) could ask for.
+fn checkpoint_and_truncate(w: &mut World) {
+    let ws_seq = w.ws_seq;
+    for (i, node) in w.nodes.iter_mut().enumerate() {
+        if node.state != NodeState::Up {
+            continue; // frozen (Down) or mid-replay (CatchingUp)
+        }
+        if let Some(d) = node.durable.as_mut() {
+            let applied = if i == w.master {
+                ws_seq
+            } else {
+                node.apply_next - 1
+            };
+            d.checkpoint(&node.db, applied);
+        }
+    }
+    let min_needed = w
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| match &node.durable {
+            Some(d) => d.durable_seq() + 1,
+            None if node.state == NodeState::Up && i == w.master => ws_seq + 1,
+            None => node.apply_next,
+        })
+        .min()
+        .unwrap_or(ws_seq + 1);
+    w.ws_log.truncate_below(min_needed);
+    if w.log_retention > 0 {
+        w.ws_log.cap(w.log_retention);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -738,7 +861,7 @@ fn inject(engine: &mut Engine<World, Ev>, ev: ScheduleEvent) {
         ScheduleEvent::ReplicaJoin(i) => {
             if i < n && engine.world().nodes[i].state == NodeState::Down {
                 engine.world_mut().nodes[i].state = NodeState::CatchingUp;
-                catchup_step(engine, i);
+                rejoin(engine, i);
                 true
             } else {
                 false
@@ -855,11 +978,45 @@ fn drain_pending_updates(engine: &mut Engine<World, Ev>) {
     }
 }
 
+/// First step of a rejoin. With durability enabled the node *rebuilds*
+/// its database from its frozen checkpoint + redo log — the in-memory
+/// image is gone with the crash — paying the WAL replay as lag before
+/// relay-log catch-up starts. Without durability the in-memory image is
+/// assumed to have survived (the pre-durability model) and catch-up
+/// starts immediately.
+fn rejoin(engine: &mut Engine<World, Ev>, i: usize) {
+    let recovery_lag = {
+        let w = engine.world_mut();
+        match w.nodes[i].durable.as_ref().map(NodeDurability::recover) {
+            Some((db, relay_seq, replayed)) => {
+                let (ws_cpu, ws_disk) = {
+                    let spec = w.pool.spec();
+                    (spec.ws_cpu, spec.ws_disk)
+                };
+                let s = &mut w.nodes[i];
+                s.db = db;
+                s.apply_next = relay_seq + 1;
+                s.apply_ready.clear();
+                Some(replayed as f64 * (ws_cpu + ws_disk))
+            }
+            None => None,
+        }
+    };
+    match recovery_lag {
+        Some(lag) => {
+            engine.schedule_event_in(lag.max(f64::MIN_POSITIVE), Ev::CatchupDone(i));
+        }
+        None => catchup_step(engine, i),
+    }
+}
+
 /// One round of rejoin catch-up: replay every writeset the node missed
-/// from the durable log, pay the state-transfer lag (missed count × mean
-/// ws demands — deterministic, no RNG draws), then re-check. When no new
-/// writesets accumulated during the lag the node is caught up and takes
-/// load; if the cluster is masterless it stands for election.
+/// from the relay log, pay the replay lag (missed count × mean ws
+/// demands — deterministic, no RNG draws), then re-check. When the relay
+/// log has been truncated past the node's position, fall back to a
+/// checkpoint state transfer from the most caught-up live node. When no
+/// new writesets accumulated during the lag the node is caught up and
+/// takes load; if the cluster is masterless it stands for election.
 fn catchup_step(engine: &mut Engine<World, Ev>, i: usize) {
     let lag = {
         let w = engine.world_mut();
@@ -872,18 +1029,27 @@ fn catchup_step(engine: &mut Engine<World, Ev>, i: usize) {
             w.nodes[i].state = NodeState::Up;
             None
         } else {
-            let missed = w.ws_log[applied as usize..target as usize].to_vec();
             let (ws_cpu, ws_disk) = {
                 let spec = w.pool.spec();
                 (spec.ws_cpu, spec.ws_disk)
             };
-            let s = &mut w.nodes[i];
-            for ws in &missed {
-                s.db.apply_writeset(ws)
-                    .expect("writeset references seeded tables");
+            match w.ws_log.range_from(applied + 1, target) {
+                Some(missed) => {
+                    let s = &mut w.nodes[i];
+                    for ws in &missed {
+                        let version =
+                            s.db.apply_writeset(ws)
+                                .expect("writeset references seeded tables");
+                        if let Some(d) = s.durable.as_mut() {
+                            d.log(s.apply_next, version, ws);
+                        }
+                        s.apply_next += 1;
+                    }
+                    debug_assert_eq!(w.nodes[i].apply_next, target + 1);
+                    Some(missed.len() as f64 * (ws_cpu + ws_disk))
+                }
+                None => Some(state_transfer(w, i, ws_cpu + ws_disk)),
             }
-            s.apply_next = target + 1;
-            Some(missed.len() as f64 * (ws_cpu + ws_disk))
         }
     };
     match lag {
@@ -902,6 +1068,45 @@ fn catchup_step(engine: &mut Engine<World, Ev>, i: usize) {
             drain_stranded(engine);
         }
     }
+}
+
+/// Checkpoint-based state transfer: the relay log no longer holds the
+/// sequences node `i` needs, so clone the most caught-up live node's
+/// state wholesale. Returns the transfer lag (per-row install cost ×
+/// rows). With no live source the rejoiner waits one mean ws demand and
+/// retries.
+fn state_transfer(w: &mut World, i: usize, ws_demand: f64) -> f64 {
+    let source = w
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(j, s)| *j != i && s.state == NodeState::Up)
+        .map(|(j, s)| {
+            let covered = if j == w.master {
+                w.ws_seq
+            } else {
+                s.apply_next - 1
+            };
+            (covered, j)
+        })
+        .max();
+    let Some((covered, j)) = source else {
+        // No live node to copy from: stay CatchingUp and retry after one
+        // mean ws demand.
+        return ws_demand;
+    };
+    let cp = w.nodes[j].db.checkpoint();
+    let rows = cp.row_count() as f64;
+    let s = &mut w.nodes[i];
+    s.db = Database::restore(&cp);
+    s.apply_next = covered + 1;
+    s.apply_ready.clear();
+    if let Some(d) = s.durable.as_mut() {
+        // The transferred image is the node's new durable baseline.
+        d.checkpoint(&s.db, covered);
+    }
+    w.state_transfers += 1;
+    rows * ws_demand * STATE_TRANSFER_ROW_COST
 }
 
 /// Restarts read-only transactions that stranded while no node was live.
@@ -935,6 +1140,7 @@ fn set_population(engine: &mut Engine<World, Ev>, factor: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DurabilityConfig;
     use replipred_core::Schedule;
     use replipred_workload::{rubis, tpcw};
 
@@ -1121,6 +1327,106 @@ mod tests {
         assert_eq!(
             echoed,
             ["certifier down (ignored)", "certifier up (ignored)"]
+        );
+    }
+
+    fn durable(mut cfg: SimConfig) -> SimConfig {
+        cfg.durability = DurabilityConfig {
+            enabled: true,
+            ..DurabilityConfig::default()
+        };
+        cfg
+    }
+
+    #[test]
+    fn relay_log_stays_bounded_under_steady_load() {
+        // Pre-WsLog the relay log grew linearly with committed writesets;
+        // vacuum-cadence truncation must keep the high-water mark well
+        // below the total.
+        let (report, probe) =
+            SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), quick(3, 50)).run_probed();
+        assert!(report.update_commits > 0);
+        assert!(
+            probe.ws_seq > 200,
+            "need steady update load: {}",
+            probe.ws_seq
+        );
+        assert!(
+            (probe.ws_log_peak as u64) < probe.ws_seq / 2,
+            "peak {} must stay bounded vs {} total",
+            probe.ws_log_peak,
+            probe.ws_seq
+        );
+        assert!((probe.ws_log_len as u64) <= probe.ws_log_peak as u64);
+    }
+
+    #[test]
+    fn durable_crash_rejoin_recovers_from_the_redo_log() {
+        // With durability on, the crashed ex-master rebuilds from its
+        // checkpoint + WAL and replays only the relay tail — never a full
+        // state transfer while the log is unbounded.
+        let cfg = SimConfig {
+            schedule: Schedule::new().crash(18.0, 0).join(28.0, 0).window(2.0),
+            ..durable(quick(2, 42))
+        };
+        let (a, pa) =
+            SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg.clone()).run_probed();
+        assert_eq!(
+            pa.state_transfers, 0,
+            "unbounded log: rejoin must replay, not transfer"
+        );
+        let t = a.transient.as_ref().expect("transient present");
+        let echoed: Vec<&str> = t.events.iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(echoed, ["crash replica 0", "rejoin replica 0"]);
+        assert!(a.update_commits > 0);
+        let (b, _) = SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run_probed();
+        assert_eq!(a, b, "durable recovery must stay deterministic");
+    }
+
+    #[test]
+    fn tiny_retention_forces_a_checkpoint_state_transfer() {
+        // A 4-entry retention cap guarantees the relay log outruns a
+        // 20-second-down slave, exercising the fallback path.
+        let cfg = SimConfig {
+            schedule: Schedule::new().crash(15.0, 1).join(35.0, 1).window(2.0),
+            durability: DurabilityConfig {
+                enabled: true,
+                log_retention: 4,
+                ..DurabilityConfig::default()
+            },
+            ..quick(3, 51)
+        };
+        let (report, probe) =
+            SingleMasterSim::new(tpcw::mix(tpcw::Mix::Shopping), cfg).run_probed();
+        assert!(
+            probe.state_transfers >= 1,
+            "capped log must force a state transfer"
+        );
+        assert!(report.update_commits > 0);
+        assert!(report.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn group_commit_surcharge_taxes_update_throughput() {
+        // An exaggerated fsync cost with no batching (group 1) must show
+        // up as lost throughput on an update-heavy mix.
+        let spec = tpcw::mix(tpcw::Mix::Ordering);
+        let base = SingleMasterSim::new(spec.clone(), quick(2, 52)).run();
+        let cfg = SimConfig {
+            durability: DurabilityConfig {
+                enabled: true,
+                group_commit: 1,
+                fsync_disk: 0.05,
+                log_retention: 0,
+            },
+            ..quick(2, 52)
+        };
+        let taxed = SingleMasterSim::new(spec, cfg).run();
+        assert!(
+            taxed.throughput_tps < 0.9 * base.throughput_tps,
+            "taxed {} vs base {}",
+            taxed.throughput_tps,
+            base.throughput_tps
         );
     }
 

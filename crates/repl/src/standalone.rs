@@ -81,6 +81,9 @@ struct World {
     base_clients: usize,
     /// Windowed transient metrics; `None` unless a schedule is active.
     transient: Option<TransientCollector>,
+    /// Amortized group-commit disk surcharge per logged commit
+    /// (`DurabilityConfig::log_disk_demand`; 0 with durability off).
+    log_disk: f64,
 }
 
 /// One in-flight transaction attempt moving through the CPU→disk phases.
@@ -118,7 +121,15 @@ impl Event<World> for Ev {
         match self {
             Ev::Think(client) => dispatch(engine, client),
             Ev::CpuDone(attempt) => {
-                let disk_demand = attempt.template.disk_demand;
+                // Update attempts pay the redo-log group-commit share on
+                // top of their sampled disk demand (zero with durability
+                // off — the surcharge never touches the RNG stream).
+                let log_disk = if attempt.template.is_update {
+                    engine.world().log_disk
+                } else {
+                    0.0
+                };
+                let disk_demand = attempt.template.disk_demand + log_disk;
                 Fcfs::submit_event(
                     engine,
                     disk_lens,
@@ -236,6 +247,7 @@ impl StandaloneSim {
             end_time: self.cfg.end_time(),
             base_clients: clients,
             transient,
+            log_disk: self.cfg.durability.log_disk_demand(),
         };
         let mut engine: Engine<World, Ev> = Engine::new(world);
         for i in 0..clients {

@@ -1,0 +1,175 @@
+//! Bounded relay log of committed writesets.
+//!
+//! The cluster simulators once kept every writeset ever committed in a
+//! `Vec` — the log a rejoining replica replays — which grew linearly for
+//! the whole run. [`WsLog`] keeps the same sequence-addressed view but
+//! supports truncation below the minimum index any replica can still
+//! need, plus an optional hard retention cap for experiments that
+//! exercise the checkpoint-fallback rejoin path.
+//!
+//! Entry `k` of the deque holds sequence `base + 1 + k`; sequence `s` is
+//! available iff `first_seq() <= s <= last_seq()`.
+
+use std::collections::VecDeque;
+
+use replipred_sidb::WriteSet;
+
+/// A truncatable, sequence-addressed log of committed writesets.
+#[derive(Debug, Clone, Default)]
+pub struct WsLog {
+    /// Highest truncated-away sequence (0 = nothing truncated).
+    base: u64,
+    entries: VecDeque<WriteSet>,
+    /// High-water mark of `entries.len()` — the boundedness witness.
+    peak: usize,
+}
+
+impl WsLog {
+    /// An empty log starting at sequence 1.
+    pub fn new() -> Self {
+        WsLog::default()
+    }
+
+    /// Appends the writeset for the next sequence and returns it.
+    pub fn push(&mut self, ws: WriteSet) -> u64 {
+        self.entries.push_back(ws);
+        self.peak = self.peak.max(self.entries.len());
+        self.base + self.entries.len() as u64
+    }
+
+    /// The sequence the next [`WsLog::push`] will occupy.
+    pub fn next_seq(&self) -> u64 {
+        self.base + self.entries.len() as u64 + 1
+    }
+
+    /// Oldest retained sequence (`None` when empty).
+    pub fn first_seq(&self) -> Option<u64> {
+        (!self.entries.is_empty()).then(|| self.base + 1)
+    }
+
+    /// Newest retained sequence (`None` when empty).
+    pub fn last_seq(&self) -> Option<u64> {
+        (!self.entries.is_empty()).then(|| self.base + self.entries.len() as u64)
+    }
+
+    /// Retained entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// High-water mark of the retained entry count.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether sequence `seq` is still retained.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq > self.base && seq <= self.base + self.entries.len() as u64
+    }
+
+    /// The writesets for sequences `from..=to`, or `None` if any of them
+    /// has been truncated away (the caller must fall back to a state
+    /// transfer).
+    pub fn range_from(&self, from: u64, to: u64) -> Option<Vec<WriteSet>> {
+        if from > to {
+            return Some(Vec::new());
+        }
+        if from <= self.base || to > self.base + self.entries.len() as u64 {
+            return None;
+        }
+        let lo = (from - self.base - 1) as usize;
+        let hi = (to - self.base) as usize;
+        Some(self.entries.range(lo..hi).cloned().collect())
+    }
+
+    /// Drops every entry below `min_needed` (the minimum sequence any
+    /// replica may still replay). Returns the number dropped.
+    pub fn truncate_below(&mut self, min_needed: u64) -> usize {
+        let mut dropped = 0;
+        while self.base + 1 < min_needed && !self.entries.is_empty() {
+            self.entries.pop_front();
+            self.base += 1;
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Enforces a hard retention cap: keeps at most `retention` newest
+    /// entries (no-op when `retention` is 0 = unbounded). Returns the
+    /// number dropped.
+    pub fn cap(&mut self, retention: u64) -> usize {
+        if retention == 0 {
+            return 0;
+        }
+        let mut dropped = 0;
+        while self.entries.len() as u64 > retention {
+            self.entries.pop_front();
+            self.base += 1;
+            dropped += 1;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replipred_sidb::WriteSet;
+
+    fn ws() -> WriteSet {
+        WriteSet {
+            base_version: 0,
+            items: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sequences_are_contiguous_from_one() {
+        let mut log = WsLog::new();
+        assert_eq!(log.next_seq(), 1);
+        assert_eq!(log.push(ws()), 1);
+        assert_eq!(log.push(ws()), 2);
+        assert_eq!(log.first_seq(), Some(1));
+        assert_eq!(log.last_seq(), Some(2));
+        assert!(log.contains(1) && log.contains(2));
+        assert!(!log.contains(0) && !log.contains(3));
+    }
+
+    #[test]
+    fn truncation_preserves_addressing() {
+        let mut log = WsLog::new();
+        for _ in 0..10 {
+            log.push(ws());
+        }
+        assert_eq!(log.truncate_below(5), 4);
+        assert_eq!(log.first_seq(), Some(5));
+        assert_eq!(log.last_seq(), Some(10));
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.peak_len(), 10);
+        assert!(!log.contains(4));
+        assert!(log.contains(5));
+        // Addressing stays seq-based after truncation.
+        assert_eq!(log.push(ws()), 11);
+        assert_eq!(log.range_from(5, 11).map(|v| v.len()), Some(7));
+        assert_eq!(log.range_from(4, 11), None, "truncated range is gone");
+        assert_eq!(log.range_from(12, 11).map(|v| v.len()), Some(0));
+    }
+
+    #[test]
+    fn cap_enforces_hard_retention() {
+        let mut log = WsLog::new();
+        for _ in 0..10 {
+            log.push(ws());
+        }
+        assert_eq!(log.cap(0), 0, "zero cap means unbounded");
+        assert_eq!(log.cap(4), 6);
+        assert_eq!(log.first_seq(), Some(7));
+        assert_eq!(log.last_seq(), Some(10));
+        assert_eq!(log.next_seq(), 11);
+    }
+}

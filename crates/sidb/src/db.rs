@@ -7,9 +7,11 @@
 //! per-statement allocation beyond the row images the caller hands in.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{Checkpoint, RecoveryReport, TableCheckpoint};
 use crate::error::DbError;
 use crate::ids::{RowId, TableId};
 use crate::log::{StatementKind, StatementLog};
@@ -17,6 +19,7 @@ use crate::rowmap::FxHashMap;
 use crate::table::Table;
 use crate::txn::{PendingWrite, TxnId, TxnState};
 use crate::value::Row;
+use crate::wal::{self, WalRecord};
 use crate::writeset::{WriteItem, WriteOp, WriteSet};
 
 /// Counters describing engine activity, reported per replica in the
@@ -83,6 +86,9 @@ pub struct Database {
     active: FxHashMap<TxnId, TxnState>,
     /// Refcounts of active snapshots; the first key is the GC watermark.
     snapshots: BTreeMap<u64, usize>,
+    /// Oldest snapshot any future transaction may read: the highest
+    /// vacuum watermark seen so far (versions below it are reclaimed).
+    min_snapshot: u64,
     next_txn: u64,
     commit_seq: u64,
     clock: f64,
@@ -211,19 +217,32 @@ impl Database {
     ///
     /// This is the Generalized Snapshot Isolation (GSI) entry point: a
     /// replica may hand out its latest *local* snapshot, which can trail
-    /// the globally latest version ([Elnikety 2005]). The snapshot must
-    /// not predate the last [`Database::vacuum`] watermark, or reads may
-    /// find garbage-collected versions missing.
+    /// the globally latest version ([Elnikety 2005]).
+    ///
+    /// The snapshot must lie inside the retained version window:
+    /// `min_snapshot() ..= version()`. The lower bound is a **hard
+    /// contract**, not advice — versions below the last
+    /// [`Database::vacuum`] watermark (or below a restored checkpoint's
+    /// sequence) have been reclaimed, and reading them would silently
+    /// return newer data as if it were old. The engine refuses rather
+    /// than serve a wrong answer.
     ///
     /// # Panics
     ///
-    /// Panics if `snapshot` is newer than the current version — a replica
-    /// can never see the future.
+    /// Panics if `snapshot` is newer than the current version (a replica
+    /// can never see the future) or older than the vacuum watermark
+    /// (those versions are gone).
     pub fn begin_at(&mut self, snapshot: u64) -> TxnId {
         assert!(
             snapshot <= self.commit_seq,
             "snapshot {snapshot} is newer than current version {}",
             self.commit_seq
+        );
+        assert!(
+            snapshot >= self.min_snapshot,
+            "snapshot {snapshot} predates the vacuum watermark {}: \
+             its versions have been garbage-collected",
+            self.min_snapshot
         );
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
@@ -536,6 +555,9 @@ impl Database {
     /// lists.
     pub fn vacuum(&mut self) -> usize {
         let watermark = self.watermark();
+        // Versions below the watermark are about to be reclaimed, so no
+        // future `begin_at` may read below it (see `min_snapshot`).
+        self.min_snapshot = self.min_snapshot.max(watermark);
         let freed = self.tables.iter_mut().map(|t| t.vacuum(watermark)).sum();
         // Vacuum is the one operation that rewrites chain links in place,
         // so debug builds re-verify the arena invariants right after it.
@@ -550,6 +572,168 @@ impl Database {
     /// [`Database::vacuum`] keeps bounded over long captures.
     pub fn version_count(&self) -> usize {
         self.tables.iter().map(Table::version_count).sum()
+    }
+
+    /// The oldest snapshot [`Database::begin_at`] will accept: the
+    /// highest vacuum watermark so far (or the checkpoint sequence of a
+    /// restored database).
+    pub fn min_snapshot(&self) -> u64 {
+        self.min_snapshot
+    }
+
+    // ---- durability: checkpoint, restore, recover ----
+
+    /// Captures the committed state visible at the current version as a
+    /// [`Checkpoint`]: every table in id order, rows sorted by key.
+    ///
+    /// The capture is a pure read — no transaction is started, no
+    /// counters move — so checkpointing never perturbs the engine state
+    /// it is imaging.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                let mut rows: Vec<(u64, Row)> = t
+                    .entries()
+                    .filter_map(|(slot, key)| {
+                        t.visible_data(slot, self.commit_seq)
+                            .map(|r| (key, r.clone()))
+                    })
+                    .collect();
+                rows.sort_by_key(|(key, _)| *key);
+                TableCheckpoint {
+                    name: t.name.clone(),
+                    columns: t.columns.clone(),
+                    rows,
+                }
+            })
+            .collect();
+        Checkpoint {
+            seq: self.commit_seq,
+            tables,
+        }
+    }
+
+    /// Reconstructs a database from a checkpoint image.
+    ///
+    /// The result holds exactly the checkpoint's rows, at version
+    /// `cp.seq`, with the vacuum watermark pinned there: history below
+    /// the checkpoint was collapsed at capture time, so snapshots older
+    /// than `cp.seq` are not readable.
+    pub fn restore(cp: &Checkpoint) -> Database {
+        let mut db = Database::new();
+        for t in &cp.tables {
+            let columns: Vec<&str> = t.columns.iter().map(String::as_str).collect();
+            db.create_table(&t.name, &columns)
+                .expect("checkpoint table names are unique by construction");
+            let table = db
+                .tables
+                .last_mut()
+                .expect("table pushed by create_table above");
+            for (key, row) in &t.rows {
+                let slot = table.slot_or_intern(*key);
+                table.install(slot, cp.seq, Some(row.clone()));
+            }
+        }
+        db.commit_seq = cp.seq;
+        db.min_snapshot = cp.seq;
+        db
+    }
+
+    /// Crash recovery: restores `cp`, then replays the valid prefix of
+    /// `wal_bytes` on top of it.
+    ///
+    /// `from_seq` is the sequence the checkpoint already covers (commits
+    /// at or below it are skipped); pass `cp.seq` unless the log and the
+    /// checkpoint use different sequence spaces. Replayed commits must be
+    /// strictly increasing — the scan stops at the first non-increasing
+    /// sequence or unknown table, distrusting everything after it, the
+    /// same "truncate at first bad frame" posture [`wal::scan`] applies
+    /// to the byte layer.
+    ///
+    /// Never panics on arbitrary log bytes: torn tails, corrupt frames,
+    /// and malformed records all just shorten the replay.
+    pub fn recover(cp: &Checkpoint, wal_bytes: &[u8], from_seq: u64) -> (Database, RecoveryReport) {
+        let mut db = Database::restore(cp);
+        let scanned = wal::scan(wal_bytes);
+        let mut last_seq = from_seq;
+        let mut replayed = 0u64;
+        for rec in &scanned.records {
+            match rec {
+                WalRecord::CreateTable { name, columns } => {
+                    // Tables the checkpoint already captured replay as
+                    // no-ops; later creations extend the schema in the
+                    // original creation (= id) order.
+                    if db.names.contains_key(name) {
+                        continue;
+                    }
+                    let columns: Vec<&str> = columns.iter().map(String::as_str).collect();
+                    db.create_table(name, &columns)
+                        .expect("name was just checked to be unknown");
+                }
+                WalRecord::Commit { seq, writeset } => {
+                    if *seq <= from_seq {
+                        continue; // the checkpoint already covers this commit
+                    }
+                    if *seq <= last_seq {
+                        break; // out-of-order sequence: distrust the rest
+                    }
+                    if db.install_writeset_at(*seq, writeset).is_err() {
+                        break; // references a table the log never created
+                    }
+                    last_seq = *seq;
+                    replayed += 1;
+                }
+            }
+        }
+        let report = RecoveryReport {
+            replayed,
+            last_seq,
+            wal_valid_len: scanned.valid_len,
+            wal_truncated: scanned.truncated,
+        };
+        (db, report)
+    }
+
+    /// Installs a replayed writeset at an explicit sequence, honoring the
+    /// log's sequence space (which may skip read-only commits).
+    fn install_writeset_at(&mut self, seq: u64, ws: &WriteSet) -> Result<(), DbError> {
+        for item in &ws.items {
+            self.check_table(item.table)?;
+        }
+        self.commit_seq = seq;
+        for item in &ws.items {
+            let t = &mut self.tables[item.table.index()];
+            let slot = t.slot_or_intern(item.row.0);
+            t.install(slot, seq, item.data.clone());
+        }
+        self.stats.writesets_applied += 1;
+        Ok(())
+    }
+
+    /// Deterministic serialization of the durable state: the version plus
+    /// every table's schema and visible rows, sorted by key.
+    ///
+    /// Two databases holding the same committed state produce identical
+    /// strings regardless of how they got there (direct execution, remote
+    /// writeset application, or checkpoint + log replay) — this is the
+    /// byte-identity oracle the recovery tests compare against.
+    pub fn durable_state(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "version={}", self.commit_seq);
+        for t in &self.tables {
+            let _ = writeln!(out, "table={} columns={:?}", t.name, t.columns);
+            let mut rows: Vec<(u64, &Row)> = t
+                .entries()
+                .filter_map(|(slot, key)| t.visible_data(slot, self.commit_seq).map(|r| (key, r)))
+                .collect();
+            rows.sort_by_key(|(key, _)| *key);
+            for (key, row) in rows {
+                let _ = writeln!(out, "  {key}: {row:?}");
+            }
+        }
+        out
     }
 
     // ---- internal helpers ----
@@ -904,6 +1088,76 @@ mod tests {
     fn begin_at_future_snapshot_panics() {
         let mut db = Database::new();
         db.begin_at(5);
+    }
+
+    /// Regression: `begin_at` used to *document* that snapshots below the
+    /// vacuum watermark read garbage — now it refuses them outright.
+    #[test]
+    #[should_panic(expected = "predates the vacuum watermark")]
+    fn begin_at_below_vacuum_watermark_panics() {
+        let (mut db, items) = seeded();
+        let old_version = db.version();
+        let t = db.begin();
+        db.update(t, items, RowId(0), vec![Value::text("n"), Value::Int(0)])
+            .unwrap();
+        db.commit(t).unwrap();
+        // No transaction is active, so the watermark advances to the
+        // current version and the old version's row images are reclaimed.
+        db.vacuum();
+        assert_eq!(db.min_snapshot(), db.version());
+        // Reading at `old_version` would silently see post-GC state; the
+        // engine must panic instead.
+        db.begin_at(old_version);
+    }
+
+    /// GSI snapshots at or above the watermark stay valid after a vacuum:
+    /// the watermark is the oldest *active* snapshot, never beyond it.
+    #[test]
+    fn vacuum_preserves_active_gsi_snapshots() {
+        let (mut db, items) = seeded();
+        let pin = db.begin(); // pins the current version as the watermark
+        let old_version = db.version();
+        let t = db.begin();
+        db.update(t, items, RowId(0), vec![Value::text("n"), Value::Int(0)])
+            .unwrap();
+        db.commit(t).unwrap();
+        db.vacuum();
+        assert_eq!(db.min_snapshot(), old_version);
+        // A new GSI transaction at the pinned (old) version still reads
+        // the pre-update value.
+        let stale = db.begin_at(old_version);
+        assert_eq!(cell(&mut db, stale, items, 0, 1), Value::Int(100));
+        db.abort(stale).unwrap();
+        db.abort(pin).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_durable_state() {
+        let (mut db, items) = seeded();
+        for i in 0..5 {
+            let t = db.begin();
+            db.update(
+                t,
+                items,
+                RowId(i),
+                vec![Value::text("u"), Value::Int(i as i64)],
+            )
+            .unwrap();
+            db.commit(t).unwrap();
+        }
+        let cp = db.checkpoint();
+        assert_eq!(cp.seq, db.version());
+        assert_eq!(cp.row_count(), 10);
+        let restored = Database::restore(&cp);
+        assert_eq!(restored.durable_state(), db.durable_state());
+        assert_eq!(restored.min_snapshot(), cp.seq);
+        // And the byte image round-trips through the codec.
+        let reloaded =
+            crate::checkpoint::Checkpoint::from_bytes(&cp.to_bytes()).expect("image loads");
+        assert_eq!(
+            Database::restore(&reloaded).durable_state(),
+            db.durable_state()
+        );
     }
 
     #[test]

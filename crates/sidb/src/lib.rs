@@ -45,6 +45,14 @@
 //!   `log_statement` equivalent folds counts as statements retire
 //!   ([`log::LogTotals`]) instead of accumulating an entry per statement;
 //!   the Section-4 profiler reads the folded totals.
+//! - **Durability** ([`wal`], [`checkpoint`]): a crc-framed redo log
+//!   with group commit plus watermark snapshot checkpoints. Recovery
+//!   ([`Database::recover`]) loads a checkpoint and replays the log's
+//!   valid prefix, truncating at the first torn or corrupt frame; the
+//!   result is byte-identical (per [`Database::durable_state`]) to a
+//!   reference engine replayed to the last whole group commit. Both
+//!   byte formats are pure functions of the logged history, keeping the
+//!   workspace determinism contract intact for durable state.
 //!
 //! # Examples
 //!
@@ -67,6 +75,7 @@
 //! assert!(db.commit(t2).is_err()); // write-write conflict under SI
 //! ```
 
+pub mod checkpoint;
 pub mod db;
 pub mod error;
 pub mod ids;
@@ -75,8 +84,10 @@ pub mod rowmap;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod wal;
 pub mod writeset;
 
+pub use checkpoint::{Checkpoint, CheckpointError, RecoveryReport, TableCheckpoint};
 pub use db::{CommitInfo, Database, DbStats};
 pub use error::DbError;
 pub use ids::{RowId, TableId};
@@ -84,4 +95,5 @@ pub use log::{LogTotals, StatementKind, StatementLog, StatementLogEntry};
 pub use rowmap::{FxBuildHasher, FxHashMap, RowMap};
 pub use txn::{TxnId, TxnStatus};
 pub use value::{Row, Value};
+pub use wal::{crc32, scan, WalRecord, WalScan, WalWriter, FRAME_HEADER};
 pub use writeset::{WriteItem, WriteOp, WriteSet};

@@ -1,0 +1,597 @@
+//! Crc-framed redo log with group commit.
+//!
+//! The write-ahead log is a sequence of **frames**, each holding one
+//! group commit's worth of records:
+//!
+//! ```text
+//! [payload len: u32 LE][crc32(payload): u32 LE][payload bytes]
+//! ```
+//!
+//! Records (schema creations and committed writesets) accumulate in a
+//! pending buffer and are sealed into a frame every `group_commit`
+//! records — one simulated fsync per frame, which is what amortizes the
+//! fsync cost across the group. Only sealed frames are durable: a crash
+//! loses at most the pending (unsealed) tail, and recovery replays the
+//! log to the last whole group commit.
+//!
+//! Torn-tail detection: [`scan`] walks frames front to back and stops at
+//! the first short header, short payload, or crc mismatch — it never
+//! panics on truncated or corrupted bytes. Everything before the bad
+//! frame is trusted (crc-verified); everything from it on is discarded,
+//! exactly the "truncate at first bad frame" recovery rule.
+//!
+//! All encoding is hand-rolled little-endian with length prefixes, so
+//! the byte stream is a pure function of the logged records: equal
+//! histories produce equal logs on every host, keeping the workspace's
+//! byte-determinism contract intact for durable state.
+
+use crate::ids::{RowId, TableId};
+use crate::value::{Row, Value};
+use crate::writeset::{WriteItem, WriteOp, WriteSet};
+
+/// Bytes of one frame header (payload length + crc).
+pub const FRAME_HEADER: usize = 8;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected), table-driven.
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC-32 of `bytes` (the polynomial zlib, PNG, and ethernet use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Records and their binary codec.
+// ---------------------------------------------------------------------
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table creation (schema must replay before data).
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names, in order.
+        columns: Vec<String>,
+    },
+    /// A committed writeset at sequence `seq`. The sequence space is the
+    /// caller's (local commit sequence for a standalone database, cluster
+    /// writeset sequence for a replica); recovery only requires it to be
+    /// strictly increasing.
+    Commit {
+        /// Commit sequence number.
+        seq: u64,
+        /// The committed writeset.
+        writeset: WriteSet,
+    },
+}
+
+const TAG_CREATE_TABLE: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Bytes(b) => {
+            out.push(5);
+            put_u32(out, b.len() as u32);
+            out.extend_from_slice(b);
+        }
+    }
+}
+
+pub(crate) fn put_row(out: &mut Vec<u8>, row: &Row) {
+    put_u32(out, row.len() as u32);
+    for v in row {
+        put_value(out, v);
+    }
+}
+
+fn put_writeset(out: &mut Vec<u8>, ws: &WriteSet) {
+    put_u64(out, ws.base_version);
+    put_u32(out, ws.items.len() as u32);
+    for item in &ws.items {
+        put_u32(out, item.table.0);
+        put_u64(out, item.row.0);
+        out.push(match item.op {
+            WriteOp::Insert => 0,
+            WriteOp::Update => 1,
+            WriteOp::Delete => 2,
+        });
+        match &item.data {
+            Some(row) => {
+                out.push(1);
+                put_row(out, row);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+pub(crate) fn encode_record(out: &mut Vec<u8>, rec: &WalRecord) {
+    match rec {
+        WalRecord::CreateTable { name, columns } => {
+            out.push(TAG_CREATE_TABLE);
+            put_str(out, name);
+            put_u32(out, columns.len() as u32);
+            for c in columns {
+                put_str(out, c);
+            }
+        }
+        WalRecord::Commit { seq, writeset } => {
+            out.push(TAG_COMMIT);
+            put_u64(out, *seq);
+            put_writeset(out, writeset);
+        }
+    }
+}
+
+/// Bounded-checked byte reader; every accessor returns `None` past the
+/// end instead of panicking, which is what makes [`scan`] total.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let s = self.take(4)?;
+        Some(u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let s = self.take(8)?;
+        Some(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+    }
+
+    pub(crate) fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        Some(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().ok()?)),
+            3 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().ok()?,
+            ))),
+            4 => Value::Text(self.str()?),
+            5 => {
+                let len = self.u32()? as usize;
+                Value::Bytes(self.take(len)?.to_vec())
+            }
+            _ => return None,
+        })
+    }
+
+    pub(crate) fn row(&mut self) -> Option<Row> {
+        let n = self.u32()? as usize;
+        let mut row = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            row.push(self.value()?);
+        }
+        Some(row)
+    }
+
+    fn writeset(&mut self) -> Option<WriteSet> {
+        let base_version = self.u64()?;
+        let n = self.u32()? as usize;
+        let mut items = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let table = TableId(self.u32()?);
+            let row = RowId(self.u64()?);
+            let op = match self.u8()? {
+                0 => WriteOp::Insert,
+                1 => WriteOp::Update,
+                2 => WriteOp::Delete,
+                _ => return None,
+            };
+            let data = match self.u8()? {
+                0 => None,
+                1 => Some(self.row()?),
+                _ => return None,
+            };
+            items.push(WriteItem {
+                table,
+                row,
+                op,
+                data,
+            });
+        }
+        Some(WriteSet {
+            base_version,
+            items,
+        })
+    }
+
+    pub(crate) fn record(&mut self) -> Option<WalRecord> {
+        Some(match self.u8()? {
+            TAG_CREATE_TABLE => {
+                let name = self.str()?;
+                let n = self.u32()? as usize;
+                let mut columns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    columns.push(self.str()?);
+                }
+                WalRecord::CreateTable { name, columns }
+            }
+            TAG_COMMIT => WalRecord::Commit {
+                seq: self.u64()?,
+                writeset: self.writeset()?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer: group-commit framing.
+// ---------------------------------------------------------------------
+
+/// Appends records, sealing a crc frame every `group_commit` records.
+///
+/// `bytes()` exposes only sealed frames — the durable prefix. Records
+/// still pending in the current group are lost on a crash unless
+/// [`WalWriter::flush`] sealed them first.
+#[derive(Debug, Clone)]
+pub struct WalWriter {
+    buf: Vec<u8>,
+    pending: Vec<u8>,
+    pending_records: usize,
+    group: usize,
+    frames: usize,
+    sealed_records: usize,
+}
+
+impl WalWriter {
+    /// Creates a writer sealing a frame every `group_commit` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_commit` is zero.
+    pub fn new(group_commit: usize) -> Self {
+        assert!(group_commit >= 1, "group commit batch must be at least 1");
+        WalWriter {
+            buf: Vec::new(),
+            pending: Vec::new(),
+            pending_records: 0,
+            group: group_commit,
+            frames: 0,
+            sealed_records: 0,
+        }
+    }
+
+    /// Appends one record, sealing the group's frame when full.
+    pub fn append(&mut self, rec: &WalRecord) {
+        encode_record(&mut self.pending, rec);
+        self.pending_records += 1;
+        if self.pending_records >= self.group {
+            self.seal();
+        }
+    }
+
+    /// Seals a partially filled group into a frame (an explicit fsync).
+    pub fn flush(&mut self) {
+        self.seal();
+    }
+
+    fn seal(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        put_u32(&mut self.buf, self.pending.len() as u32);
+        put_u32(&mut self.buf, crc32(&self.pending));
+        self.buf.extend_from_slice(&self.pending);
+        self.pending.clear();
+        self.sealed_records += self.pending_records;
+        self.pending_records = 0;
+        self.frames += 1;
+    }
+
+    /// The durable bytes: every sealed frame, nothing pending.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the durable bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.seal();
+        self.buf
+    }
+
+    /// Sealed frame count.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Records sealed into frames (durable).
+    pub fn sealed_records(&self) -> usize {
+        self.sealed_records
+    }
+
+    /// Records waiting in the current (unsealed) group.
+    pub fn pending_records(&self) -> usize {
+        self.pending_records
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scan: torn-tail-tolerant recovery read.
+// ---------------------------------------------------------------------
+
+/// Result of scanning a log image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Every record recovered from whole, crc-valid frames, in order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (where a repair would truncate).
+    pub valid_len: usize,
+    /// True when trailing bytes were discarded (torn tail or corruption).
+    pub truncated: bool,
+}
+
+/// Walks the frames of `bytes`, stopping at the first short read, crc
+/// mismatch, or malformed payload. Never panics: arbitrary byte soup
+/// yields an empty, fully truncated scan.
+pub fn scan(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset + FRAME_HEADER <= bytes.len() {
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let Some(end) = offset
+            .checked_add(FRAME_HEADER)
+            .and_then(|s| s.checked_add(len))
+        else {
+            break;
+        };
+        if end > bytes.len() {
+            break; // torn tail: the frame's payload was cut short
+        }
+        let payload = &bytes[offset + FRAME_HEADER..end];
+        if crc32(payload) != crc {
+            break; // bit rot or a torn header: distrust from here on
+        }
+        let mut reader = Reader::new(payload);
+        let mut frame_records = Vec::new();
+        let mut malformed = false;
+        while !reader.is_empty() {
+            match reader.record() {
+                Some(rec) => frame_records.push(rec),
+                None => {
+                    malformed = true;
+                    break;
+                }
+            }
+        }
+        if malformed {
+            break;
+        }
+        records.extend(frame_records);
+        offset = end;
+    }
+    WalScan {
+        records,
+        valid_len: offset,
+        truncated: offset < bytes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ws(seq: u64) -> WriteSet {
+        WriteSet {
+            base_version: seq.saturating_sub(1),
+            items: vec![
+                WriteItem {
+                    table: TableId(0),
+                    row: RowId(seq),
+                    op: WriteOp::Update,
+                    data: Some(vec![
+                        Value::Text(format!("v{seq}")),
+                        Value::Int(seq as i64),
+                        Value::Float(0.5),
+                        Value::Bool(true),
+                        Value::Null,
+                        Value::Bytes(vec![1, 2, 3]),
+                    ]),
+                },
+                WriteItem {
+                    table: TableId(1),
+                    row: RowId(seq + 100),
+                    op: WriteOp::Delete,
+                    data: None,
+                },
+            ],
+        }
+    }
+
+    fn sample_log(commits: u64, group: usize) -> (WalWriter, Vec<WalRecord>) {
+        let mut w = WalWriter::new(group);
+        let mut recs = vec![WalRecord::CreateTable {
+            name: "items".into(),
+            columns: vec!["a".into(), "b".into()],
+        }];
+        w.append(&recs[0]);
+        for seq in 1..=commits {
+            let rec = WalRecord::Commit {
+                seq,
+                writeset: sample_ws(seq),
+            };
+            w.append(&rec);
+            recs.push(rec);
+        }
+        (w, recs)
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_all_records() {
+        let (mut w, recs) = sample_log(10, 4);
+        w.flush();
+        let got = scan(w.bytes());
+        assert_eq!(got.records, recs);
+        assert!(!got.truncated);
+        assert_eq!(got.valid_len, w.bytes().len());
+    }
+
+    #[test]
+    fn group_commit_seals_whole_groups_only() {
+        let (w, _) = sample_log(10, 4);
+        // 11 records, groups of 4: two sealed frames (8 records), 3 pending.
+        assert_eq!(w.frames(), 2);
+        assert_eq!(w.sealed_records(), 8);
+        assert_eq!(w.pending_records(), 3);
+        let got = scan(w.bytes());
+        assert_eq!(got.records.len(), 8, "pending group is not durable");
+        assert!(!got.truncated);
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_last_whole_frame() {
+        let (mut w, _) = sample_log(8, 3);
+        w.flush();
+        let full = w.bytes().to_vec();
+        let whole = scan(&full);
+        // Cut mid-way through the last frame.
+        let torn = &full[..full.len() - 5];
+        let got = scan(torn);
+        assert!(got.truncated);
+        assert!(got.records.len() < whole.records.len());
+        assert_eq!(got.records, whole.records[..got.records.len()]);
+        // The valid prefix re-scans identically (idempotent repair).
+        let again = scan(&torn[..got.valid_len]);
+        assert!(!again.truncated);
+        assert_eq!(again.records, got.records);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan() {
+        let (mut w, _) = sample_log(6, 2);
+        w.flush();
+        let mut bytes = w.bytes().to_vec();
+        // Flip one payload bit in the second frame.
+        let first_frame_len =
+            u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize + FRAME_HEADER;
+        bytes[first_frame_len + FRAME_HEADER + 1] ^= 0x40;
+        let got = scan(&bytes);
+        assert!(got.truncated);
+        assert_eq!(got.valid_len, first_frame_len);
+        let clean = scan(&bytes[..first_frame_len]);
+        assert_eq!(got.records, clean.records);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        for len in 0..64usize {
+            let junk: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37)).collect();
+            let got = scan(&junk);
+            assert!(got.records.is_empty() || got.valid_len > 0);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let (mut a, _) = sample_log(20, 5);
+        let (mut b, _) = sample_log(20, 5);
+        a.flush();
+        b.flush();
+        assert_eq!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "group commit batch")]
+    fn zero_group_rejected() {
+        let _ = WalWriter::new(0);
+    }
+}

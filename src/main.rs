@@ -38,7 +38,7 @@ use std::process::ExitCode;
 use replipred::model::planner::{plan_designs, Plan, Slo};
 use replipred::model::{Design, SystemConfig, WorkloadProfile};
 use replipred::profiler::Profiler;
-use replipred::repl::{Schedule, TransientReport};
+use replipred::repl::{DurabilityConfig, Schedule, TransientReport};
 use replipred::scenario::{parse_workload, ReplicationSummary, Scenario, ScenarioReport};
 use replipred::validate::{doubling_points, split_workloads, ValidationGrid, ValidationReport};
 
@@ -62,12 +62,14 @@ const USAGE: &str = "usage:
   replipred simulate --workload <w> [--design <d>] [--replicas N] [--seed S] [--seeds K]
                      [--jobs J] [--schedule <s>] [--json]
   replipred phases   [--workload <w>] [--design <d>] [--replicas N] [--schedule <s>]
-                     [--phase-window W] [--seed S] [--seeds K] [--jobs J] [--json]
+                     [--recovery] [--phase-window W] [--seed S] [--seeds K] [--jobs J] [--json]
   replipred validate [--workload <w,...>|all] [--design <d>] [--replicas N] [--seed S]
                      [--seeds K] [--jobs J] [--json]
   replipred plan     --workload <w> --tps X [--max-response-ms R] [--max-abort-pct A]
                      [--design <d>] [--clients C] [--seed S] [--json]
   replipred profile  --workload <w> [--seed S] [--json]
+  replipred recover  [--commits N] [--group-commit G] [--truncate-at BYTES]
+                     [--dir PATH] [--seed S] [--json]
 
 designs:   standalone mm sm, a comma list of those, or all
 workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-bidding,
@@ -85,11 +87,26 @@ workloads: tpcw-browsing tpcw-shopping tpcw-ordering rubis-browsing rubis-biddin
            \"crash@30=1,flash-crowd@45=2x15,join@60=1,window=5\"
 --phase-window W: transient window width in seconds (enables transient
            reporting even with an event-free schedule)
+--durable: enable redo-log durability on simulated runs — commits pay the
+           amortized group-commit disk term `fsync / group-commit`, crashed
+           replicas rejoin by recovering checkpoint + WAL; tune with
+           --group-commit G (default 8), --fsync-ms F (default 2),
+           --log-retention R (writesets kept past the slowest replica;
+           0 = unbounded, small values force checkpoint state transfers)
 --profile-live (sweep): measure the profile via the Section-4 standalone
            profiling pipeline instead of the published tables
 phases:    simulate one time-phased scenario and print its windowed
            transient report; defaults to rubis-bidding x mm x 4 replicas
-           under a crash + flash-crowd + rejoin demo schedule
+           under a crash + flash-crowd + rejoin demo schedule; --recovery
+           switches to the durable recovery preset (tpcw-shopping x sm,
+           crash @30 + rejoin @60 with --durable on): the rejoin window
+           shows catch-up lag as WAL replay cost
+recover:   scripted durability round trip on one sidb engine: run a
+           deterministic update workload, persist checkpoint + crc-framed
+           WAL to --dir (default: a temp dir), cold-start recover from the
+           files alone, and verify the rebuilt database byte-for-byte;
+           --truncate-at cuts the WAL mid-frame to exercise torn-tail
+           truncation
 validate:  run the prediction-vs-simulation error grid; --workload takes a
            comma list or `all` (5 published mixes + 4 synth presets),
            --replicas N sweeps the doubling points 1,2,4,..,N";
@@ -173,10 +190,52 @@ struct RunOpts {
     jobs: usize,
     json: bool,
     schedule: Option<Schedule>,
+    durability: Option<DurabilityConfig>,
+}
+
+/// `--durable` plus its tuning flags (`--group-commit`, `--fsync-ms`,
+/// `--log-retention`). The tuning flags require `--durable`; without it
+/// the simulators run exactly as pre-durability builds.
+fn parse_durability(args: &[String]) -> Result<Option<DurabilityConfig>, String> {
+    let durable = has_flag(args, "--durable");
+    let group = parse_count(args, "--group-commit")?;
+    let fsync_ms: Option<f64> = parse_flag(args, "--fsync-ms")?;
+    let retention: Option<u64> = parse_flag(args, "--log-retention")?;
+    if !durable {
+        if group.is_some() || fsync_ms.is_some() || retention.is_some() {
+            return Err("--group-commit/--fsync-ms/--log-retention require --durable".to_string());
+        }
+        return Ok(None);
+    }
+    let mut d = DurabilityConfig {
+        enabled: true,
+        ..DurabilityConfig::default()
+    };
+    if let Some(g) = group {
+        d.group_commit = g;
+    }
+    if let Some(ms) = fsync_ms {
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(format!("--fsync-ms must be non-negative (got {ms})"));
+        }
+        d.fsync_disk = ms / 1e3;
+    }
+    if let Some(r) = retention {
+        d.log_retention = r;
+    }
+    Ok(Some(d))
 }
 
 impl RunOpts {
+    #[cfg(test)]
     fn parse(args: &[String]) -> Result<Self, String> {
+        Self::parse_for("", args)
+    }
+
+    /// `parse` with the subcommand name: `recover` owns `--group-commit`
+    /// outright (its WAL is the experiment, not a simulator knob), every
+    /// other subcommand requires `--durable` alongside the tuning flags.
+    fn parse_for(cmd: &str, args: &[String]) -> Result<Self, String> {
         let mut schedule = match flag(args, "--schedule")? {
             None => None,
             Some(v) => Some(Schedule::parse(&v).map_err(|e| e.to_string())?),
@@ -196,6 +255,11 @@ impl RunOpts {
             jobs: parse_count(args, "--jobs")?.unwrap_or_else(replipred_sim::pool::default_jobs),
             json: has_flag(args, "--json"),
             schedule,
+            durability: if cmd == "recover" {
+                None
+            } else {
+                parse_durability(args)?
+            },
         })
     }
 
@@ -229,6 +293,9 @@ impl RunOpts {
         scenario = scenario.jobs(self.jobs);
         if let Some(schedule) = &self.schedule {
             scenario = scenario.schedule(schedule.clone());
+        }
+        if let Some(durability) = &self.durability {
+            scenario = scenario.durability(durability.clone());
         }
         scenario
     }
@@ -286,7 +353,7 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
-    let opts = RunOpts::parse(rest)?;
+    let opts = RunOpts::parse_for(cmd, rest)?;
     match cmd {
         "predict" => predict(rest, &opts),
         "sweep" => sweep(rest, &opts),
@@ -295,6 +362,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "validate" => validate_cmd(rest, &opts),
         "plan" => plan_cmd(rest, &opts),
         "profile" => profile_cmd(rest, &opts),
+        "recover" => recover_cmd(rest, &opts),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -536,18 +604,48 @@ fn default_phases_schedule() -> Schedule {
         .window(5.0)
 }
 
+/// The `phases --recovery` preset: crash a replica, let it sit out half a
+/// minute of commits, rejoin it — with durability on, so the rejoin
+/// window measures checkpoint-load + WAL-replay catch-up instead of a
+/// free in-memory resume.
+fn recovery_phases_schedule() -> Schedule {
+    Schedule::new().crash(30.0, 1).join(60.0, 1).window(5.0)
+}
+
 fn phases(args: &[String], opts: &RunOpts) -> Result<(), String> {
+    let recovery = has_flag(args, "--recovery");
+    let default_workload = if recovery {
+        "tpcw-shopping"
+    } else {
+        "rubis-bidding"
+    };
     let base = match flag(args, "--workload")? {
         Some(_) => workload_scenario(args)?,
-        None => Scenario::workload("rubis-bidding").map_err(|e| e.to_string())?,
+        None => Scenario::workload(default_workload).map_err(|e| e.to_string())?,
+    };
+    let default_design = if recovery {
+        // Durable rejoin-by-recovery lives in the single-master design.
+        Design::SingleMaster
+    } else {
+        Design::MultiMaster
     };
     let mut scenario = opts
         .point(base, 4)
-        .designs(opts.designs(&[Design::MultiMaster]))
+        .designs(opts.designs(&[default_design]))
         .predict(false)
         .simulate(true);
     if opts.schedule.is_none() {
-        scenario = scenario.schedule(default_phases_schedule());
+        scenario = scenario.schedule(if recovery {
+            recovery_phases_schedule()
+        } else {
+            default_phases_schedule()
+        });
+    }
+    if recovery && opts.durability.is_none() {
+        scenario = scenario.durability(DurabilityConfig {
+            enabled: true,
+            ..DurabilityConfig::default()
+        });
     }
     let report = scenario.run().map_err(|e| e.to_string())?;
     if opts.json {
@@ -739,6 +837,158 @@ fn profile_cmd(args: &[String], opts: &RunOpts) -> Result<(), String> {
     );
     println!("L(1)            {:.1} ms", p.l1 * 1e3);
     println!("U               {:.2}", p.update_ops);
+    Ok(())
+}
+
+/// What `recover` did, serialized under `--json`.
+#[derive(serde::Serialize)]
+struct RecoverOutcome {
+    /// Update commits the scripted workload ran.
+    commits: usize,
+    /// Commits per WAL frame.
+    group_commit: usize,
+    /// Where the checkpoint + WAL files were written.
+    dir: String,
+    /// Serialized checkpoint size, bytes.
+    checkpoint_bytes: usize,
+    /// WAL size as recovered (after any `--truncate-at` cut), bytes.
+    wal_bytes: usize,
+    /// Bytes of the WAL that survived frame + crc validation.
+    wal_valid_bytes: usize,
+    /// Whether a torn tail (or the cut) was truncated during the scan.
+    wal_truncated: bool,
+    /// Commits replayed from the WAL on top of the checkpoint.
+    replayed: u64,
+    /// Database version the recovered engine ended at.
+    last_seq: u64,
+    /// Whether the rebuilt database byte-matched the live reference.
+    verified: bool,
+}
+
+/// Scripted durability round trip: deterministic workload → checkpoint +
+/// WAL on disk → cold-start recovery from the files alone → byte-level
+/// verification against states recorded from the live database.
+fn recover_cmd(args: &[String], opts: &RunOpts) -> Result<(), String> {
+    use replipred::sidb::{Checkpoint, Database, RowId, Value, WalRecord, WalWriter};
+
+    let commits = parse_count(args, "--commits")?.unwrap_or(64);
+    let group = parse_count(args, "--group-commit")?.unwrap_or(8);
+    let cut: Option<usize> = parse_flag(args, "--truncate-at")?;
+    let seed = opts.seed.unwrap_or(2009);
+    let dir = match flag(args, "--dir")? {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("replipred-recover-{seed}")),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+
+    // The scripted workload: 16 seeded accounts, `commits` single-row
+    // updates drawn from a splitmix64 stream — same seed, same bytes.
+    const ROWS: u64 = 16;
+    let mut db = Database::new();
+    let t = db
+        .create_table("acct", &["balance"])
+        .expect("fresh database");
+    let seeding = db.begin();
+    for r in 0..ROWS {
+        db.insert(seeding, t, RowId(r), vec![Value::Int(0)])
+            .expect("seeding a fresh table");
+    }
+    db.commit(seeding).expect("seed commit");
+    let checkpoint = db.checkpoint();
+    let mut wal = WalWriter::new(group.max(1));
+    let mut states = vec![db.durable_state()];
+    let mut stream = seed;
+    let mut draw = move || {
+        stream = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = stream;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..commits {
+        let row = draw() % ROWS;
+        let amount = (draw() % 100_000) as i64;
+        let txn = db.begin();
+        db.update(txn, t, RowId(row), vec![Value::Int(amount)])
+            .expect("seeded row exists");
+        let info = db.commit(txn).expect("single writer never conflicts");
+        wal.append(&WalRecord::Commit {
+            seq: info.commit_seq,
+            writeset: info.writeset,
+        });
+        states.push(db.durable_state());
+    }
+
+    // Persist, then recover from the files alone: nothing below survives
+    // from the live objects.
+    let cp_path = dir.join("checkpoint.sidb");
+    let wal_path = dir.join("wal.sidb");
+    std::fs::write(&cp_path, checkpoint.to_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", cp_path.display()))?;
+    let mut wal_bytes = wal.into_bytes();
+    if let Some(c) = cut {
+        wal_bytes.truncate(c.min(wal_bytes.len()));
+    }
+    std::fs::write(&wal_path, &wal_bytes)
+        .map_err(|e| format!("cannot write {}: {e}", wal_path.display()))?;
+    drop((db, checkpoint));
+
+    let cp_image =
+        std::fs::read(&cp_path).map_err(|e| format!("cannot read {}: {e}", cp_path.display()))?;
+    let cp_loaded =
+        Checkpoint::from_bytes(&cp_image).map_err(|e| format!("bad checkpoint: {e}"))?;
+    let wal_loaded =
+        std::fs::read(&wal_path).map_err(|e| format!("cannot read {}: {e}", wal_path.display()))?;
+    let (recovered, report) = Database::recover(&cp_loaded, &wal_loaded, cp_loaded.seq);
+    let verified = recovered.durable_state() == states[report.replayed as usize];
+
+    let outcome = RecoverOutcome {
+        commits,
+        group_commit: group,
+        dir: dir.display().to_string(),
+        checkpoint_bytes: cp_image.len(),
+        wal_bytes: wal_loaded.len(),
+        wal_valid_bytes: report.wal_valid_len,
+        wal_truncated: report.wal_truncated,
+        replayed: report.replayed,
+        last_seq: report.last_seq,
+        verified,
+    };
+    if opts.json {
+        print_json(&outcome);
+    } else {
+        println!("dir             {}", outcome.dir);
+        println!(
+            "workload        {} commits over {ROWS} rows (group commit {})",
+            outcome.commits, outcome.group_commit
+        );
+        println!("checkpoint      {} B", outcome.checkpoint_bytes);
+        println!(
+            "wal             {} B ({} B valid{})",
+            outcome.wal_bytes,
+            outcome.wal_valid_bytes,
+            if outcome.wal_truncated {
+                ", tail truncated"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "replayed        {} commits -> version {}",
+            outcome.replayed, outcome.last_seq
+        );
+        println!(
+            "verified        {}",
+            if verified {
+                "yes (byte-identical to the live reference)"
+            } else {
+                "NO"
+            }
+        );
+    }
+    if !verified {
+        return Err("recovered database does not match the live reference".to_string());
+    }
     Ok(())
 }
 

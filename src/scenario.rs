@@ -44,7 +44,7 @@ use serde::{Deserialize, Serialize};
 use replipred_core::report::{Design, ScalabilityCurve};
 use replipred_core::{ModelError, SystemConfig, WorkloadProfile};
 use replipred_profiler::Profiler;
-use replipred_repl::{RunReport, Schedule, SimConfig, SimulatorRegistry};
+use replipred_repl::{DurabilityConfig, RunReport, Schedule, SimConfig, SimulatorRegistry};
 use replipred_sim::pool::map_parallel;
 use replipred_sim::rng::derive_stream_seed;
 use replipred_sim::stats::BatchMeans;
@@ -189,6 +189,7 @@ pub struct Scenario {
     system: Option<SystemConfig>,
     sim_template: Option<SimConfig>,
     schedule: Option<Schedule>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl Scenario {
@@ -206,6 +207,7 @@ impl Scenario {
             system: None,
             sim_template: None,
             schedule: None,
+            durability: None,
         }
     }
 
@@ -364,6 +366,15 @@ impl Scenario {
         self
     }
 
+    /// Redo-log durability for every simulated cell: commits pay the
+    /// amortized group-commit disk term and crashed replicas rejoin by
+    /// recovering from their checkpoint + WAL (see
+    /// [`replipred_repl::config::DurabilityConfig`]). Default: off.
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// The seed of replication `rep`: the base seed for `rep == 0`, a
     /// deterministically derived stream seed otherwise.
     fn replication_seed(&self, rep: usize) -> u64 {
@@ -483,6 +494,9 @@ impl Scenario {
             };
             if let Some(schedule) = &self.schedule {
                 cfg.schedule = schedule.clone();
+            }
+            if let Some(durability) = &self.durability {
+                cfg.durability = durability.clone();
             }
             cell.design.simulator(spec.clone(), cfg).run()
         });

@@ -181,6 +181,7 @@ proptest! {
             l1: wc * 2.0,
             update_ops: 3.0,
             db_update_size: 10_000.0,
+            log_disk: 0.0,
         };
         profile.estimate_l1(40, 1.0).unwrap();
         let model = MultiMasterModel::new(profile, SystemConfig::lan_cluster(40));
